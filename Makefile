@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# One testing.B benchmark per paper figure/ablation (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every figure of the paper's evaluation as tables.
+figures:
+	$(GO) run ./cmd/nestbench -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multiprotocol
+	$(GO) run ./examples/gridscenario
+	$(GO) run ./examples/qos
+
+clean:
+	$(GO) clean ./...

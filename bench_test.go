@@ -1,0 +1,157 @@
+// Benchmarks regenerating the paper's evaluation (Section 7): one
+// benchmark per figure plus the ablations DESIGN.md calls out. Each
+// benchmark runs the corresponding experiment end to end in the
+// deterministic simulation substrate and reports the figure's headline
+// numbers as custom metrics. Run:
+//
+//	go test -bench=. -benchtime=1x
+package nest_test
+
+import (
+	"testing"
+
+	"nest/internal/bench"
+	"nest/internal/transfer"
+)
+
+// BenchmarkFig3SingleProtocols reports NeST's per-protocol bandwidth
+// against the native-server baselines (Figure 3, first bar pairs).
+func BenchmarkFig3SingleProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range bench.AllSpecs() {
+			nest := bench.RunSingleProtocol(spec, false)
+			native := bench.RunSingleProtocol(spec, true)
+			b.ReportMetric(nest.Total, spec.Name+"-nest-MB/s")
+			b.ReportMetric(native.Total, spec.Name+"-native-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig3Mixed reports the mixed four-protocol workload under
+// NeST's FIFO transfer manager versus independent JBOS servers
+// (Figure 3, last bars): totals are similar but FIFO NeST disfavors
+// block-based NFS.
+func BenchmarkFig3Mixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nest := bench.RunMixed(false)
+		jbos := bench.RunMixed(true)
+		b.ReportMetric(nest.Total, "nest-total-MB/s")
+		b.ReportMetric(jbos.Total, "jbos-total-MB/s")
+		b.ReportMetric(nest.PerClass["nfs"], "nest-nfs-MB/s")
+		b.ReportMetric(jbos.PerClass["nfs"], "jbos-nfs-MB/s")
+	}
+}
+
+// BenchmarkFig4Stride runs every proportional-share configuration of
+// Figure 4 and reports Jain's fairness for each.
+func BenchmarkFig4Stride(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range bench.Fig4Configs() {
+			row := bench.RunFig4Config(cfg)
+			if cfg.Tickets == nil {
+				b.ReportMetric(row.Result.Total, "fifo-total-MB/s")
+				continue
+			}
+			b.ReportMetric(row.Fairness, "fairness-"+cfg.Label)
+		}
+	}
+}
+
+// BenchmarkFig5Solaris reports average small-request latency per
+// concurrency model on the Solaris profile (Figure 5, left).
+func BenchmarkFig5Solaris(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []transfer.ModelKind{transfer.Events, transfer.Threads, transfer.Adaptive} {
+			b.ReportMetric(bench.RunFig5SolarisModel(m), string(m)+"-ms")
+		}
+	}
+}
+
+// BenchmarkFig5Linux reports large-file bandwidth per concurrency
+// model on the Linux profile (Figure 5, right).
+func BenchmarkFig5Linux(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []transfer.ModelKind{transfer.Events, transfer.Threads, transfer.Adaptive} {
+			b.ReportMetric(bench.RunFig5LinuxModel(m), string(m)+"-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig6LotOverhead reports quota-on/off write bandwidth at the
+// sweep's endpoints (Figure 6).
+func BenchmarkFig6LotOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := bench.RunFig6SinglePoint(20)
+		large := bench.RunFig6SinglePoint(200)
+		b.ReportMetric(small.QuotaOffMBps, "20MB-off-MB/s")
+		b.ReportMetric(small.QuotaOnMBps, "20MB-on-MB/s")
+		b.ReportMetric(large.QuotaOffMBps, "200MB-off-MB/s")
+		b.ReportMetric(large.QuotaOnMBps, "200MB-on-MB/s")
+	}
+}
+
+// BenchmarkAblationStrideRequestBased contrasts byte-based strides
+// with the request-based ablation (DESIGN.md ablation 1).
+func BenchmarkAblationStrideRequestBased(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		byteBased, requestBased := bench.AblationStrideCharging()
+		b.ReportMetric(byteBased.Result.PerClass["nfs"], "bytes-nfs-MB/s")
+		b.ReportMetric(requestBased.Result.PerClass["nfs"], "requests-nfs-MB/s")
+	}
+}
+
+// BenchmarkAblationNonWorkConserving contrasts the work-conserving
+// stride with the idle-wait variant on the failing 1:1:1:4 allocation
+// (DESIGN.md ablation 2).
+func BenchmarkAblationNonWorkConserving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wc, nwc := bench.AblationNonWorkConserving()
+		b.ReportMetric(wc.Fairness, "work-conserving-fairness")
+		b.ReportMetric(nwc.Fairness, "idle-wait-fairness")
+		b.ReportMetric(wc.Result.Total, "work-conserving-MB/s")
+		b.ReportMetric(nwc.Result.Total, "idle-wait-MB/s")
+	}
+}
+
+// BenchmarkAblationProbePeriod sweeps the adaptation probe period
+// (DESIGN.md ablation 3).
+func BenchmarkAblationProbePeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range bench.AblationProbePeriod() {
+			b.ReportMetric(p.LatencyMs, "probe-"+p.Period.String()+"-ms")
+		}
+	}
+}
+
+// BenchmarkAblationLotEnforcement contrasts quota-backed and
+// NeST-managed lot enforcement (DESIGN.md ablation 4).
+func BenchmarkAblationLotEnforcement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range bench.AblationLotEnforcement() {
+			b.ReportMetric(float64(r.Lot1UsedMB), r.Mode+"-lot1-usedMB")
+			b.ReportMetric(r.WriteMBps, r.Mode+"-write-MB/s")
+		}
+	}
+}
+
+// BenchmarkCacheAware contrasts FIFO with cache-aware scheduling on a
+// half-hot workload (DESIGN.md ablation 5).
+func BenchmarkCacheAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range bench.AblationCacheAware() {
+			b.ReportMetric(r.AvgLatencyMs, r.Policy+"-latency-ms")
+			b.ReportMetric(r.TotalMBps, r.Policy+"-MB/s")
+		}
+	}
+}
+
+// BenchmarkProtocolOverhead measures the virtual-protocol-layer parity
+// claim directly: NeST-over-shared-framework versus a dedicated native
+// server for the appliance's native protocol.
+func BenchmarkProtocolOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nest := bench.RunSingleProtocol(bench.SpecChirp, false)
+		native := bench.RunSingleProtocol(bench.SpecChirp, true)
+		b.ReportMetric(nest.Total/native.Total, "nest-to-native-ratio")
+	}
+}

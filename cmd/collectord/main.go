@@ -1,0 +1,45 @@
+// Command collectord runs the Grid discovery service NeSTs publish
+// into (paper §2.1, §6): a ClassAd collector with expiry plus a
+// matchmaker, the stand-in for the Condor collector/negotiator pair.
+//
+// Usage:
+//
+//	collectord -listen :9618 -ttl 5m
+//
+// The wire protocol is line-oriented (see internal/discovery):
+// ADVERTISE/QUERY/MATCH, each followed by a length-prefixed ClassAd or
+// constraint expression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nest/internal/discovery"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9618", "listen address")
+		ttl    = flag.Duration("ttl", discovery.DefaultTTL, "advertisement freshness window")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("collectord: %v", err)
+	}
+	collector := discovery.NewCollector(nil, *ttl)
+	srv := discovery.NewServer(collector, ln)
+	fmt.Printf("collector listening on %s (ttl %v)\n", srv.Addr(), *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

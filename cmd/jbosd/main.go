@@ -1,0 +1,91 @@
+// Command jbosd runs the paper's baseline configuration: "Just a Bunch
+// Of Servers" — independent native single-protocol servers over one
+// shared directory, with no common dispatcher, transfer manager or
+// cross-protocol scheduling (paper §3).
+//
+// Usage:
+//
+//	jbosd -data /srv/files -http :8080 -ftp :2121 -nfs :2049 -chirp :9094
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nest/internal/acl"
+	"nest/internal/chirp"
+	"nest/internal/ftp"
+	"nest/internal/gsi"
+	"nest/internal/httpx"
+	"nest/internal/jbos"
+	"nest/internal/nfs"
+	"nest/internal/protocol"
+	"nest/internal/sim"
+	"nest/internal/storage"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "", "data directory (empty: in-memory)")
+		capacity  = flag.Int64("capacity", 1<<30, "advertised capacity in bytes")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP (Apache stand-in) address; empty disables")
+		ftpAddr   = flag.String("ftp", "127.0.0.1:2121", "FTP (wu-ftpd stand-in) address; empty disables")
+		nfsAddr   = flag.String("nfs", "127.0.0.1:2049", "NFS (nfsd stand-in) address; empty disables")
+		chirpAddr = flag.String("chirp", "127.0.0.1:9094", "Chirp server address; empty disables")
+	)
+	flag.Parse()
+
+	clock := sim.NewRealClock()
+	var fs storage.FS
+	if *dataDir != "" {
+		local, err := storage.NewLocalFS(*dataDir, *capacity)
+		if err != nil {
+			log.Fatalf("jbosd: %v", err)
+		}
+		fs = local
+	} else {
+		fs = storage.NewMemFS(clock, *capacity)
+	}
+	// Native servers have no lot manager and rely on filesystem
+	// permissions; the baseline grants everything.
+	table := acl.NewTable(acl.AllRights, gsi.Anonymous)
+	store := storage.NewManager(fs, table, nil)
+
+	handlers := map[string]struct {
+		addr    string
+		handler protocol.Handler
+	}{
+		"http":  {*httpAddr, httpx.NewHandler()},
+		"ftp":   {*ftpAddr, ftp.NewHandler(ftp.Options{AllowAnon: true})},
+		"nfs":   {*nfsAddr, nfs.NewHandler()},
+		"chirp": {*chirpAddr, chirp.NewHandler(nil, true)},
+	}
+	var servers []*jbos.Server
+	for name, h := range handlers {
+		if h.addr == "" {
+			continue
+		}
+		ln, err := net.Listen("tcp", h.addr)
+		if err != nil {
+			log.Fatalf("jbosd: listen %s (%s): %v", h.addr, name, err)
+		}
+		srv := jbos.Serve(clock, store, h.handler, ln)
+		servers = append(servers, srv)
+		fmt.Printf("jbos %-6s %s\n", name, srv.Addr())
+	}
+	if len(servers) == 0 {
+		log.Fatal("jbosd: no servers enabled")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, s := range servers {
+		s.Close()
+	}
+}

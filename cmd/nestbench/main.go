@@ -1,0 +1,45 @@
+// Command nestbench regenerates the paper's evaluation (Section 7):
+// every figure plus the ablations DESIGN.md calls out. The experiments
+// drive the real scheduler, transfer-manager, cache and quota code
+// under the deterministic simulation substrate calibrated to the
+// paper's 2002 testbed.
+//
+// Usage:
+//
+//	nestbench -experiment fig3|fig4|fig5|fig6|ablations|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nest/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, or all")
+	flag.Parse()
+
+	run := map[string]func(){
+		"fig3": func() { fmt.Println(bench.FormatFig3(bench.RunFig3())) },
+		"fig4": func() { fmt.Println(bench.FormatFig4(bench.RunFig4())) },
+		"fig5": func() { fmt.Println(bench.FormatFig5(bench.RunFig5())) },
+		"fig6": func() {
+			readOff, readOn := bench.RunFig6Reads()
+			fmt.Println(bench.FormatFig6(bench.RunFig6(), readOff, readOn))
+		},
+		"ablations": func() { fmt.Println(bench.FormatAblations()) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations"} {
+			run[name]()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		log.Fatalf("nestbench: unknown experiment %q", *exp)
+	}
+	fn()
+}

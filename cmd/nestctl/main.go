@@ -1,0 +1,247 @@
+// Command nestctl is the Chirp command-line client for a NeST
+// appliance: file and directory operations, lot management, ACL
+// manipulation, resource queries, and GSI credential issuing.
+//
+// Usage:
+//
+//	nestctl -server host:9094 [-cred cred.tok] <command> [args]
+//
+// Commands:
+//
+//	ls <dir>                     list a directory
+//	stat <path>                  describe a file
+//	get <path> [localfile]       download (default: stdout)
+//	put <localfile> <path>       upload
+//	rm <path> | mkdir <dir> | rmdir <dir>
+//	lot-create <bytes> <seconds> reserve guaranteed space
+//	lot-status <id> | lot-renew <id> <seconds> | lot-release <id>
+//	acl-set <dir> <principal> <rights>   ("-" clears)
+//	acl-get <dir>
+//	statfs                       print the server's ClassAd
+//	ping
+//
+//	issue -ca-key FILE -ca-name DN -subject DN -out cred.tok
+//	                             mint a GSI credential (admin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/gsi"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "127.0.0.1:9094", "Chirp address of the NeST")
+		credF  = flag.String("cred", "", "GSI credential token file (empty: anonymous)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "issue" {
+		issue(args[1:])
+		return
+	}
+
+	var cred *gsi.Credential
+	if *credF != "" {
+		tok, err := os.ReadFile(*credF)
+		if err != nil {
+			log.Fatalf("nestctl: %v", err)
+		}
+		cred, err = gsi.ParseToken(string(tok))
+		if err != nil {
+			log.Fatalf("nestctl: %v", err)
+		}
+	}
+	c, err := chirp.Dial(*server, cred)
+	if err != nil {
+		log.Fatalf("nestctl: %v", err)
+	}
+	defer c.Close()
+
+	need := func(n int, usage string) {
+		if len(args)-1 < n {
+			log.Fatalf("nestctl: usage: %s", usage)
+		}
+	}
+	switch args[0] {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("pong")
+	case "ls":
+		need(1, "ls <dir>")
+		entries, err := c.List(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %12d %s\n", kind, e.Size, e.Name)
+		}
+	case "stat":
+		need(1, "stat <path>")
+		e, err := c.Stat(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "file"
+		if e.IsDir {
+			kind = "directory"
+		}
+		fmt.Printf("%s %s, %d bytes\n", e.Name, kind, e.Size)
+	case "get":
+		need(1, "get <path> [localfile]")
+		var out io.Writer = os.Stdout
+		if len(args) >= 3 {
+			f, err := os.Create(args[2])
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if _, err := c.GetTo(args[1], out); err != nil {
+			log.Fatal(err)
+		}
+	case "put":
+		need(2, "put <localfile> <path>")
+		f, err := os.Open(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := c.Put(args[2], f, info.Size(), "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stored %d bytes\n", n)
+	case "rm":
+		need(1, "rm <path>")
+		if err := c.Remove(args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "mkdir":
+		need(1, "mkdir <dir>")
+		if err := c.Mkdir(args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "rmdir":
+		need(1, "rmdir <dir>")
+		if err := c.Rmdir(args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "lot-create":
+		need(2, "lot-create <bytes> <seconds>")
+		bytes, err1 := strconv.ParseInt(args[1], 10, 64)
+		secs, err2 := strconv.ParseInt(args[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			log.Fatal("nestctl: lot-create wants numeric bytes and seconds")
+		}
+		lot, err := c.LotCreate(bytes, time.Duration(secs)*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLot(lot)
+	case "lot-status":
+		need(1, "lot-status <id>")
+		lot, err := c.LotStatus(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLot(lot)
+	case "lot-renew":
+		need(2, "lot-renew <id> <seconds>")
+		secs, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			log.Fatal("nestctl: lot-renew wants numeric seconds")
+		}
+		lot, err := c.LotRenew(args[1], time.Duration(secs)*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLot(lot)
+	case "lot-release":
+		need(1, "lot-release <id>")
+		if err := c.LotRelease(args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "acl-set":
+		need(3, "acl-set <dir> <principal> <rights>")
+		if err := c.ACLSet(args[1], args[2], args[3]); err != nil {
+			log.Fatal(err)
+		}
+	case "acl-get":
+		need(1, "acl-get <dir>")
+		lines, err := c.ACLGet(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "statfs":
+		ad, err := c.Statfs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ad)
+	default:
+		log.Fatalf("nestctl: unknown command %q", args[0])
+	}
+}
+
+func printLot(lot chirp.Lot) {
+	state := "active"
+	if lot.BestEffort {
+		state = "best-effort"
+	}
+	fmt.Printf("%s: %d/%d bytes used, %s, expires at +%s\n",
+		lot.ID, lot.Used, lot.Capacity, state, lot.Expires)
+}
+
+// issue mints a GSI credential; run it wherever the CA key lives.
+func issue(args []string) {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	caKey := fs.String("ca-key", "", "file holding the CA secret key")
+	caName := fs.String("ca-name", "/O=NeST/CN=CA", "CA distinguished name")
+	subject := fs.String("subject", "", "credential subject, e.g. /O=Grid/CN=john")
+	ttl := fs.Duration("ttl", 12*time.Hour, "credential lifetime")
+	out := fs.String("out", "", "output token file (empty: stdout)")
+	fs.Parse(args)
+	if *caKey == "" || *subject == "" {
+		log.Fatal("nestctl issue: -ca-key and -subject are required")
+	}
+	key, err := os.ReadFile(*caKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca := gsi.NewCA(*caName, key)
+	tok := ca.Issue(*subject, *ttl, true).Token()
+	if *out == "" {
+		fmt.Println(tok)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(tok), 0o600); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Command nestd runs a NeST storage appliance: one server speaking
+// Chirp, HTTP, FTP, GridFTP and NFS concurrently over a shared
+// dispatcher, storage manager and transfer manager.
+//
+// Usage:
+//
+//	nestd -name mysite -data /srv/nest -capacity 10737418240 \
+//	      -chirp :9094 -http :8080 -ftp :2121 -gridftp :2811 -nfs :2049 \
+//	      -sched stride -tickets nfs=200,gridftp=100 \
+//	      -collector collector.example.org:9618
+//
+// An empty -data serves an in-memory filesystem (testing). The CA key
+// file (-ca-key) seeds the GSI trust anchor; clients authenticate with
+// credentials issued by the matching CA (see nestctl -issue).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/classad"
+	"nest/internal/core"
+	"nest/internal/discovery"
+	"nest/internal/gsi"
+	"nest/internal/transfer"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "nest", "appliance name published in ClassAds")
+		dataDir   = flag.String("data", "", "data directory (empty: in-memory)")
+		capacity  = flag.Int64("capacity", 1<<30, "storage capacity in bytes")
+		chirpAddr = flag.String("chirp", "127.0.0.1:9094", "Chirp listen address (empty disables)")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP listen address (empty disables)")
+		ftpAddr   = flag.String("ftp", "127.0.0.1:2121", "FTP listen address (empty disables)")
+		gftpAddr  = flag.String("gridftp", "127.0.0.1:2811", "GridFTP listen address (empty disables)")
+		nfsAddr   = flag.String("nfs", "127.0.0.1:2049", "NFS listen address (empty disables)")
+		schedName = flag.String("sched", "fifo", "transfer schedule: fifo, stride, cache-aware")
+		tickets   = flag.String("tickets", "", "stride tickets, e.g. nfs=200,http=100")
+		model     = flag.String("model", "adaptive", "concurrency model: threads, processes, events, adaptive")
+		slots     = flag.Int("slots", 16, "concurrent transfer slots")
+		caKey     = flag.String("ca-key", "", "file holding the CA secret key (empty: ephemeral CA)")
+		caName    = flag.String("ca-name", "/O=NeST/CN=CA", "CA distinguished name")
+		quotaOn   = flag.Bool("quotas", false, "enforce lots through the user-quota subsystem")
+		nestLots  = flag.Bool("nest-lots", true, "NeST-managed lot accounting (false: quota-backed)")
+		anonAll   = flag.Bool("open", false, "grant system:anyuser full rights at / (testing)")
+		collector = flag.String("collector", "", "discovery collector address to publish into")
+		interval  = flag.Duration("publish-every", 30*time.Second, "advertisement period")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Name:         *name,
+		DataDir:      *dataDir,
+		Capacity:     *capacity,
+		Scheduler:    core.SchedulerKind(*schedName),
+		Model:        transfer.ModelKind(*model),
+		Slots:        *slots,
+		QuotaEnabled: *quotaOn,
+		Protocols:    map[string]string{},
+	}
+	cfg.QuotaBackedLots = !*nestLots
+	if *anonAll {
+		cfg.RootRights = acl.AllRights
+	}
+	for proto, addr := range map[string]string{
+		"chirp": *chirpAddr, "http": *httpAddr, "ftp": *ftpAddr,
+		"gridftp": *gftpAddr, "nfs": *nfsAddr,
+	} {
+		if addr != "" {
+			cfg.Protocols[proto] = addr
+		}
+	}
+	if *tickets != "" {
+		cfg.Tickets = map[string]int{}
+		for _, part := range strings.Split(*tickets, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				log.Fatalf("nestd: malformed -tickets entry %q", part)
+			}
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				log.Fatalf("nestd: malformed ticket count %q", kv[1])
+			}
+			cfg.Tickets[strings.TrimSpace(kv[0])] = n
+		}
+	}
+	if *caKey != "" {
+		key, err := os.ReadFile(*caKey)
+		if err != nil {
+			log.Fatalf("nestd: reading CA key: %v", err)
+		}
+		cfg.CA = gsi.NewCA(*caName, key)
+	}
+
+	var pub *discovery.Client
+	if *collector != "" {
+		var err error
+		pub, err = discovery.DialClient(*collector)
+		if err != nil {
+			log.Fatalf("nestd: collector: %v", err)
+		}
+		cfg.Publish = func(ad *classad.Ad) {
+			if err := pub.Publish(ad); err != nil {
+				log.Printf("nestd: publish failed: %v", err)
+			}
+		}
+		cfg.PublishPeriod = *interval
+	}
+
+	srv, err := core.New(cfg)
+	if err != nil {
+		log.Fatalf("nestd: %v", err)
+	}
+	fmt.Printf("NeST %q serving:\n", srv.Name())
+	for _, proto := range srv.Protocols() {
+		fmt.Printf("  %-8s %s\n", proto, srv.Addr(proto))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("nestd: shutting down")
+	srv.Close()
+	if pub != nil {
+		pub.Close()
+	}
+}

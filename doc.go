@@ -1,0 +1,13 @@
+// Package nest is the root of an open-source reimplementation of NeST,
+// the Grid storage appliance of Bent et al., "Flexibility,
+// Manageability, and Performance in a Grid Storage Appliance"
+// (HPDC 2002).
+//
+// The appliance lives in internal/core; the protocol modules (Chirp,
+// HTTP, FTP, GridFTP, NFS), the transfer manager with its three
+// concurrency models and scheduling policies, the storage manager with
+// lots and ACLs, the ClassAd matchmaking substrate, and the experiment
+// harness live in the other internal packages. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper-versus-measured
+// record. The runnable entry points are under cmd/ and examples/.
+package nest

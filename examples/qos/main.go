@@ -1,0 +1,50 @@
+// QoS: proportional-share scheduling across protocols, the capability
+// JBOS cannot offer (paper §4.2, Figure 4). The example runs the mixed
+// Figure 3 workload in simulation twice — FIFO, then a 1:2:1:1 stride
+// allocation favoring GridFTP — and prints the delivered bandwidths
+// and Jain's fairness.
+package main
+
+import (
+	"fmt"
+
+	"nest/internal/bench"
+	"nest/internal/sched"
+)
+
+func main() {
+	fmt.Println("Mixed workload: 4 clients each of Chirp, GridFTP, HTTP, NFS")
+	fmt.Println()
+
+	fifo := bench.RunFig4Config(bench.Fig4Config{Label: "FIFO"})
+	show("FIFO (no allocation control)", fifo, nil)
+
+	tickets := map[string]int{"chirp": 100, "gridftp": 200, "http": 100, "nfs": 100}
+	stride := bench.RunFig4Config(bench.Fig4Config{Label: "1:2:1:1", Tickets: tickets})
+	show("Stride 1:2:1:1 (GridFTP favored)", stride, tickets)
+
+	nfsHeavy := map[string]int{"chirp": 100, "gridftp": 100, "http": 100, "nfs": 400}
+	failed := bench.RunFig4Config(bench.Fig4Config{Label: "1:1:1:4", Tickets: nfsHeavy})
+	show("Stride 1:1:1:4 (NFS cannot consume its share)", failed, nfsHeavy)
+
+	fixed := bench.RunFig4Config(bench.Fig4Config{
+		Label: "1:1:1:4+wait", Tickets: nfsHeavy, NonWorkConserving: true})
+	show("Same, non-work-conserving idle-wait variant", fixed, nfsHeavy)
+}
+
+func show(title string, row bench.Fig4Row, tickets map[string]int) {
+	fmt.Println(title)
+	for _, class := range sched.SortedClasses(row.Result.PerClass) {
+		line := fmt.Sprintf("  %-8s %6.1f MB/s", class, row.Result.PerClass[class])
+		if want, ok := row.Desired[class]; ok {
+			line += fmt.Sprintf("   (desired %5.1f)", want)
+		}
+		fmt.Println(line)
+	}
+	if tickets != nil {
+		fmt.Printf("  total %.1f MB/s, Jain fairness %.3f\n", row.Result.Total, row.Fairness)
+	} else {
+		fmt.Printf("  total %.1f MB/s\n", row.Result.Total)
+	}
+	fmt.Println()
+}

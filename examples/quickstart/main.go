@@ -1,0 +1,69 @@
+// Quickstart: start an in-memory NeST, authenticate with GSI, reserve
+// a lot, store and fetch a file over Chirp, and inspect the server's
+// resource advertisement.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/core"
+	"nest/internal/gsi"
+)
+
+func main() {
+	// A CA is the trust anchor; the appliance verifies credentials it
+	// issued. Production deployments load the key from disk.
+	ca := gsi.NewCA("/O=Example/CN=CA", []byte("quickstart-secret"))
+	cred := ca.Issue("/O=Example/CN=alice", time.Hour, true)
+
+	srv, err := core.New(core.Config{Name: "quickstart", CA: ca})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("NeST up; chirp at", srv.Addr("chirp"))
+
+	c, err := chirp.Dial(srv.Addr("chirp"), cred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Println("authenticated as", c.User())
+
+	// Writes need guaranteed space: reserve a 64 MB lot for an hour.
+	lot, err := c.LotCreate(64<<20, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lot %s: %d bytes guaranteed\n", lot.ID, lot.Capacity)
+
+	payload := bytes.Repeat([]byte("hello, grid storage! "), 1000)
+	if err := c.Mkdir("/demo"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Put("/demo/hello.txt", bytes.NewReader(payload), int64(len(payload)), lot.ID); err != nil {
+		log.Fatal(err)
+	}
+	got, err := c.Get("/demo/hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip ok: %d bytes\n", len(got))
+
+	status, err := c.LotStatus(lot.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lot usage: %d/%d bytes\n", status.Used, status.Capacity)
+
+	ad, err := c.Statfs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server advertisement:")
+	fmt.Println(" ", ad)
+}

@@ -1,0 +1,3 @@
+module nest
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package acl implements NeST's AFS-style access control lists
+// (paper §5): per-directory lists mapping principals (users, groups,
+// system:anyuser) to rights, stored as a collection of ClassAds and
+// enforced across every protocol the appliance speaks. Clients
+// manipulate ACLs through any protocol with access-control semantics
+// (in practice, Chirp).
+package acl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nest/internal/classad"
+)
+
+// Rights is a bitmask of AFS-style directory rights.
+type Rights uint8
+
+// The AFS rights alphabet.
+const (
+	Read   Rights = 1 << iota // r: read file contents
+	Lookup                    // l: list the directory, stat entries
+	Insert                    // i: create new files
+	Delete                    // d: remove files
+	Write                     // w: modify existing files
+	Admin                     // a: change the ACL itself
+)
+
+// AllRights grants everything.
+const AllRights = Read | Lookup | Insert | Delete | Write | Admin
+
+var rightLetters = []struct {
+	r Rights
+	c byte
+}{
+	{Read, 'r'}, {Lookup, 'l'}, {Insert, 'i'}, {Delete, 'd'}, {Write, 'w'}, {Admin, 'a'},
+}
+
+// ParseRights converts a rights string such as "rliw" to a mask.
+func ParseRights(s string) (Rights, error) {
+	var out Rights
+	for i := 0; i < len(s); i++ {
+		found := false
+		for _, rl := range rightLetters {
+			if rl.c == s[i] {
+				out |= rl.r
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("acl: unknown right %q", s[i])
+		}
+	}
+	return out, nil
+}
+
+// String renders the mask in canonical "rlidwa" order.
+func (r Rights) String() string {
+	var sb strings.Builder
+	for _, rl := range rightLetters {
+		if r&rl.r != 0 {
+			sb.WriteByte(rl.c)
+		}
+	}
+	return sb.String()
+}
+
+// Has reports whether r includes every right in need.
+func (r Rights) Has(need Rights) bool { return r&need == need }
+
+// AnyUser is the principal matching every client, authenticated or
+// not.
+const AnyUser = "system:anyuser"
+
+// AuthUser is the principal matching every authenticated (non
+// anonymous) client.
+const AuthUser = "system:authuser"
+
+// GroupPrefix marks group principals ("group:physics").
+const GroupPrefix = "group:"
+
+// Table holds per-directory ACLs plus group membership. The effective
+// ACL of a path is the nearest ancestor directory with an explicit
+// list; rights from all matching principals are unioned.
+type Table struct {
+	mu     sync.Mutex
+	dirs   map[string]map[string]Rights // dir -> principal -> rights
+	groups map[string]map[string]bool   // group -> member set
+	anon   string                       // the anonymous principal name
+}
+
+// NewTable returns a table whose root directory grants def to
+// system:anyuser. anonymous names the unauthenticated principal.
+func NewTable(def Rights, anonymous string) *Table {
+	t := &Table{
+		dirs:   make(map[string]map[string]Rights),
+		groups: make(map[string]map[string]bool),
+		anon:   anonymous,
+	}
+	t.Set("/", AnyUser, def)
+	return t
+}
+
+// Set grants principal exactly rights on dir (replacing any previous
+// grant; zero rights removes the entry).
+func (t *Table) Set(dir, principal string, rights Rights) {
+	dir = cleanDir(dir)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.dirs[dir]
+	if !ok {
+		m = make(map[string]Rights)
+		t.dirs[dir] = m
+	}
+	if rights == 0 {
+		delete(m, principal)
+		if len(m) == 0 {
+			delete(t.dirs, dir)
+		}
+		return
+	}
+	m[principal] = rights
+}
+
+// Get returns the explicit ACL entries for dir (not inherited ones),
+// sorted by principal.
+func (t *Table) Get(dir string) []Entry {
+	dir = cleanDir(dir)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.dirs[dir]
+	out := make([]Entry, 0, len(m))
+	for p, r := range m {
+		out = append(out, Entry{Dir: dir, Principal: p, Rights: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Principal < out[j].Principal })
+	return out
+}
+
+// Entry is one ACL grant.
+type Entry struct {
+	Dir       string
+	Principal string
+	Rights    Rights
+}
+
+// AddGroupMember records user as a member of group (bare name, without
+// the "group:" prefix).
+func (t *Table) AddGroupMember(group, user string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.groups[group]
+	if !ok {
+		g = make(map[string]bool)
+		t.groups[group] = g
+	}
+	g[user] = true
+}
+
+// RemoveGroupMember drops user from group.
+func (t *Table) RemoveGroupMember(group, user string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.groups[group], user)
+}
+
+// effective returns the unioned rights user holds on dir, walking up
+// to the nearest ancestor with an explicit ACL.
+func (t *Table) effective(user, dir string) Rights {
+	dir = cleanDir(dir)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if m, ok := t.dirs[dir]; ok {
+			var r Rights
+			for principal, rights := range m {
+				if t.principalMatchesLocked(principal, user) {
+					r |= rights
+				}
+			}
+			return r
+		}
+		if dir == "/" {
+			return 0
+		}
+		i := strings.LastIndexByte(dir, '/')
+		if i <= 0 {
+			dir = "/"
+		} else {
+			dir = dir[:i]
+		}
+	}
+}
+
+func (t *Table) principalMatchesLocked(principal, user string) bool {
+	switch {
+	case principal == AnyUser:
+		return true
+	case principal == AuthUser:
+		return user != t.anon
+	case strings.HasPrefix(principal, GroupPrefix):
+		return t.groups[strings.TrimPrefix(principal, GroupPrefix)][user]
+	}
+	return principal == user
+}
+
+// Check reports whether user holds all of need on the directory
+// containing path (for directory operations, pass the directory
+// itself).
+func (t *Table) Check(user, dir string, need Rights) bool {
+	return t.effective(user, dir).Has(need)
+}
+
+// Ads exports the table as a collection of ClassAds, the storage
+// manager's canonical persistence format (paper §5: "a generic
+// framework built on top of collections of ClassAd").
+func (t *Table) Ads() []*classad.Ad {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dirs []string
+	for d := range t.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var out []*classad.Ad
+	for _, d := range dirs {
+		var principals []string
+		for p := range t.dirs[d] {
+			principals = append(principals, p)
+		}
+		sort.Strings(principals)
+		for _, p := range principals {
+			ad := classad.NewAd()
+			ad.SetString("Type", "ACL")
+			ad.SetString("Dir", d)
+			ad.SetString("Principal", p)
+			ad.SetString("Rights", t.dirs[d][p].String())
+			out = append(out, ad)
+		}
+	}
+	return out
+}
+
+// LoadAds replaces the table's ACL entries from a ClassAd collection
+// produced by Ads.
+func (t *Table) LoadAds(ads []*classad.Ad) error {
+	entries := make(map[string]map[string]Rights)
+	for _, ad := range ads {
+		typ, _ := ad.EvalAttr("Type", nil).StringVal()
+		if typ != "ACL" {
+			continue
+		}
+		dir, ok1 := ad.EvalAttr("Dir", nil).StringVal()
+		principal, ok2 := ad.EvalAttr("Principal", nil).StringVal()
+		rightsStr, ok3 := ad.EvalAttr("Rights", nil).StringVal()
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("acl: malformed ACL ad %s", ad)
+		}
+		rights, err := ParseRights(rightsStr)
+		if err != nil {
+			return err
+		}
+		dir = cleanDir(dir)
+		if entries[dir] == nil {
+			entries[dir] = make(map[string]Rights)
+		}
+		entries[dir][principal] = rights
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dirs = entries
+	return nil
+}
+
+func cleanDir(dir string) string {
+	if !strings.HasPrefix(dir, "/") {
+		dir = "/" + dir
+	}
+	for len(dir) > 1 && strings.HasSuffix(dir, "/") {
+		dir = strings.TrimSuffix(dir, "/")
+	}
+	return dir
+}

@@ -1,0 +1,166 @@
+package acl
+
+import (
+	"testing"
+)
+
+func TestParseRights(t *testing.T) {
+	r, err := ParseRights("rliw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(Read | Lookup | Insert | Write) {
+		t.Errorf("rights = %v", r)
+	}
+	if r.Has(Admin) || r.Has(Delete) {
+		t.Errorf("unexpected rights present: %v", r)
+	}
+	if _, err := ParseRights("rx"); err == nil {
+		t.Error("ParseRights accepted unknown letter")
+	}
+	if got := AllRights.String(); got != "rlidwa" {
+		t.Errorf("AllRights.String() = %q, want rlidwa", got)
+	}
+	if r2, _ := ParseRights(""); r2 != 0 {
+		t.Errorf("empty rights = %v, want 0", r2)
+	}
+}
+
+func TestRootDefault(t *testing.T) {
+	tab := NewTable(Read|Lookup, "anonymous")
+	if !tab.Check("anyone", "/", Read) {
+		t.Error("root default read denied")
+	}
+	if tab.Check("anyone", "/", Write) {
+		t.Error("root default write allowed")
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	tab := NewTable(Read|Lookup, "anonymous")
+	tab.Set("/home/john", "john", AllRights)
+	// Deep path inherits from the nearest ancestor with an ACL.
+	if !tab.Check("john", "/home/john/sub/dir", Write) {
+		t.Error("inherited write denied")
+	}
+	// Sibling paths fall back to root.
+	if tab.Check("john", "/home/mary", Write) {
+		t.Error("write allowed outside john's tree")
+	}
+	if !tab.Check("mary", "/home/mary", Read) {
+		t.Error("root anyuser read denied where no nearer ACL exists")
+	}
+	// AFS semantics: the nearest explicit ACL *replaces* ancestors, so
+	// mary gets nothing under /home/john unless granted there.
+	if tab.Check("mary", "/home/john", Read) {
+		t.Error("mary read allowed under john's explicit ACL")
+	}
+	if tab.Check("mary", "/home/john/sub", Read) {
+		t.Error("mary read allowed under john's subtree")
+	}
+}
+
+func TestUnionOfPrincipals(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("/data", AnyUser, Read)
+	tab.Set("/data", "john", Insert)
+	// john gets the union of anyuser and his own entry.
+	if !tab.Check("john", "/data", Read|Insert) {
+		t.Error("union of rights missing")
+	}
+	if tab.Check("mary", "/data", Insert) {
+		t.Error("mary got john's insert right")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("/proj", GroupPrefix+"physics", Read|Write)
+	tab.AddGroupMember("physics", "alice")
+	if !tab.Check("alice", "/proj", Read|Write) {
+		t.Error("group member denied")
+	}
+	if tab.Check("bob", "/proj", Read) {
+		t.Error("non-member allowed")
+	}
+	tab.RemoveGroupMember("physics", "alice")
+	if tab.Check("alice", "/proj", Read) {
+		t.Error("removed member still allowed")
+	}
+}
+
+func TestAuthUser(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("/", AuthUser, Read)
+	if !tab.Check("john", "/", Read) {
+		t.Error("authenticated user denied")
+	}
+	if tab.Check("anonymous", "/", Read) {
+		t.Error("anonymous treated as authenticated")
+	}
+}
+
+func TestSetZeroRemoves(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("/d", "john", Read)
+	tab.Set("/d", "john", 0)
+	if len(tab.Get("/d")) != 0 {
+		t.Errorf("Get after removal = %v", tab.Get("/d"))
+	}
+	// Directory with no entries falls back to ancestor.
+	if tab.Check("john", "/d", Read) {
+		t.Error("removed entry still effective")
+	}
+}
+
+func TestGetSorted(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("/d", "zed", Read)
+	tab.Set("/d", "abe", Write)
+	got := tab.Get("/d")
+	if len(got) != 2 || got[0].Principal != "abe" || got[1].Principal != "zed" {
+		t.Errorf("Get = %v, want sorted by principal", got)
+	}
+}
+
+func TestDirCleaning(t *testing.T) {
+	tab := NewTable(0, "anonymous")
+	tab.Set("data/", "john", Read) // missing leading /, trailing /
+	if !tab.Check("john", "/data", Read) {
+		t.Error("path cleaning failed")
+	}
+}
+
+func TestAdsRoundTrip(t *testing.T) {
+	tab := NewTable(Read|Lookup, "anonymous")
+	tab.Set("/home/john", "john", AllRights)
+	tab.Set("/proj", GroupPrefix+"physics", Read|Write)
+	ads := tab.Ads()
+	if len(ads) != 3 { // root + two
+		t.Fatalf("len(ads) = %d, want 3", len(ads))
+	}
+	tab2 := NewTable(0, "anonymous")
+	if err := tab2.LoadAds(ads); err != nil {
+		t.Fatal(err)
+	}
+	if !tab2.Check("john", "/home/john/x", Admin) {
+		t.Error("reloaded table lost john's admin right")
+	}
+	if !tab2.Check("anybody", "/", Read) {
+		t.Error("reloaded table lost root default")
+	}
+	// Ads are typed.
+	if typ, _ := ads[0].EvalAttr("Type", nil).StringVal(); typ != "ACL" {
+		t.Errorf("ad Type = %q", typ)
+	}
+}
+
+func TestLoadAdsIgnoresForeign(t *testing.T) {
+	tab := NewTable(Read, "anonymous")
+	ads := tab.Ads()
+	foreign := tab.Ads()[0].Copy()
+	foreign.SetString("Type", "Storage")
+	if err := tab.LoadAds(append(ads, foreign)); err != nil {
+		t.Fatalf("LoadAds with foreign ad: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+	"nest/internal/transfer"
+)
+
+// Fig3Row is one bar pair of Figure 3: a workload served by NeST and
+// by the equivalent native server(s).
+type Fig3Row struct {
+	Workload string      // "chirp", ..., or "mixed"
+	NeST     Measurement // single shared-server appliance
+	JBOS     Measurement // independent native servers
+	Baseline string      // the native comparator's name
+}
+
+// baselineName maps a protocol to its paper-era native server.
+func baselineName(proto string) string {
+	switch proto {
+	case "http":
+		return "Apache"
+	case "ftp":
+		return "wu-ftpd"
+	case "nfs":
+		return "Linux nfsd"
+	case "gridftp":
+		return "Globus ftpd"
+	case "chirp":
+		return "Chirp server"
+	}
+	return "JBOS"
+}
+
+// managerPool pairs client options with the manager serving them.
+type managerPool = struct {
+	Mgr *transfer.Manager
+	Opt ClientOptions
+}
+
+// runProtocolWorkload measures one workload under either the NeST
+// configuration (one shared transfer manager) or the JBOS baseline
+// (one independent, unscheduled server per protocol).
+func runProtocolWorkload(specs []ProtoSpec, jbos bool) Measurement {
+	prof := sim.LinuxGbE()
+	var rig *Rig
+	var pools []managerPool
+	if jbos {
+		rig = NewRig(prof, transfer.Options{Model: transfer.Threads, Slots: 1024}, nil)
+		for _, spec := range specs {
+			// Each native server is its own manager: nothing shared
+			// but the machine. Admission is effectively unbounded.
+			mgrDone := make(chan *transfer.Manager, 1)
+			rig.Clock.Run(func() {
+				mgrDone <- transfer.NewManager(transfer.Options{
+					Clock: rig.Clock, Profile: prof,
+					Model: transfer.Threads, Slots: 1024,
+				})
+			})
+			mgr := <-mgrDone
+			files := rig.PrepareFiles("f-"+spec.Name, FilesPerProtocol, FileSizeMB*sim.MB, true)
+			pools = append(pools, managerPool{Mgr: mgr, Opt: ClientOptions{
+				Spec: spec, Clients: ClientsPerProtocol, Files: files, JBOS: true,
+			}})
+		}
+	} else {
+		rig = NewRig(prof, transfer.Options{
+			Model:  transfer.Threads,
+			Slots:  1024, // FIFO default: arrival-order chunk service
+			Policy: sched.NewFIFO(),
+		}, nil)
+		for _, spec := range specs {
+			files := rig.PrepareFiles("f-"+spec.Name, FilesPerProtocol, FileSizeMB*sim.MB, true)
+			pools = append(pools, managerPool{Mgr: rig.Mgr, Opt: ClientOptions{
+				Spec: spec, Clients: ClientsPerProtocol, Files: files,
+			}})
+		}
+	}
+	return rig.RunWorkload(pools, time.Second, 8*time.Second)
+}
+
+// RunSingleProtocol measures one protocol's dedicated workload under
+// NeST (jbos=false) or the native single-protocol server (jbos=true).
+func RunSingleProtocol(spec ProtoSpec, jbos bool) Measurement {
+	return runProtocolWorkload([]ProtoSpec{spec}, jbos)
+}
+
+// RunMixed measures the four-protocol mixed workload.
+func RunMixed(jbos bool) Measurement {
+	return runProtocolWorkload(MixedSpecs(), jbos)
+}
+
+// RunFig3 regenerates Figure 3: per-protocol bandwidth of NeST versus
+// native servers for each single-protocol workload, then the mixed
+// four-protocol workload.
+func RunFig3() []Fig3Row {
+	var rows []Fig3Row
+	for _, spec := range AllSpecs() {
+		rows = append(rows, Fig3Row{
+			Workload: spec.Name,
+			Baseline: baselineName(spec.Name),
+			NeST:     runProtocolWorkload([]ProtoSpec{spec}, false),
+			JBOS:     runProtocolWorkload([]ProtoSpec{spec}, true),
+		})
+	}
+	rows = append(rows, Fig3Row{
+		Workload: "mixed",
+		Baseline: "JBOS",
+		NeST:     runProtocolWorkload(MixedSpecs(), false),
+		JBOS:     runProtocolWorkload(MixedSpecs(), true),
+	})
+	return rows
+}
+
+// FormatFig3 renders the rows as the figure's data table.
+func FormatFig3(rows []Fig3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: Multiple Protocols — server bandwidth (MB/s)\n")
+	sb.WriteString("Workload of 4 clients per protocol requesting 10 MB in-cache files.\n\n")
+	fmt.Fprintf(&sb, "%-10s %-14s %10s %10s\n", "workload", "baseline", "NeST", "JBOS")
+	for _, r := range rows {
+		if r.Workload == "mixed" {
+			fmt.Fprintf(&sb, "%-10s %-14s %10.1f %10.1f\n",
+				r.Workload, r.Baseline, r.NeST.Total, r.JBOS.Total)
+			var classes []string
+			for c := range r.NeST.PerClass {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				fmt.Fprintf(&sb, "  %-8s %-14s %10.1f %10.1f\n",
+					c, "", r.NeST.PerClass[c], r.JBOS.PerClass[c])
+			}
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %-14s %10.1f %10.1f\n",
+			r.Workload, r.Baseline, r.NeST.Total, r.JBOS.Total)
+	}
+	return sb.String()
+}

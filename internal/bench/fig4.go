@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+	"nest/internal/transfer"
+)
+
+// Fig4Config is one scheduling configuration of Figure 4.
+type Fig4Config struct {
+	Label   string
+	Tickets map[string]int // nil = FIFO
+	// RequestBased switches the stride ablation (charge per request
+	// instead of per byte).
+	RequestBased bool
+	// NonWorkConserving enables the idle-wait variant (paper §7.2's
+	// proposed fix).
+	NonWorkConserving bool
+}
+
+// Fig4Row is one bar group: per-protocol bandwidth under a config.
+type Fig4Row struct {
+	Config   Fig4Config
+	Result   Measurement
+	Desired  map[string]float64 // ideal per-protocol share of the total
+	Fairness float64            // Jain's index over delivered/desired
+}
+
+// Fig4Configs returns the paper's five configurations
+// (Chirp:GridFTP:HTTP:NFS ratios).
+func Fig4Configs() []Fig4Config {
+	return []Fig4Config{
+		{Label: "FIFO"},
+		{Label: "1:1:1:1", Tickets: map[string]int{"chirp": 100, "gridftp": 100, "http": 100, "nfs": 100}},
+		{Label: "1:2:1:1", Tickets: map[string]int{"chirp": 100, "gridftp": 200, "http": 100, "nfs": 100}},
+		{Label: "3:1:2:1", Tickets: map[string]int{"chirp": 300, "gridftp": 100, "http": 200, "nfs": 100}},
+		{Label: "1:1:1:4", Tickets: map[string]int{"chirp": 100, "gridftp": 100, "http": 100, "nfs": 400}},
+	}
+}
+
+// RunFig4Config measures the mixed workload under one configuration.
+func RunFig4Config(cfg Fig4Config) Fig4Row {
+	prof := sim.LinuxGbE()
+	opts := transfer.Options{Model: transfer.Threads, Slots: 1024}
+	if cfg.Tickets != nil {
+		stride := sched.NewStride(cfg.Tickets)
+		stride.ChargeByBytes = !cfg.RequestBased
+		if cfg.NonWorkConserving {
+			stride.IdleWait = 2 * time.Millisecond
+		}
+		opts.Policy = stride
+		// Proportional share needs the manager to control bandwidth:
+		// transfers are preempted every quantum of bytes and re-picked
+		// by the stride scheduler, and each admission pays the
+		// user-level scheduler's bookkeeping cost — together the
+		// "slight performance penalty" visible in Figure 4.
+		opts.Slots = 8
+		opts.Quantum = 64 * 1024
+		opts.AdmitDelay = 150 * time.Microsecond
+	}
+	rig := NewRig(prof, opts, nil)
+	var pools []managerPool
+	for _, spec := range MixedSpecs() {
+		files := rig.PrepareFiles("f-"+spec.Name, FilesPerProtocol, FileSizeMB*sim.MB, true)
+		pools = append(pools, managerPool{Mgr: rig.Mgr, Opt: ClientOptions{
+			Spec: spec, Clients: ClientsPerProtocol, Files: files,
+			PacketWire: cfg.Tickets != nil,
+		}})
+	}
+	res := rig.RunWorkload(pools, time.Second, 24*time.Second)
+
+	row := Fig4Row{Config: cfg, Result: res, Desired: map[string]float64{}}
+	if cfg.Tickets == nil {
+		row.Fairness = 1 // FIFO has no target allocation
+		return row
+	}
+	totalTickets := 0
+	for _, t := range cfg.Tickets {
+		totalTickets += t
+	}
+	var ratios []float64
+	for class, t := range cfg.Tickets {
+		desired := res.Total * float64(t) / float64(totalTickets)
+		row.Desired[class] = desired
+		if desired > 0 {
+			ratios = append(ratios, res.PerClass[class]/desired)
+		}
+	}
+	row.Fairness = sched.Fairness(ratios)
+	return row
+}
+
+// RunFig4 regenerates Figure 4.
+func RunFig4() []Fig4Row {
+	var rows []Fig4Row
+	for _, cfg := range Fig4Configs() {
+		rows = append(rows, RunFig4Config(cfg))
+	}
+	return rows
+}
+
+// FormatFig4 renders the rows.
+func FormatFig4(rows []Fig4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: Proportional Protocol Scheduling (Chirp:GridFTP:HTTP:NFS)\n")
+	sb.WriteString("Mixed workload of Figure 3; bandwidth in MB/s; Jain's fairness over delivered/desired.\n\n")
+	classes := []string{"chirp", "gridftp", "http", "nfs"}
+	fmt.Fprintf(&sb, "%-9s %7s", "config", "total")
+	for _, c := range classes {
+		fmt.Fprintf(&sb, " %9s", c)
+	}
+	fmt.Fprintf(&sb, " %9s\n", "fairness")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %7.1f", r.Config.Label, r.Result.Total)
+		for _, c := range classes {
+			fmt.Fprintf(&sb, " %9.1f", r.Result.PerClass[c])
+		}
+		if r.Config.Tickets == nil {
+			fmt.Fprintf(&sb, " %9s\n", "-")
+		} else {
+			fmt.Fprintf(&sb, " %9.3f\n", r.Fairness)
+		}
+		if len(r.Desired) > 0 {
+			fmt.Fprintf(&sb, "%-9s %7s", "(desired)", "")
+			for _, c := range classes {
+				fmt.Fprintf(&sb, " %9.1f", r.Desired[c])
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nest/internal/sim"
+	"nest/internal/transfer"
+)
+
+// Fig5Row is one bar of Figure 5: a concurrency model's performance on
+// one platform/workload.
+type Fig5Row struct {
+	Platform string // "solaris" or "linux"
+	Model    transfer.ModelKind
+	// LatencyMs is the average per-request latency (Solaris, 1 KB
+	// in-cache requests).
+	LatencyMs float64
+	// BandwidthMBps is the delivered bandwidth (Linux, 10 MB files).
+	BandwidthMBps float64
+}
+
+// fig5Models are the models compared; the process model is disabled in
+// the figure "for the sake of clarity", as in the paper.
+func fig5Models() []transfer.ModelKind {
+	return []transfer.ModelKind{transfer.Events, transfer.Threads, transfer.Adaptive}
+}
+
+// runFig5Solaris measures average request latency for 1 KB in-cache
+// files on the Solaris profile.
+func runFig5Solaris(model transfer.ModelKind, probePeriod time.Duration) float64 {
+	prof := sim.Solaris100()
+	opts := transfer.Options{Model: model, Slots: 64}
+	if model == transfer.Adaptive {
+		opts.AdaptiveOptions = adaptiveOpts(probePeriod)
+	}
+	rig := NewRig(prof, opts, nil)
+	spec := SpecChirp
+	spec.PerRequestCPU = prof.RequestCPU
+	files := rig.PrepareFiles("small", 32, 1024, true)
+	res := rig.RunWorkload([]managerPool{{Mgr: rig.Mgr, Opt: ClientOptions{
+		Spec: spec, Clients: ClientsPerProtocol, Files: files,
+	}}}, time.Second, 10*time.Second)
+	return float64(res.AvgLat[spec.Name]) / float64(time.Millisecond)
+}
+
+// runFig5Linux measures delivered bandwidth for 10 MB mostly-cold
+// files on the Linux profile: the event loop stalls on every disk
+// fetch while threads overlap disk and network.
+func runFig5Linux(model transfer.ModelKind, probePeriod time.Duration) float64 {
+	prof := sim.LinuxGbE()
+	opts := transfer.Options{Model: model, Slots: 64}
+	if model == transfer.Adaptive {
+		opts.AdaptiveOptions = adaptiveOpts(probePeriod)
+	}
+	rig := NewRig(prof, opts, nil)
+	spec := SpecChirp
+	spec.ChunkSize = 64 * 1024
+	// A file set much larger than the 96 MB cache: reads miss.
+	files := rig.PrepareFiles("big", 40, FileSizeMB*sim.MB, false)
+	res := rig.RunWorkload([]managerPool{{Mgr: rig.Mgr, Opt: ClientOptions{
+		Spec: spec, Clients: ClientsPerProtocol, Files: files,
+	}}}, 2*time.Second, 12*time.Second)
+	return res.Total
+}
+
+// DefaultProbePeriod is the adaptive model's re-probe interval in the
+// figure runs.
+const DefaultProbePeriod = time.Second
+
+// adaptiveOpts configures the adaptive model as the figure runs it:
+// threads versus events (the process model is disabled for clarity, as
+// in the paper), with periodic probing plus residual exploration — the
+// visible cost of adaptation.
+func adaptiveOpts(probePeriod time.Duration) transfer.AdaptiveOptions {
+	return transfer.AdaptiveOptions{
+		Models:      []transfer.ModelKind{transfer.Events, transfer.Threads},
+		ProbePeriod: probePeriod,
+		ProbeLen:    4,
+		Epsilon:     0.12,
+	}
+}
+
+// RunFig5SolarisModel measures one model's average small-request
+// latency (ms) on the Solaris profile.
+func RunFig5SolarisModel(model transfer.ModelKind) float64 {
+	return runFig5Solaris(model, DefaultProbePeriod)
+}
+
+// RunFig5LinuxModel measures one model's large-file bandwidth (MB/s)
+// on the Linux profile.
+func RunFig5LinuxModel(model transfer.ModelKind) float64 {
+	return runFig5Linux(model, DefaultProbePeriod)
+}
+
+// RunFig5 regenerates both halves of Figure 5.
+func RunFig5() []Fig5Row {
+	var rows []Fig5Row
+	for _, m := range fig5Models() {
+		rows = append(rows, Fig5Row{
+			Platform:  "solaris",
+			Model:     m,
+			LatencyMs: runFig5Solaris(m, DefaultProbePeriod),
+		})
+	}
+	for _, m := range fig5Models() {
+		rows = append(rows, Fig5Row{
+			Platform:      "linux",
+			Model:         m,
+			BandwidthMBps: runFig5Linux(m, DefaultProbePeriod),
+		})
+	}
+	return rows
+}
+
+// FormatFig5 renders the rows.
+func FormatFig5(rows []Fig5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Adaptive Concurrency\n")
+	sb.WriteString("Left: Solaris, 1 KB in-cache requests (avg ms/request).\n")
+	sb.WriteString("Right: Linux, 10 MB cold files (server bandwidth MB/s).\n\n")
+	fmt.Fprintf(&sb, "%-9s %-9s %14s %16s\n", "platform", "model", "latency(ms)", "bandwidth(MB/s)")
+	for _, r := range rows {
+		if r.Platform == "solaris" {
+			fmt.Fprintf(&sb, "%-9s %-9s %14.2f %16s\n", r.Platform, r.Model, r.LatencyMs, "-")
+		} else {
+			fmt.Fprintf(&sb, "%-9s %-9s %14s %16.1f\n", r.Platform, r.Model, "-", r.BandwidthMBps)
+		}
+	}
+	return sb.String()
+}

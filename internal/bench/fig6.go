@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"nest/internal/quota"
+	"nest/internal/sim"
+	"nest/internal/transfer"
+)
+
+// Fig6Row is one x position of Figure 6: sequential write bandwidth at
+// a given size, with and without quota enforcement.
+type Fig6Row struct {
+	WriteSizeMB  int
+	QuotaOffMBps float64
+	QuotaOnMBps  float64
+}
+
+// runFig6Point measures one sequential write of size bytes.
+func runFig6Point(sizeMB int, quotasOn bool) float64 {
+	prof := sim.LinuxGbE()
+	qm := quota.NewManager(quotasOn)
+	rig := NewRig(prof, transfer.Options{Model: transfer.Threads, Slots: 4}, qm)
+	size := int64(sizeMB) * sim.MB
+	var mbps float64
+	rig.Clock.Run(func() {
+		f, err := rig.FS.Create("/stream", "bench")
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		done := make(chan transfer.Result, 1)
+		start := rig.Clock.Now()
+		rig.Mgr.Submit(&transfer.Transfer{
+			Class:     "ftp",
+			Path:      "/stream",
+			Size:      size,
+			ChunkSize: 64 * 1024,
+			Src:       &uploadReader{link: rig.Host.Link, remaining: size},
+			Dst:       &fileWriter{f: f},
+			OnDone: func(res transfer.Result) {
+				rig.Clock.Unpark()
+				done <- res
+			},
+		})
+		rig.Clock.Park()
+		res := <-done
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		elapsed := (rig.Clock.Now() - start).Seconds()
+		mbps = float64(size) / sim.MB / elapsed
+	})
+	return mbps
+}
+
+// uploadReader delivers the client's bytes as they cross the wire.
+type uploadReader struct {
+	link      *sim.Link
+	remaining int64
+}
+
+func (r *uploadReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, fmt.Errorf("uploadReader: read past end")
+	}
+	n := int64(len(p))
+	if n > r.remaining {
+		n = r.remaining
+	}
+	r.link.Send(n)
+	r.remaining -= n
+	return int(n), nil
+}
+
+// fileWriter appends sequentially to a storage file.
+type fileWriter struct {
+	f interface {
+		WriteAt(p []byte, off int64) (int, error)
+	}
+	off int64
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// Fig6Sizes is the paper's sweep: 20 MB to 200 MB.
+func Fig6Sizes() []int {
+	var out []int
+	for s := 20; s <= 200; s += 20 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunFig6SinglePoint measures one x position of the sweep.
+func RunFig6SinglePoint(sizeMB int) Fig6Row {
+	return Fig6Row{
+		WriteSizeMB:  sizeMB,
+		QuotaOffMBps: runFig6Point(sizeMB, false),
+		QuotaOnMBps:  runFig6Point(sizeMB, true),
+	}
+}
+
+// RunFig6 regenerates Figure 6: the overhead of implementing lots with
+// the quota system, under a single sequential write stream.
+func RunFig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, size := range Fig6Sizes() {
+		rows = append(rows, Fig6Row{
+			WriteSizeMB:  size,
+			QuotaOffMBps: runFig6Point(size, false),
+			QuotaOnMBps:  runFig6Point(size, true),
+		})
+	}
+	return rows
+}
+
+// RunFig6Reads verifies the paper's companion claim: read bandwidth is
+// unaffected by quotas.
+func RunFig6Reads() (offMBps, onMBps float64) {
+	read := func(quotasOn bool) float64 {
+		prof := sim.LinuxGbE()
+		qm := quota.NewManager(quotasOn)
+		rig := NewRig(prof, transfer.Options{Model: transfer.Threads, Slots: 4}, qm)
+		files := rig.PrepareFiles("r", 4, 50*sim.MB, false)
+		var mbps float64
+		rig.Clock.Run(func() {
+			f, err := rig.FS.Open(files[0])
+			if err != nil {
+				panic(err)
+			}
+			defer f.Close()
+			done := make(chan transfer.Result, 1)
+			start := rig.Clock.Now()
+			rig.Mgr.Submit(&transfer.Transfer{
+				Class: "ftp", Path: files[0], Size: f.Size(), ChunkSize: 64 * 1024,
+				Src: readerAtSeq{f: f}, Dst: linkWriter{link: rig.Host.Link},
+				OnDone: func(res transfer.Result) {
+					rig.Clock.Unpark()
+					done <- res
+				},
+			})
+			rig.Clock.Park()
+			<-done
+			elapsed := (rig.Clock.Now() - start).Seconds()
+			mbps = 50 / elapsed
+		})
+		return mbps
+	}
+	return read(false), read(true)
+}
+
+type readerAtSeq struct {
+	f interface {
+		ReadAt(p []byte, off int64) (int, error)
+		Size() int64
+	}
+	off int64
+}
+
+func (r readerAtSeq) Read(p []byte) (int, error) {
+	n, err := r.f.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// FormatFig6 renders the sweep.
+func FormatFig6(rows []Fig6Row, readOff, readOn float64) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Performance Overhead of Lots (quota-backed enforcement)\n")
+	sb.WriteString("Single sequential write stream; bandwidth in MB/s.\n\n")
+	fmt.Fprintf(&sb, "%-14s %14s %14s %8s\n", "write size(MB)", "quotas off", "quotas on", "ratio")
+	for _, r := range rows {
+		ratio := 1.0
+		if r.QuotaOnMBps > 0 {
+			ratio = r.QuotaOffMBps / r.QuotaOnMBps
+		}
+		fmt.Fprintf(&sb, "%-14d %14.1f %14.1f %8.2f\n",
+			r.WriteSizeMB, r.QuotaOffMBps, r.QuotaOnMBps, ratio)
+	}
+	fmt.Fprintf(&sb, "\nread bandwidth: quotas off %.1f MB/s, quotas on %.1f MB/s (unaffected)\n",
+		readOff, readOn)
+	return sb.String()
+}

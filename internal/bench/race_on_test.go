@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: it perturbs
+// goroutine scheduling enough to shift simultaneous-event tie-breaks
+// in the virtual clock, so reproducibility assertions are skipped.
+const raceEnabled = true

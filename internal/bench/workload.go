@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"nest/internal/quota"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// Rig is one simulated appliance under test: the host resources, the
+// simulated filesystem and a transfer manager built per experiment.
+type Rig struct {
+	Clock *sim.VirtualClock
+	Host  *sim.Host
+	FS    *storage.SimFS
+	Mgr   *transfer.Manager
+}
+
+// NewRig builds a rig on the given profile. The manager options'
+// Clock/Profile fields are filled in.
+func NewRig(prof sim.Profile, mgrOpts transfer.Options, qm *quota.Manager) *Rig {
+	clock := sim.NewVirtualClock()
+	host := sim.NewHost(clock, prof)
+	fs := storage.NewSimFS(host, 1<<40, qm)
+	mgrOpts.Clock = clock
+	mgrOpts.Profile = prof
+	r := &Rig{Clock: clock, Host: host, FS: fs}
+	clockDone := make(chan *transfer.Manager, 1)
+	clock.Run(func() { clockDone <- transfer.NewManager(mgrOpts) })
+	r.Mgr = <-clockDone
+	return r
+}
+
+// PrepareFiles creates count files of size bytes and returns their
+// paths; warm loads them into the buffer cache ("in-cache" workloads).
+func (r *Rig) PrepareFiles(prefix string, count int, size int64, warm bool) []string {
+	paths := make([]string, count)
+	done := make(chan error, 1)
+	r.Clock.Run(func() {
+		for i := range paths {
+			p := fmt.Sprintf("/%s%03d", prefix, i)
+			paths[i] = p
+			f, err := r.FS.Create(p, "bench")
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := f.Truncate(size); err != nil {
+				done <- err
+				return
+			}
+			f.Close()
+		}
+		// Creation dirtied the write-back path and the cache; reset to
+		// a quiescent machine.
+		r.FS.Cache().Clear()
+		if warm {
+			for _, p := range paths {
+				r.FS.Warm(p)
+			}
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		panic(err)
+	}
+	return paths
+}
+
+// linkWriter models the bytes of a reply crossing the shared wire;
+// granularity sets the interleave unit (user-level chunk for NeST,
+// TCP segment for the JBOS kernel servers).
+type linkWriter struct {
+	link *sim.Link
+	gran int
+}
+
+func (w linkWriter) Write(p []byte) (int, error) {
+	g := w.gran
+	if g <= 0 {
+		g = len(p)
+	}
+	for off := 0; off < len(p); off += g {
+		end := off + g
+		if end > len(p) {
+			end = len(p)
+		}
+		w.link.Send(int64(end - off))
+	}
+	return len(p), nil
+}
+
+// cpuReader charges per-chunk processor work before delivering data
+// from the file (GridFTP framing/integrity costs).
+type cpuReader struct {
+	inner    io.Reader
+	cpu      *sim.CPU
+	perChunk time.Duration
+}
+
+func (r cpuReader) Read(p []byte) (int, error) {
+	if r.perChunk > 0 {
+		r.cpu.Work(r.perChunk)
+	}
+	return r.inner.Read(p)
+}
+
+// ClientOptions configures one protocol's closed-loop client pool.
+type ClientOptions struct {
+	Spec    ProtoSpec
+	Clients int
+	Files   []string
+	// JBOS selects the baseline's packet-granularity wire behavior.
+	JBOS bool
+	// PacketWire also selects packet granularity: used when the
+	// transfer manager meters bandwidth itself (proportional share),
+	// where modeling the wire at user-level chunk granularity would
+	// double-count the bias the scheduler replaces.
+	PacketWire bool
+}
+
+// RunClients drives closed-loop clients against mgr until *stop is
+// nonzero. Each iteration issues one request (a whole file, or one
+// block for block-based protocols), waiting for completion before the
+// next — with Outstanding >= 2, that many requests stay in flight.
+func (r *Rig) RunClients(mgr *transfer.Manager, o ClientOptions, stop *atomic.Bool, wg *sim.WaitGroup) {
+	for c := 0; c < o.Clients; c++ {
+		c := c
+		out := o.Spec.Outstanding
+		if out < 1 {
+			out = 1
+		}
+		for lane := 0; lane < out; lane++ {
+			wg.Add(1)
+			start := (c*31 + lane*7) % len(o.Files)
+			r.Clock.Go(func() {
+				defer wg.Done()
+				r.clientLoop(mgr, o, stop, start)
+			})
+		}
+	}
+}
+
+// clientLoop is one request lane of one client.
+func (r *Rig) clientLoop(mgr *transfer.Manager, o ClientOptions, stop *atomic.Bool, fileIdx int) {
+	clock := r.Clock
+	spec := o.Spec
+	gran := spec.ChunkSize
+	if o.JBOS || o.PacketWire {
+		gran = PacketSize
+	}
+	var offset int64
+	for !stop.Load() {
+		path := o.Files[fileIdx%len(o.Files)]
+		size := int64(0)
+		f, err := r.FS.Open(path)
+		if err != nil {
+			panic(err)
+		}
+		fileSize := f.Size()
+
+		var length int64
+		if spec.BlockBased {
+			length = spec.BlockSize
+			if offset+length > fileSize {
+				length = fileSize - offset
+			}
+		} else {
+			offset = 0
+			length = fileSize
+		}
+		size = length
+
+		// Request travels to the server: one way latency plus the
+		// server's per-request processing.
+		clock.Sleep(r.Host.Link.RTT() / 2)
+		r.Host.CPU.Work(spec.PerRequestCPU)
+
+		var src io.Reader = io.NewSectionReader(f, offset, size)
+		if spec.PerChunkCPU > 0 {
+			src = cpuReader{inner: src, cpu: r.Host.CPU, perChunk: spec.PerChunkCPU}
+		}
+		done := make(chan transfer.Result, 1)
+		mgr.Submit(&transfer.Transfer{
+			Class:     spec.Name,
+			Path:      path,
+			Offset:    offset,
+			Size:      size,
+			ChunkSize: spec.ChunkSize,
+			Src:       src,
+			Dst:       linkWriter{link: r.Host.Link, gran: gran},
+			OnDone: func(res transfer.Result) {
+				clock.Unpark()
+				done <- res
+			},
+		})
+		clock.Park()
+		<-done
+		f.Close()
+		// Reply completion reaches the client.
+		clock.Sleep(r.Host.Link.RTT() / 2)
+
+		if spec.BlockBased {
+			offset += size
+			if offset >= fileSize {
+				offset = 0
+				fileIdx++
+			}
+		} else {
+			fileIdx++
+		}
+	}
+}
+
+// Measure runs the workload for the given virtual duration and
+// returns per-class bandwidth in MB/s. Managers are drained before
+// measuring starts via a short warmup.
+type Measurement struct {
+	PerClass map[string]float64 // MB/s
+	Total    float64
+	AvgLat   map[string]time.Duration
+}
+
+// RunWorkload drives the client pools against their managers for
+// warmup+duration of virtual time; metrics cover only the steady
+// window.
+func (r *Rig) RunWorkload(pools []struct {
+	Mgr *transfer.Manager
+	Opt ClientOptions
+}, warmup, duration time.Duration) Measurement {
+	var stop atomic.Bool
+	out := Measurement{PerClass: map[string]float64{}, AvgLat: map[string]time.Duration{}}
+	r.Clock.Run(func() {
+		wg := sim.NewWaitGroup(r.Clock)
+		for _, p := range pools {
+			r.RunClients(p.Mgr, p.Opt, &stop, wg)
+		}
+		r.Clock.Sleep(warmup)
+		managers := map[*transfer.Manager]bool{}
+		for _, p := range pools {
+			if !managers[p.Mgr] {
+				managers[p.Mgr] = true
+				p.Mgr.Metrics().Reset(r.Clock.Now())
+			}
+		}
+		r.Clock.Sleep(duration)
+		now := r.Clock.Now()
+		for _, p := range pools {
+			class := p.Opt.Spec.Name
+			bw := p.Mgr.Metrics().BandwidthMBps(class, now)
+			out.PerClass[class] = bw
+			out.AvgLat[class] = p.Mgr.Metrics().AvgLatency(class)
+			out.Total += bw
+		}
+		stop.Store(true)
+		wg.Wait()
+	})
+	return out
+}

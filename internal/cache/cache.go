@@ -1,0 +1,167 @@
+// Package cache implements NeST's gray-box model of the kernel buffer
+// cache (Arpaci-Dusseau & Arpaci-Dusseau, SOSP 2001; Burnett et al.,
+// USENIX 2002). NeST cannot see inside the kernel, so it maintains an
+// LRU model of which file blocks are likely resident and consults it
+// for cache-aware scheduling: requests predicted to hit are serviced
+// before requests that would stall on the disk. In simulation the same
+// model doubles as the kernel cache itself.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockSize is the modeling granularity. The real kernel caches 4 KB
+// pages; modeling at 64 KB keeps bookkeeping cheap with no loss for
+// whole-file workloads.
+const BlockSize = 64 * 1024
+
+type blockKey struct {
+	file  string
+	index int64
+}
+
+// Model tracks probable buffer-cache contents with LRU replacement.
+// All methods are safe for concurrent use.
+type Model struct {
+	mu       sync.Mutex
+	capacity int64 // bytes
+	used     int64
+	lru      *list.List // front = most recent; values are blockKey
+	index    map[blockKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// New returns a model of a cache holding capacity bytes.
+func New(capacity int64) *Model {
+	return &Model{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[blockKey]*list.Element),
+	}
+}
+
+// Capacity returns the modeled cache size in bytes.
+func (m *Model) Capacity() int64 { return m.capacity }
+
+// Used returns the bytes currently modeled as resident.
+func (m *Model) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Stats returns cumulative block hits and misses recorded by Access.
+func (m *Model) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+func blockRange(off, n int64) (first, last int64) {
+	if n <= 0 {
+		return 0, -1
+	}
+	return off / BlockSize, (off + n - 1) / BlockSize
+}
+
+// Access models a read of [off, off+n) of file: resident blocks are
+// refreshed, missing blocks are faulted in (evicting LRU blocks). It
+// returns the byte counts that hit and missed, which the simulated
+// filesystem converts into memory-copy versus disk time.
+func (m *Model) Access(file string, off, n int64) (hit, miss int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	first, last := blockRange(off, n)
+	for b := first; b <= last; b++ {
+		key := blockKey{file, b}
+		if e, ok := m.index[key]; ok {
+			m.lru.MoveToFront(e)
+			m.hits++
+			hit += BlockSize
+		} else {
+			m.insertLocked(key)
+			m.misses++
+			miss += BlockSize
+		}
+	}
+	return hit, miss
+}
+
+// Insert models data entering the cache without a read (e.g., writes
+// populating the page cache).
+func (m *Model) Insert(file string, off, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	first, last := blockRange(off, n)
+	for b := first; b <= last; b++ {
+		key := blockKey{file, b}
+		if e, ok := m.index[key]; ok {
+			m.lru.MoveToFront(e)
+			continue
+		}
+		m.insertLocked(key)
+	}
+}
+
+func (m *Model) insertLocked(key blockKey) {
+	for m.used+BlockSize > m.capacity && m.lru.Len() > 0 {
+		oldest := m.lru.Back()
+		delete(m.index, oldest.Value.(blockKey))
+		m.lru.Remove(oldest)
+		m.used -= BlockSize
+	}
+	if m.used+BlockSize > m.capacity {
+		return // cache smaller than one block
+	}
+	m.index[key] = m.lru.PushFront(key)
+	m.used += BlockSize
+}
+
+// Residency predicts, without perturbing the model, what fraction of
+// [off, off+n) of file is cache-resident. The cache-aware scheduler
+// uses this probe to approximate shortest-job-first (paper §4.2).
+func (m *Model) Residency(file string, off, n int64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	first, last := blockRange(off, n)
+	if last < first {
+		return 1
+	}
+	resident := 0
+	total := 0
+	for b := first; b <= last; b++ {
+		total++
+		if _, ok := m.index[blockKey{file, b}]; ok {
+			resident++
+		}
+	}
+	return float64(resident) / float64(total)
+}
+
+// Invalidate drops all modeled blocks of file (e.g., after removal).
+func (m *Model) Invalidate(file string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for e := m.lru.Front(); e != nil; {
+		next := e.Next()
+		if e.Value.(blockKey).file == file {
+			delete(m.index, e.Value.(blockKey))
+			m.lru.Remove(e)
+			m.used -= BlockSize
+		}
+		e = next
+	}
+}
+
+// Clear empties the model.
+func (m *Model) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lru.Init()
+	m.index = make(map[blockKey]*list.Element)
+	m.used = 0
+}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessHitMiss(t *testing.T) {
+	m := New(10 * BlockSize)
+	hit, miss := m.Access("a", 0, 4*BlockSize)
+	if hit != 0 || miss != 4*BlockSize {
+		t.Errorf("cold access: hit=%d miss=%d", hit, miss)
+	}
+	hit, miss = m.Access("a", 0, 4*BlockSize)
+	if hit != 4*BlockSize || miss != 0 {
+		t.Errorf("warm access: hit=%d miss=%d", hit, miss)
+	}
+	h, ms := m.Stats()
+	if h != 4 || ms != 4 {
+		t.Errorf("Stats = %d,%d, want 4,4", h, ms)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := New(4 * BlockSize)
+	m.Access("a", 0, 4*BlockSize) // fills cache
+	m.Access("b", 0, 2*BlockSize) // evicts a's two oldest blocks
+	if r := m.Residency("b", 0, 2*BlockSize); r != 1 {
+		t.Errorf("b residency = %v, want 1", r)
+	}
+	if r := m.Residency("a", 0, 4*BlockSize); r != 0.5 {
+		t.Errorf("a residency = %v, want 0.5", r)
+	}
+	// Touching a's surviving blocks protects them.
+	m.Access("a", 2*BlockSize, 2*BlockSize)
+	m.Access("c", 0, 2*BlockSize) // evicts b now
+	if r := m.Residency("a", 2*BlockSize, 2*BlockSize); r != 1 {
+		t.Errorf("refreshed a blocks evicted: residency = %v", r)
+	}
+	if r := m.Residency("b", 0, 2*BlockSize); r != 0 {
+		t.Errorf("b residency = %v, want 0", r)
+	}
+}
+
+func TestResidencyDoesNotPerturb(t *testing.T) {
+	m := New(2 * BlockSize)
+	m.Access("a", 0, 2*BlockSize)
+	for i := 0; i < 10; i++ {
+		m.Residency("zzz", 0, 100*BlockSize)
+	}
+	if r := m.Residency("a", 0, 2*BlockSize); r != 1 {
+		t.Errorf("probe perturbed the model: a residency = %v", r)
+	}
+	if m.Used() != 2*BlockSize {
+		t.Errorf("Used = %d", m.Used())
+	}
+}
+
+func TestInsertPopulates(t *testing.T) {
+	m := New(8 * BlockSize)
+	m.Insert("w", 0, 3*BlockSize)
+	hit, miss := m.Access("w", 0, 3*BlockSize)
+	if hit != 3*BlockSize || miss != 0 {
+		t.Errorf("after Insert: hit=%d miss=%d", hit, miss)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	m := New(8 * BlockSize)
+	m.Insert("x", 0, 4*BlockSize)
+	m.Insert("y", 0, 2*BlockSize)
+	m.Invalidate("x")
+	if r := m.Residency("x", 0, 4*BlockSize); r != 0 {
+		t.Errorf("x residency after invalidate = %v", r)
+	}
+	if r := m.Residency("y", 0, 2*BlockSize); r != 1 {
+		t.Errorf("y residency disturbed = %v", r)
+	}
+	if m.Used() != 2*BlockSize {
+		t.Errorf("Used = %d, want %d", m.Used(), 2*BlockSize)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New(8 * BlockSize)
+	m.Insert("x", 0, 4*BlockSize)
+	m.Clear()
+	if m.Used() != 0 {
+		t.Errorf("Used after Clear = %d", m.Used())
+	}
+}
+
+func TestPartialBlocks(t *testing.T) {
+	m := New(8 * BlockSize)
+	// A 1-byte read still occupies one block.
+	_, miss := m.Access("t", 0, 1)
+	if miss != BlockSize {
+		t.Errorf("miss = %d, want one block", miss)
+	}
+	// Reading a range spanning a block boundary touches two blocks.
+	hit, miss := m.Access("t", BlockSize-1, 2)
+	if hit != BlockSize || miss != BlockSize {
+		t.Errorf("boundary access hit=%d miss=%d", hit, miss)
+	}
+}
+
+func TestZeroLengthAccess(t *testing.T) {
+	m := New(4 * BlockSize)
+	hit, miss := m.Access("z", 0, 0)
+	if hit != 0 || miss != 0 {
+		t.Errorf("zero access: %d,%d", hit, miss)
+	}
+	if r := m.Residency("z", 0, 0); r != 1 {
+		t.Errorf("zero residency = %v, want 1 (vacuous)", r)
+	}
+}
+
+func TestCacheSmallerThanBlock(t *testing.T) {
+	m := New(BlockSize / 2)
+	m.Access("a", 0, BlockSize)
+	if m.Used() != 0 {
+		t.Errorf("undersized cache stored data: Used = %d", m.Used())
+	}
+}
+
+// Property: Used never exceeds capacity.
+func TestQuickUsedBounded(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New(7 * BlockSize)
+		for i, op := range ops {
+			file := fmt.Sprintf("f%d", op%5)
+			off := int64(op%3) * BlockSize
+			n := int64(op%4+1) * BlockSize
+			if i%2 == 0 {
+				m.Access(file, off, n)
+			} else {
+				m.Insert(file, off, n)
+			}
+			if m.Used() > m.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit+miss from Access equals the block-rounded span.
+func TestQuickAccessAccounting(t *testing.T) {
+	f := func(off uint16, n uint16) bool {
+		m := New(1 << 30)
+		o, ln := int64(off), int64(n)
+		hit, miss := m.Access("f", o, ln)
+		if ln == 0 {
+			return hit == 0 && miss == 0
+		}
+		first, last := o/BlockSize, (o+ln-1)/BlockSize
+		return hit+miss == (last-first+1)*BlockSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Package chirp implements Chirp, NeST's native protocol (Thain et
+// al., "Gathering at the Well", SC 2001): a line-oriented control
+// protocol carrying the full common request interface, including the
+// operations most file-transfer protocols lack — lot management and
+// ACL manipulation (paper §3, §5). Authentication is GSI.
+//
+// Wire format: the server greets with "+OK NeST chirp 0.9"; the client
+// authenticates with "auth gsi <token>" or "auth anonymous"; requests
+// are single lines of space-separated, URL-escaped tokens; replies are
+// "+OK ..." or "-ERR <code> <message>". Bulk data follows "get"
+// replies and "put" go-aheads as raw bytes of the stated length.
+package chirp
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Proto is the protocol class name.
+const Proto = "chirp"
+
+// Greeting is the server's hello line.
+const Greeting = "+OK NeST chirp 0.9"
+
+// Error is a Chirp-level failure carrying the common-interface code.
+type Error struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("chirp: %s (code %d)", e.Message, e.Code)
+}
+
+// escape encodes a token for the wire (paths may contain spaces).
+func escape(s string) string { return url.QueryEscape(s) }
+
+// unescape decodes a wire token.
+func unescape(s string) (string, error) { return url.QueryUnescape(s) }
+
+// splitLine tokenizes a request or reply line.
+func splitLine(line string) []string {
+	return strings.Fields(strings.TrimRight(line, "\r\n"))
+}
+
+// parseInt parses a decimal int64 token.
+func parseInt(tok string) (int64, error) {
+	return strconv.ParseInt(tok, 10, 64)
+}

@@ -1,0 +1,147 @@
+package chirp_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/nesttest"
+)
+
+// rawDial opens an anonymous raw-wire Chirp session for protocol-level
+// failure injection.
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	br := bufio.NewReader(conn)
+	if _, err := br.ReadString('\n'); err != nil { // greeting
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "auth anonymous\n")
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	return conn, br
+}
+
+func expectLine(t *testing.T, br *bufio.Reader, prefix string) string {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("reply %q, want prefix %q", strings.TrimSpace(line), prefix)
+	}
+	return strings.TrimSpace(line)
+}
+
+// TestPutClientDiesMidTransfer: a client that promises 1 MB, sends a
+// fraction and disconnects must not corrupt lot accounting — the
+// storage manager settles the put with what actually arrived.
+func TestPutClientDiesMidTransfer(t *testing.T) {
+	f := nesttest.Start(t, chirp.NewHandler(nil, true), nesttest.Options{})
+	f.GrantLot(t, "anonymous", 10*nesttest.MB)
+	conn, br := rawDial(t, f.Addr)
+	fmt.Fprintf(conn, "put /partial %d\n", nesttest.MB)
+	expectLine(t, br, "+DATA")
+	conn.Write(make([]byte, 1000)) // a fraction of the promised MB
+	conn.Close()
+
+	// The session ends server-side; accounting must settle. Poll
+	// briefly for the dispatcher to finish the aborted transfer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lots := f.Store.Lots().Owned("anonymous")
+		if len(lots) == 1 && lots[0].Used <= 1000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lot accounting did not settle: %+v", lots)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The server remains healthy for other clients.
+	c, err := chirp.Dial(f.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PutBytes("/after", []byte("alive"), ""); err != nil {
+		t.Fatalf("put after aborted transfer: %v", err)
+	}
+}
+
+// TestMalformedCommands: garbage lines produce -ERR replies but never
+// kill the session.
+func TestMalformedCommands(t *testing.T) {
+	f := nesttest.Start(t, chirp.NewHandler(nil, true), nesttest.Options{})
+	conn, br := rawDial(t, f.Addr)
+	for _, line := range []string{
+		"frobnicate /x",
+		"put",
+		"put /x notanumber",
+		"get",
+		"lot_create 10",
+		"lot_renew lot1",
+		"acl_set /x john",
+	} {
+		fmt.Fprintf(conn, "%s\n", line)
+		expectLine(t, br, "-ERR")
+	}
+	fmt.Fprintf(conn, "ping\n")
+	expectLine(t, br, "+OK")
+}
+
+// TestAuthRequiredBeforeCommands: the handler refuses sessions that
+// skip authentication.
+func TestAuthRequiredBeforeCommands(t *testing.T) {
+	f := nesttest.Start(t, chirp.NewHandler(nil, true), nesttest.Options{})
+	conn, err := net.Dial("tcp", f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	br.ReadString('\n') // greeting
+	fmt.Fprintf(conn, "ls /\n")
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "-ERR") {
+		t.Fatalf("unauthenticated command got %q, %v", line, err)
+	}
+	// The server closed the session; subsequent reads hit EOF.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("session stayed open without authentication")
+	}
+}
+
+// TestGetSizeExact: the byte count in the get header matches the body
+// exactly even for empty files.
+func TestGetSizeExact(t *testing.T) {
+	f := nesttest.Start(t, chirp.NewHandler(nil, true), nesttest.Options{})
+	f.GrantLot(t, "anonymous", nesttest.MB)
+	c, err := chirp.Dial(f.Addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PutBytes("/empty", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("Get(empty) = %d bytes, %v", len(got), err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Errorf("session dead after empty get: %v", err)
+	}
+}

@@ -1,0 +1,363 @@
+package chirp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"nest/internal/gsi"
+	"nest/internal/protocol"
+)
+
+// Handler is the Chirp protocol module.
+type Handler struct {
+	verifier  *gsi.Verifier
+	allowAnon bool
+}
+
+// NewHandler returns a Chirp handler verifying GSI tokens against v.
+// When allowAnon is true, "auth anonymous" is accepted and mapped to
+// the anonymous principal.
+func NewHandler(v *gsi.Verifier, allowAnon bool) *Handler {
+	return &Handler{verifier: v, allowAnon: allowAnon}
+}
+
+// Proto implements protocol.Handler.
+func (h *Handler) Proto() string { return Proto }
+
+// NewSession implements protocol.Handler: greet, then authenticate.
+func (h *Handler) NewSession(conn net.Conn) (protocol.Session, error) {
+	s := &session{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	if err := s.writeLine(Greeting); err != nil {
+		return nil, err
+	}
+	line, err := s.readLine()
+	if err != nil {
+		return nil, err
+	}
+	toks := splitLine(line)
+	if len(toks) < 2 || toks[0] != "auth" {
+		s.writeLine("-ERR 3 expected auth")
+		return nil, fmt.Errorf("chirp: client did not authenticate")
+	}
+	switch toks[1] {
+	case "gsi":
+		if len(toks) != 3 || h.verifier == nil {
+			s.writeLine("-ERR 3 gsi unavailable")
+			return nil, fmt.Errorf("chirp: gsi auth unavailable")
+		}
+		user, err := h.verifier.Authenticate(toks[2])
+		if err != nil {
+			s.writeLine("-ERR 3 authentication failed")
+			return nil, err
+		}
+		s.user = user
+	case "anonymous":
+		if !h.allowAnon {
+			s.writeLine("-ERR 3 anonymous access disabled")
+			return nil, fmt.Errorf("chirp: anonymous access disabled")
+		}
+		s.user = gsi.Anonymous
+	default:
+		s.writeLine("-ERR 5 unknown auth mechanism")
+		return nil, fmt.Errorf("chirp: unknown auth mechanism %q", toks[1])
+	}
+	if err := s.writeLine("+OK user " + escape(s.user)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// session is one authenticated Chirp connection.
+type session struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	user string
+	// inData marks a get whose success framing was already sent by
+	// SendData, so the dispatcher's final Reply is suppressed.
+	inData *protocol.Request
+}
+
+func (s *session) readLine() (string, error) {
+	line, err := s.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (s *session) writeLine(line string) error {
+	if _, err := s.bw.WriteString(line + "\n"); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Proto implements protocol.Session.
+func (s *session) Proto() string { return Proto }
+
+// User implements protocol.Session.
+func (s *session) User() string { return s.user }
+
+// Close implements protocol.Session.
+func (s *session) Close() error { return s.conn.Close() }
+
+// Next implements protocol.Session.
+func (s *session) Next() (*protocol.Request, error) {
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			return nil, err
+		}
+		toks := splitLine(line)
+		if len(toks) == 0 {
+			continue
+		}
+		req, err := s.parse(toks)
+		if err != nil {
+			if werr := s.writeLine("-ERR 5 " + escape(err.Error())); werr != nil {
+				return nil, werr
+			}
+			continue
+		}
+		return req, nil
+	}
+}
+
+func (s *session) parse(toks []string) (*protocol.Request, error) {
+	cmd := strings.ToLower(toks[0])
+	path := func(i int) (string, error) {
+		if len(toks) <= i {
+			return "", fmt.Errorf("%s: missing path", cmd)
+		}
+		return unescape(toks[i])
+	}
+	num := func(i int, what string) (int64, error) {
+		if len(toks) <= i {
+			return 0, fmt.Errorf("%s: missing %s", cmd, what)
+		}
+		return parseInt(toks[i])
+	}
+	req := &protocol.Request{Proto: Proto, User: s.user}
+	var err error
+	switch cmd {
+	case "ping":
+		req.Op = protocol.OpPing
+	case "quit":
+		req.Op = protocol.OpQuit
+	case "mkdir":
+		req.Op = protocol.OpMkdir
+		req.Path, err = path(1)
+	case "rmdir":
+		req.Op = protocol.OpRmdir
+		req.Path, err = path(1)
+	case "rm":
+		req.Op = protocol.OpRemove
+		req.Path, err = path(1)
+	case "ls":
+		req.Op = protocol.OpList
+		req.Path, err = path(1)
+	case "stat":
+		req.Op = protocol.OpStat
+		req.Path, err = path(1)
+	case "get":
+		req.Op = protocol.OpGet
+		if req.Path, err = path(1); err != nil {
+			return nil, err
+		}
+		if len(toks) >= 4 {
+			if req.Offset, err = num(2, "offset"); err != nil {
+				return nil, err
+			}
+			req.Length, err = num(3, "length")
+		}
+	case "put":
+		req.Op = protocol.OpPut
+		if req.Path, err = path(1); err != nil {
+			return nil, err
+		}
+		if req.Size, err = num(2, "size"); err != nil {
+			return nil, err
+		}
+		if len(toks) >= 4 {
+			req.LotID = toks[3]
+		}
+	case "lot_create":
+		req.Op = protocol.OpLotCreate
+		if req.LotBytes, err = num(1, "bytes"); err != nil {
+			return nil, err
+		}
+		var secs int64
+		if secs, err = num(2, "duration"); err != nil {
+			return nil, err
+		}
+		req.LotDuration = time.Duration(secs) * time.Second
+	case "lot_release":
+		req.Op = protocol.OpLotRelease
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("lot_release: missing id")
+		}
+		req.LotID = toks[1]
+	case "lot_renew":
+		req.Op = protocol.OpLotRenew
+		if len(toks) < 3 {
+			return nil, fmt.Errorf("lot_renew: missing id or duration")
+		}
+		req.LotID = toks[1]
+		var secs int64
+		if secs, err = parseInt(toks[2]); err != nil {
+			return nil, err
+		}
+		req.LotDuration = time.Duration(secs) * time.Second
+	case "lot_status":
+		req.Op = protocol.OpLotStatus
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("lot_status: missing id")
+		}
+		req.LotID = toks[1]
+	case "lot_add_member", "lot_remove_member":
+		if cmd == "lot_add_member" {
+			req.Op = protocol.OpLotAddMember
+		} else {
+			req.Op = protocol.OpLotRemoveMember
+		}
+		if len(toks) < 3 {
+			return nil, fmt.Errorf("%s: want id and user", cmd)
+		}
+		req.LotID = toks[1]
+		if req.ACLUser, err = unescape(toks[2]); err != nil {
+			return nil, err
+		}
+	case "acl_set":
+		req.Op = protocol.OpACLSet
+		if req.Path, err = path(1); err != nil {
+			return nil, err
+		}
+		if len(toks) < 4 {
+			return nil, fmt.Errorf("acl_set: want dir principal rights")
+		}
+		if req.ACLUser, err = unescape(toks[2]); err != nil {
+			return nil, err
+		}
+		req.ACLRights = toks[3]
+		if req.ACLRights == "-" {
+			req.ACLRights = ""
+		}
+	case "acl_get":
+		req.Op = protocol.OpACLGet
+		req.Path, err = path(1)
+	case "statfs":
+		req.Op = protocol.OpStatfs
+	default:
+		return nil, fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Reply implements protocol.Session.
+func (s *session) Reply(req *protocol.Request, rep *protocol.Reply) error {
+	if s.inData == req {
+		s.inData = nil
+		if rep.OK() {
+			return nil // get framing already complete
+		}
+		// Mid-stream failure: the byte count promised to the client
+		// cannot be honored; drop the connection.
+		return fmt.Errorf("chirp: transfer failed mid-stream: %s", rep.Message)
+	}
+	if !rep.OK() {
+		return s.writeLine(fmt.Sprintf("-ERR %d %s", rep.Code, escape(rep.Message)))
+	}
+	switch req.Op {
+	case protocol.OpList:
+		if err := s.writeLine(fmt.Sprintf("+OK %d", len(rep.Entries))); err != nil {
+			return err
+		}
+		for _, e := range rep.Entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			if _, err := fmt.Fprintf(s.bw, "%s %d %s\n", kind, e.Size, escape(e.Name)); err != nil {
+				return err
+			}
+		}
+		return s.bw.Flush()
+	case protocol.OpStat:
+		info := rep.Info
+		kind := "f"
+		if info.IsDir {
+			kind = "d"
+		}
+		return s.writeLine(fmt.Sprintf("+OK %s %d %s", kind, info.Size, escape(info.Name)))
+	case protocol.OpPut:
+		return s.writeLine(fmt.Sprintf("+OK %d", rep.Size))
+	case protocol.OpLotCreate, protocol.OpLotRenew, protocol.OpLotStatus:
+		l := rep.Lot
+		state := "active"
+		if l.BestEffort {
+			state = "besteffort"
+		}
+		return s.writeLine(fmt.Sprintf("+OK %s %d %d %d %s",
+			l.ID, l.Capacity, l.Used, int64(l.Expires/time.Millisecond), state))
+	case protocol.OpACLGet:
+		lines := []string{}
+		if rep.Rights != "" {
+			lines = strings.Split(rep.Rights, "\n")
+		}
+		if err := s.writeLine(fmt.Sprintf("+OK %d", len(lines))); err != nil {
+			return err
+		}
+		for _, l := range lines {
+			if _, err := fmt.Fprintf(s.bw, "%s\n", l); err != nil {
+				return err
+			}
+		}
+		return s.bw.Flush()
+	case protocol.OpStatfs:
+		ad := rep.Ad
+		if err := s.writeLine(fmt.Sprintf("+OK %d", len(ad))); err != nil {
+			return err
+		}
+		if _, err := s.bw.WriteString(ad); err != nil {
+			return err
+		}
+		return s.bw.Flush()
+	}
+	return s.writeLine("+OK")
+}
+
+// SendData implements protocol.Session: "+OK <size>" then raw bytes.
+func (s *session) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
+	if err := s.writeLine(fmt.Sprintf("+OK %d", size)); err != nil {
+		return nil, err
+	}
+	s.inData = req
+	return flushWriter{s.bw}, nil
+}
+
+// RecvData implements protocol.Session: "+DATA" go-ahead, then the
+// client's size raw bytes.
+func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
+	if err := s.writeLine("+DATA"); err != nil {
+		return nil, err
+	}
+	return io.NopCloser(io.LimitReader(s.br, req.Size)), nil
+}
+
+// flushWriter flushes the session's buffered writer on Close.
+type flushWriter struct{ bw *bufio.Writer }
+
+func (w flushWriter) Write(p []byte) (int, error) { return w.bw.Write(p) }
+func (w flushWriter) Close() error                { return w.bw.Flush() }

@@ -1,0 +1,395 @@
+package classad
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// builtinFunc is the implementation signature of a ClassAd builtin.
+type builtinFunc func(args []Value) Value
+
+// builtins maps lower-cased function names to implementations.
+var builtins = map[string]builtinFunc{
+	"strcat":      fnStrcat,
+	"substr":      fnSubstr,
+	"size":        fnSize,
+	"length":      fnSize,
+	"toupper":     fnToUpper,
+	"tolower":     fnToLower,
+	"member":      fnMember,
+	"anycompare":  fnMember, // historical alias used by some NeST ads
+	"isundefined": kindPredicate(UndefinedKind),
+	"iserror":     kindPredicate(ErrorKind),
+	"isstring":    kindPredicate(StringKind),
+	"isinteger":   kindPredicate(IntKind),
+	"isreal":      kindPredicate(RealKind),
+	"isboolean":   kindPredicate(BoolKind),
+	"islist":      kindPredicate(ListKind),
+	"isclassad":   kindPredicate(AdKind),
+	"int":         fnInt,
+	"real":        fnReal,
+	"string":      fnString,
+	"floor":       fnFloor,
+	"ceiling":     fnCeiling,
+	"round":       fnRound,
+	"min":         fnMin,
+	"max":         fnMax,
+	"regexp":      fnRegexp,
+	"ifthenelse":  fnIfThenElse,
+}
+
+func propagate(args []Value) (Value, bool) {
+	for _, a := range args {
+		if a.IsError() {
+			return a, true
+		}
+	}
+	for _, a := range args {
+		if a.IsUndefined() {
+			return Undefined(), true
+		}
+	}
+	return Value{}, false
+}
+
+func fnStrcat(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	var sb strings.Builder
+	for _, a := range args {
+		switch a.Kind() {
+		case StringKind:
+			s, _ := a.StringVal()
+			sb.WriteString(s)
+		case IntKind, RealKind, BoolKind:
+			sb.WriteString(strings.Trim(a.String(), `"`))
+		default:
+			return ErrorVal("strcat: unsupported argument type " + a.Kind().String())
+		}
+	}
+	return Str(sb.String())
+}
+
+func fnSubstr(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) < 2 || len(args) > 3 {
+		return ErrorVal("substr: want 2 or 3 arguments")
+	}
+	s, ok := args[0].StringVal()
+	if !ok {
+		return ErrorVal("substr: first argument must be string")
+	}
+	off, ok := args[1].IntVal()
+	if !ok {
+		return ErrorVal("substr: offset must be integer")
+	}
+	if off < 0 {
+		off += int64(len(s))
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > int64(len(s)) {
+		off = int64(len(s))
+	}
+	end := int64(len(s))
+	if len(args) == 3 {
+		n, ok := args[2].IntVal()
+		if !ok {
+			return ErrorVal("substr: length must be integer")
+		}
+		if n < 0 {
+			end = int64(len(s)) + n
+		} else {
+			end = off + n
+		}
+		if end < off {
+			end = off
+		}
+		if end > int64(len(s)) {
+			end = int64(len(s))
+		}
+	}
+	return Str(s[off:end])
+}
+
+func fnSize(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("size: want 1 argument")
+	}
+	switch args[0].Kind() {
+	case StringKind:
+		s, _ := args[0].StringVal()
+		return Int(int64(len(s)))
+	case ListKind:
+		l, _ := args[0].ListVal()
+		return Int(int64(len(l)))
+	case AdKind:
+		ad, _ := args[0].AdVal()
+		return Int(int64(ad.Len()))
+	}
+	return ErrorVal("size: unsupported argument type")
+}
+
+func fnToUpper(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("toUpper: want 1 argument")
+	}
+	s, ok := args[0].StringVal()
+	if !ok {
+		return ErrorVal("toUpper: argument must be string")
+	}
+	return Str(strings.ToUpper(s))
+}
+
+func fnToLower(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("toLower: want 1 argument")
+	}
+	s, ok := args[0].StringVal()
+	if !ok {
+		return ErrorVal("toLower: argument must be string")
+	}
+	return Str(strings.ToLower(s))
+}
+
+// fnMember reports whether args[0] occurs in the list args[1]. String
+// comparison is case-insensitive, matching == semantics.
+func fnMember(args []Value) Value {
+	if len(args) != 2 {
+		return ErrorVal("member: want 2 arguments")
+	}
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	list, ok := args[1].ListVal()
+	if !ok {
+		return ErrorVal("member: second argument must be list")
+	}
+	for _, e := range list {
+		r := evalCompare("==", args[0], e)
+		if r.IsTrue() {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+func kindPredicate(k Kind) builtinFunc {
+	return func(args []Value) Value {
+		if len(args) != 1 {
+			return ErrorVal("predicate: want 1 argument")
+		}
+		return Bool(args[0].Kind() == k)
+	}
+}
+
+func fnInt(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("int: want 1 argument")
+	}
+	switch args[0].Kind() {
+	case IntKind:
+		return args[0]
+	case RealKind:
+		r, _ := args[0].RealVal()
+		return Int(int64(r))
+	case BoolKind:
+		if args[0].IsTrue() {
+			return Int(1)
+		}
+		return Int(0)
+	case StringKind:
+		s, _ := args[0].StringVal()
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return ErrorVal("int: cannot convert " + s)
+		}
+		return Int(i)
+	}
+	return ErrorVal("int: unsupported argument type")
+}
+
+func fnReal(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("real: want 1 argument")
+	}
+	switch args[0].Kind() {
+	case RealKind:
+		return args[0]
+	case IntKind:
+		i, _ := args[0].IntVal()
+		return Real(float64(i))
+	case BoolKind:
+		if args[0].IsTrue() {
+			return Real(1)
+		}
+		return Real(0)
+	case StringKind:
+		s, _ := args[0].StringVal()
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return ErrorVal("real: cannot convert " + s)
+		}
+		return Real(r)
+	}
+	return ErrorVal("real: unsupported argument type")
+}
+
+func fnString(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 1 {
+		return ErrorVal("string: want 1 argument")
+	}
+	if args[0].Kind() == StringKind {
+		return args[0]
+	}
+	return Str(strings.Trim(args[0].String(), `"`))
+}
+
+func realArg(name string, args []Value) (float64, Value) {
+	if len(args) != 1 {
+		return 0, ErrorVal(name + ": want 1 argument")
+	}
+	f, ok := args[0].Number()
+	if !ok {
+		return 0, ErrorVal(name + ": argument must be numeric")
+	}
+	return f, Value{}
+}
+
+func fnFloor(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	f, errv := realArg("floor", args)
+	if errv.IsError() {
+		return errv
+	}
+	return Int(int64(math.Floor(f)))
+}
+
+func fnCeiling(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	f, errv := realArg("ceiling", args)
+	if errv.IsError() {
+		return errv
+	}
+	return Int(int64(math.Ceil(f)))
+}
+
+func fnRound(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	f, errv := realArg("round", args)
+	if errv.IsError() {
+		return errv
+	}
+	return Int(int64(math.Round(f)))
+}
+
+func fnMinMax(name string, less func(a, b float64) bool) builtinFunc {
+	return func(args []Value) Value {
+		if v, stop := propagate(args); stop {
+			return v
+		}
+		if len(args) == 0 {
+			return Undefined()
+		}
+		// A single list argument is folded.
+		if len(args) == 1 {
+			if l, ok := args[0].ListVal(); ok {
+				args = l
+			}
+		}
+		best := args[0]
+		bf, ok := best.Number()
+		if !ok {
+			return ErrorVal(name + ": arguments must be numeric")
+		}
+		isReal := best.Kind() == RealKind
+		for _, a := range args[1:] {
+			f, ok := a.Number()
+			if !ok {
+				return ErrorVal(name + ": arguments must be numeric")
+			}
+			if a.Kind() == RealKind {
+				isReal = true
+			}
+			if less(f, bf) {
+				best, bf = a, f
+			}
+		}
+		if isReal {
+			return Real(bf)
+		}
+		return best
+	}
+}
+
+var (
+	fnMin = fnMinMax("min", func(a, b float64) bool { return a < b })
+	fnMax = fnMinMax("max", func(a, b float64) bool { return a > b })
+)
+
+func fnRegexp(args []Value) Value {
+	if v, stop := propagate(args); stop {
+		return v
+	}
+	if len(args) != 2 {
+		return ErrorVal("regexp: want 2 arguments (pattern, target)")
+	}
+	pat, ok1 := args[0].StringVal()
+	target, ok2 := args[1].StringVal()
+	if !ok1 || !ok2 {
+		return ErrorVal("regexp: arguments must be strings")
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return ErrorVal("regexp: bad pattern: " + err.Error())
+	}
+	return Bool(re.MatchString(target))
+}
+
+func fnIfThenElse(args []Value) Value {
+	if len(args) != 3 {
+		return ErrorVal("ifThenElse: want 3 arguments")
+	}
+	c := args[0]
+	switch {
+	case c.IsTrue():
+		return args[1]
+	case c.Kind() == BoolKind:
+		return args[2]
+	case c.IsUndefined():
+		return Undefined()
+	case c.IsError():
+		return c
+	}
+	return ErrorVal("ifThenElse: condition must be boolean")
+}

@@ -1,0 +1,518 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalString parses and evaluates an expression with no context.
+func evalString(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e.Eval(&Env{})
+}
+
+func TestLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"3.5", Real(3.5)},
+		{"1e3", Real(1000)},
+		{"2.5e-1", Real(0.25)},
+		{`"hello"`, Str("hello")},
+		{`"a\"b\n"`, Str("a\"b\n")},
+		{"true", Bool(true)},
+		{"FALSE", Bool(false)},
+		{"undefined", Undefined()},
+		{"UNDEFINED", Undefined()},
+	}
+	for _, c := range cases {
+		got := evalString(t, c.src)
+		if !SameValue(got, c.want) {
+			t.Errorf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if !evalString(t, "error").IsError() {
+		t.Error("eval(error) is not the error value")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", Int(7)},
+		{"(1 + 2) * 3", Int(9)},
+		{"10 / 3", Int(3)},
+		{"10 % 3", Int(1)},
+		{"10.0 / 4", Real(2.5)},
+		{"1 + 2.5", Real(3.5)},
+		{"2 - 5", Int(-3)},
+		{`"foo" + "bar"`, Str("foobar")},
+		{"-3 + 1", Int(-2)},
+		{"1 + undefined", Undefined()},
+		{"undefined * 2", Undefined()},
+	}
+	for _, c := range cases {
+		got := evalString(t, c.src)
+		if !SameValue(got, c.want) {
+			t.Errorf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	for _, src := range []string{"1/0", "1%0", `1 + "x"`, `"x" * 2`} {
+		if !evalString(t, src).IsError() {
+			t.Errorf("eval(%q) should be error", src)
+		}
+	}
+}
+
+func TestComparison(t *testing.T) {
+	trueCases := []string{
+		"1 < 2", "2 <= 2", "3 > 2", "3 >= 3", "2 == 2", "2 != 3",
+		"1 == 1.0", "0.5 < 1",
+		`"abc" == "ABC"`, // case-insensitive ==
+		`"abc" < "abd"`,
+		`"abc" =?= "abc"`, `"abc" =!= "ABC"`, // =?= is case-sensitive
+		"undefined =?= undefined", "undefined =!= 1",
+		"true == true", "true != false",
+	}
+	for _, src := range trueCases {
+		if got := evalString(t, src); !got.IsTrue() {
+			t.Errorf("eval(%q) = %v, want true", src, got)
+		}
+	}
+	for _, src := range []string{"1 == undefined", "undefined < 2"} {
+		if got := evalString(t, src); !got.IsUndefined() {
+			t.Errorf("eval(%q) = %v, want undefined", src, got)
+		}
+	}
+}
+
+func TestLogicThreeValued(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"true && true", Bool(true)},
+		{"true && false", Bool(false)},
+		{"false && undefined", Bool(false)},
+		{"undefined && false", Bool(false)},
+		{"true && undefined", Undefined()},
+		{"undefined && undefined", Undefined()},
+		{"true || undefined", Bool(true)},
+		{"undefined || true", Bool(true)},
+		{"false || undefined", Undefined()},
+		{"undefined || undefined", Undefined()},
+		{"!true", Bool(false)},
+		{"!undefined", Undefined()},
+	}
+	for _, c := range cases {
+		got := evalString(t, c.src)
+		if !SameValue(got, c.want) {
+			t.Errorf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConditional(t *testing.T) {
+	if got := evalString(t, "1 < 2 ? 10 : 20"); !SameValue(got, Int(10)) {
+		t.Errorf("ternary true arm = %v", got)
+	}
+	if got := evalString(t, "1 > 2 ? 10 : 20"); !SameValue(got, Int(20)) {
+		t.Errorf("ternary false arm = %v", got)
+	}
+	if got := evalString(t, "undefined ? 10 : 20"); !got.IsUndefined() {
+		t.Errorf("ternary undefined condition = %v", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{`strcat("a", "b", "c")`, Str("abc")},
+		{`strcat("n=", 42)`, Str("n=42")},
+		{`substr("hello", 1)`, Str("ello")},
+		{`substr("hello", 1, 3)`, Str("ell")},
+		{`substr("hello", -3)`, Str("llo")},
+		{`substr("hello", 2, -1)`, Str("ll")},
+		{`size("hello")`, Int(5)},
+		{`size({1,2,3})`, Int(3)},
+		{`toUpper("nest")`, Str("NEST")},
+		{`toLower("NeST")`, Str("nest")},
+		{`member(2, {1,2,3})`, Bool(true)},
+		{`member("B", {"a","b"})`, Bool(true)},
+		{`member(9, {1,2,3})`, Bool(false)},
+		{`isUndefined(undefined)`, Bool(true)},
+		{`isUndefined(1)`, Bool(false)},
+		{`isError(error)`, Bool(true)},
+		{`isString("x")`, Bool(true)},
+		{`isInteger(3)`, Bool(true)},
+		{`isReal(3.0)`, Bool(true)},
+		{`isBoolean(true)`, Bool(true)},
+		{`isList({1})`, Bool(true)},
+		{`int(3.9)`, Int(3)},
+		{`int("12")`, Int(12)},
+		{`real(3)`, Real(3)},
+		{`string(42)`, Str("42")},
+		{`floor(3.7)`, Int(3)},
+		{`ceiling(3.2)`, Int(4)},
+		{`round(3.5)`, Int(4)},
+		{`min(3, 1, 2)`, Int(1)},
+		{`max(3, 1, 2)`, Int(3)},
+		{`min({4, 2, 8})`, Int(2)},
+		{`max(1, 2.5)`, Real(2.5)},
+		{`regexp("^ne.*t$", "nest")`, Bool(true)},
+		{`regexp("xyz", "nest")`, Bool(false)},
+		{`ifThenElse(true, 1, 2)`, Int(1)},
+		{`ifThenElse(false, 1, 2)`, Int(2)},
+		{`strcat("a", undefined)`, Undefined()},
+	}
+	for _, c := range cases {
+		got := evalString(t, c.src)
+		if !SameValue(got, c.want) {
+			t.Errorf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if !evalString(t, "nosuchfn(1)").IsError() {
+		t.Error("unknown function should evaluate to error")
+	}
+}
+
+func TestAdParseAndLookup(t *testing.T) {
+	ad, err := Parse(`[ Type = "Storage"; TotalDisk = 100 * 1024; Free = TotalDisk - 512 ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ad.Len())
+	}
+	if v := ad.EvalAttr("type", nil); !SameValue(v, Str("Storage")) {
+		t.Errorf("type = %v (case-insensitive lookup failed)", v)
+	}
+	if v := ad.EvalAttr("Free", nil); !SameValue(v, Int(100*1024-512)) {
+		t.Errorf("Free = %v (internal attribute reference failed)", v)
+	}
+	if v := ad.EvalAttr("Missing", nil); !v.IsUndefined() {
+		t.Errorf("missing attribute = %v, want undefined", v)
+	}
+}
+
+func TestAdParseBare(t *testing.T) {
+	ad, err := Parse(`a = 1; b = a + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ad.EvalAttr("b", nil); !SameValue(v, Int(2)) {
+		t.Errorf("b = %v, want 2", v)
+	}
+}
+
+func TestCircularReference(t *testing.T) {
+	ad := MustParse(`[ a = b; b = a ]`)
+	if v := ad.EvalAttr("a", nil); !v.IsError() {
+		t.Errorf("circular reference = %v, want error", v)
+	}
+	// Self-recursion too.
+	ad2 := MustParse(`[ x = x + 1 ]`)
+	if v := ad2.EvalAttr("x", nil); !v.IsError() {
+		t.Errorf("self recursion = %v, want error", v)
+	}
+}
+
+func TestScopedReferences(t *testing.T) {
+	machine := MustParse(`[ Memory = 512; Requirements = other.ImageSize < MY.Memory ]`)
+	job := MustParse(`[ ImageSize = 128 ]`)
+	if v := machine.EvalAttr("Requirements", job); !v.IsTrue() {
+		t.Errorf("Requirements = %v, want true", v)
+	}
+	bigJob := MustParse(`[ ImageSize = 1024 ]`)
+	if v := machine.EvalAttr("Requirements", bigJob); v.IsTrue() {
+		t.Errorf("Requirements = %v, want false", v)
+	}
+	// TARGET alias.
+	m2 := MustParse(`[ Requirements = TARGET.X == 5 ]`)
+	if v := m2.EvalAttr("Requirements", MustParse(`[ X = 5 ]`)); !v.IsTrue() {
+		t.Errorf("TARGET scope failed: %v", v)
+	}
+	// Unqualified names do not leak into the other ad.
+	m3 := MustParse(`[ Requirements = Zork == 5 ]`)
+	if v := m3.EvalAttr("Requirements", MustParse(`[ Zork = 5 ]`)); !v.IsUndefined() {
+		t.Errorf("unqualified cross-ad lookup = %v, want undefined", v)
+	}
+}
+
+func TestNestedRecordsAndSelection(t *testing.T) {
+	ad := MustParse(`[ disk = [ total = 100; free = 40 ]; used = disk.total - disk.free ]`)
+	if v := ad.EvalAttr("used", nil); !SameValue(v, Int(60)) {
+		t.Errorf("used = %v, want 60", v)
+	}
+	if v := evalString(t, `[a = [b = 7]].a.b`); !SameValue(v, Int(7)) {
+		t.Errorf("chained selection = %v, want 7", v)
+	}
+	if v := evalString(t, `1 . foo`); !v.IsError() {
+		t.Errorf("selection on int = %v, want error", v)
+	}
+}
+
+func TestMatchmaking(t *testing.T) {
+	storage := MustParse(`[
+		Type = "Storage";
+		FreeDisk = 50000;
+		Protocols = {"chirp", "nfs", "gridftp"};
+		Requirements = other.NeedDisk <= MY.FreeDisk
+	]`)
+	request := MustParse(`[
+		NeedDisk = 20000;
+		Requirements = member("nfs", other.Protocols);
+		Rank = other.FreeDisk
+	]`)
+	if !Match(request, storage) {
+		t.Fatal("expected request/storage to match")
+	}
+	big := MustParse(`[ NeedDisk = 90000; Requirements = true ]`)
+	if Match(big, storage) {
+		t.Fatal("oversized request should not match")
+	}
+	if r := Rank(request, storage); r != 50000 {
+		t.Errorf("Rank = %v, want 50000", r)
+	}
+
+	weak := MustParse(`[ Type = "Storage"; FreeDisk = 10; Protocols = {"nfs"} ]`) // no Requirements
+	idx := BestMatch(request, []*Ad{weak, storage})
+	if idx != 1 {
+		t.Errorf("BestMatch = %d, want 1 (highest rank)", idx)
+	}
+	nomatch := MustParse(`[ NeedDisk = 1; Requirements = member("afs", other.Protocols) ]`)
+	if BestMatch(nomatch, []*Ad{weak, storage}) != -1 {
+		t.Error("BestMatch should report -1 for no match")
+	}
+}
+
+func TestAdMutation(t *testing.T) {
+	ad := NewAd()
+	ad.SetInt("a", 1)
+	ad.SetString("b", "x")
+	ad.SetBool("c", true)
+	ad.SetReal("d", 2.5)
+	if err := ad.SetExprString("e", "a + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.Names(); strings.Join(got, ",") != "a,b,c,d,e" {
+		t.Errorf("Names = %v", got)
+	}
+	ad.SetInt("A", 10) // case-insensitive replace keeps position
+	if got := ad.Names(); strings.Join(got, ",") != "a,b,c,d,e" {
+		t.Errorf("Names after replace = %v", got)
+	}
+	if v := ad.EvalAttr("e", nil); !SameValue(v, Int(11)) {
+		t.Errorf("e = %v, want 11", v)
+	}
+	if !ad.Delete("B") {
+		t.Error("Delete(B) failed")
+	}
+	if ad.Delete("zzz") {
+		t.Error("Delete(zzz) should report false")
+	}
+	cp := ad.Copy()
+	cp.SetInt("a", 99)
+	if v := ad.EvalAttr("a", nil); !SameValue(v, Int(10)) {
+		t.Errorf("Copy is not independent: a = %v", v)
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	srcs := []string{
+		`[ a = 1; b = "x"; c = {1, 2.5, "s"}; d = [ e = true ]; f = a + b =?= undefined ]`,
+		`[ Requirements = (other.X > 3) && member("p", MY.L) ]`,
+	}
+	for _, src := range srcs {
+		ad, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(ad.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", ad.String(), err)
+		}
+		if ad.String() != again.String() {
+			t.Errorf("round trip mismatch:\n%s\n%s", ad.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "[a = ]", "[1 = 2]", `"unterminated`, "a ? b", "{1,", "[a=1 b=2]extra",
+		"foo(1,", "@", "1 2",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := Parse(src); err2 == nil {
+				t.Errorf("expected parse error for %q", src)
+			}
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	ad, err := Parse("[ a = 1; // line comment\n b = /* block */ 2 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ad.EvalAttr("b", nil); !SameValue(v, Int(2)) {
+		t.Errorf("b = %v, want 2", v)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(5), "5"},
+		{Real(2.5), "2.5"},
+		{Real(3), "3.0"},
+		{Str("a"), `"a"`},
+		{Bool(true), "true"},
+		{Undefined(), "undefined"},
+		{ErrorVal("boom"), "error"},
+		{List(Int(1), Str("x")), `{1, "x"}`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v-kind) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+// Property: integer arithmetic in the ClassAd evaluator agrees with Go.
+func TestQuickIntArithmetic(t *testing.T) {
+	f := func(a, b int32) bool {
+		ad := NewAd()
+		ad.SetInt("x", int64(a))
+		ad.SetInt("y", int64(b))
+		if err := ad.SetExprString("sum", "x + y"); err != nil {
+			return false
+		}
+		if err := ad.SetExprString("prod", "x * y"); err != nil {
+			return false
+		}
+		sum := ad.EvalAttr("sum", nil)
+		prod := ad.EvalAttr("prod", nil)
+		return SameValue(sum, Int(int64(a)+int64(b))) &&
+			SameValue(prod, Int(int64(a)*int64(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any string literal survives quoting and reparsing.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		ad := NewAd()
+		ad.SetString("s", s)
+		again, err := Parse(ad.String())
+		if err != nil {
+			return false
+		}
+		v := again.EvalAttr("s", nil)
+		got, ok := v.StringVal()
+		return ok && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison trichotomy for integers.
+func TestQuickComparisonTrichotomy(t *testing.T) {
+	f := func(a, b int16) bool {
+		ad := NewAd()
+		ad.SetInt("a", int64(a))
+		ad.SetInt("b", int64(b))
+		lt := mustEval(ad, "a < b").IsTrue()
+		gt := mustEval(ad, "a > b").IsTrue()
+		eq := mustEval(ad, "a == b").IsTrue()
+		n := 0
+		for _, x := range []bool{lt, gt, eq} {
+			if x {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEval(ad *Ad, src string) Value {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e.Eval(&Env{Self: ad})
+}
+
+// Property: Match is symmetric in its two ads.
+func TestQuickMatchSymmetry(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := NewAd()
+		a.SetInt("v", int64(x))
+		_ = a.SetExprString("Requirements", "other.v >= 10")
+		b := NewAd()
+		b.SetInt("v", int64(y))
+		_ = b.SetExprString("Requirements", "other.v < 200")
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestMatchTieKeepsFirst(t *testing.T) {
+	a := MustParse(`[ Name = "a"; Rank = 0 ]`)
+	b := MustParse(`[ Name = "b"; Rank = 0 ]`)
+	req := MustParse(`[ Requirements = true; Rank = 1 ]`)
+	if idx := BestMatch(req, []*Ad{a, b}); idx != 0 {
+		t.Errorf("BestMatch tie = %d, want 0 (first)", idx)
+	}
+}
+
+func TestRankNonNumericIsZero(t *testing.T) {
+	a := MustParse(`[ Rank = "high" ]`)
+	if r := Rank(a, nil); r != 0 {
+		t.Errorf("non-numeric Rank = %v", r)
+	}
+	b := MustParse(`[ ]`)
+	if r := Rank(b, nil); r != 0 {
+		t.Errorf("missing Rank = %v", r)
+	}
+}
+
+func TestMatchRequirementsError(t *testing.T) {
+	// An erroring Requirements never matches.
+	a := MustParse(`[ Requirements = 1/0 == 1 ]`)
+	b := MustParse(`[ ]`)
+	if Match(a, b) {
+		t.Error("erroring Requirements matched")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	ad := MustParse(`[ a = [ b = [ c = [ d = 42 ] ] ]; v = a.b.c.d ]`)
+	if got := ad.EvalAttr("v", nil); !SameValue(got, Int(42)) {
+		t.Errorf("deep selection = %v", got)
+	}
+}

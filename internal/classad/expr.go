@@ -1,0 +1,441 @@
+package classad
+
+import (
+	"math"
+	"strings"
+)
+
+// Env is the evaluation context: the ad an expression belongs to
+// (Self) and, during matchmaking, the candidate ad (Other).
+type Env struct {
+	Self  *Ad
+	Other *Ad
+	// inProgress guards against circular attribute references.
+	inProgress map[string]bool
+}
+
+func (e *Env) enter(key string) bool {
+	if e.inProgress == nil {
+		e.inProgress = make(map[string]bool)
+	}
+	if e.inProgress[key] {
+		return false
+	}
+	e.inProgress[key] = true
+	return true
+}
+
+func (e *Env) leave(key string) { delete(e.inProgress, key) }
+
+// Expr is a parsed ClassAd expression.
+type Expr interface {
+	// Eval evaluates the expression in env.
+	Eval(env *Env) Value
+	// String renders the expression in source syntax.
+	String() string
+}
+
+// Lit wraps a constant value as an expression.
+func Lit(v Value) Expr { return litExpr{v} }
+
+type litExpr struct{ v Value }
+
+func (l litExpr) Eval(*Env) Value { return l.v }
+func (l litExpr) String() string  { return l.v.String() }
+
+// attrExpr is an attribute reference, optionally scoped with MY./self.
+// or TARGET./other. prefixes.
+type attrExpr struct {
+	scope string // "", "self", "other"
+	name  string
+}
+
+func (a attrExpr) Eval(env *Env) Value {
+	var ad *Ad
+	var otherAd *Ad
+	switch a.scope {
+	case "self":
+		ad, otherAd = env.Self, env.Other
+	case "other":
+		ad, otherAd = env.Other, env.Self
+	default:
+		// Unqualified: resolve in self only (Condor old-ClassAd
+		// semantics; cross-ad references must be explicit).
+		ad, otherAd = env.Self, env.Other
+	}
+	if ad == nil {
+		return Undefined()
+	}
+	e, ok := ad.Lookup(a.name)
+	if !ok {
+		return Undefined()
+	}
+	key := a.scope + "\x00" + strings.ToLower(a.name)
+	if !env.enter(key) {
+		return ErrorVal("circular attribute reference: " + a.name)
+	}
+	defer env.leave(key)
+	sub := &Env{Self: ad, Other: otherAd, inProgress: env.inProgress}
+	return e.Eval(sub)
+}
+
+func (a attrExpr) String() string {
+	switch a.scope {
+	case "self":
+		return "MY." + a.name
+	case "other":
+		return "TARGET." + a.name
+	}
+	return a.name
+}
+
+// Attr returns an unqualified attribute reference expression.
+func Attr(name string) Expr { return attrExpr{name: name} }
+
+// OtherAttr returns a TARGET-scoped attribute reference.
+func OtherAttr(name string) Expr { return attrExpr{scope: "other", name: name} }
+
+// selectExpr is record selection: base.attr where base evaluates to a
+// nested ad.
+type selectExpr struct {
+	base Expr
+	name string
+}
+
+func (s selectExpr) Eval(env *Env) Value {
+	b := s.base.Eval(env)
+	switch b.Kind() {
+	case AdKind:
+		ad, _ := b.AdVal()
+		e, ok := ad.Lookup(s.name)
+		if !ok {
+			return Undefined()
+		}
+		return e.Eval(&Env{Self: ad, Other: env.Other, inProgress: env.inProgress})
+	case UndefinedKind:
+		return Undefined()
+	}
+	return ErrorVal("selection on non-classad value")
+}
+
+func (s selectExpr) String() string { return s.base.String() + "." + s.name }
+
+// listExpr is a list constructor {e1, e2, ...}.
+type listExpr struct{ elems []Expr }
+
+func (l listExpr) Eval(env *Env) Value {
+	vs := make([]Value, len(l.elems))
+	for i, e := range l.elems {
+		vs[i] = e.Eval(env)
+	}
+	return List(vs...)
+}
+
+func (l listExpr) String() string {
+	parts := make([]string, len(l.elems))
+	for i, e := range l.elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// adExpr is a nested record constructor [a = e; ...].
+type adExpr struct{ ad *Ad }
+
+func (a adExpr) Eval(env *Env) Value { return AdValue(a.ad) }
+func (a adExpr) String() string      { return a.ad.String() }
+
+// unaryExpr applies ! or unary -.
+type unaryExpr struct {
+	op string
+	x  Expr
+}
+
+func (u unaryExpr) Eval(env *Env) Value {
+	v := u.x.Eval(env)
+	if v.IsError() {
+		return v
+	}
+	switch u.op {
+	case "!":
+		switch v.Kind() {
+		case BoolKind:
+			b, _ := v.BoolVal()
+			return Bool(!b)
+		case UndefinedKind:
+			return Undefined()
+		}
+		return ErrorVal("! applied to " + v.Kind().String())
+	case "-":
+		switch v.Kind() {
+		case IntKind:
+			i, _ := v.IntVal()
+			return Int(-i)
+		case RealKind:
+			r, _ := v.RealVal()
+			return Real(-r)
+		case UndefinedKind:
+			return Undefined()
+		}
+		return ErrorVal("unary - applied to " + v.Kind().String())
+	case "+":
+		switch v.Kind() {
+		case IntKind, RealKind, UndefinedKind:
+			return v
+		}
+		return ErrorVal("unary + applied to " + v.Kind().String())
+	}
+	return ErrorVal("unknown unary operator " + u.op)
+}
+
+func (u unaryExpr) String() string { return u.op + u.x.String() }
+
+// binaryExpr applies an infix operator.
+type binaryExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (b binaryExpr) Eval(env *Env) Value {
+	switch b.op {
+	case "&&":
+		return evalAnd(b.l, b.r, env)
+	case "||":
+		return evalOr(b.l, b.r, env)
+	case "=?=":
+		return Bool(SameValue(b.l.Eval(env), b.r.Eval(env)))
+	case "=!=":
+		return Bool(!SameValue(b.l.Eval(env), b.r.Eval(env)))
+	}
+	lv := b.l.Eval(env)
+	rv := b.r.Eval(env)
+	if lv.IsError() {
+		return lv
+	}
+	if rv.IsError() {
+		return rv
+	}
+	switch b.op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.op, lv, rv)
+	case "==", "!=", "<", "<=", ">", ">=":
+		return evalCompare(b.op, lv, rv)
+	}
+	return ErrorVal("unknown operator " + b.op)
+}
+
+func (b binaryExpr) String() string {
+	return "(" + b.l.String() + " " + b.op + " " + b.r.String() + ")"
+}
+
+func evalAnd(l, r Expr, env *Env) Value {
+	lv := l.Eval(env)
+	if lv.Kind() == BoolKind && !lv.IsTrue() {
+		return Bool(false) // short circuit: False && x == False
+	}
+	if lv.IsError() {
+		return lv
+	}
+	rv := r.Eval(env)
+	if rv.Kind() == BoolKind && !rv.IsTrue() {
+		return Bool(false)
+	}
+	if rv.IsError() {
+		return rv
+	}
+	if lv.IsUndefined() || rv.IsUndefined() {
+		return Undefined()
+	}
+	lb, lok := lv.BoolVal()
+	rb, rok := rv.BoolVal()
+	if !lok || !rok {
+		return ErrorVal("&& applied to non-boolean")
+	}
+	return Bool(lb && rb)
+}
+
+func evalOr(l, r Expr, env *Env) Value {
+	lv := l.Eval(env)
+	if lv.IsTrue() {
+		return Bool(true)
+	}
+	if lv.IsError() {
+		return lv
+	}
+	rv := r.Eval(env)
+	if rv.IsTrue() {
+		return Bool(true)
+	}
+	if rv.IsError() {
+		return rv
+	}
+	if lv.IsUndefined() || rv.IsUndefined() {
+		return Undefined()
+	}
+	lb, lok := lv.BoolVal()
+	rb, rok := rv.BoolVal()
+	if !lok || !rok {
+		return ErrorVal("|| applied to non-boolean")
+	}
+	return Bool(lb || rb)
+}
+
+func evalArith(op string, lv, rv Value) Value {
+	if lv.IsUndefined() || rv.IsUndefined() {
+		return Undefined()
+	}
+	if op == "+" && lv.Kind() == StringKind && rv.Kind() == StringKind {
+		ls, _ := lv.StringVal()
+		rs, _ := rv.StringVal()
+		return Str(ls + rs)
+	}
+	if lv.Kind() == IntKind && rv.Kind() == IntKind {
+		li, _ := lv.IntVal()
+		ri, _ := rv.IntVal()
+		switch op {
+		case "+":
+			return Int(li + ri)
+		case "-":
+			return Int(li - ri)
+		case "*":
+			return Int(li * ri)
+		case "/":
+			if ri == 0 {
+				return ErrorVal("division by zero")
+			}
+			return Int(li / ri)
+		case "%":
+			if ri == 0 {
+				return ErrorVal("modulus by zero")
+			}
+			return Int(li % ri)
+		}
+	}
+	lf, lok := lv.Number()
+	rf, rok := rv.Number()
+	if !lok || !rok {
+		return Errorf("%s applied to %s and %s", op, lv.Kind(), rv.Kind())
+	}
+	switch op {
+	case "+":
+		return Real(lf + rf)
+	case "-":
+		return Real(lf - rf)
+	case "*":
+		return Real(lf * rf)
+	case "/":
+		if rf == 0 {
+			return ErrorVal("division by zero")
+		}
+		return Real(lf / rf)
+	case "%":
+		if rf == 0 {
+			return ErrorVal("modulus by zero")
+		}
+		return Real(math.Mod(lf, rf))
+	}
+	return ErrorVal("unknown arithmetic operator " + op)
+}
+
+func evalCompare(op string, lv, rv Value) Value {
+	if lv.IsUndefined() || rv.IsUndefined() {
+		return Undefined()
+	}
+	// Strings compare case-insensitively under ==/!=/</... (old
+	// ClassAd semantics; use =?= for case-sensitive identity).
+	if lv.Kind() == StringKind && rv.Kind() == StringKind {
+		ls, _ := lv.StringVal()
+		rs, _ := rv.StringVal()
+		c := strings.Compare(strings.ToLower(ls), strings.ToLower(rs))
+		return cmpResult(op, c)
+	}
+	if lv.Kind() == BoolKind && rv.Kind() == BoolKind && (op == "==" || op == "!=") {
+		lb, _ := lv.BoolVal()
+		rb, _ := rv.BoolVal()
+		if op == "==" {
+			return Bool(lb == rb)
+		}
+		return Bool(lb != rb)
+	}
+	lf, lok := lv.Number()
+	rf, rok := rv.Number()
+	if !lok || !rok {
+		return Errorf("%s applied to %s and %s", op, lv.Kind(), rv.Kind())
+	}
+	var c int
+	switch {
+	case lf < rf:
+		c = -1
+	case lf > rf:
+		c = 1
+	}
+	return cmpResult(op, c)
+}
+
+func cmpResult(op string, c int) Value {
+	switch op {
+	case "==":
+		return Bool(c == 0)
+	case "!=":
+		return Bool(c != 0)
+	case "<":
+		return Bool(c < 0)
+	case "<=":
+		return Bool(c <= 0)
+	case ">":
+		return Bool(c > 0)
+	case ">=":
+		return Bool(c >= 0)
+	}
+	return ErrorVal("unknown comparison " + op)
+}
+
+// condExpr is the ternary conditional c ? t : f.
+type condExpr struct {
+	c, t, f Expr
+}
+
+func (c condExpr) Eval(env *Env) Value {
+	cv := c.c.Eval(env)
+	switch {
+	case cv.IsTrue():
+		return c.t.Eval(env)
+	case cv.Kind() == BoolKind:
+		return c.f.Eval(env)
+	case cv.IsUndefined():
+		return Undefined()
+	case cv.IsError():
+		return cv
+	}
+	return ErrorVal("conditional on non-boolean")
+}
+
+func (c condExpr) String() string {
+	return "(" + c.c.String() + " ? " + c.t.String() + " : " + c.f.String() + ")"
+}
+
+// callExpr is a builtin function application.
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (c callExpr) Eval(env *Env) Value {
+	fn, ok := builtins[strings.ToLower(c.name)]
+	if !ok {
+		return ErrorVal("unknown function " + c.name)
+	}
+	args := make([]Value, len(c.args))
+	for i, a := range c.args {
+		args[i] = a.Eval(env)
+	}
+	return fn(args)
+}
+
+func (c callExpr) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return c.name + "(" + strings.Join(parts, ", ") + ")"
+}

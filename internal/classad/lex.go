@@ -1,0 +1,200 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token types.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokReal
+	tokString
+	tokIdent
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes ClassAd source text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent(start)
+		default:
+			if err := l.lexOp(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Comments: // to end of line, /* ... */.
+		if c == '/' && l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '/':
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			case '*':
+				end := strings.Index(l.src[l.pos+2:], "*/")
+				if end < 0 {
+					l.pos = len(l.src)
+					continue
+				}
+				l.pos += 2 + end + 2
+				continue
+			}
+		}
+		return
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	isReal := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isReal {
+			isReal = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos > start {
+			next := l.pos + 1
+			if next < len(l.src) && (l.src[next] == '+' || l.src[next] == '-') {
+				next++
+			}
+			if next < len(l.src) && isDigit(l.src[next]) {
+				isReal = true
+				l.pos = next + 1
+				continue
+			}
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isReal {
+		l.emit(tokReal, text, start)
+	} else {
+		l.emit(tokInt, text, start)
+	}
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("classad: unterminated escape at %d", start)
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				sb.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("classad: unterminated string at %d", start)
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos], start)
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"=?=", "=!=", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) lexOp(start int) error {
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			l.emit(tokOp, op, start)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '!', '?', ':', '(', ')', '[', ']', '{', '}', ',', ';', '=', '.':
+		l.pos++
+		l.emit(tokOp, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("classad: unexpected character %q at %d", rune(c), start)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

@@ -1,0 +1,46 @@
+package classad
+
+// Match reports whether ads a and b match symmetrically: each ad's
+// Requirements expression must evaluate to true when the other ad is
+// bound as the match candidate. A missing Requirements attribute is
+// treated as an unconditional true, so purely descriptive ads match
+// any requester that accepts them.
+func Match(a, b *Ad) bool {
+	return halfMatch(a, b) && halfMatch(b, a)
+}
+
+func halfMatch(a, other *Ad) bool {
+	if _, ok := a.Lookup("Requirements"); !ok {
+		return true
+	}
+	return a.EvalAttr("Requirements", other).IsTrue()
+}
+
+// Rank evaluates a's Rank expression against candidate other and
+// returns it as a float. Undefined, error, missing or non-numeric
+// ranks are 0, per Condor matchmaking semantics.
+func Rank(a, other *Ad) float64 {
+	v := a.EvalAttr("Rank", other)
+	if f, ok := v.Number(); ok {
+		return f
+	}
+	return 0
+}
+
+// BestMatch selects from candidates the ad that matches request with
+// the highest request-side Rank (ties broken by candidate order).
+// It returns -1 when nothing matches.
+func BestMatch(request *Ad, candidates []*Ad) int {
+	best := -1
+	var bestRank float64
+	for i, c := range candidates {
+		if !Match(request, c) {
+			continue
+		}
+		r := Rank(request, c)
+		if best == -1 || r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,372 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// ParseExpr parses a single ClassAd expression from src.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("classad: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return e, nil
+}
+
+// Parse parses a complete ClassAd record, with or without the
+// surrounding brackets: `[a = 1; b = 2]` or `a = 1; b = 2`.
+func Parse(src string) (*Ad, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var ad *Ad
+	if p.at(tokOp, "[") {
+		ad, err = p.parseAdBody()
+	} else {
+		ad, err = p.parseBindings()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("classad: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return ad, nil
+}
+
+// MustParse is Parse that panics on error; for constants in tests.
+func MustParse(src string) *Ad {
+	ad, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return ad
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != k {
+		return false
+	}
+	return text == "" || t.text == text
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(k, text) {
+		return t, fmt.Errorf("classad: expected %q at %d, found %q", text, t.pos, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// parseAdBody parses `[ name = expr ; ... ]` with the cursor on `[`.
+func (p *parser) parseAdBody() (*Ad, error) {
+	if _, err := p.expect(tokOp, "["); err != nil {
+		return nil, err
+	}
+	ad := NewAd()
+	for !p.at(tokOp, "]") {
+		if err := p.parseBinding(ad); err != nil {
+			return nil, err
+		}
+		if !p.accept(tokOp, ";") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, "]"); err != nil {
+		return nil, err
+	}
+	return ad, nil
+}
+
+// parseBindings parses a bare `name = expr; ...` sequence.
+func (p *parser) parseBindings() (*Ad, error) {
+	ad := NewAd()
+	for !p.at(tokEOF, "") {
+		if err := p.parseBinding(ad); err != nil {
+			return nil, err
+		}
+		if !p.accept(tokOp, ";") {
+			break
+		}
+	}
+	return ad, nil
+}
+
+func (p *parser) parseBinding(ad *Ad) error {
+	name := p.cur()
+	if name.kind != tokIdent {
+		return fmt.Errorf("classad: expected attribute name at %d, found %q", name.pos, name.text)
+	}
+	p.pos++
+	if _, err := p.expect(tokOp, "="); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	ad.Set(name.text, e)
+	return nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr    := or [ '?' expr ':' expr ]
+//	or      := and { '||' and }
+//	and     := eq { '&&' eq }
+//	eq      := rel { ('=='|'!='|'=?='|'=!=') rel }
+//	rel     := add { ('<'|'<='|'>'|'>=') add }
+//	add     := mul { ('+'|'-') mul }
+//	mul     := unary { ('*'|'/'|'%') unary }
+//	unary   := ('!'|'-'|'+') unary | postfix
+//	postfix := primary { '.' ident }
+//	primary := literal | ident [ '(' args ')' ] | '(' expr ')' | '[' ad ']' | '{' list '}'
+func (p *parser) parseExpr() (Expr, error) {
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokOp, "?") {
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return condExpr{c: c, t: t, f: f}, nil
+	}
+	return c, nil
+}
+
+func (p *parser) parseBinaryLevel(ops []string, next func() (Expr, error)) (Expr, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tokOp, op) {
+				p.pos++
+				r, err := next()
+				if err != nil {
+					return nil, err
+				}
+				l = binaryExpr{op: op, l: l, r: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinaryLevel([]string{"||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinaryLevel([]string{"&&"}, p.parseEq)
+}
+
+func (p *parser) parseEq() (Expr, error) {
+	return p.parseBinaryLevel([]string{"==", "!=", "=?=", "=!="}, p.parseRel)
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	return p.parseBinaryLevel([]string{"<=", ">=", "<", ">"}, p.parseAdd)
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	return p.parseBinaryLevel([]string{"+", "-"}, p.parseMul)
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	return p.parseBinaryLevel([]string{"*", "/", "%"}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	for _, op := range []string{"!", "-", "+"} {
+		if p.at(tokOp, op) {
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return unaryExpr{op: op, x: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, ".") {
+		name := p.cur()
+		if name.kind != tokIdent {
+			return nil, fmt.Errorf("classad: expected attribute after '.' at %d", name.pos)
+		}
+		p.pos++
+		// MY.x / self.x / TARGET.x / other.x are scope prefixes, not
+		// record selection, when the base is a bare identifier.
+		if a, ok := e.(attrExpr); ok && a.scope == "" {
+			switch strings.ToLower(a.name) {
+			case "my", "self":
+				e = attrExpr{scope: "self", name: name.text}
+				continue
+			case "target", "other":
+				e = attrExpr{scope: "other", name: name.text}
+				continue
+			}
+		}
+		e = selectExpr{base: e, name: name.text}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad integer %q at %d", t.text, t.pos)
+		}
+		return Lit(Int(i)), nil
+	case tokReal:
+		p.pos++
+		r, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad real %q at %d", t.text, t.pos)
+		}
+		return Lit(Real(r)), nil
+	case tokString:
+		p.pos++
+		return Lit(Str(t.text)), nil
+	case tokIdent:
+		p.pos++
+		switch strings.ToLower(t.text) {
+		case "true":
+			return Lit(Bool(true)), nil
+		case "false":
+			return Lit(Bool(false)), nil
+		case "undefined":
+			return Lit(Undefined()), nil
+		case "error":
+			return Lit(ErrorVal("literal")), nil
+		}
+		if p.at(tokOp, "(") {
+			return p.parseCall(t.text)
+		}
+		return attrExpr{name: t.text}, nil
+	case tokOp:
+		switch t.text {
+		case "(":
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			ad, err := p.parseAdBody()
+			if err != nil {
+				return nil, err
+			}
+			return adExpr{ad: ad}, nil
+		case "{":
+			return p.parseList()
+		}
+	}
+	return nil, fmt.Errorf("classad: unexpected token %q at %d", t.text, t.pos)
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(tokOp, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return callExpr{name: name, args: args}, nil
+}
+
+func (p *parser) parseList() (Expr, error) {
+	if _, err := p.expect(tokOp, "{"); err != nil {
+		return nil, err
+	}
+	var elems []Expr
+	if !p.at(tokOp, "}") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokOp, "}"); err != nil {
+		return nil, err
+	}
+	return listExpr{elems: elems}, nil
+}

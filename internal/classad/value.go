@@ -1,0 +1,375 @@
+// Package classad implements the ClassAd (classified advertisement)
+// language used throughout NeST for access control, resource discovery
+// and matchmaking, following the semantics of the Condor matchmaking
+// framework (Raman et al., HPDC 1998): expressions evaluate over a
+// three-valued logic with Undefined and Error, and two ads match when
+// each ad's Requirements expression evaluates to true in the context of
+// the other.
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of ClassAd values.
+type Kind int
+
+// Value kinds.
+const (
+	UndefinedKind Kind = iota
+	ErrorKind
+	BoolKind
+	IntKind
+	RealKind
+	StringKind
+	ListKind
+	AdKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case UndefinedKind:
+		return "undefined"
+	case ErrorKind:
+		return "error"
+	case BoolKind:
+		return "boolean"
+	case IntKind:
+		return "integer"
+	case RealKind:
+		return "real"
+	case StringKind:
+		return "string"
+	case ListKind:
+		return "list"
+	case AdKind:
+		return "classad"
+	}
+	return "invalid"
+}
+
+// Value is a ClassAd runtime value.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	r    float64
+	s    string
+	list []Value
+	ad   *Ad
+}
+
+// Constructors.
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{kind: UndefinedKind} }
+
+// ErrorVal returns the error value carrying a diagnostic message.
+func ErrorVal(msg string) Value { return Value{kind: ErrorKind, s: msg} }
+
+// Errorf returns an error value with a formatted diagnostic.
+func Errorf(format string, args ...interface{}) Value {
+	return ErrorVal(fmt.Sprintf(format, args...))
+}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: BoolKind, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: IntKind, i: i} }
+
+// Real returns a real (floating point) value.
+func Real(r float64) Value { return Value{kind: RealKind, r: r} }
+
+// String returns a string value.
+func Str(s string) Value { return Value{kind: StringKind, s: s} }
+
+// List returns a list value.
+func List(vs ...Value) Value { return Value{kind: ListKind, list: vs} }
+
+// AdValue wraps a nested ClassAd as a value.
+func AdValue(ad *Ad) Value { return Value{kind: AdKind, ad: ad} }
+
+// Accessors.
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.kind == UndefinedKind }
+
+// IsError reports whether v is the error value.
+func (v Value) IsError() bool { return v.kind == ErrorKind }
+
+// BoolVal returns the boolean content; ok is false for non-booleans.
+func (v Value) BoolVal() (b, ok bool) { return v.b, v.kind == BoolKind }
+
+// IntVal returns the integer content; ok is false for non-integers.
+func (v Value) IntVal() (int64, bool) { return v.i, v.kind == IntKind }
+
+// RealVal returns the real content; ok is false for non-reals.
+func (v Value) RealVal() (float64, bool) { return v.r, v.kind == RealKind }
+
+// StringVal returns the string content; ok is false for non-strings.
+func (v Value) StringVal() (string, bool) { return v.s, v.kind == StringKind }
+
+// ListVal returns the list content; ok is false for non-lists.
+func (v Value) ListVal() ([]Value, bool) { return v.list, v.kind == ListKind }
+
+// AdVal returns the nested ad; ok is false for non-ads.
+func (v Value) AdVal() (*Ad, bool) { return v.ad, v.kind == AdKind }
+
+// ErrMessage returns the diagnostic attached to an error value.
+func (v Value) ErrMessage() string {
+	if v.kind == ErrorKind {
+		return v.s
+	}
+	return ""
+}
+
+// IsTrue reports whether v is the boolean true. Undefined, error and
+// non-boolean values are not true.
+func (v Value) IsTrue() bool { return v.kind == BoolKind && v.b }
+
+// Number returns the value as a float64 for arithmetic, with ok false
+// when v is not numeric (booleans promote: false=0, true=1).
+func (v Value) Number() (float64, bool) {
+	switch v.kind {
+	case IntKind:
+		return float64(v.i), true
+	case RealKind:
+		return v.r, true
+	case BoolKind:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// String renders the value in ClassAd source syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case UndefinedKind:
+		return "undefined"
+	case ErrorKind:
+		return "error"
+	case BoolKind:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case IntKind:
+		return strconv.FormatInt(v.i, 10)
+	case RealKind:
+		s := strconv.FormatFloat(v.r, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case StringKind:
+		return quoteString(v.s)
+	case ListKind:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case AdKind:
+		return v.ad.String()
+	}
+	return "error"
+}
+
+// quoteString renders s as a ClassAd string literal, escaping only the
+// characters the ClassAd lexer understands (quotes, backslashes and
+// common control characters); other bytes pass through as UTF-8.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// SameValue reports deep identity of two values (the =?= "is" operator
+// semantics: case-sensitive for strings, never undefined).
+func SameValue(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case UndefinedKind, ErrorKind:
+		return true
+	case BoolKind:
+		return a.b == b.b
+	case IntKind:
+		return a.i == b.i
+	case RealKind:
+		return a.r == b.r
+	case StringKind:
+		return a.s == b.s
+	case ListKind:
+		if len(a.list) != len(b.list) {
+			return false
+		}
+		for i := range a.list {
+			if !SameValue(a.list[i], b.list[i]) {
+				return false
+			}
+		}
+		return true
+	case AdKind:
+		return a.ad.String() == b.ad.String()
+	}
+	return false
+}
+
+// Ad is a ClassAd: an ordered set of attribute/expression bindings.
+// Attribute names are case-insensitive (first-seen spelling preserved
+// for display).
+type Ad struct {
+	names []string        // display order
+	attrs map[string]Expr // lower-cased name -> expression
+}
+
+// NewAd returns an empty ClassAd.
+func NewAd() *Ad {
+	return &Ad{attrs: make(map[string]Expr)}
+}
+
+// Set binds name to expr, replacing any existing binding.
+func (a *Ad) Set(name string, expr Expr) {
+	key := strings.ToLower(name)
+	if _, ok := a.attrs[key]; !ok {
+		a.names = append(a.names, name)
+	}
+	a.attrs[key] = expr
+}
+
+// SetValue binds name to a literal value.
+func (a *Ad) SetValue(name string, v Value) { a.Set(name, Lit(v)) }
+
+// SetString binds name to a string literal.
+func (a *Ad) SetString(name, s string) { a.SetValue(name, Str(s)) }
+
+// SetInt binds name to an integer literal.
+func (a *Ad) SetInt(name string, i int64) { a.SetValue(name, Int(i)) }
+
+// SetReal binds name to a real literal.
+func (a *Ad) SetReal(name string, r float64) { a.SetValue(name, Real(r)) }
+
+// SetBool binds name to a boolean literal.
+func (a *Ad) SetBool(name string, b bool) { a.SetValue(name, Bool(b)) }
+
+// SetExprString parses src as an expression and binds it to name.
+func (a *Ad) SetExprString(name, src string) error {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return err
+	}
+	a.Set(name, e)
+	return nil
+}
+
+// Lookup returns the expression bound to name (case-insensitive).
+func (a *Ad) Lookup(name string) (Expr, bool) {
+	if a == nil {
+		return nil, false
+	}
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// Delete removes the binding for name, reporting whether it existed.
+func (a *Ad) Delete(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := a.attrs[key]; !ok {
+		return false
+	}
+	delete(a.attrs, key)
+	for i, n := range a.names {
+		if strings.ToLower(n) == key {
+			a.names = append(a.names[:i], a.names[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Names returns attribute names in insertion order.
+func (a *Ad) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Len reports the number of attributes.
+func (a *Ad) Len() int { return len(a.attrs) }
+
+// Copy returns a shallow copy (expressions are immutable, so sharing
+// them is safe).
+func (a *Ad) Copy() *Ad {
+	c := NewAd()
+	for _, n := range a.names {
+		c.Set(n, a.attrs[strings.ToLower(n)])
+	}
+	return c
+}
+
+// EvalAttr evaluates the named attribute in the context of this ad,
+// with other as the candidate match (may be nil). Missing attributes
+// evaluate to undefined.
+func (a *Ad) EvalAttr(name string, other *Ad) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undefined()
+	}
+	env := &Env{Self: a, Other: other}
+	return e.Eval(env)
+}
+
+// String renders the ad in ClassAd source syntax: [a = 1; b = "x"].
+func (a *Ad) String() string {
+	var sb strings.Builder
+	sb.WriteString("[ ")
+	for i, n := range a.names {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(n)
+		sb.WriteString(" = ")
+		sb.WriteString(a.attrs[strings.ToLower(n)].String())
+	}
+	sb.WriteString(" ]")
+	return sb.String()
+}
+
+// SortedNames returns attribute names sorted case-insensitively; useful
+// for deterministic serialization in tests.
+func (a *Ad) SortedNames() []string {
+	out := a.Names()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}

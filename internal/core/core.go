@@ -1,0 +1,278 @@
+// Package core assembles the NeST appliance: the dispatcher, storage
+// manager, transfer manager and the five protocol handlers, wired per
+// a single configuration (paper Figure 1). It is the programmatic face
+// of the appliance; cmd/nestd is a thin flag wrapper around it.
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/cache"
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/dispatch"
+	"nest/internal/ftp"
+	"nest/internal/gridftp"
+	"nest/internal/gsi"
+	"nest/internal/httpx"
+	"nest/internal/lots"
+	"nest/internal/nfs"
+	"nest/internal/protocol"
+	"nest/internal/quota"
+	"nest/internal/sched"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// SchedulerKind selects the transfer manager's scheduling policy.
+type SchedulerKind string
+
+// Scheduling policies (paper §4.2).
+const (
+	SchedFIFO       SchedulerKind = "fifo"
+	SchedStride     SchedulerKind = "stride"
+	SchedCacheAware SchedulerKind = "cache-aware"
+)
+
+// Config describes one appliance.
+type Config struct {
+	// Name identifies the NeST in its published ClassAds.
+	Name string
+
+	// Clock drives time; nil uses the real clock.
+	Clock sim.Clock
+
+	// DataDir, when set, serves the local filesystem rooted there;
+	// otherwise an in-memory filesystem is used (tests, examples).
+	DataDir string
+	// Capacity is the advertised storage capacity (default 1 GB).
+	Capacity int64
+
+	// Anonymous root ACL rights (default: read+lookup for anyuser,
+	// everything for authenticated users).
+	RootRights     acl.Rights
+	AuthUserRights acl.Rights
+
+	// Lots. The default is NeST-managed per-lot accounting; set
+	// QuotaBackedLots to delegate enforcement to the user-quota
+	// subsystem instead (simpler, covers direct filesystem access, but
+	// accounts per user — see the lots package).
+	DisableLots     bool
+	QuotaBackedLots bool
+	// QuotaEnabled turns on the quota subsystem's enforcement and
+	// write-path bookkeeping; implied by QuotaBackedLots.
+	QuotaEnabled bool
+
+	// Transfer manager.
+	Scheduler   SchedulerKind
+	Tickets     map[string]int // stride: protocol class -> tickets
+	Model       transfer.ModelKind
+	Slots       int
+	ProcWorkers int
+
+	// Security: the CA whose credentials Chirp and GridFTP accept.
+	// Nil creates an ephemeral CA (anonymous-only service).
+	CA *gsi.CA
+
+	// Protocols maps protocol names ("chirp", "http", "ftp",
+	// "gridftp", "nfs") to listen addresses. Empty enables all five on
+	// ephemeral loopback ports.
+	Protocols map[string]string
+
+	// Discovery publication: when Publish is non-nil the dispatcher
+	// periodically consolidates a ClassAd and hands it over.
+	Publish       func(*classad.Ad)
+	PublishPeriod time.Duration
+}
+
+// Server is a running NeST appliance.
+type Server struct {
+	cfg   Config
+	clock sim.Clock
+
+	Store *storage.Manager
+	Xfer  *transfer.Manager
+	Disp  *dispatch.Dispatcher
+	Quota *quota.Manager
+	Cache *cache.Model
+
+	addrs map[string]string
+}
+
+// New assembles and starts an appliance.
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewRealClock()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 30
+	}
+	if cfg.Name == "" {
+		cfg.Name = "nest"
+	}
+	if cfg.RootRights == 0 {
+		cfg.RootRights = acl.Read | acl.Lookup
+	}
+	if cfg.AuthUserRights == 0 {
+		cfg.AuthUserRights = acl.AllRights
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = SchedFIFO
+	}
+	if cfg.Model == "" {
+		cfg.Model = transfer.Adaptive
+	}
+
+	s := &Server{cfg: cfg, clock: cfg.Clock, addrs: make(map[string]string)}
+
+	// Physical storage.
+	var fs storage.FS
+	s.Cache = cache.New(64 * sim.MB)
+	if cfg.DataDir != "" {
+		local, err := storage.NewLocalFS(cfg.DataDir, cfg.Capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: data dir: %w", err)
+		}
+		fs = local
+	} else {
+		fs = storage.NewMemFS(cfg.Clock, cfg.Capacity)
+	}
+
+	// Access control: AFS-style table with sensible defaults.
+	table := acl.NewTable(cfg.RootRights, gsi.Anonymous)
+	table.Set("/", acl.AuthUser, cfg.AuthUserRights)
+
+	// Lots and quota.
+	s.Quota = quota.NewManager(cfg.QuotaEnabled || cfg.QuotaBackedLots)
+	var lotMgr *lots.Manager
+	if !cfg.DisableLots {
+		mode := lots.NeSTManaged
+		if cfg.QuotaBackedLots {
+			mode = lots.QuotaBacked
+		}
+		lotMgr = lots.NewManager(cfg.Clock, cfg.Capacity, mode, s.Quota)
+	}
+	s.Store = storage.NewManager(fs, table, lotMgr)
+
+	// Scheduling policy.
+	var policy sched.Policy
+	switch cfg.Scheduler {
+	case SchedStride:
+		policy = sched.NewStride(cfg.Tickets)
+	case SchedCacheAware:
+		policy = sched.NewCacheAware(s.Cache, storage.MemCopyMBps, 22, 8*time.Millisecond)
+	default:
+		policy = sched.NewFIFO()
+	}
+
+	// Transfer manager (live mode: no modeled concurrency costs).
+	xferOpts := transfer.Options{
+		Clock:       cfg.Clock,
+		Policy:      policy,
+		Slots:       cfg.Slots,
+		Model:       cfg.Model,
+		ProcWorkers: cfg.ProcWorkers,
+	}
+	if cfg.Scheduler == SchedStride {
+		// Proportional share allocates bandwidth at byte-quantum
+		// granularity: transfers are preempted and re-picked so small
+		// block requests are not pinned behind whole files.
+		xferOpts.Quantum = 256 * 1024
+	}
+	s.Xfer = transfer.NewManager(xferOpts)
+
+	s.Disp = dispatch.New(cfg.Clock, s.Store, s.Xfer)
+
+	// Security.
+	ca := cfg.CA
+	if ca == nil {
+		ca = gsi.NewCA("/O=NeST/CN=ephemeral-ca", []byte(cfg.Name+"-ephemeral"))
+	}
+	verifier := gsi.NewVerifier(ca)
+
+	handlers := map[string]protocol.Handler{
+		chirp.Proto:   chirp.NewHandler(verifier, true),
+		httpx.Proto:   httpx.NewHandler(),
+		ftp.Proto:     ftp.NewHandler(ftp.Options{AllowAnon: true}),
+		gridftp.Proto: gridftp.NewHandler(verifier),
+		"nfs":         nfs.NewHandler(),
+	}
+
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = map[string]string{
+			chirp.Proto: "127.0.0.1:0", httpx.Proto: "127.0.0.1:0",
+			ftp.Proto: "127.0.0.1:0", gridftp.Proto: "127.0.0.1:0",
+			"nfs": "127.0.0.1:0",
+		}
+	}
+	for proto, addr := range protocols {
+		h, ok := handlers[proto]
+		if !ok {
+			s.Close()
+			return nil, fmt.Errorf("core: unknown protocol %q", proto)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: listen %s (%s): %w", addr, proto, err)
+		}
+		s.addrs[proto] = ln.Addr().String()
+		if s.Disp.Register(ln, proto) {
+			go s.Disp.Serve(ln, h)
+		}
+	}
+
+	if cfg.Publish != nil {
+		period := cfg.PublishPeriod
+		if period <= 0 {
+			period = 10 * time.Second
+		}
+		s.Disp.Publish(cfg.Name, period, cfg.Publish)
+	}
+	return s, nil
+}
+
+// Addr returns the listen address of one protocol endpoint.
+func (s *Server) Addr(proto string) string { return s.addrs[proto] }
+
+// Protocols lists the enabled protocol names.
+func (s *Server) Protocols() []string {
+	out := make([]string, 0, len(s.addrs))
+	for p := range s.addrs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Name returns the appliance name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// GrantDefaultLot creates an administrator-granted lot for a user
+// (paper §5: admins "can simultaneously make a set of default lots for
+// users" when granting access).
+func (s *Server) GrantDefaultLot(user string, capacity int64, duration time.Duration) (lots.Info, error) {
+	if s.Store.Lots() == nil {
+		return lots.Info{}, fmt.Errorf("core: lots disabled")
+	}
+	return s.Store.Lots().Create(user, capacity, duration)
+}
+
+// Advertisement builds the appliance's current ClassAd.
+func (s *Server) Advertisement() *classad.Ad {
+	return s.Disp.Advertisement(s.cfg.Name)
+}
+
+// Close shuts the appliance down, draining in-flight transfers.
+func (s *Server) Close() {
+	if s.Disp != nil {
+		s.Disp.Close()
+	}
+	if s.Xfer != nil {
+		s.Xfer.Close()
+	}
+}

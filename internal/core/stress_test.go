@@ -1,0 +1,182 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/chirp"
+	"nest/internal/core"
+	"nest/internal/ftp"
+	"nest/internal/gsi"
+	"nest/internal/nfs"
+)
+
+// TestConcurrentMixedProtocolStress hammers one appliance with
+// concurrent Chirp, HTTP, FTP and NFS clients reading and writing
+// disjoint and shared files, verifying integrity end to end — the
+// appliance's whole point is many protocols against one server at
+// once.
+func TestConcurrentMixedProtocolStress(t *testing.T) {
+	ca := gsi.NewCA("/CN=stress-ca", []byte("stress"))
+	cred := ca.Issue("/O=Grid/CN=john", time.Hour, true)
+	srv, err := core.New(core.Config{Name: "stress", CA: ca, Slots: 32,
+		RootRights: acl.AllRights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.GrantDefaultLot("john", 200<<20, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.GrantDefaultLot(gsi.Anonymous, 200<<20, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// A shared file everyone reads.
+	seed, err := chirp.Dial(srv.Addr("chirp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	shared := bytes.Repeat([]byte("shared-mixed-protocol-content."), 10000) // 300 KB
+	if err := seed.PutBytes("/shared.bin", shared, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	const iterations = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(format string, args ...interface{}) {
+		errs <- fmt.Errorf(format, args...)
+	}
+
+	// Chirp writers + readers on private files.
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := chirp.Dial(srv.Addr("chirp"), cred)
+			if err != nil {
+				fail("chirp dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iterations; i++ {
+				path := fmt.Sprintf("/c%d-%d", w, i)
+				data := bytes.Repeat([]byte{byte('a' + w)}, 20000+i)
+				if err := c.PutBytes(path, data, ""); err != nil {
+					fail("chirp put %s: %v", path, err)
+					return
+				}
+				got, err := c.Get(path)
+				if err != nil || !bytes.Equal(got, data) {
+					fail("chirp get %s: %d bytes, %v", path, len(got), err)
+					return
+				}
+			}
+		}()
+	}
+
+	// HTTP readers of the shared file.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < iterations; i++ {
+				resp, err := client.Get("http://" + srv.Addr("http") + "/shared.bin")
+				if err != nil {
+					fail("http get: %v", err)
+					return
+				}
+				got, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !bytes.Equal(got, shared) {
+					fail("http body mismatch: %d bytes", len(got))
+					return
+				}
+			}
+		}()
+	}
+
+	// FTP stor/retr cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ftp.Dial(srv.Addr("ftp"))
+		if err != nil {
+			fail("ftp dial: %v", err)
+			return
+		}
+		defer c.Quit()
+		if err := c.LoginAnonymous(); err != nil {
+			fail("ftp login: %v", err)
+			return
+		}
+		for i := 0; i < iterations; i++ {
+			data := bytes.Repeat([]byte("F"), 15000)
+			if _, err := c.Stor(fmt.Sprintf("/ftp-%d", i), bytes.NewReader(data)); err != nil {
+				fail("ftp stor: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			if _, err := c.Retr("/shared.bin", &buf); err != nil || !bytes.Equal(buf.Bytes(), shared) {
+				fail("ftp retr shared: %d bytes, %v", buf.Len(), err)
+				return
+			}
+		}
+	}()
+
+	// NFS block readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := nfs.Dial(srv.Addr("nfs"))
+		if err != nil {
+			fail("nfs dial: %v", err)
+			return
+		}
+		defer c.Close()
+		root, err := c.Mount("/")
+		if err != nil {
+			fail("nfs mount: %v", err)
+			return
+		}
+		for i := 0; i < iterations; i++ {
+			fh, _, err := c.Lookup(root, "shared.bin")
+			if err != nil {
+				fail("nfs lookup: %v", err)
+				return
+			}
+			got, err := c.ReadAll(fh)
+			if err != nil || !bytes.Equal(got, shared) {
+				fail("nfs read: %d bytes, %v", len(got), err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Accounting stayed coherent under concurrency.
+	stats := srv.Xfer.Metrics().Classes()
+	for _, proto := range []string{"chirp", "http", "ftp", "nfs"} {
+		if stats[proto].Requests == 0 {
+			t.Errorf("no %s transfers recorded", proto)
+		}
+		if stats[proto].Errors != 0 {
+			t.Errorf("%s transfer errors: %d", proto, stats[proto].Errors)
+		}
+	}
+}

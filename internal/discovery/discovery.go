@@ -1,0 +1,339 @@
+// Package discovery implements the global Grid discovery system NeST
+// publishes into (paper §2.1, §6): a collector that stores ClassAd
+// advertisements with expiry, and a matchmaker that pairs request ads
+// with the published storage ads using symmetric Requirements/Rank
+// matching — the role the Condor collector/negotiator pair plays in
+// the paper's deployment.
+package discovery
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/sim"
+)
+
+// DefaultTTL is how long an advertisement stays fresh without renewal.
+const DefaultTTL = 5 * time.Minute
+
+// Collector stores advertisements keyed by their Name attribute.
+type Collector struct {
+	clock sim.Clock
+	ttl   time.Duration
+	mu    sync.Mutex
+	ads   map[string]entry
+}
+
+type entry struct {
+	ad      *classad.Ad
+	updated time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(clock sim.Clock, ttl time.Duration) *Collector {
+	if clock == nil {
+		clock = sim.NewRealClock()
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Collector{clock: clock, ttl: ttl, ads: make(map[string]entry)}
+}
+
+// Advertise inserts or refreshes an ad. Ads without a Name attribute
+// are rejected.
+func (c *Collector) Advertise(ad *classad.Ad) error {
+	name, ok := ad.EvalAttr("Name", nil).StringVal()
+	if !ok || name == "" {
+		return fmt.Errorf("discovery: advertisement has no Name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ads[name] = entry{ad: ad.Copy(), updated: c.clock.Now()}
+	return nil
+}
+
+// sweepLocked drops expired ads.
+func (c *Collector) sweepLocked() {
+	now := c.clock.Now()
+	for name, e := range c.ads {
+		if now-e.updated > c.ttl {
+			delete(c.ads, name)
+		}
+	}
+}
+
+// Query returns fresh ads whose evaluation of constraint is true. An
+// empty constraint matches everything. Results are sorted by Name.
+func (c *Collector) Query(constraint string) ([]*classad.Ad, error) {
+	var expr classad.Expr
+	if strings.TrimSpace(constraint) != "" {
+		var err error
+		expr, err = classad.ParseExpr(constraint)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	var names []string
+	for name := range c.ads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*classad.Ad
+	for _, name := range names {
+		ad := c.ads[name].ad
+		if expr != nil {
+			v := expr.Eval(&classad.Env{Self: ad})
+			if !v.IsTrue() {
+				continue
+			}
+		}
+		out = append(out, ad.Copy())
+	}
+	return out, nil
+}
+
+// Match finds the published ad that best matches request (two-way
+// Requirements, ranked by the request's Rank). nil means no match.
+func (c *Collector) Match(request *classad.Ad) *classad.Ad {
+	ads, _ := c.Query("")
+	idx := classad.BestMatch(request, ads)
+	if idx < 0 {
+		return nil
+	}
+	return ads[idx]
+}
+
+// Remove deletes one ad by name.
+func (c *Collector) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.ads, name)
+}
+
+// Len reports the number of fresh ads.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	return len(c.ads)
+}
+
+// Server exposes a collector over a line-oriented TCP protocol:
+//
+//	ADVERTISE <len>\n<ad bytes>          -> +OK
+//	QUERY <len>\n<constraint bytes>      -> +OK <n>, then n of: <len>\n<ad>
+//	MATCH <len>\n<request-ad bytes>      -> +OK <len>\n<ad> | -ERR no match
+type Server struct {
+	collector *Collector
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    sync.Once
+}
+
+// NewServer serves collector on ln.
+func NewServer(collector *Collector, ln net.Listener) *Server {
+	s := &Server{collector: collector, ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.closed.Do(func() { s.ln.Close() })
+	s.wg.Wait()
+}
+
+func (s *Server) serve(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) != 2 {
+			fmt.Fprintf(bw, "-ERR malformed command\n")
+			bw.Flush()
+			continue
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 || n > 1<<20 {
+			fmt.Fprintf(bw, "-ERR bad length\n")
+			bw.Flush()
+			continue
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "ADVERTISE":
+			ad, err := classad.Parse(string(body))
+			if err == nil {
+				err = s.collector.Advertise(ad)
+			}
+			if err != nil {
+				fmt.Fprintf(bw, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			} else {
+				fmt.Fprintf(bw, "+OK\n")
+			}
+		case "QUERY":
+			ads, err := s.collector.Query(string(body))
+			if err != nil {
+				fmt.Fprintf(bw, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+				break
+			}
+			fmt.Fprintf(bw, "+OK %d\n", len(ads))
+			for _, ad := range ads {
+				text := ad.String()
+				fmt.Fprintf(bw, "%d\n%s", len(text), text)
+			}
+		case "MATCH":
+			request, err := classad.Parse(string(body))
+			if err != nil {
+				fmt.Fprintf(bw, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+				break
+			}
+			best := s.collector.Match(request)
+			if best == nil {
+				fmt.Fprintf(bw, "-ERR no match\n")
+				break
+			}
+			text := best.String()
+			fmt.Fprintf(bw, "+OK %d\n%s", len(text), text)
+		default:
+			fmt.Fprintf(bw, "-ERR unknown command %s\n", fields[0])
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client talks to a collector server.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialClient connects to a collector.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(cmd, body string) (string, error) {
+	if _, err := fmt.Fprintf(c.bw, "%s %d\n%s", cmd, len(body), body); err != nil {
+		return "", err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "-ERR") {
+		return "", fmt.Errorf("discovery: %s", strings.TrimPrefix(line, "-ERR "))
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "+OK")), nil
+}
+
+// Publish advertises an ad.
+func (c *Client) Publish(ad *classad.Ad) error {
+	_, err := c.send("ADVERTISE", ad.String())
+	return err
+}
+
+func (c *Client) readAd() (*classad.Ad, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line))
+	if err != nil {
+		return nil, fmt.Errorf("discovery: bad ad length %q", line)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, err
+	}
+	return classad.Parse(string(body))
+}
+
+// Query fetches ads satisfying a constraint expression.
+func (c *Client) Query(constraint string) ([]*classad.Ad, error) {
+	rest, err := c.send("QUERY", constraint)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: bad count %q", rest)
+	}
+	ads := make([]*classad.Ad, 0, n)
+	for i := 0; i < n; i++ {
+		ad, err := c.readAd()
+		if err != nil {
+			return nil, err
+		}
+		ads = append(ads, ad)
+	}
+	return ads, nil
+}
+
+// Match asks the matchmaker for the best ad for a request.
+func (c *Client) Match(request *classad.Ad) (*classad.Ad, error) {
+	rest, err := c.send("MATCH", request.String())
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: bad ad length %q", rest)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, err
+	}
+	return classad.Parse(string(body))
+}

@@ -1,0 +1,173 @@
+package discovery
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/sim"
+)
+
+func storageAd(name string, free int64, protos ...string) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Type", "Storage")
+	ad.SetString("Name", name)
+	ad.SetInt("FreeDisk", free)
+	vals := make([]classad.Value, len(protos))
+	for i, p := range protos {
+		vals[i] = classad.Str(p)
+	}
+	ad.SetValue("Protocols", classad.List(vals...))
+	return ad
+}
+
+func TestAdvertiseAndQuery(t *testing.T) {
+	c := NewCollector(nil, 0)
+	if err := c.Advertise(storageAd("a", 100, "chirp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advertise(storageAd("b", 500, "chirp", "nfs")); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := c.Query("")
+	if err != nil || len(ads) != 2 {
+		t.Fatalf("Query(all) = %d ads, %v", len(ads), err)
+	}
+	ads, err = c.Query("FreeDisk > 200")
+	if err != nil || len(ads) != 1 {
+		t.Fatalf("Query(constraint) = %d ads, %v", len(ads), err)
+	}
+	if name, _ := ads[0].EvalAttr("Name", nil).StringVal(); name != "b" {
+		t.Errorf("matched %q", name)
+	}
+	if _, err := c.Query("((("); err == nil {
+		t.Error("bad constraint accepted")
+	}
+}
+
+func TestAdvertiseRequiresName(t *testing.T) {
+	c := NewCollector(nil, 0)
+	if err := c.Advertise(classad.NewAd()); err == nil {
+		t.Error("nameless ad accepted")
+	}
+}
+
+func TestAdvertiseRefreshes(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.Advertise(storageAd("a", 100, "chirp"))
+	c.Advertise(storageAd("a", 999, "chirp"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	ads, _ := c.Query("")
+	if free, _ := ads[0].EvalAttr("FreeDisk", nil).IntVal(); free != 999 {
+		t.Errorf("FreeDisk = %d, want refreshed 999", free)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		c := NewCollector(clock, time.Minute)
+		c.Advertise(storageAd("old", 1, "chirp"))
+		clock.Sleep(30 * time.Second)
+		c.Advertise(storageAd("fresh", 1, "chirp"))
+		clock.Sleep(45 * time.Second) // old: 75s > ttl; fresh: 45s
+		if c.Len() != 1 {
+			t.Fatalf("Len = %d, want 1 after expiry", c.Len())
+		}
+		ads, _ := c.Query("")
+		if name, _ := ads[0].EvalAttr("Name", nil).StringVal(); name != "fresh" {
+			t.Errorf("surviving ad = %q", name)
+		}
+	})
+}
+
+func TestMatchRanked(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.Advertise(storageAd("small", 100, "nfs", "gridftp"))
+	c.Advertise(storageAd("big", 10000, "nfs", "gridftp"))
+	c.Advertise(storageAd("noproto", 99999, "http"))
+	request := classad.MustParse(`[
+		NeedDisk = 50;
+		Requirements = member("nfs", other.Protocols) && other.FreeDisk >= NeedDisk;
+		Rank = other.FreeDisk
+	]`)
+	best := c.Match(request)
+	if best == nil {
+		t.Fatal("no match")
+	}
+	if name, _ := best.EvalAttr("Name", nil).StringVal(); name != "big" {
+		t.Errorf("matched %q, want big (highest rank)", name)
+	}
+	// Unsatisfiable request.
+	nomatch := classad.MustParse(`[ Requirements = other.FreeDisk > 1000000 ]`)
+	if c.Match(nomatch) != nil {
+		t.Error("impossible request matched")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.Advertise(storageAd("x", 1, "chirp"))
+	c.Remove("x")
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after remove", c.Len())
+	}
+}
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewCollector(nil, 0), ln)
+	t.Cleanup(srv.Close)
+	client, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestWireProtocol(t *testing.T) {
+	_, client := startServer(t)
+	if err := client.Publish(storageAd("wire", 4242, "chirp", "nfs")); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := client.Query(`Type == "Storage"`)
+	if err != nil || len(ads) != 1 {
+		t.Fatalf("Query = %d ads, %v", len(ads), err)
+	}
+	if free, _ := ads[0].EvalAttr("FreeDisk", nil).IntVal(); free != 4242 {
+		t.Errorf("FreeDisk = %d", free)
+	}
+	best, err := client.Match(classad.MustParse(`[ Requirements = member("nfs", other.Protocols) ]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := best.EvalAttr("Name", nil).StringVal(); name != "wire" {
+		t.Errorf("matched %q", name)
+	}
+	// No match is an error, and the connection survives it.
+	if _, err := client.Match(classad.MustParse(`[ Requirements = false ]`)); err == nil {
+		t.Error("impossible match succeeded")
+	}
+	if err := client.Publish(storageAd("wire2", 1, "http")); err != nil {
+		t.Errorf("connection dead after -ERR: %v", err)
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	_, client := startServer(t)
+	// Malformed ad body.
+	if _, err := client.send("ADVERTISE", "[[[["); err == nil {
+		t.Error("malformed ad accepted")
+	}
+	if _, err := client.send("BOGUS", ""); err == nil {
+		t.Error("unknown command accepted")
+	}
+}

@@ -1,0 +1,305 @@
+// Package dispatch implements NeST's dispatcher (paper §2.1): the main
+// scheduler and macro-request router. It accepts client connections
+// through protocol handlers, drives each virtual protocol connection,
+// routes data-movement requests to the transfer manager and everything
+// else to the storage manager (serialized, in a thread-safe schedule),
+// and periodically consolidates resource information into a ClassAd
+// for publication into a global scheduling system.
+package dispatch
+
+import (
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/protocol"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// Dispatcher routes requests between the protocol layer, the storage
+// manager and the transfer manager.
+type Dispatcher struct {
+	clock sim.Clock
+	store *storage.Manager
+	xfer  *transfer.Manager
+
+	// storageMu serializes non-transfer requests at the storage
+	// manager; they execute synchronously (paper §2.1).
+	storageMu sync.Mutex
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	protocols []string
+	sessions  map[protocol.Session]bool
+	closed    bool
+	wg        sync.WaitGroup
+
+	// Logger receives connection-level diagnostics; nil silences.
+	Logger *log.Logger
+}
+
+// New wires a dispatcher.
+func New(clock sim.Clock, store *storage.Manager, xfer *transfer.Manager) *Dispatcher {
+	return &Dispatcher{
+		clock:    clock,
+		store:    store,
+		xfer:     xfer,
+		sessions: make(map[protocol.Session]bool),
+	}
+}
+
+// track registers an active session; it reports false (and closes the
+// session) when the dispatcher is already shut down.
+func (d *Dispatcher) track(s protocol.Session) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.sessions[s] = true
+	return true
+}
+
+func (d *Dispatcher) untrack(s protocol.Session) {
+	d.mu.Lock()
+	delete(d.sessions, s)
+	d.mu.Unlock()
+}
+
+// Store returns the storage manager.
+func (d *Dispatcher) Store() *storage.Manager { return d.store }
+
+// Transfers returns the transfer manager.
+func (d *Dispatcher) Transfers() *transfer.Manager { return d.xfer }
+
+func (d *Dispatcher) logf(format string, args ...interface{}) {
+	if d.Logger != nil {
+		d.Logger.Printf(format, args...)
+	}
+}
+
+// ServeListener accepts connections on ln and drives each through the
+// protocol handler. It returns when the listener is closed.
+func (d *Dispatcher) ServeListener(ln net.Listener, h protocol.Handler) {
+	if !d.Register(ln, h.Proto()) {
+		return
+	}
+	d.serve(ln, h)
+}
+
+// Register records a protocol endpoint (so advertisements list it)
+// without starting the accept loop; it reports false when the
+// dispatcher is closed. Use with Serve for synchronous registration.
+func (d *Dispatcher) Register(ln net.Listener, proto string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		ln.Close()
+		return false
+	}
+	d.listeners = append(d.listeners, ln)
+	d.protocols = append(d.protocols, proto)
+	return true
+}
+
+// Serve runs the accept loop for a listener previously Registered.
+func (d *Dispatcher) Serve(ln net.Listener, h protocol.Handler) {
+	d.serve(ln, h)
+}
+
+func (d *Dispatcher) serve(ln net.Listener, h protocol.Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			sess, err := h.NewSession(conn)
+			if err != nil {
+				d.logf("dispatch: %s handshake from %s failed: %v", h.Proto(), conn.RemoteAddr(), err)
+				conn.Close()
+				return
+			}
+			d.ServeSession(sess)
+		}()
+	}
+}
+
+// ServeSession drives one virtual protocol connection to completion.
+func (d *Dispatcher) ServeSession(s protocol.Session) {
+	defer s.Close()
+	if !d.track(s) {
+		return
+	}
+	defer d.untrack(s)
+	for {
+		req, err := s.Next()
+		if err != nil {
+			if err != io.EOF {
+				d.logf("dispatch: %s session: %v", s.Proto(), err)
+			}
+			return
+		}
+		req.Proto = s.Proto()
+		req.User = s.User()
+		req.Arrived = d.clock.Now()
+		switch {
+		case req.Op == protocol.OpQuit:
+			s.Reply(req, protocol.OKReply())
+			return
+		case req.Op.IsTransfer():
+			d.handleTransfer(s, req)
+		default:
+			d.storageMu.Lock()
+			rep := d.store.Execute(req)
+			d.storageMu.Unlock()
+			if err := s.Reply(req, rep); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleTransfer performs the synchronous approval at the storage
+// manager, then hands the data phase to the transfer manager and waits
+// for it (the dispatcher stops listening on the client channel while
+// the transfer is in flight, paper §2.2).
+func (d *Dispatcher) handleTransfer(s protocol.Session, req *protocol.Request) {
+	switch req.Op {
+	case protocol.OpGet:
+		d.handleGet(s, req)
+	case protocol.OpPut:
+		d.handlePut(s, req)
+	}
+}
+
+func (d *Dispatcher) await(t *transfer.Transfer) transfer.Result {
+	done := make(chan transfer.Result, 1)
+	t.OnDone = func(r transfer.Result) {
+		d.clock.Unpark()
+		done <- r
+	}
+	d.xfer.Submit(t)
+	d.clock.Park()
+	return <-done
+}
+
+func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) {
+	f, size, errRep := d.store.ApproveGet(req)
+	if errRep != nil {
+		s.Reply(req, errRep)
+		return
+	}
+	defer f.Close()
+	sink, err := s.SendData(req, size)
+	if err != nil {
+		return
+	}
+	res := d.await(&transfer.Transfer{
+		Class:  req.Proto,
+		User:   req.User,
+		Path:   storage.Clean(req.Path),
+		Offset: req.Offset,
+		Size:   size,
+		Src:    io.NewSectionReader(f, req.Offset, size),
+		Dst:    sink,
+	})
+	sink.Close()
+	rep := protocol.OKReply()
+	rep.Size = res.Bytes
+	if res.Err != nil {
+		rep = protocol.ErrReply(protocol.CodeInternal, "transfer failed: %v", res.Err)
+	}
+	s.Reply(req, rep)
+}
+
+func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) {
+	ticket, errRep := d.store.ApprovePut(req)
+	if errRep != nil {
+		s.Reply(req, errRep)
+		return
+	}
+	src, err := s.RecvData(req)
+	if err != nil {
+		d.store.FinishPut(ticket, 0, err)
+		return
+	}
+	res := d.await(&transfer.Transfer{
+		Class:  req.Proto,
+		User:   req.User,
+		Path:   storage.Clean(req.Path),
+		Offset: req.Offset,
+		Size:   req.Size,
+		Src:    src,
+		Dst:    io.NewOffsetWriter(ticket.File, req.Offset),
+	})
+	src.Close()
+	rep := d.store.FinishPut(ticket, res.Bytes, res.Err)
+	s.Reply(req, rep)
+}
+
+// Advertisement consolidates resource and data availability into the
+// NeST ClassAd published to the Grid (paper §2.1, §6).
+func (d *Dispatcher) Advertisement(name string) *classad.Ad {
+	ad := d.store.Advertisement()
+	ad.SetString("Name", name)
+	d.mu.Lock()
+	vals := make([]classad.Value, len(d.protocols))
+	for i, p := range d.protocols {
+		vals[i] = classad.Str(p)
+	}
+	d.mu.Unlock()
+	ad.SetValue("Protocols", classad.List(vals...))
+	ad.SetString("Schedule", d.xfer.Policy().Name())
+	ad.SetString("ConcurrencyModel", d.xfer.ModelName())
+	ad.SetInt("UpdatedAt", int64(d.clock.Now()/time.Millisecond))
+	return ad
+}
+
+// Publish periodically builds the advertisement and hands it to
+// publish until the dispatcher closes. Call in its own goroutine via
+// the clock.
+func (d *Dispatcher) Publish(name string, every time.Duration, publish func(*classad.Ad)) {
+	d.clock.Go(func() {
+		for {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return
+			}
+			publish(d.Advertisement(name))
+			d.clock.Sleep(every)
+		}
+	})
+}
+
+// Close stops accepting connections and waits for active sessions.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	lns := d.listeners
+	sessions := make([]protocol.Session, 0, len(d.sessions))
+	for s := range d.sessions {
+		sessions = append(sessions, s)
+	}
+	d.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	d.wg.Wait()
+}

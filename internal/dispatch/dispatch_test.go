@@ -1,0 +1,292 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/classad"
+	"nest/internal/dispatch"
+	"nest/internal/gsi"
+	"nest/internal/lots"
+	"nest/internal/protocol"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// fakeSession scripts a sequence of requests and records replies,
+// exercising the dispatcher without any wire protocol.
+type fakeSession struct {
+	mu      sync.Mutex
+	reqs    []*protocol.Request
+	replies []*protocol.Reply
+	sent    bytes.Buffer
+	recv    io.Reader
+	closed  bool
+}
+
+func (s *fakeSession) Proto() string { return "fake" }
+func (s *fakeSession) User() string  { return "tester" }
+
+func (s *fakeSession) Next() (*protocol.Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.reqs) == 0 {
+		return nil, io.EOF
+	}
+	req := s.reqs[0]
+	s.reqs = s.reqs[1:]
+	return req, nil
+}
+
+func (s *fakeSession) Reply(req *protocol.Request, rep *protocol.Reply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replies = append(s.replies, rep)
+	return nil
+}
+
+func (s *fakeSession) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
+	return protocol.NopWriteCloser(&s.sent), nil
+}
+
+func (s *fakeSession) RecvData(req *protocol.Request) (io.ReadCloser, error) {
+	if s.recv == nil {
+		return nil, errors.New("no body scripted")
+	}
+	return io.NopCloser(s.recv), nil
+}
+
+func (s *fakeSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func newDispatcher(t *testing.T) (*dispatch.Dispatcher, *storage.Manager) {
+	t.Helper()
+	clock := sim.NewRealClock()
+	fs := storage.NewMemFS(clock, 1<<30)
+	table := acl.NewTable(acl.AllRights, gsi.Anonymous)
+	lotMgr := lots.NewManager(clock, 1<<30, lots.NeSTManaged, nil)
+	store := storage.NewManager(fs, table, lotMgr)
+	lotMgr.Create("tester", 100<<20, time.Hour)
+	xfer := transfer.NewManager(transfer.Options{Clock: clock, Model: transfer.Threads})
+	d := dispatch.New(clock, store, xfer)
+	t.Cleanup(func() {
+		d.Close()
+		xfer.Close()
+	})
+	return d, store
+}
+
+func TestServeSessionRoutesStorageOps(t *testing.T) {
+	d, store := newDispatcher(t)
+	s := &fakeSession{reqs: []*protocol.Request{
+		{Op: protocol.OpMkdir, Path: "/d"},
+		{Op: protocol.OpStat, Path: "/d"},
+		{Op: protocol.OpList, Path: "/"},
+	}}
+	d.ServeSession(s)
+	if len(s.replies) != 3 {
+		t.Fatalf("replies = %d", len(s.replies))
+	}
+	for i, rep := range s.replies {
+		if !rep.OK() {
+			t.Errorf("reply %d: %+v", i, rep)
+		}
+	}
+	if _, err := store.FS().Stat("/d"); err != nil {
+		t.Errorf("mkdir did not land: %v", err)
+	}
+	if !s.closed {
+		t.Error("session not closed at EOF")
+	}
+}
+
+func TestServeSessionQuit(t *testing.T) {
+	d, _ := newDispatcher(t)
+	s := &fakeSession{reqs: []*protocol.Request{
+		{Op: protocol.OpQuit},
+		{Op: protocol.OpMkdir, Path: "/never"}, // must not execute
+	}}
+	d.ServeSession(s)
+	if len(s.replies) != 1 || !s.replies[0].OK() {
+		t.Fatalf("replies = %+v", s.replies)
+	}
+}
+
+func TestServeSessionTransferRoundTrip(t *testing.T) {
+	d, _ := newDispatcher(t)
+	payload := []byte("dispatcher-pumped payload")
+	put := &protocol.Request{Op: protocol.OpPut, Path: "/f", Size: int64(len(payload))}
+	get := &protocol.Request{Op: protocol.OpGet, Path: "/f"}
+	s := &fakeSession{
+		reqs: []*protocol.Request{put, get},
+		recv: bytes.NewReader(payload),
+	}
+	d.ServeSession(s)
+	if len(s.replies) != 2 {
+		t.Fatalf("replies = %+v", s.replies)
+	}
+	if !s.replies[0].OK() || s.replies[0].Size != int64(len(payload)) {
+		t.Errorf("put reply = %+v", s.replies[0])
+	}
+	if !s.replies[1].OK() {
+		t.Errorf("get reply = %+v", s.replies[1])
+	}
+	if !bytes.Equal(s.sent.Bytes(), payload) {
+		t.Errorf("get data = %q", s.sent.Bytes())
+	}
+	// The transfer went through the transfer manager.
+	stats := d.Transfers().Metrics().Class("fake")
+	if stats.Requests != 2 || stats.Bytes != 2*int64(len(payload)) {
+		t.Errorf("metrics = %+v", stats)
+	}
+}
+
+func TestServeSessionRejectedTransfer(t *testing.T) {
+	d, _ := newDispatcher(t)
+	s := &fakeSession{reqs: []*protocol.Request{
+		{Op: protocol.OpGet, Path: "/missing"},
+	}}
+	d.ServeSession(s)
+	if len(s.replies) != 1 || s.replies[0].Code != protocol.CodeNotFound {
+		t.Fatalf("replies = %+v", s.replies)
+	}
+}
+
+func TestServeSessionUserStamped(t *testing.T) {
+	d, store := newDispatcher(t)
+	// Deny the session's user and verify enforcement used it.
+	store.ACL().Set("/", "tester", 0)
+	store.ACL().Set("/", acl.AnyUser, 0)
+	s := &fakeSession{reqs: []*protocol.Request{
+		{Op: protocol.OpMkdir, Path: "/d"},
+	}}
+	d.ServeSession(s)
+	if s.replies[0].Code != protocol.CodePermission {
+		t.Errorf("reply = %+v, want permission denied for stamped user", s.replies[0])
+	}
+}
+
+func TestAdvertisementListsProtocols(t *testing.T) {
+	d, _ := newDispatcher(t)
+	ad := d.Advertisement("unit")
+	if name, _ := ad.EvalAttr("Name", nil).StringVal(); name != "unit" {
+		t.Errorf("Name = %q", name)
+	}
+	if v, _ := ad.EvalAttr("Schedule", nil).StringVal(); v != "fifo" {
+		t.Errorf("Schedule = %q", v)
+	}
+	if v, _ := ad.EvalAttr("ConcurrencyModel", nil).StringVal(); v != "threads" {
+		t.Errorf("ConcurrencyModel = %q", v)
+	}
+}
+
+func TestPublishStopsOnClose(t *testing.T) {
+	d, _ := newDispatcher(t)
+	var mu sync.Mutex
+	count := 0
+	d.Publish("p", 5*time.Millisecond, func(ad *classad.Ad) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	time.Sleep(30 * time.Millisecond)
+	d.Close()
+	mu.Lock()
+	atClose := count
+	mu.Unlock()
+	if atClose == 0 {
+		t.Fatal("no advertisements published")
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count > atClose+1 { // one in-flight tick may land
+		t.Errorf("publishing continued after Close: %d -> %d", atClose, count)
+	}
+}
+
+// lockedBuffer is a goroutine-safe log sink.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Text() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// failingHandler rejects every connection at the handshake.
+type failingHandler struct{}
+
+func (failingHandler) Proto() string { return "broken" }
+func (failingHandler) NewSession(conn net.Conn) (protocol.Session, error) {
+	return nil, errors.New("handshake refused")
+}
+
+func TestServeListenerHandshakeFailure(t *testing.T) {
+	d, _ := newDispatcher(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logBuf := &lockedBuffer{}
+	d.Logger = log.New(logBuf, "", 0)
+	go d.ServeListener(ln, failingHandler{})
+	// Connections are accepted, rejected, and the listener survives.
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err == nil {
+			t.Error("refused session delivered data")
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(logBuf.Text(), "handshake") {
+		if time.Now().After(deadline) {
+			t.Fatal("handshake failure not logged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRegisterAfterClose(t *testing.T) {
+	d, _ := newDispatcher(t)
+	d.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Register(ln, "late") {
+		t.Error("Register succeeded after Close")
+	}
+	// The listener was closed for us.
+	if _, err := ln.Accept(); err == nil {
+		t.Error("listener still accepting after rejected Register")
+	}
+}

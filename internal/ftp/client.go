@@ -1,0 +1,319 @@
+package ftp
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/textproto"
+	"strings"
+
+	"nest/internal/gsi"
+)
+
+// Client is an FTP/GridFTP control-connection client supporting stream
+// and extended-block modes, parallel streams, and the split
+// command/completion calls needed to orchestrate third-party
+// transfers.
+type Client struct {
+	conn net.Conn
+	text *textproto.Conn
+	mode byte
+	par  int
+}
+
+// Dial connects to an FTP server and consumes the greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, text: textproto.NewConn(conn), mode: 'S', par: 1}
+	if _, _, err := c.text.ReadResponse(220); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// cmd sends one command and expects a reply in the given code class.
+func (c *Client) cmd(expect int, format string, args ...interface{}) (int, string, error) {
+	if err := c.text.PrintfLine(format, args...); err != nil {
+		return 0, "", err
+	}
+	return c.text.ReadResponse(expect)
+}
+
+// LoginAnonymous performs the anonymous USER/PASS exchange.
+func (c *Client) LoginAnonymous() error {
+	if _, _, err := c.cmd(331, "USER anonymous"); err != nil {
+		return err
+	}
+	_, _, err := c.cmd(230, "PASS nest@")
+	return err
+}
+
+// LoginGSI performs the AUTH GSSAPI / ADAT exchange with a GSI
+// credential.
+func (c *Client) LoginGSI(cred *gsi.Credential) error {
+	if _, _, err := c.cmd(334, "AUTH GSSAPI"); err != nil {
+		return err
+	}
+	_, _, err := c.cmd(235, "ADAT %s", cred.Token())
+	return err
+}
+
+// SetMode selects stream ('S') or extended block ('E') mode.
+func (c *Client) SetMode(mode byte) error {
+	_, _, err := c.cmd(200, "MODE %c", mode)
+	if err == nil {
+		c.mode = mode
+	}
+	return err
+}
+
+// SetParallelism asks for n parallel data streams (MODE E).
+func (c *Client) SetParallelism(n int) error {
+	_, _, err := c.cmd(200, "OPTS RETR Parallelism=%d,%d,%d;", n, n, n)
+	if err == nil {
+		c.par = n
+	}
+	return err
+}
+
+// Quit closes the session politely.
+func (c *Client) Quit() error {
+	c.cmd(221, "QUIT")
+	return c.conn.Close()
+}
+
+// Pasv arms passive mode and returns the server's data address.
+func (c *Client) Pasv() (string, error) {
+	_, msg, err := c.cmd(227, "PASV")
+	if err != nil {
+		return "", err
+	}
+	open := strings.IndexByte(msg, '(')
+	closeP := strings.IndexByte(msg, ')')
+	if open < 0 || closeP <= open {
+		return "", fmt.Errorf("ftp: malformed PASV reply %q", msg)
+	}
+	return parseHostPort(msg[open+1 : closeP])
+}
+
+// Port points the server's next data connection at addr (host:port).
+func (c *Client) Port(addr string) error {
+	hp, err := addrToHostPort(addr)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.cmd(200, "PORT %s", hp)
+	return err
+}
+
+func addrToHostPort(addr string) (string, error) {
+	tcp, err := net.ResolveTCPAddr("tcp4", addr)
+	if err != nil {
+		return "", err
+	}
+	return hostPort(tcp)
+}
+
+// dialData opens n data connections to the server's passive address.
+func (c *Client) dialData(n int) ([]net.Conn, error) {
+	addr, err := c.Pasv()
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]net.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, conn)
+	}
+	return conns, nil
+}
+
+// Retr downloads path into w, returning the byte count.
+func (c *Client) Retr(path string, w io.Writer) (int64, error) {
+	n := 1
+	if c.mode == 'E' {
+		n = c.par
+	}
+	conns, err := c.dialData(n)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, err := c.cmd(150, "RETR %s", path); err != nil {
+		for _, cc := range conns {
+			cc.Close()
+		}
+		return 0, err
+	}
+	var moved int64
+	if c.mode == 'E' {
+		recv := newModeEReceiver()
+		for _, cc := range conns {
+			recv.attach(cc)
+		}
+		moved, err = io.Copy(w, recv)
+		recv.Close()
+	} else {
+		moved, err = io.Copy(w, conns[0])
+		conns[0].Close()
+	}
+	if err != nil {
+		return moved, err
+	}
+	_, _, err = c.text.ReadResponse(226)
+	return moved, err
+}
+
+// Stor uploads r to path, returning the byte count.
+func (c *Client) Stor(path string, r io.Reader) (int64, error) {
+	n := 1
+	if c.mode == 'E' {
+		n = c.par
+	}
+	conns, err := c.dialData(n)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, err := c.cmd(150, "STOR %s", path); err != nil {
+		for _, cc := range conns {
+			cc.Close()
+		}
+		return 0, err
+	}
+	var moved int64
+	if c.mode == 'E' {
+		sender := newModeESender(conns)
+		moved, err = copyChunked(sender, r)
+		if cerr := sender.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		moved, err = io.Copy(conns[0], r)
+		if cerr := conns[0].Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return moved, err
+	}
+	_, _, err = c.text.ReadResponse(226)
+	return moved, err
+}
+
+// copyChunked feeds the MODE E sender in bounded writes so blocks stay
+// reasonably sized.
+func copyChunked(w io.Writer, r io.Reader) (int64, error) {
+	buf := make([]byte, 64*1024)
+	var moved int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return moved, werr
+			}
+			moved += int64(n)
+		}
+		if rerr == io.EOF {
+			return moved, nil
+		}
+		if rerr != nil {
+			return moved, rerr
+		}
+	}
+}
+
+// Nlst lists names in a directory.
+func (c *Client) Nlst(path string) ([]string, error) {
+	conns, err := c.dialData(1)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.cmd(150, "NLST %s", path); err != nil {
+		conns[0].Close()
+		return nil, err
+	}
+	data, err := io.ReadAll(conns[0])
+	conns[0].Close()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.text.ReadResponse(226); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(data), "\r\n") {
+		if line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// Size returns a file's size via the SIZE extension.
+func (c *Client) Size(path string) (int64, error) {
+	_, msg, err := c.cmd(213, "SIZE %s", path)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	_, err = fmt.Sscanf(msg, "%d", &n)
+	return n, err
+}
+
+// Dele removes a file.
+func (c *Client) Dele(path string) error {
+	_, _, err := c.cmd(250, "DELE %s", path)
+	return err
+}
+
+// Mkd creates a directory.
+func (c *Client) Mkd(path string) error {
+	_, _, err := c.cmd(257, "MKD %s", path)
+	return err
+}
+
+// Rmd removes a directory.
+func (c *Client) Rmd(path string) error {
+	_, _, err := c.cmd(250, "RMD %s", path)
+	return err
+}
+
+// Cwd changes the working directory.
+func (c *Client) Cwd(path string) error {
+	_, _, err := c.cmd(250, "CWD %s", path)
+	return err
+}
+
+// SetModeRaw issues MODE without tracking (tests).
+func (c *Client) SetModeRaw(arg string) (int, string, error) {
+	return c.cmd(0, "MODE %s", arg)
+}
+
+// BeginStor issues STOR and returns after the server's 150 go-ahead,
+// leaving the completion reply pending (third-party orchestration: the
+// data flows from another server).
+func (c *Client) BeginStor(path string) error {
+	_, _, err := c.cmd(150, "STOR %s", path)
+	return err
+}
+
+// BeginRetr issues RETR and returns after the 150 go-ahead.
+func (c *Client) BeginRetr(path string) error {
+	_, _, err := c.cmd(150, "RETR %s", path)
+	return err
+}
+
+// AwaitComplete consumes the pending 226 transfer-complete reply.
+func (c *Client) AwaitComplete() error {
+	_, _, err := c.text.ReadResponse(226)
+	return err
+}

@@ -1,0 +1,89 @@
+// Package ftp implements the FTP protocol engine NeST uses for both
+// plain FTP (RFC 959 subset, anonymous access) and GridFTP (Allcock et
+// al.: GSI authentication via AUTH/ADAT, extended block MODE E with
+// parallel data streams, and third-party transfers). The gridftp
+// package wraps this engine with the Grid-facing configuration.
+package ftp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Proto is the plain-FTP protocol class name.
+const Proto = "ftp"
+
+// Mode E block descriptor bits (GridFTP extended block mode).
+const (
+	// DescEOD marks the final block on one data stream.
+	DescEOD = 0x08
+	// DescEOF carries, in its offset field, the number of data
+	// streams (EOD blocks) the receiver must expect.
+	DescEOF = 0x40
+)
+
+// blockHeader is the 17-byte MODE E header: descriptor, byte count,
+// offset.
+type blockHeader struct {
+	Desc   byte
+	Count  uint64
+	Offset uint64
+}
+
+func writeBlockHeader(w io.Writer, h blockHeader) error {
+	var buf [17]byte
+	buf[0] = h.Desc
+	binary.BigEndian.PutUint64(buf[1:9], h.Count)
+	binary.BigEndian.PutUint64(buf[9:17], h.Offset)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readBlockHeader(r io.Reader) (blockHeader, error) {
+	var buf [17]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return blockHeader{}, err
+	}
+	return blockHeader{
+		Desc:   buf[0],
+		Count:  binary.BigEndian.Uint64(buf[1:9]),
+		Offset: binary.BigEndian.Uint64(buf[9:17]),
+	}, nil
+}
+
+// hostPort formats an address for the PORT/PASV 227 h1,h2,h3,h4,p1,p2
+// form.
+func hostPort(addr net.Addr) (string, error) {
+	tcp, ok := addr.(*net.TCPAddr)
+	if !ok {
+		return "", fmt.Errorf("ftp: non-TCP address %v", addr)
+	}
+	ip := tcp.IP.To4()
+	if ip == nil {
+		return "", fmt.Errorf("ftp: PASV requires IPv4, have %v", tcp.IP)
+	}
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d",
+		ip[0], ip[1], ip[2], ip[3], tcp.Port>>8, tcp.Port&0xff), nil
+}
+
+// parseHostPort parses the h1,h2,h3,h4,p1,p2 form into host:port.
+func parseHostPort(s string) (string, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 6 {
+		return "", fmt.Errorf("ftp: malformed host-port %q", s)
+	}
+	nums := make([]int, 6)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 || n > 255 {
+			return "", fmt.Errorf("ftp: malformed host-port %q", s)
+		}
+		nums[i] = n
+	}
+	return fmt.Sprintf("%d.%d.%d.%d:%d",
+		nums[0], nums[1], nums[2], nums[3], nums[4]<<8|nums[5]), nil
+}

@@ -1,0 +1,195 @@
+package ftp
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+)
+
+// modeESender stripes written data across parallel streams as MODE E
+// blocks: every Write becomes one block, assigned round-robin. Close
+// emits EOD on every stream and EOF (carrying the stream count) on the
+// first.
+type modeESender struct {
+	conns  []net.Conn
+	next   int
+	offset uint64
+	closed bool
+}
+
+func newModeESender(conns []net.Conn) *modeESender {
+	return &modeESender{conns: conns}
+}
+
+func (s *modeESender) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	conn := s.conns[s.next%len(s.conns)]
+	s.next++
+	h := blockHeader{Count: uint64(len(p)), Offset: s.offset}
+	if err := writeBlockHeader(conn, h); err != nil {
+		return 0, err
+	}
+	if _, err := conn.Write(p); err != nil {
+		return 0, err
+	}
+	s.offset += uint64(len(p))
+	return len(p), nil
+}
+
+func (s *modeESender) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for i, conn := range s.conns {
+		h := blockHeader{Desc: DescEOD}
+		if i == 0 {
+			h.Desc |= DescEOF
+			h.Offset = uint64(len(s.conns))
+		}
+		if err := writeBlockHeader(conn, h); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// modeEReceiver reassembles MODE E blocks from parallel streams into a
+// sequential byte stream (io.Reader), buffering out-of-order blocks
+// until their offset is due. Streams may keep arriving (via attach)
+// until the EOF block announces how many to expect.
+type modeEReceiver struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[uint64][]byte // offset -> data
+	nextOff uint64
+	buf     []byte // current in-order run being consumed
+	eods    int
+	streams int // 0 until the EOF block announces the count
+	err     error
+	conns   []net.Conn
+}
+
+func newModeEReceiver() *modeEReceiver {
+	r := &modeEReceiver{pending: make(map[uint64][]byte)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// attach starts consuming blocks from one data stream.
+func (r *modeEReceiver) attach(conn net.Conn) {
+	r.mu.Lock()
+	r.conns = append(r.conns, conn)
+	r.mu.Unlock()
+	go r.readStream(conn)
+}
+
+func (r *modeEReceiver) readStream(conn net.Conn) {
+	for {
+		h, err := readBlockHeader(conn)
+		if err != nil {
+			r.fail(fmt.Errorf("ftp: mode E stream: %w", err))
+			return
+		}
+		var data []byte
+		if h.Count > 0 {
+			data = make([]byte, h.Count)
+			if _, err := io.ReadFull(conn, data); err != nil {
+				r.fail(fmt.Errorf("ftp: mode E payload: %w", err))
+				return
+			}
+		}
+		r.mu.Lock()
+		if len(data) > 0 {
+			r.pending[h.Offset] = data
+		}
+		if h.Desc&DescEOF != 0 {
+			r.streams = int(h.Offset)
+		}
+		done := false
+		if h.Desc&DescEOD != 0 {
+			r.eods++
+			done = true
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+func (r *modeEReceiver) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// finished reports (locked) whether all announced streams delivered
+// their EOD.
+func (r *modeEReceiver) finishedLocked() bool {
+	return r.streams > 0 && r.eods >= r.streams
+}
+
+// Read implements io.Reader, delivering bytes in offset order.
+func (r *modeEReceiver) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if len(r.buf) == 0 {
+			if data, ok := r.pending[r.nextOff]; ok {
+				delete(r.pending, r.nextOff)
+				r.nextOff += uint64(len(data))
+				r.buf = data
+			}
+		}
+		if len(r.buf) > 0 {
+			n := copy(p, r.buf)
+			r.buf = r.buf[n:]
+			return n, nil
+		}
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.finishedLocked() {
+			if len(r.pending) > 0 {
+				// Gap in offsets: data lost.
+				offs := make([]uint64, 0, len(r.pending))
+				for o := range r.pending {
+					offs = append(offs, o)
+				}
+				sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+				return 0, fmt.Errorf("ftp: mode E gap at offset %d (next block %d)", r.nextOff, offs[0])
+			}
+			return 0, io.EOF
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close tears down all attached streams.
+func (r *modeEReceiver) Close() error {
+	r.mu.Lock()
+	conns := r.conns
+	r.conns = nil
+	if r.err == nil && !r.finishedLocked() {
+		r.err = io.ErrClosedPipe
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}

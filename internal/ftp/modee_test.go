@@ -1,0 +1,118 @@
+package ftp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+// pipeFanout wires a MODE E sender to a receiver over n in-memory
+// stream pairs.
+func pipeFanout(n int) (*modeESender, *modeEReceiver) {
+	recv := newModeEReceiver()
+	conns := make([]net.Conn, n)
+	for i := range conns {
+		a, b := net.Pipe()
+		conns[i] = a
+		recv.attach(b)
+	}
+	return newModeESender(conns), recv
+}
+
+func TestModeESingleStream(t *testing.T) {
+	sender, recv := pipeFanout(1)
+	payload := bytes.Repeat([]byte("mode-e"), 1000)
+	go func() {
+		sender.Write(payload)
+		sender.Close()
+	}()
+	got, err := io.ReadAll(recv)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reassembly = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestModeEEmptyTransfer(t *testing.T) {
+	sender, recv := pipeFanout(3)
+	go sender.Close() // EODs + EOF only
+	got, err := io.ReadAll(recv)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty transfer = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestModeECloseIdempotent(t *testing.T) {
+	sender, recv := pipeFanout(2)
+	go func() {
+		sender.Close()
+		sender.Close() // second close is a no-op
+	}()
+	if _, err := io.ReadAll(recv); err != nil {
+		t.Fatal(err)
+	}
+	recv.Close()
+	recv.Close()
+}
+
+// Property: any payload split into arbitrary write sizes over an
+// arbitrary stripe count reassembles exactly.
+func TestQuickModeEReassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(payload []byte, stripes8 uint8) bool {
+		stripes := int(stripes8%5) + 1
+		sender, recv := pipeFanout(stripes)
+		go func() {
+			rest := payload
+			for len(rest) > 0 {
+				n := rng.Intn(len(rest)) + 1
+				sender.Write(rest[:n])
+				rest = rest[n:]
+			}
+			sender.Close()
+		}()
+		got, err := io.ReadAll(recv)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeEGapDetected(t *testing.T) {
+	// A receiver that sees EOF+EODs but a missing block must report a
+	// gap rather than returning short data silently.
+	a, b := net.Pipe()
+	recv := newModeEReceiver()
+	recv.attach(b)
+	go func() {
+		// Block at offset 100 only: offset 0..99 never arrives.
+		writeBlockHeader(a, blockHeader{Count: 4, Offset: 100})
+		a.Write([]byte("data"))
+		writeBlockHeader(a, blockHeader{Desc: DescEOD | DescEOF, Offset: 1})
+		a.Close()
+	}()
+	_, err := io.ReadAll(recv)
+	if err == nil {
+		t.Fatal("gap not detected")
+	}
+}
+
+func TestHostPortRoundTrip(t *testing.T) {
+	addr := &net.TCPAddr{IP: net.IPv4(10, 1, 2, 3), Port: 51234}
+	hp, err := hostPort(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseHostPort(hp)
+	if err != nil || back != "10.1.2.3:51234" {
+		t.Fatalf("round trip = %q, %v", back, err)
+	}
+	for _, bad := range []string{"", "1,2,3", "1,2,3,4,5,999", "a,b,c,d,e,f"} {
+		if _, err := parseHostPort(bad); err == nil {
+			t.Errorf("parseHostPort(%q) succeeded", bad)
+		}
+	}
+}

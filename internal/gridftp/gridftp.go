@@ -1,0 +1,85 @@
+// Package gridftp configures NeST's FTP engine as a GridFTP endpoint
+// (Allcock et al., 2001): GSI authentication is mandatory, extended
+// block mode with parallel data streams is enabled, and third-party
+// transfers between two servers can be orchestrated from a client that
+// holds control connections to both — the mechanism the global
+// execution manager uses to stage data between NeSTs (paper §6,
+// step 3).
+package gridftp
+
+import (
+	"fmt"
+	"net"
+
+	"nest/internal/ftp"
+	"nest/internal/gsi"
+)
+
+// Proto is the protocol class name.
+const Proto = "gridftp"
+
+// NewHandler returns the GridFTP protocol module: the FTP engine with
+// GSI required and MODE E enabled.
+func NewHandler(v *gsi.Verifier) *ftp.Handler {
+	return ftp.NewHandler(ftp.Options{
+		ProtoName:   Proto,
+		Verifier:    v,
+		RequireGSI:  true,
+		EnableModeE: true,
+	})
+}
+
+// Dial connects to a GridFTP server and authenticates with cred.
+func Dial(addr string, cred *gsi.Credential) (*ftp.Client, error) {
+	c, err := ftp.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.LoginGSI(cred); err != nil {
+		c.Quit()
+		return nil, err
+	}
+	return c, nil
+}
+
+// ThirdParty moves srcPath on the src server to dstPath on the dst
+// server without the data passing through the orchestrating client:
+// dst is put into passive mode and told to STOR, src is pointed at
+// dst's data port and told to RETR (classic FTP third-party transfer,
+// which GridFTP inherits). Both control connections must already be
+// authenticated.
+func ThirdParty(src *ftp.Client, srcPath string, dst *ftp.Client, dstPath string) error {
+	addr, err := dst.Pasv()
+	if err != nil {
+		return fmt.Errorf("gridftp: dst PASV: %w", err)
+	}
+	if err := dst.BeginStor(dstPath); err != nil {
+		return fmt.Errorf("gridftp: dst STOR: %w", err)
+	}
+	if err := src.Port(addr); err != nil {
+		abortReceiver(dst, addr)
+		return fmt.Errorf("gridftp: src PORT: %w", err)
+	}
+	if err := src.BeginRetr(srcPath); err != nil {
+		abortReceiver(dst, addr)
+		return fmt.Errorf("gridftp: src RETR: %w", err)
+	}
+	if err := src.AwaitComplete(); err != nil {
+		return fmt.Errorf("gridftp: src transfer: %w", err)
+	}
+	if err := dst.AwaitComplete(); err != nil {
+		return fmt.Errorf("gridftp: dst transfer: %w", err)
+	}
+	return nil
+}
+
+// abortReceiver unblocks a receiver waiting on its passive data port
+// after the sender side failed: an immediately-closed data connection
+// delivers EOF, completing the STOR with zero bytes so the control
+// connection stays usable.
+func abortReceiver(dst *ftp.Client, addr string) {
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+	}
+	dst.AwaitComplete()
+}

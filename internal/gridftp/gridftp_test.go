@@ -1,0 +1,113 @@
+package gridftp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nest/internal/ftp"
+	"nest/internal/gridftp"
+	"nest/internal/gsi"
+	"nest/internal/nesttest"
+)
+
+func startServer(t *testing.T, ca *gsi.CA) *nesttest.Fixture {
+	t.Helper()
+	return nesttest.Start(t, gridftp.NewHandler(gsi.NewVerifier(ca)), nesttest.Options{})
+}
+
+func TestDialRequiresGSI(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	f := startServer(t, ca)
+	c, err := gridftp.Dial(f.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Quit()
+	// A credential from an untrusted CA is rejected.
+	badCA := gsi.NewCA("bad", []byte("bad"))
+	if _, err := gridftp.Dial(f.Addr, badCA.Issue("/CN=m", 1<<30, false)); err == nil {
+		t.Fatal("untrusted credential accepted")
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	madison := startServer(t, ca)
+	argonne := startServer(t, ca)
+	madison.GrantLot(t, "john", 100*nesttest.MB)
+	argonne.GrantLot(t, "john", 100*nesttest.MB)
+
+	// Stage input data at the home site.
+	src, err := gridftp.Dial(madison.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Quit()
+	payload := bytes.Repeat([]byte("input-dataset-"), 30000)
+	if _, err := src.Stor("/input.dat", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third-party: madison -> argonne, data never touches the client.
+	dst, err := gridftp.Dial(argonne.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Quit()
+	if err := gridftp.ThirdParty(src, "/input.dat", dst, "/staged.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify at the destination.
+	var buf bytes.Buffer
+	n, err := dst.Retr("/staged.dat", &buf)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("Retr = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("third-party transfer corrupted data")
+	}
+}
+
+func TestThirdPartySourceMissing(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	a := startServer(t, ca)
+	b := startServer(t, ca)
+	b.GrantLot(t, "john", nesttest.MB)
+	src, _ := gridftp.Dial(a.Addr, cred)
+	defer src.Quit()
+	dst, _ := gridftp.Dial(b.Addr, cred)
+	defer dst.Quit()
+	if err := gridftp.ThirdParty(src, "/missing", dst, "/out"); err == nil {
+		t.Fatal("third-party of missing file succeeded")
+	}
+}
+
+func TestParallelStreamsViaWrapper(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	f := startServer(t, ca)
+	f.GrantLot(t, "john", 100*nesttest.MB)
+	c, err := gridftp.Dial(f.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if err := c.SetMode('E'); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetParallelism(3); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("xyz"), 200000)
+	if _, err := c.Stor("/p", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Retr("/p", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("parallel round trip corrupted")
+	}
+	var _ *ftp.Client = c
+}

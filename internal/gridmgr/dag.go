@@ -1,0 +1,224 @@
+// Package gridmgr implements the Grid middleware of the paper's
+// Section 6 scenario: a DAGMan-style directed-acyclic-graph job runner
+// and a global execution manager that discovers a storage appliance
+// through the matchmaker, guarantees space with a Chirp lot, stages
+// input with a GridFTP third-party transfer, runs jobs that do their
+// I/O over NFS, stages output home and terminates the reservation.
+package gridmgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one unit of work in a DAG.
+type Node struct {
+	// Name identifies the node; dependencies refer to it.
+	Name string
+	// Requires lists node names that must complete first.
+	Requires []string
+	// Run does the work. A nil Run is a no-op node.
+	Run func() error
+}
+
+// DAG is a directed acyclic graph of jobs, executed with maximal
+// parallelism subject to dependencies — the Condor DAGMan stand-in
+// (paper §6: "many of the steps ... can be encapsulated within a
+// request execution manager such as DAGMan").
+type DAG struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	order []string
+}
+
+// NewDAG returns an empty DAG.
+func NewDAG() *DAG {
+	return &DAG{nodes: make(map[string]*Node)}
+}
+
+// Add inserts a node. Duplicate names are rejected.
+func (d *DAG) Add(n *Node) error {
+	if n.Name == "" {
+		return fmt.Errorf("gridmgr: node without a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.nodes[n.Name]; ok {
+		return fmt.Errorf("gridmgr: duplicate node %q", n.Name)
+	}
+	d.nodes[n.Name] = n
+	d.order = append(d.order, n.Name)
+	return nil
+}
+
+// AddFunc is a convenience wrapper for Add.
+func (d *DAG) AddFunc(name string, run func() error, requires ...string) error {
+	return d.Add(&Node{Name: name, Run: run, Requires: requires})
+}
+
+// validate checks for unknown dependencies and cycles.
+func (d *DAG) validate() error {
+	for _, n := range d.nodes {
+		for _, dep := range n.Requires {
+			if _, ok := d.nodes[dep]; !ok {
+				return fmt.Errorf("gridmgr: node %q requires unknown node %q", n.Name, dep)
+			}
+		}
+	}
+	// Kahn's algorithm detects cycles.
+	indeg := make(map[string]int)
+	dependents := make(map[string][]string)
+	for _, n := range d.nodes {
+		indeg[n.Name] = len(n.Requires)
+		for _, dep := range n.Requires {
+			dependents[dep] = append(dependents[dep], n.Name)
+		}
+	}
+	var queue []string
+	for name, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, next := range dependents[name] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if seen != len(d.nodes) {
+		return fmt.Errorf("gridmgr: dependency cycle detected")
+	}
+	return nil
+}
+
+// Result reports one node's outcome.
+type Result struct {
+	Name string
+	Err  error
+	// Skipped marks nodes not run because a dependency failed.
+	Skipped bool
+}
+
+// Run executes the DAG with up to parallelism concurrent nodes
+// (0 means unbounded). It returns per-node results keyed by name; the
+// overall error is the first node failure (dependent nodes are
+// skipped, independent subgraphs still run).
+func (d *DAG) Run(parallelism int) (map[string]Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = len(d.nodes)
+	}
+	type doneMsg struct {
+		name string
+		err  error
+	}
+	results := make(map[string]Result, len(d.nodes))
+	done := make(chan doneMsg)
+	running := 0
+	launched := make(map[string]bool)
+
+	ready := func() []string {
+		var out []string
+		for _, name := range d.order {
+			if launched[name] {
+				continue
+			}
+			if _, finished := results[name]; finished {
+				continue
+			}
+			ok := true
+			skip := false
+			for _, dep := range d.nodes[name].Requires {
+				r, finished := results[dep]
+				if !finished {
+					ok = false
+					break
+				}
+				if r.Err != nil || r.Skipped {
+					skip = true
+				}
+			}
+			if !ok {
+				continue
+			}
+			if skip {
+				results[name] = Result{Name: name, Skipped: true}
+				continue
+			}
+			out = append(out, name)
+		}
+		return out
+	}
+
+	var firstErr error
+	for len(results) < len(d.nodes) {
+		for _, name := range ready() {
+			if running >= parallelism {
+				break
+			}
+			launched[name] = true
+			running++
+			node := d.nodes[name]
+			go func() {
+				var err error
+				if node.Run != nil {
+					err = node.Run()
+				}
+				done <- doneMsg{name: node.Name, err: err}
+			}()
+		}
+		if running == 0 {
+			// Only skip-propagation remains; loop once more.
+			if len(ready()) == 0 && len(results) < len(d.nodes) {
+				// All remaining nodes became skipped in ready();
+				// re-evaluate until fixpoint.
+				before := len(results)
+				ready()
+				if len(results) == before {
+					break
+				}
+			}
+			continue
+		}
+		msg := <-done
+		running--
+		results[msg.name] = Result{Name: msg.name, Err: msg.err}
+		if msg.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("gridmgr: node %q: %w", msg.name, msg.err)
+		}
+	}
+	return results, firstErr
+}
+
+// Names returns node names in insertion order.
+func (d *DAG) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// SortedSkipped lists skipped nodes from a result set (tests, logs).
+func SortedSkipped(results map[string]Result) []string {
+	var out []string
+	for name, r := range results {
+		if r.Skipped {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,293 @@
+package gridmgr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/discovery"
+	"nest/internal/gridftp"
+	"nest/internal/gsi"
+	"nest/internal/nfs"
+)
+
+// Site names one NeST's protocol endpoints as the manager needs them.
+type Site struct {
+	Name    string
+	Chirp   string
+	GridFTP string
+	NFS     string
+}
+
+// Job is one remotely executed computation: it reads its input file
+// and produces output bytes. Jobs access storage through NFS, like the
+// paper's Argonne cluster jobs (paper §6, step 4).
+type Job struct {
+	Name   string
+	Input  string // path on the execution site's NeST
+	Output string // path on the execution site's NeST
+	// Compute transforms input bytes to output bytes.
+	Compute func(input []byte) ([]byte, error)
+}
+
+// Plan describes one scenario run.
+type Plan struct {
+	// User credential; the lot and all transfers run as this identity.
+	Cred *gsi.Credential
+	// Home is the site holding input data permanently.
+	Home Site
+	// InputFiles are paths on the home NeST to stage in.
+	InputFiles []string
+	// Jobs run at the execution site.
+	Jobs []Job
+	// OutputDir is where results land back home.
+	OutputDir string
+	// NeedBytes is the lot capacity to reserve at the execution site;
+	// LotDuration its guarantee window.
+	NeedBytes   int64
+	LotDuration time.Duration
+}
+
+// Report summarizes a completed scenario.
+type Report struct {
+	Site       string // chosen execution site
+	LotID      string
+	StagedIn   int64
+	StagedOut  int64
+	JobResults map[string]Result
+}
+
+// Manager is the global execution manager of the Section 6 walkthrough.
+type Manager struct {
+	collector *discovery.Collector
+	sites     map[string]Site // name -> endpoints
+	mu        sync.Mutex
+}
+
+// NewManager builds a manager over a discovery collector plus the
+// endpoint directory for the sites it may choose.
+func NewManager(collector *discovery.Collector, sites []Site) *Manager {
+	m := &Manager{collector: collector, sites: make(map[string]Site)}
+	for _, s := range sites {
+		m.sites[s.Name] = s
+	}
+	return m
+}
+
+// selectSite matches the plan's storage requirements against published
+// advertisements (paper §6, the gateway "has previously published both
+// its resource and data availability").
+func (m *Manager) selectSite(p *Plan) (Site, error) {
+	request := classad.NewAd()
+	request.SetInt("NeedDisk", p.NeedBytes)
+	if err := request.SetExprString("Requirements",
+		fmt.Sprintf(`other.Type == "Storage" && other.Name != %q && `+
+			`member("gridftp", other.Protocols) && member("nfs", other.Protocols) && `+
+			`other.GuaranteeableSpace >= MY.NeedDisk`, p.Home.Name)); err != nil {
+		return Site{}, err
+	}
+	if err := request.SetExprString("Rank", "other.GuaranteeableSpace"); err != nil {
+		return Site{}, err
+	}
+	ad := m.collector.Match(request)
+	if ad == nil {
+		return Site{}, fmt.Errorf("gridmgr: no storage appliance satisfies the request")
+	}
+	name, _ := ad.EvalAttr("Name", nil).StringVal()
+	site, ok := m.sites[name]
+	if !ok {
+		return Site{}, fmt.Errorf("gridmgr: matched site %q has no endpoint entry", name)
+	}
+	return site, nil
+}
+
+// Execute runs the full six-step scenario as a DAG: (1) the jobs were
+// submitted to us, (2) create a lot at the chosen site via Chirp,
+// (3) GridFTP third-party stage-in, (4) run jobs over NFS, (5) GridFTP
+// third-party stage-out, (6) terminate the lot.
+func (m *Manager) Execute(p *Plan) (*Report, error) {
+	site, err := m.selectSite(p)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Site: site.Name}
+
+	// Step 2: guarantee space with a Chirp lot.
+	cc, err := chirp.Dial(site.Chirp, p.Cred)
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: chirp to %s: %w", site.Name, err)
+	}
+	defer cc.Close()
+	lot, err := cc.LotCreate(p.NeedBytes, p.LotDuration)
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: lot creation: %w", err)
+	}
+	report.LotID = lot.ID
+
+	// Jobs reach their files over NFS, which NeST serves anonymously
+	// (paper §3), so the manager — holding admin rights through its
+	// GSI identity — opens the execution site's namespace to the local
+	// jobs before they start (paper §6: access was granted when the
+	// site admitted the user).
+	if err := cc.ACLSet("/", acl.AnyUser, "rliwd"); err != nil {
+		return nil, fmt.Errorf("gridmgr: granting job access: %w", err)
+	}
+
+	dag := NewDAG()
+
+	// Step 3: stage inputs (parallel third-party transfers).
+	home, err := gridftp.Dial(p.Home.GridFTP, p.Cred)
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: gridftp home: %w", err)
+	}
+	defer home.Quit()
+	remote, err := gridftp.Dial(site.GridFTP, p.Cred)
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: gridftp %s: %w", site.Name, err)
+	}
+	defer remote.Quit()
+	var xferMu sync.Mutex // GridFTP control connections are serial
+	for _, input := range p.InputFiles {
+		input := input
+		name := "stage-in:" + input
+		dag.AddFunc(name, func() error {
+			xferMu.Lock()
+			defer xferMu.Unlock()
+			size, err := home.Size(input)
+			if err != nil {
+				return err
+			}
+			if err := gridftp.ThirdParty(home, input, remote, input); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			report.StagedIn += size
+			m.mu.Unlock()
+			return nil
+		})
+	}
+	stageIns := append([]string(nil), dag.Names()...)
+
+	// Step 4: jobs access their files over NFS.
+	nclient, err := nfs.Dial(site.NFS)
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: nfs %s: %w", site.Name, err)
+	}
+	defer nclient.Close()
+	root, err := nclient.Mount("/")
+	if err != nil {
+		return nil, fmt.Errorf("gridmgr: nfs mount: %w", err)
+	}
+	var nfsMu sync.Mutex // one NFS client connection, serialized use
+	var jobNames []string
+	for _, job := range p.Jobs {
+		job := job
+		name := "job:" + job.Name
+		jobNames = append(jobNames, name)
+		dag.AddFunc(name, func() error {
+			nfsMu.Lock()
+			defer nfsMu.Unlock()
+			dir, base := splitPath(job.Input)
+			dirFH, err := walk(nclient, root, dir)
+			if err != nil {
+				return fmt.Errorf("input dir: %w", err)
+			}
+			fh, _, err := nclient.Lookup(dirFH, base)
+			if err != nil {
+				return fmt.Errorf("input: %w", err)
+			}
+			input, err := nclient.ReadAll(fh)
+			if err != nil {
+				return err
+			}
+			output, err := job.Compute(input)
+			if err != nil {
+				return err
+			}
+			odir, obase := splitPath(job.Output)
+			odirFH, err := walk(nclient, root, odir)
+			if err != nil {
+				return fmt.Errorf("output dir: %w", err)
+			}
+			ofh, err := nclient.Create(odirFH, obase)
+			if err != nil {
+				return fmt.Errorf("output: %w", err)
+			}
+			return nclient.WriteAll(ofh, output)
+		}, stageIns...)
+	}
+
+	// Step 5: stage outputs home.
+	var stageOuts []string
+	for _, job := range p.Jobs {
+		job := job
+		name := "stage-out:" + job.Output
+		stageOuts = append(stageOuts, name)
+		dag.AddFunc(name, func() error {
+			xferMu.Lock()
+			defer xferMu.Unlock()
+			dst := p.OutputDir + "/" + baseName(job.Output)
+			if err := gridftp.ThirdParty(remote, job.Output, home, dst); err != nil {
+				return err
+			}
+			size, err := home.Size(dst)
+			if err != nil {
+				return err
+			}
+			m.mu.Lock()
+			report.StagedOut += size
+			m.mu.Unlock()
+			return nil
+		}, jobNames...)
+	}
+
+	// Step 6: terminate the reservation.
+	dag.AddFunc("lot-release", func() error {
+		return cc.LotRelease(lot.ID)
+	}, stageOuts...)
+
+	results, err := dag.Run(4)
+	report.JobResults = results
+	if err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+func splitPath(p string) (dir, base string) {
+	last := -1
+	for i := 0; i < len(p); i++ {
+		if p[i] == '/' {
+			last = i
+		}
+	}
+	if last <= 0 {
+		return "/", p[last+1:]
+	}
+	return p[:last], p[last+1:]
+}
+
+func baseName(p string) string {
+	_, base := splitPath(p)
+	return base
+}
+
+// walk resolves a slash path from root via NFS lookups.
+func walk(c *nfs.Client, root nfs.FH, dir string) (nfs.FH, error) {
+	fh := root
+	for _, comp := range strings.Split(dir, "/") {
+		if comp == "" {
+			continue
+		}
+		var err error
+		fh, _, err = c.Lookup(fh, comp)
+		if err != nil {
+			return fh, err
+		}
+	}
+	return fh, nil
+}

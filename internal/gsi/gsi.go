@@ -1,0 +1,157 @@
+// Package gsi simulates the Grid Security Infrastructure (Foster et
+// al., CCS 1998) used by NeST for authentication over Chirp and
+// GridFTP. Real GSI uses X.509 proxy certificates; this stand-in
+// preserves the trust structure — a certificate authority issues
+// credentials naming a subject, services verify them against the CA,
+// and contexts are established by a token exchange on the control
+// channel — using HMAC-SHA256 in place of public-key signatures.
+package gsi
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Errors returned by credential verification.
+var (
+	ErrBadToken = errors.New("gsi: malformed token")
+	ErrBadSig   = errors.New("gsi: signature verification failed")
+	ErrExpired  = errors.New("gsi: credential expired")
+	ErrWrongCA  = errors.New("gsi: credential issued by unknown CA")
+)
+
+// Anonymous is the identity of unauthenticated clients; protocols
+// without GSI support (HTTP, FTP, NFS in NeST 0.9) are mapped to it.
+const Anonymous = "anonymous"
+
+// Credential names a subject and its validity window, signed by a CA.
+type Credential struct {
+	Subject  string // e.g. "/O=Grid/OU=wisc.edu/CN=john"
+	Issuer   string
+	Expires  time.Time
+	Delegate bool // proxy credential usable for third-party transfers
+	sig      []byte
+}
+
+// CA is a certificate authority: it issues and verifies credentials.
+type CA struct {
+	name string
+	key  []byte
+}
+
+// NewCA creates an authority with the given name and secret key.
+func NewCA(name string, key []byte) *CA {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &CA{name: name, key: k}
+}
+
+// Name returns the CA's distinguished name.
+func (ca *CA) Name() string { return ca.name }
+
+// Issue signs a credential for subject valid for ttl.
+func (ca *CA) Issue(subject string, ttl time.Duration, delegate bool) *Credential {
+	c := &Credential{
+		Subject:  subject,
+		Issuer:   ca.name,
+		Expires:  time.Now().Add(ttl),
+		Delegate: delegate,
+	}
+	c.sig = ca.sign(c)
+	return c
+}
+
+func (ca *CA) sign(c *Credential) []byte {
+	m := hmac.New(sha256.New, ca.key)
+	fmt.Fprintf(m, "%s|%s|%d|%t", c.Subject, c.Issuer, c.Expires.UnixNano(), c.Delegate)
+	return m.Sum(nil)
+}
+
+// Verify checks a credential's signature, issuer and expiry.
+func (ca *CA) Verify(c *Credential) error {
+	if c.Issuer != ca.name {
+		return ErrWrongCA
+	}
+	if !hmac.Equal(c.sig, ca.sign(c)) {
+		return ErrBadSig
+	}
+	if time.Now().After(c.Expires) {
+		return ErrExpired
+	}
+	return nil
+}
+
+// Token serializes the credential for transmission on a control
+// channel (the ADAT exchange in GridFTP, the auth line in Chirp).
+func (c *Credential) Token() string {
+	raw := fmt.Sprintf("%s|%s|%d|%t|%s",
+		c.Subject, c.Issuer, c.Expires.UnixNano(), c.Delegate,
+		base64.StdEncoding.EncodeToString(c.sig))
+	return base64.StdEncoding.EncodeToString([]byte(raw))
+}
+
+// ParseToken reconstructs a credential from its wire token. The result
+// must still be verified against the CA.
+func ParseToken(tok string) (*Credential, error) {
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(tok))
+	if err != nil {
+		return nil, ErrBadToken
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 5 {
+		return nil, ErrBadToken
+	}
+	var expires int64
+	if _, err := fmt.Sscanf(parts[2], "%d", &expires); err != nil {
+		return nil, ErrBadToken
+	}
+	sig, err := base64.StdEncoding.DecodeString(parts[4])
+	if err != nil {
+		return nil, ErrBadToken
+	}
+	return &Credential{
+		Subject:  parts[0],
+		Issuer:   parts[1],
+		Expires:  time.Unix(0, expires),
+		Delegate: parts[3] == "true",
+		sig:      sig,
+	}, nil
+}
+
+// CommonName extracts the CN component of a subject name, used as the
+// NeST account name ("/O=Grid/CN=john" -> "john"). Subjects without a
+// CN map to themselves.
+func CommonName(subject string) string {
+	for _, part := range strings.Split(subject, "/") {
+		if strings.HasPrefix(part, "CN=") {
+			return strings.TrimPrefix(part, "CN=")
+		}
+	}
+	return subject
+}
+
+// Verifier authenticates wire tokens for a service that trusts one CA.
+type Verifier struct {
+	ca *CA
+}
+
+// NewVerifier returns a verifier trusting ca.
+func NewVerifier(ca *CA) *Verifier { return &Verifier{ca: ca} }
+
+// Authenticate parses and verifies tok, returning the authenticated
+// account name (the credential's CN).
+func (v *Verifier) Authenticate(tok string) (string, error) {
+	c, err := ParseToken(tok)
+	if err != nil {
+		return "", err
+	}
+	if err := v.ca.Verify(c); err != nil {
+		return "", err
+	}
+	return CommonName(c.Subject), nil
+}

@@ -1,0 +1,111 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIssueVerify(t *testing.T) {
+	ca := NewCA("/O=Grid/CN=TestCA", []byte("secret"))
+	cred := ca.Issue("/O=Grid/OU=wisc.edu/CN=john", time.Hour, false)
+	if err := ca.Verify(cred); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if cred.Issuer != ca.Name() {
+		t.Errorf("Issuer = %q", cred.Issuer)
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	cred := ca.Issue("/CN=alice", time.Hour, true)
+	tok := cred.Token()
+	parsed, err := ParseToken(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Subject != cred.Subject || !parsed.Delegate {
+		t.Errorf("parsed = %+v", parsed)
+	}
+	if err := ca.Verify(parsed); err != nil {
+		t.Errorf("Verify parsed: %v", err)
+	}
+}
+
+func TestVerifierAuthenticate(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	v := NewVerifier(ca)
+	tok := ca.Issue("/O=Grid/CN=john", time.Hour, false).Token()
+	user, err := v.Authenticate(tok)
+	if err != nil || user != "john" {
+		t.Errorf("Authenticate = %q, %v; want john", user, err)
+	}
+}
+
+func TestExpiredCredential(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	cred := ca.Issue("/CN=old", -time.Minute, false)
+	if err := ca.Verify(cred); err != ErrExpired {
+		t.Errorf("Verify expired = %v, want ErrExpired", err)
+	}
+}
+
+func TestWrongCA(t *testing.T) {
+	ca1 := NewCA("ca1", []byte("secret1"))
+	ca2 := NewCA("ca2", []byte("secret2"))
+	cred := ca1.Issue("/CN=x", time.Hour, false)
+	if err := ca2.Verify(cred); err != ErrWrongCA {
+		t.Errorf("Verify foreign = %v, want ErrWrongCA", err)
+	}
+}
+
+func TestForgedSignature(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	forger := NewCA("ca", []byte("wrong-key")) // same name, different key
+	cred := forger.Issue("/CN=mallory", time.Hour, false)
+	if err := ca.Verify(cred); err != ErrBadSig {
+		t.Errorf("Verify forged = %v, want ErrBadSig", err)
+	}
+}
+
+func TestTamperedToken(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	tok := ca.Issue("/CN=john", time.Hour, false).Token()
+	// Re-encode with an altered subject.
+	parsed, _ := ParseToken(tok)
+	parsed.Subject = "/CN=root"
+	if err := ca.Verify(parsed); err != ErrBadSig {
+		t.Errorf("Verify tampered = %v, want ErrBadSig", err)
+	}
+}
+
+func TestParseTokenErrors(t *testing.T) {
+	// "aGVsbG8=" decodes to "hello": wrong field count.
+	for _, tok := range []string{"", "!!!not-base64!!!", "aGVsbG8="} {
+		if _, err := ParseToken(tok); err == nil {
+			t.Errorf("ParseToken(%q) did not fail", tok)
+		}
+	}
+}
+
+func TestCommonName(t *testing.T) {
+	cases := map[string]string{
+		"/O=Grid/OU=wisc.edu/CN=john": "john",
+		"/CN=alice":                   "alice",
+		"bare-name":                   "bare-name",
+	}
+	for subj, want := range cases {
+		if got := CommonName(subj); got != want {
+			t.Errorf("CommonName(%q) = %q, want %q", subj, got, want)
+		}
+	}
+}
+
+func TestTokenIsBase64(t *testing.T) {
+	ca := NewCA("ca", []byte("secret"))
+	tok := ca.Issue("/CN=x", time.Hour, false).Token()
+	if strings.ContainsAny(tok, " \n|") {
+		t.Errorf("token contains raw separators: %q", tok)
+	}
+}

@@ -1,0 +1,283 @@
+// Package httpx implements NeST's HTTP/1.1 protocol handler (RFC 2068
+// subset): GET, HEAD and PUT with persistent connections, mapped onto
+// the common request interface. NeST 0.9 grants HTTP clients anonymous
+// access only (paper §3). The server side is hand-rolled rather than
+// delegating to net/http so that data movement flows through the
+// transfer manager like every other protocol.
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"nest/internal/gsi"
+	"nest/internal/protocol"
+)
+
+// Proto is the protocol class name.
+const Proto = "http"
+
+// Handler is the HTTP protocol module.
+type Handler struct{}
+
+// NewHandler returns the HTTP handler.
+func NewHandler() *Handler { return &Handler{} }
+
+// Proto implements protocol.Handler.
+func (h *Handler) Proto() string { return Proto }
+
+// NewSession implements protocol.Handler. HTTP needs no handshake;
+// every client is anonymous.
+func (h *Handler) NewSession(conn net.Conn) (protocol.Session, error) {
+	return &session{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+type session struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// close10 marks a connection that must close after the response
+	// (HTTP/1.0 or Connection: close).
+	close10 bool
+	// head marks that the current request was HEAD: status and headers
+	// only.
+	head bool
+	// inData marks a get whose framing SendData already wrote.
+	inData *protocol.Request
+	// body is the unread remainder of the current request's body, to
+	// be drained before the next request on errors.
+	body io.Reader
+}
+
+// Proto implements protocol.Session.
+func (s *session) Proto() string { return Proto }
+
+// User implements protocol.Session.
+func (s *session) User() string { return gsi.Anonymous }
+
+// Close implements protocol.Session.
+func (s *session) Close() error { return s.conn.Close() }
+
+// Next implements protocol.Session: parse one HTTP request head.
+func (s *session) Next() (*protocol.Request, error) {
+	if s.body != nil {
+		// Previous request's body was not consumed (rejected put):
+		// drain it to keep the connection parseable.
+		if _, err := io.Copy(io.Discard, s.body); err != nil {
+			return nil, err
+		}
+		s.body = nil
+	}
+	if s.close10 {
+		return nil, io.EOF
+	}
+	line, err := s.readLine()
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		s.writeSimple(400, "malformed request line")
+		return nil, fmt.Errorf("httpx: malformed request line %q", line)
+	}
+	method, rawPath, version := parts[0], parts[1], parts[2]
+	if version == "HTTP/1.0" {
+		s.close10 = true
+	}
+	headers, err := s.readHeaders()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(headers["connection"], "close") {
+		s.close10 = true
+	}
+	u, err := url.ParseRequestURI(rawPath)
+	if err != nil {
+		s.writeSimple(400, "bad path")
+		return nil, fmt.Errorf("httpx: bad path %q", rawPath)
+	}
+	req := &protocol.Request{Proto: Proto, User: gsi.Anonymous, Path: u.Path}
+	s.head = false
+	switch method {
+	case "GET":
+		req.Op = protocol.OpGet
+	case "HEAD":
+		req.Op = protocol.OpStat
+		s.head = true
+	case "PUT":
+		req.Op = protocol.OpPut
+		n, err := strconv.ParseInt(headers["content-length"], 10, 64)
+		if err != nil || n < 0 {
+			s.writeSimple(411, "length required")
+			return nil, fmt.Errorf("httpx: missing Content-Length")
+		}
+		req.Size = n
+		s.body = io.LimitReader(s.br, n)
+	case "DELETE":
+		req.Op = protocol.OpRemove
+	default:
+		s.writeSimple(405, "method not allowed")
+		return nil, fmt.Errorf("httpx: method %q not allowed", method)
+	}
+	return req, nil
+}
+
+func (s *session) readLine() (string, error) {
+	line, err := s.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (s *session) readHeaders() (map[string]string, error) {
+	headers := make(map[string]string)
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return headers, nil
+		}
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		headers[strings.ToLower(strings.TrimSpace(line[:i]))] = strings.TrimSpace(line[i+1:])
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 201:
+		return "Created"
+	case 204:
+		return "No Content"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 409:
+		return "Conflict"
+	case 411:
+		return "Length Required"
+	case 507:
+		return "Insufficient Storage"
+	case 500:
+		return "Internal Server Error"
+	}
+	return "Error"
+}
+
+func codeToStatus(code int) int {
+	switch code {
+	case protocol.CodeOK:
+		return 200
+	case protocol.CodeNotFound:
+		return 404
+	case protocol.CodePermission:
+		return 403
+	case protocol.CodeNoSpace, protocol.CodeNoLot:
+		return 507
+	case protocol.CodeExists, protocol.CodeNotEmpty, protocol.CodeIsDir, protocol.CodeNotDir:
+		return 409
+	case protocol.CodeBadRequest:
+		return 400
+	}
+	return 500
+}
+
+func (s *session) writeHead(status int, length int64, extra string) error {
+	conn := "keep-alive"
+	if s.close10 {
+		conn = "close"
+	}
+	_, err := fmt.Fprintf(s.bw,
+		"HTTP/1.1 %d %s\r\nServer: NeST/0.9\r\nContent-Length: %d\r\nConnection: %s\r\n%s\r\n",
+		status, statusText(status), length, conn, extra)
+	return err
+}
+
+func (s *session) writeSimple(status int, msg string) error {
+	if status == 204 {
+		// 204 responses carry no body (RFC 2068 §10.2.5).
+		if err := s.writeHead(status, 0, ""); err != nil {
+			return err
+		}
+		return s.bw.Flush()
+	}
+	body := msg + "\n"
+	if err := s.writeHead(status, int64(len(body)), "Content-Type: text/plain\r\n"); err != nil {
+		return err
+	}
+	if _, err := s.bw.WriteString(body); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Reply implements protocol.Session.
+func (s *session) Reply(req *protocol.Request, rep *protocol.Reply) error {
+	if s.inData == req {
+		s.inData = nil
+		if rep.OK() {
+			return nil
+		}
+		return fmt.Errorf("httpx: transfer failed mid-stream: %s", rep.Message)
+	}
+	if !rep.OK() {
+		return s.writeSimple(codeToStatus(rep.Code), rep.Message)
+	}
+	switch req.Op {
+	case protocol.OpStat: // HEAD
+		if err := s.writeHead(200, rep.Info.Size, "Content-Type: application/octet-stream\r\n"); err != nil {
+			return err
+		}
+		return s.bw.Flush()
+	case protocol.OpPut:
+		return s.writeSimple(201, fmt.Sprintf("stored %d bytes", rep.Size))
+	case protocol.OpRemove:
+		return s.writeSimple(204, "")
+	}
+	return s.writeSimple(200, "ok")
+}
+
+// SendData implements protocol.Session: response head then the body.
+func (s *session) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
+	if err := s.writeHead(200, size, "Content-Type: application/octet-stream\r\n"); err != nil {
+		return nil, err
+	}
+	s.inData = req
+	return flushWriter{s.bw}, nil
+}
+
+// RecvData implements protocol.Session: the request body.
+func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
+	body := s.body
+	s.body = nil
+	if body == nil {
+		body = strings.NewReader("")
+	}
+	return io.NopCloser(body), nil
+}
+
+type flushWriter struct{ bw *bufio.Writer }
+
+func (w flushWriter) Write(p []byte) (int, error) { return w.bw.Write(p) }
+func (w flushWriter) Close() error                { return w.bw.Flush() }

@@ -1,0 +1,236 @@
+package httpx_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nest/internal/httpx"
+	"nest/internal/nesttest"
+)
+
+func start(t *testing.T) (*nesttest.Fixture, *http.Client, string) {
+	t.Helper()
+	f := nesttest.Start(t, httpx.NewHandler(), nesttest.Options{})
+	f.GrantLot(t, "anonymous", 100*nesttest.MB)
+	client := &http.Client{}
+	return f, client, "http://" + f.Addr
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, client, base := start(t)
+	payload := bytes.Repeat([]byte("http-data."), 10000)
+	req, _ := http.NewRequest(http.MethodPut, base+"/f.bin", bytes.NewReader(payload))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("GET body mismatch: %d bytes, %v", len(got), err)
+	}
+	if resp.ContentLength != int64(len(payload)) {
+		t.Errorf("Content-Length = %d", resp.ContentLength)
+	}
+}
+
+func TestHead(t *testing.T) {
+	_, client, base := start(t)
+	req, _ := http.NewRequest(http.MethodPut, base+"/h", strings.NewReader("12345"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = client.Head(base + "/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.ContentLength != 5 {
+		t.Errorf("HEAD = %d, len %d", resp.StatusCode, resp.ContentLength)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, client, base := start(t)
+	resp, err := client.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, client, base := start(t)
+	req, _ := http.NewRequest(http.MethodPut, base+"/d", strings.NewReader("x"))
+	resp, _ := client.Do(req)
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, base+"/d", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Errorf("DELETE status = %d", resp.StatusCode)
+	}
+	resp, _ = client.Get(base + "/d")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("GET after DELETE = %d", resp.StatusCode)
+	}
+}
+
+func TestKeepAliveSequence(t *testing.T) {
+	_, client, base := start(t)
+	// Several requests over one connection (http.Client pools).
+	for i := 0; i < 5; i++ {
+		path := fmt.Sprintf("%s/k%d", base, i)
+		req, _ := http.NewRequest(http.MethodPut, path, strings.NewReader("abc"))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("PUT %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp, err = client.Get(path)
+		if err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "abc" {
+			t.Fatalf("GET %d body = %q", i, body)
+		}
+	}
+}
+
+func TestRejectedPutKeepsConnection(t *testing.T) {
+	f := nesttest.Start(t, httpx.NewHandler(), nesttest.Options{}) // no lot granted
+	client := &http.Client{}
+	base := "http://" + f.Addr
+	req, _ := http.NewRequest(http.MethodPut, base+"/f", strings.NewReader("data"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 507 {
+		t.Errorf("PUT without lot = %d, want 507", resp.StatusCode)
+	}
+	// The same pooled connection still serves requests (body drained).
+	resp, err = client.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, client, base := start(t)
+	req, _ := http.NewRequest(http.MethodPost, base+"/x", strings.NewReader("x"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	f, client, base := start(t)
+	// Lock down the tree for anyone but a GSI user.
+	f.Store.ACL().Set("/", "system:anyuser", 0)
+	f.Store.ACL().Set("/", "john", 0x3f)
+	resp, err := client.Get(base + "/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 403 {
+		t.Errorf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestHTTP10ClosesConnection: an HTTP/1.0 request is served and the
+// connection closed afterward.
+func TestHTTP10ClosesConnection(t *testing.T) {
+	f := nesttest.Start(t, httpx.NewHandler(), nesttest.Options{})
+	f.GrantLot(t, "anonymous", nesttest.MB)
+	conn, err := net.Dial("tcp", f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "PUT /ten HTTP/1.0\r\nContent-Length: 3\r\n\r\nxyz")
+	resp, err := io.ReadAll(conn) // server closes after the response
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(resp)
+	if !strings.Contains(text, "201") {
+		t.Errorf("response:\n%s", text)
+	}
+	if !strings.Contains(text, "Connection: close") {
+		t.Errorf("HTTP/1.0 response not marked close:\n%s", text)
+	}
+}
+
+// TestPipelinedGets issues two requests back to back on one raw
+// connection (keep-alive framing must be exact).
+func TestPipelinedGets(t *testing.T) {
+	f := nesttest.Start(t, httpx.NewHandler(), nesttest.Options{})
+	f.GrantLot(t, "anonymous", nesttest.MB)
+	client := &http.Client{}
+	req, _ := http.NewRequest(http.MethodPut, "http://"+f.Addr+"/p", strings.NewReader("pipelined"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	conn, err := net.Dial("tcp", f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /p HTTP/1.1\r\nHost: x\r\n\r\nGET /p HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+	all, _ := io.ReadAll(conn)
+	if got := strings.Count(string(all), "200 OK"); got != 2 {
+		t.Errorf("pipelined responses = %d, want 2:\n%s", got, all)
+	}
+	if got := strings.Count(string(all), "pipelined"); got != 2 {
+		t.Errorf("bodies = %d, want 2", got)
+	}
+}

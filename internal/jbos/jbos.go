@@ -1,0 +1,201 @@
+// Package jbos implements the paper's baseline: "Just a Bunch Of
+// Servers" (paper §3) — independent single-protocol servers (stand-ins
+// for wu-ftpd, Apache, the kernel nfsd and a lone Chirp server) that
+// share nothing but the machine. Each JBOS server pumps data directly
+// between storage and network with its own unbounded per-connection
+// concurrency: there is no common transfer manager, so no cross-
+// protocol scheduling, no proportional share and no cache-aware
+// reordering is possible — exactly what Figures 3 and 4 compare NeST
+// against.
+package jbos
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"nest/internal/protocol"
+	"nest/internal/sim"
+	"nest/internal/storage"
+)
+
+// Server is one native single-protocol server.
+type Server struct {
+	clock   sim.Clock
+	store   *storage.Manager
+	handler protocol.Handler
+	ln      net.Listener
+	mu      sync.Mutex
+	// storageMu serializes metadata operations like a simple
+	// single-threaded native server would.
+	storageMu sync.Mutex
+	sessions  map[protocol.Session]bool
+	closed    bool
+	wg        sync.WaitGroup
+	moved     int64
+}
+
+// Serve runs handler as an independent native server on ln, reading
+// and writing store directly.
+func Serve(clock sim.Clock, store *storage.Manager, handler protocol.Handler, ln net.Listener) *Server {
+	s := &Server{
+		clock:    clock,
+		store:    store,
+		handler:  handler,
+		ln:       ln,
+		sessions: make(map[protocol.Session]bool),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				sess, err := handler.NewSession(conn)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				s.serveSession(sess)
+			}()
+		}
+	}()
+	return s
+}
+
+// Proto returns the served protocol class.
+func (s *Server) Proto() string { return s.handler.Proto() }
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Moved returns total transfer bytes served.
+func (s *Server) Moved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moved
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]protocol.Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) track(sess protocol.Session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.sessions[sess] = true
+	return true
+}
+
+func (s *Server) untrack(sess protocol.Session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// serveSession is a stripped-down dispatcher: requests execute
+// immediately and transfers copy inline on the session goroutine.
+func (s *Server) serveSession(sess protocol.Session) {
+	defer sess.Close()
+	if !s.track(sess) {
+		return
+	}
+	defer s.untrack(sess)
+	for {
+		req, err := sess.Next()
+		if err != nil {
+			return
+		}
+		req.Proto = sess.Proto()
+		req.User = sess.User()
+		req.Arrived = s.clock.Now()
+		switch {
+		case req.Op == protocol.OpQuit:
+			sess.Reply(req, protocol.OKReply())
+			return
+		case req.Op == protocol.OpGet:
+			s.get(sess, req)
+		case req.Op == protocol.OpPut:
+			s.put(sess, req)
+		default:
+			s.storageMu.Lock()
+			rep := s.store.Execute(req)
+			s.storageMu.Unlock()
+			if err := sess.Reply(req, rep); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) get(sess protocol.Session, req *protocol.Request) {
+	f, size, errRep := s.store.ApproveGet(req)
+	if errRep != nil {
+		sess.Reply(req, errRep)
+		return
+	}
+	defer f.Close()
+	sink, err := sess.SendData(req, size)
+	if err != nil {
+		return
+	}
+	n, err := io.Copy(sink, io.NewSectionReader(f, req.Offset, size))
+	sink.Close()
+	s.mu.Lock()
+	s.moved += n
+	s.mu.Unlock()
+	rep := protocol.OKReply()
+	rep.Size = n
+	if err != nil {
+		rep = protocol.ErrReply(protocol.CodeInternal, "transfer failed: %v", err)
+	}
+	sess.Reply(req, rep)
+}
+
+func (s *Server) put(sess protocol.Session, req *protocol.Request) {
+	ticket, errRep := s.store.ApprovePut(req)
+	if errRep != nil {
+		sess.Reply(req, errRep)
+		return
+	}
+	src, err := sess.RecvData(req)
+	if err != nil {
+		s.store.FinishPut(ticket, 0, err)
+		return
+	}
+	var reader io.Reader = src
+	if req.Size >= 0 {
+		reader = io.LimitReader(src, req.Size)
+	}
+	n, err := io.Copy(io.NewOffsetWriter(ticket.File, req.Offset), reader)
+	src.Close()
+	s.mu.Lock()
+	s.moved += n
+	s.mu.Unlock()
+	rep := s.store.FinishPut(ticket, n, err)
+	sess.Reply(req, rep)
+}

@@ -1,0 +1,224 @@
+package jbos_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/chirp"
+	"nest/internal/ftp"
+	"nest/internal/gsi"
+	"nest/internal/httpx"
+	"nest/internal/jbos"
+	"nest/internal/lots"
+	"nest/internal/nfs"
+	"nest/internal/protocol"
+	"nest/internal/sim"
+	"nest/internal/storage"
+)
+
+// startJBOS serves one handler over a fresh native server with shared
+// in-memory storage.
+func startJBOS(t *testing.T, handler protocol.Handler) (*jbos.Server, *storage.Manager) {
+	t.Helper()
+	clock := sim.NewRealClock()
+	fs := storage.NewMemFS(clock, 1<<30)
+	table := acl.NewTable(acl.AllRights, gsi.Anonymous)
+	lotMgr := lots.NewManager(clock, 1<<30, lots.NeSTManaged, nil)
+	store := storage.NewManager(fs, table, lotMgr)
+	lotMgr.Create(gsi.Anonymous, 100<<20, time.Hour)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := jbos.Serve(clock, store, handler, ln)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func TestHTTPServer(t *testing.T) {
+	srv, _ := startJBOS(t, httpx.NewHandler())
+	payload := bytes.Repeat([]byte("apache-standin."), 5000)
+	req, _ := http.NewRequest(http.MethodPut, "http://"+srv.Addr()+"/f", bytes.NewReader(payload))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get("http://" + srv.Addr() + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("HTTP round trip mismatch")
+	}
+	if srv.Moved() != 2*int64(len(payload)) {
+		t.Errorf("Moved = %d, want %d", srv.Moved(), 2*len(payload))
+	}
+}
+
+func TestFTPServer(t *testing.T) {
+	srv, _ := startJBOS(t, ftp.NewHandler(ftp.Options{AllowAnon: true}))
+	c, err := ftp.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if err := c.LoginAnonymous(); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("wu-ftpd standin data")
+	if _, err := c.Stor("/f", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.Retr("/f", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("FTP round trip mismatch")
+	}
+}
+
+func TestNFSServer(t *testing.T) {
+	srv, _ := startJBOS(t, nfs.NewHandler())
+	c, err := nfs.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	root, err := c.Mount("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := c.Create(root, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("nfsd!"), 4000)
+	if err := c.WriteAll(fh, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadAll(fh)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("NFS round trip mismatch (%d bytes, %v)", len(got), err)
+	}
+}
+
+func TestChirpServer(t *testing.T) {
+	srv, _ := startJBOS(t, chirp.NewHandler(nil, true))
+	c, err := chirp.Dial(srv.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PutBytes("/f", []byte("native chirp"), ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("/f")
+	if err != nil || string(got) != "native chirp" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+// TestIndependentServers runs three JBOS servers side by side over the
+// same storage, as the mixed-workload JBOS configuration does.
+func TestIndependentServers(t *testing.T) {
+	clock := sim.NewRealClock()
+	fs := storage.NewMemFS(clock, 1<<30)
+	table := acl.NewTable(acl.AllRights, gsi.Anonymous)
+	lotMgr := lots.NewManager(clock, 1<<30, lots.NeSTManaged, nil)
+	store := storage.NewManager(fs, table, lotMgr)
+	lotMgr.Create(gsi.Anonymous, 100<<20, time.Hour)
+
+	var servers []*jbos.Server
+	for _, h := range []protocol.Handler{
+		httpx.NewHandler(),
+		ftp.NewHandler(ftp.Options{AllowAnon: true}),
+		chirp.NewHandler(nil, true),
+	} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := jbos.Serve(clock, store, h, ln)
+		t.Cleanup(srv.Close)
+		servers = append(servers, srv)
+	}
+
+	// Write through Chirp; read the same bytes through HTTP and FTP.
+	cc, err := chirp.Dial(servers[2].Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.PutBytes("/shared", []byte("jbos-shared"), ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + servers[0].Addr() + "/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != "jbos-shared" {
+		t.Errorf("HTTP read = %q", got)
+	}
+	fc, err := ftp.Dial(servers[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Quit()
+	fc.LoginAnonymous()
+	var buf bytes.Buffer
+	if _, err := fc.Retr("/shared", &buf); err != nil || buf.String() != "jbos-shared" {
+		t.Errorf("FTP read = %q, %v", buf.String(), err)
+	}
+}
+
+// TestJBOSNoSharedScheduling documents the baseline's defining gap: two
+// JBOS servers cannot coordinate bandwidth because each pumps its own
+// transfers directly; there is no common transfer manager to carry a
+// policy (paper §3's JBOS discussion). Structurally: the servers share
+// only storage, and each reports only its own traffic.
+func TestJBOSNoSharedScheduling(t *testing.T) {
+	srvA, store := startJBOS(t, httpx.NewHandler())
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := jbos.Serve(sim.NewRealClock(), store, chirp.NewHandler(nil, true), lnB)
+	t.Cleanup(srvB.Close)
+
+	cc, err := chirp.Dial(srvB.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.PutBytes("/x", []byte("12345"), ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srvA.Addr() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != "12345" {
+		t.Fatalf("cross-server read = %q", got)
+	}
+	// Each server accounts only its own bytes: no shared manager.
+	if srvA.Moved() != 5 {
+		t.Errorf("http server moved %d, want 5 (its own GET only)", srvA.Moved())
+	}
+	if srvB.Moved() != 5 {
+		t.Errorf("chirp server moved %d, want 5 (its own PUT only)", srvB.Moved())
+	}
+}

@@ -1,0 +1,572 @@
+// Package lots implements NeST's storage-space guarantees (paper §5).
+// A lot is defined by four characteristics: owner, capacity, duration
+// and files. When a lot's duration expires its files are not deleted;
+// the lot becomes *best-effort* and its space may be reclaimed later
+// to admit a new lot. Files may span multiple lots when they do not
+// fit in one.
+//
+// Two enforcement modes mirror the paper's discussion:
+//
+//   - QuotaBacked delegates to the kernel quota subsystem: lot
+//     creation raises the owner's user quota. It is simple and covers
+//     direct (non-NeST) filesystem access, but accounts per user, so a
+//     user may overfill one lot and then be unable to fill another to
+//     capacity.
+//   - NeSTManaged accounts writes against individual lots inside NeST,
+//     distinguishing lots correctly at the cost of monitoring write
+//     operations.
+package lots
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nest/internal/quota"
+	"nest/internal/sim"
+)
+
+// EnforcementMode selects how lot capacity is policed.
+type EnforcementMode int
+
+// Enforcement modes.
+const (
+	QuotaBacked EnforcementMode = iota
+	NeSTManaged
+)
+
+func (m EnforcementMode) String() string {
+	if m == NeSTManaged {
+		return "nest-managed"
+	}
+	return "quota-backed"
+}
+
+// Errors reported by the lot manager.
+var (
+	ErrNoSpace  = errors.New("lots: insufficient guaranteed space")
+	ErrNoLot    = errors.New("lots: user holds no usable lot")
+	ErrNotFound = errors.New("lots: no such lot")
+	ErrNotOwner = errors.New("lots: not the lot owner")
+	ErrLotFull  = errors.New("lots: lot capacity exhausted")
+)
+
+// Lot is one storage guarantee.
+type Lot struct {
+	ID         string
+	Owner      string
+	Capacity   int64
+	Used       int64
+	Created    time.Duration
+	Expires    time.Duration
+	BestEffort bool             // duration elapsed; space reclaimable
+	Files      map[string]int64 // path -> bytes charged to this lot
+	// Members may write into the lot (group lots — the paper's "next
+	// release" feature). Only the owner releases, renews or edits
+	// membership.
+	Members map[string]bool
+}
+
+// usableBy reports whether user may charge writes to the lot.
+func (l *Lot) usableBy(user string) bool {
+	return l.Owner == user || l.Members[user]
+}
+
+// Info is a copyable snapshot of a lot.
+type Info struct {
+	ID         string
+	Owner      string
+	Capacity   int64
+	Used       int64
+	Expires    time.Duration
+	BestEffort bool
+	Files      []string
+	Members    []string
+}
+
+// ReclaimPolicy orders best-effort lots for reclamation.
+type ReclaimPolicy int
+
+// Reclamation policies for best-effort space (paper §5: "currently
+// investigating different selection policies").
+const (
+	// ReclaimOldestExpired victimizes the lot whose guarantee lapsed
+	// longest ago.
+	ReclaimOldestExpired ReclaimPolicy = iota
+	// ReclaimLargest victimizes the biggest best-effort lot first,
+	// minimizing the number of broken guarantees.
+	ReclaimLargest
+)
+
+// Manager tracks all lots on one appliance.
+type Manager struct {
+	clock   sim.Clock
+	mode    EnforcementMode
+	quota   *quota.Manager
+	policy  ReclaimPolicy
+	mu      sync.Mutex
+	total   int64 // guaranteeable bytes
+	lots    map[string]*Lot
+	order   []string // creation order of lot IDs
+	nextID  int
+	removed func(lot *Lot) // callback when a lot is reclaimed
+}
+
+// NewManager creates a lot manager over total guaranteeable bytes.
+// qm is consulted only in QuotaBacked mode and may be nil otherwise.
+func NewManager(clock sim.Clock, total int64, mode EnforcementMode, qm *quota.Manager) *Manager {
+	return &Manager{
+		clock: clock,
+		mode:  mode,
+		quota: qm,
+		total: total,
+		lots:  make(map[string]*Lot),
+	}
+}
+
+// Mode returns the enforcement mode.
+func (m *Manager) Mode() EnforcementMode { return m.mode }
+
+// SetReclaimPolicy selects the best-effort reclamation order.
+func (m *Manager) SetReclaimPolicy(p ReclaimPolicy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+}
+
+// OnReclaim registers a callback invoked (without the lock held) with
+// each lot whose space is reclaimed; the storage manager uses it to
+// delete the victim's files.
+func (m *Manager) OnReclaim(fn func(lot *Lot)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removed = fn
+}
+
+// sweepLocked flips expired lots to best-effort.
+func (m *Manager) sweepLocked() {
+	now := m.clock.Now()
+	for _, l := range m.lots {
+		if !l.BestEffort && now >= l.Expires {
+			l.BestEffort = true
+		}
+	}
+}
+
+// guaranteedLocked sums the capacity of active (non best-effort) lots.
+func (m *Manager) guaranteedLocked() int64 {
+	var g int64
+	for _, l := range m.lots {
+		if !l.BestEffort {
+			g += l.Capacity
+		}
+	}
+	return g
+}
+
+// commitmentLocked is the space a new guarantee must fit around:
+// active lots commit their full capacity, while best-effort lots
+// commit only the bytes their surviving files still occupy (those
+// files remain until reclaimed, paper §5). exclude omits one lot, for
+// renewal.
+func (m *Manager) commitmentLocked(exclude *Lot) int64 {
+	var g int64
+	for _, l := range m.lots {
+		if l == exclude {
+			continue
+		}
+		if l.BestEffort {
+			g += l.Used
+		} else {
+			g += l.Capacity
+		}
+	}
+	return g
+}
+
+// Create guarantees capacity bytes for owner for the given duration.
+// If guaranteeable space is short, best-effort lots are reclaimed
+// according to the reclamation policy; if that is not enough, Create
+// fails with ErrNoSpace.
+func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (Info, error) {
+	if capacity <= 0 {
+		return Info{}, fmt.Errorf("lots: non-positive capacity %d", capacity)
+	}
+	m.mu.Lock()
+	m.sweepLocked()
+	var victims []*Lot
+	for m.commitmentLocked(nil)+capacity > m.total {
+		v := m.pickVictimLocked()
+		if v == nil {
+			m.mu.Unlock()
+			return Info{}, ErrNoSpace
+		}
+		m.deleteLocked(v)
+		victims = append(victims, v)
+	}
+	m.nextID++
+	now := m.clock.Now()
+	l := &Lot{
+		ID:       fmt.Sprintf("lot%04d", m.nextID),
+		Owner:    owner,
+		Capacity: capacity,
+		Created:  now,
+		Expires:  now + duration,
+		Files:    make(map[string]int64),
+		Members:  make(map[string]bool),
+	}
+	m.lots[l.ID] = l
+	m.order = append(m.order, l.ID)
+	removed := m.removed
+	m.mu.Unlock()
+
+	if m.mode == QuotaBacked && m.quota != nil {
+		m.quota.AddLimit(owner, capacity)
+	}
+	if removed != nil {
+		for _, v := range victims {
+			removed(v)
+		}
+	}
+	return snapshot(l), nil
+}
+
+// pickVictimLocked chooses the next best-effort lot to reclaim, or nil.
+func (m *Manager) pickVictimLocked() *Lot {
+	var candidates []*Lot
+	for _, id := range m.order {
+		if l, ok := m.lots[id]; ok && l.BestEffort {
+			candidates = append(candidates, l)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	switch m.policy {
+	case ReclaimLargest:
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Used != candidates[j].Used {
+				return candidates[i].Used > candidates[j].Used
+			}
+			return candidates[i].Expires < candidates[j].Expires
+		})
+	default: // ReclaimOldestExpired
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].Expires < candidates[j].Expires
+		})
+	}
+	return candidates[0]
+}
+
+func (m *Manager) deleteLocked(l *Lot) {
+	delete(m.lots, l.ID)
+	for i, id := range m.order {
+		if id == l.ID {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	if m.mode == QuotaBacked && m.quota != nil {
+		// Lock ordering: quota has its own lock and never calls back.
+		m.quota.ReduceLimit(l.Owner, l.Capacity)
+	}
+}
+
+// Release terminates a lot; its space becomes available immediately.
+// Files charged to the lot are not deleted (they were the owner's to
+// keep), but their guarantee vanishes.
+func (m *Manager) Release(owner, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.lots[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if l.Owner != owner {
+		return ErrNotOwner
+	}
+	m.deleteLocked(l)
+	return nil
+}
+
+// Renew extends a lot's duration from now; expired (best-effort) lots
+// are reactivated if guaranteeable space permits.
+func (m *Manager) Renew(owner, id string, duration time.Duration) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	l, ok := m.lots[id]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	if l.Owner != owner {
+		return Info{}, ErrNotOwner
+	}
+	if l.BestEffort {
+		if m.commitmentLocked(l)+l.Capacity > m.total {
+			return Info{}, ErrNoSpace
+		}
+		l.BestEffort = false
+	}
+	l.Expires = m.clock.Now() + duration
+	return snapshot(l), nil
+}
+
+// AddMember grants user write access to the owner's lot (group lots).
+func (m *Manager) AddMember(owner, id, user string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.lots[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if l.Owner != owner {
+		return ErrNotOwner
+	}
+	l.Members[user] = true
+	return nil
+}
+
+// RemoveMember revokes user's write access to the owner's lot.
+func (m *Manager) RemoveMember(owner, id, user string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.lots[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if l.Owner != owner {
+		return ErrNotOwner
+	}
+	delete(l.Members, user)
+	return nil
+}
+
+// UsableBy reports whether user may charge writes to the lot (owner or
+// member).
+func (m *Manager) UsableBy(id, user string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.lots[id]
+	return ok && l.usableBy(user)
+}
+
+// Lookup returns a snapshot of one lot.
+func (m *Manager) Lookup(id string) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	l, ok := m.lots[id]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	return snapshot(l), nil
+}
+
+// Owned returns snapshots of owner's lots in creation order.
+func (m *Manager) Owned(owner string) []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	var out []Info
+	for _, id := range m.order {
+		if l := m.lots[id]; l != nil && l.Owner == owner {
+			out = append(out, snapshot(l))
+		}
+	}
+	return out
+}
+
+// Guaranteed returns the bytes currently promised to active lots.
+func (m *Manager) Guaranteed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	return m.guaranteedLocked()
+}
+
+// Total returns the guaranteeable capacity.
+func (m *Manager) Total() int64 { return m.total }
+
+// ChargeWrite accounts n new bytes of path written by owner,
+// preferring lotID when given. In NeSTManaged mode the charge spills
+// across the owner's lots when one fills (file spanning); in
+// QuotaBacked mode the kernel quota is charged per user.
+func (m *Manager) ChargeWrite(owner, lotID, path string, n int64) error {
+	if n == 0 {
+		return nil
+	}
+	if m.mode == QuotaBacked {
+		if m.quota == nil {
+			return nil
+		}
+		if err := m.quota.Charge(owner, n); err != nil {
+			return err
+		}
+		m.recordFile(owner, lotID, path, n)
+		return nil
+	}
+	return m.chargeManaged(owner, lotID, path, n)
+}
+
+// recordFile best-effort attributes bytes to a lot for reporting in
+// quota-backed mode (enforcement happened in the quota layer).
+func (m *Manager) recordFile(owner, lotID, path string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var l *Lot
+	if lotID != "" {
+		l = m.lots[lotID]
+	} else {
+		for _, id := range m.order {
+			if cand := m.lots[id]; cand != nil && cand.Owner == owner {
+				l = cand
+				break
+			}
+		}
+	}
+	if l != nil {
+		l.Used += n
+		l.Files[path] += n
+	}
+}
+
+func (m *Manager) chargeManaged(owner, lotID, path string, n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	// Build the candidate list: the named lot first, then the owner's
+	// other usable lots in creation order (a file may span lots).
+	var candidates []*Lot
+	if lotID != "" {
+		l, ok := m.lots[lotID]
+		if !ok {
+			return ErrNotFound
+		}
+		if !l.usableBy(owner) {
+			return ErrNotOwner
+		}
+		candidates = append(candidates, l)
+	}
+	for _, id := range m.order {
+		l := m.lots[id]
+		if l == nil || !l.usableBy(owner) || (lotID != "" && l.ID == lotID) {
+			continue
+		}
+		candidates = append(candidates, l)
+	}
+	if len(candidates) == 0 {
+		return ErrNoLot
+	}
+	remaining := n
+	type charge struct {
+		l *Lot
+		n int64
+	}
+	var plan []charge
+	for _, l := range candidates {
+		free := l.Capacity - l.Used
+		if free <= 0 {
+			continue
+		}
+		take := remaining
+		if take > free {
+			take = free
+		}
+		plan = append(plan, charge{l, take})
+		remaining -= take
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining > 0 {
+		if lotID != "" && len(candidates) == 1 {
+			return ErrLotFull
+		}
+		return ErrNoSpace
+	}
+	for _, c := range plan {
+		c.l.Used += c.n
+		c.l.Files[path] += c.n
+	}
+	return nil
+}
+
+// UnchargeFile releases up to n bytes charged to path, unwinding the
+// most recently charged lots first (partial-put settlement).
+func (m *Manager) UnchargeFile(owner, path string, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	remaining := n
+	var freed int64
+	for i := len(m.order) - 1; i >= 0 && remaining > 0; i-- {
+		l := m.lots[m.order[i]]
+		if l == nil {
+			continue
+		}
+		have, ok := l.Files[path]
+		if !ok {
+			continue
+		}
+		take := remaining
+		if take > have {
+			take = have
+		}
+		l.Files[path] -= take
+		if l.Files[path] == 0 {
+			delete(l.Files, path)
+		}
+		l.Used -= take
+		remaining -= take
+		freed += take
+	}
+	m.mu.Unlock()
+	if m.mode == QuotaBacked && m.quota != nil && freed > 0 {
+		m.quota.Release(owner, freed)
+	}
+}
+
+// ReleaseFile returns path's bytes to whichever lots carried them (and
+// to the user quota in quota-backed mode).
+func (m *Manager) ReleaseFile(owner, path string) {
+	m.mu.Lock()
+	var freed int64
+	for _, l := range m.lots {
+		if n, ok := l.Files[path]; ok {
+			l.Used -= n
+			freed += n
+			delete(l.Files, path)
+		}
+	}
+	m.mu.Unlock()
+	if m.mode == QuotaBacked && m.quota != nil && freed > 0 {
+		m.quota.Release(owner, freed)
+	}
+}
+
+func snapshot(l *Lot) Info {
+	files := make([]string, 0, len(l.Files))
+	for f := range l.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	members := make([]string, 0, len(l.Members))
+	for u := range l.Members {
+		members = append(members, u)
+	}
+	sort.Strings(members)
+	return Info{
+		ID:         l.ID,
+		Owner:      l.Owner,
+		Capacity:   l.Capacity,
+		Used:       l.Used,
+		Expires:    l.Expires,
+		BestEffort: l.BestEffort,
+		Files:      files,
+		Members:    members,
+	}
+}

@@ -1,0 +1,401 @@
+package lots
+
+import (
+	"testing"
+	"time"
+
+	"nest/internal/quota"
+	"nest/internal/sim"
+)
+
+const mb = sim.MB
+
+// run executes fn under a virtual clock.
+func run(t *testing.T, fn func(c *sim.VirtualClock)) {
+	t.Helper()
+	c := sim.NewVirtualClock()
+	c.Run(func() { fn(c) })
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		info, err := m.Create("john", 40*mb, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Owner != "john" || info.Capacity != 40*mb || info.BestEffort {
+			t.Errorf("info = %+v", info)
+		}
+		got, err := m.Lookup(info.ID)
+		if err != nil || got.ID != info.ID {
+			t.Errorf("Lookup = %+v, %v", got, err)
+		}
+		if m.Guaranteed() != 40*mb {
+			t.Errorf("Guaranteed = %d", m.Guaranteed())
+		}
+	})
+}
+
+func TestCreateOverCapacity(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		if _, err := m.Create("a", 80*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Create("b", 30*mb, time.Hour); err != ErrNoSpace {
+			t.Errorf("over-capacity create = %v, want ErrNoSpace", err)
+		}
+	})
+}
+
+func TestExpiryBecomesBestEffort(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		info, _ := m.Create("john", 40*mb, time.Minute)
+		c.Sleep(2 * time.Minute)
+		got, err := m.Lookup(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.BestEffort {
+			t.Error("expired lot not best-effort")
+		}
+		// Best-effort capacity no longer counts as guaranteed.
+		if m.Guaranteed() != 0 {
+			t.Errorf("Guaranteed = %d, want 0", m.Guaranteed())
+		}
+	})
+}
+
+func TestBestEffortFilesRemainUntilReclaim(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		var reclaimed []*Lot
+		m.OnReclaim(func(l *Lot) { reclaimed = append(reclaimed, l) })
+		info, _ := m.Create("john", 60*mb, time.Minute)
+		if err := m.ChargeWrite("john", info.ID, "/f1", 10*mb); err != nil {
+			t.Fatal(err)
+		}
+		c.Sleep(2 * time.Minute) // lot expires; files remain
+		if len(reclaimed) != 0 {
+			t.Fatal("files reclaimed before space was needed")
+		}
+		// A lot that fits around the surviving 10MB does not reclaim.
+		if _, err := m.Create("mary", 80*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if len(reclaimed) != 0 {
+			t.Fatal("reclaimed although the new lot fit")
+		}
+		// One that does not fit triggers reclamation.
+		if _, err := m.Create("mary", 15*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if len(reclaimed) != 1 || reclaimed[0].ID != info.ID {
+			t.Errorf("reclaimed = %v", reclaimed)
+		}
+		if _, err := m.Lookup(info.ID); err != ErrNotFound {
+			t.Errorf("reclaimed lot still present: %v", err)
+		}
+	})
+}
+
+func TestReclaimPolicies(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		var order []string
+		m.OnReclaim(func(l *Lot) { order = append(order, l.ID) })
+		small, _ := m.Create("a", 20*mb, time.Minute)
+		m.ChargeWrite("a", small.ID, "/s", 15*mb)
+		big, _ := m.Create("b", 60*mb, 2*time.Minute)
+		m.ChargeWrite("b", big.ID, "/b", 50*mb)
+		c.Sleep(3 * time.Minute) // both expire; small expired first
+		m.SetReclaimPolicy(ReclaimLargest)
+		// 65MB of best-effort files occupy the disk; a 50MB guarantee
+		// needs 15MB back. Largest-first victimizes big despite small
+		// having expired earlier.
+		if _, err := m.Create("c", 50*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 1 || order[0] != big.ID {
+			t.Errorf("largest-first reclaimed %v, want [%s]", order, big.ID)
+		}
+	})
+}
+
+func TestReclaimOldestExpired(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		var order []string
+		m.OnReclaim(func(l *Lot) { order = append(order, l.ID) })
+		first, _ := m.Create("a", 30*mb, time.Minute)
+		m.ChargeWrite("a", first.ID, "/a", 20*mb)
+		second, _ := m.Create("b", 30*mb, 2*time.Minute)
+		m.ChargeWrite("b", second.ID, "/b", 20*mb)
+		c.Sleep(3 * time.Minute)
+		// 40MB of best-effort files; a 90MB guarantee reclaims both,
+		// in expiry order.
+		if _, err := m.Create("c", 90*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 2 || order[0] != first.ID || order[1] != second.ID {
+			t.Errorf("reclaim order = %v", order)
+		}
+	})
+}
+
+func TestRenew(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		info, _ := m.Create("john", 40*mb, time.Minute)
+		c.Sleep(2 * time.Minute)
+		renewed, err := m.Renew("john", info.ID, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renewed.BestEffort {
+			t.Error("renewed lot still best-effort")
+		}
+		if renewed.Expires != c.Now()+time.Hour {
+			t.Errorf("Expires = %v", renewed.Expires)
+		}
+		if _, err := m.Renew("mary", info.ID, time.Hour); err != ErrNotOwner {
+			t.Errorf("foreign renew = %v, want ErrNotOwner", err)
+		}
+	})
+}
+
+func TestRenewBlockedWhenSpaceGone(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		old, _ := m.Create("a", 60*mb, time.Minute)
+		c.Sleep(2 * time.Minute)
+		// The guarantee lapsed and an empty best-effort lot commits no
+		// space, so a big new lot is admitted without reclamation...
+		if _, err := m.Create("b", 70*mb, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		// ...and the old lot can no longer reactivate its guarantee.
+		if _, err := m.Renew("a", old.ID, time.Hour); err != ErrNoSpace {
+			t.Errorf("renew without space = %v, want ErrNoSpace", err)
+		}
+	})
+}
+
+func TestChargeSpansLots(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l1, _ := m.Create("john", 30*mb, time.Hour)
+		l2, _ := m.Create("john", 30*mb, time.Hour)
+		// 50MB does not fit in one lot: spans both (paper §5).
+		if err := m.ChargeWrite("john", "", "/big", 50*mb); err != nil {
+			t.Fatal(err)
+		}
+		i1, _ := m.Lookup(l1.ID)
+		i2, _ := m.Lookup(l2.ID)
+		if i1.Used != 30*mb || i2.Used != 20*mb {
+			t.Errorf("span: used = %d, %d", i1.Used, i2.Used)
+		}
+		if err := m.ChargeWrite("john", "", "/more", 20*mb); err != ErrNoSpace {
+			t.Errorf("over guarantee = %v, want ErrNoSpace", err)
+		}
+	})
+}
+
+func TestChargeNamedLotDoesNotSpill(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l1, _ := m.Create("john", 30*mb, time.Hour)
+		m.Create("john", 30*mb, time.Hour)
+		// A named lot is preferred but spills when the file cannot fit;
+		// the spill is what lets a file span lots.
+		if err := m.ChargeWrite("john", l1.ID, "/big", 40*mb); err != nil {
+			t.Fatal(err)
+		}
+		i1, _ := m.Lookup(l1.ID)
+		if i1.Used != 30*mb {
+			t.Errorf("named lot used = %d", i1.Used)
+		}
+	})
+}
+
+func TestChargeNoLot(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		if err := m.ChargeWrite("john", "", "/f", mb); err != ErrNoLot {
+			t.Errorf("charge without lot = %v, want ErrNoLot", err)
+		}
+		if err := m.ChargeWrite("john", "lot9999", "/f", mb); err != ErrNotFound {
+			t.Errorf("charge unknown lot = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestReleaseFile(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l, _ := m.Create("john", 30*mb, time.Hour)
+		m.ChargeWrite("john", l.ID, "/f", 20*mb)
+		m.ReleaseFile("john", "/f")
+		got, _ := m.Lookup(l.ID)
+		if got.Used != 0 {
+			t.Errorf("Used after release = %d", got.Used)
+		}
+	})
+}
+
+func TestUnchargePartial(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l, _ := m.Create("john", 30*mb, time.Hour)
+		m.ChargeWrite("john", l.ID, "/f", 20*mb)
+		m.UnchargeFile("john", "/f", 5*mb)
+		got, _ := m.Lookup(l.ID)
+		if got.Used != 15*mb {
+			t.Errorf("Used = %d, want 15MB", got.Used)
+		}
+	})
+}
+
+func TestQuotaBackedOverfillAnomaly(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		qm := quota.NewManager(true)
+		m := NewManager(c, 1000*mb, QuotaBacked, qm)
+		l1, _ := m.Create("john", 100*mb, time.Hour)
+		l2, _ := m.Create("john", 100*mb, time.Hour)
+		// Quota-backed enforcement is per user: overfilling lot 1 to
+		// 150MB succeeds (the paper's documented weakness)...
+		if err := m.ChargeWrite("john", l1.ID, "/big", 150*mb); err != nil {
+			t.Fatalf("overfill rejected: %v", err)
+		}
+		// ...and then lot 2 cannot be filled to capacity.
+		if err := m.ChargeWrite("john", l2.ID, "/second", 100*mb); err != quota.ErrOverQuota {
+			t.Errorf("second fill = %v, want ErrOverQuota", err)
+		}
+		if err := m.ChargeWrite("john", l2.ID, "/second", 50*mb); err != nil {
+			t.Errorf("within user quota = %v", err)
+		}
+	})
+}
+
+func TestNeSTManagedFixesOverfill(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 1000*mb, NeSTManaged, nil)
+		l1, _ := m.Create("john", 100*mb, time.Hour)
+		l2, _ := m.Create("john", 100*mb, time.Hour)
+		// NeST-managed accounting spans the file across both lots...
+		if err := m.ChargeWrite("john", l1.ID, "/big", 150*mb); err != nil {
+			t.Fatal(err)
+		}
+		// ...so exactly the remaining 50MB of guarantee is available.
+		if err := m.ChargeWrite("john", l2.ID, "/second", 51*mb); err == nil {
+			t.Error("charge beyond total guarantee succeeded")
+		}
+		if err := m.ChargeWrite("john", l2.ID, "/second", 50*mb); err != nil {
+			t.Errorf("remaining guarantee rejected: %v", err)
+		}
+		_ = l2
+	})
+}
+
+func TestReleaseLot(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		qm := quota.NewManager(true)
+		m := NewManager(c, 100*mb, QuotaBacked, qm)
+		info, _ := m.Create("john", 40*mb, time.Hour)
+		if qm.Limit("john") != 40*mb {
+			t.Errorf("quota limit = %d", qm.Limit("john"))
+		}
+		if err := m.Release("mary", info.ID); err != ErrNotOwner {
+			t.Errorf("foreign release = %v", err)
+		}
+		if err := m.Release("john", info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if qm.Limit("john") != 0 {
+			t.Errorf("quota limit after release = %d", qm.Limit("john"))
+		}
+		if m.Guaranteed() != 0 {
+			t.Errorf("Guaranteed = %d", m.Guaranteed())
+		}
+	})
+}
+
+func TestOwned(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		m.Create("a", 10*mb, time.Hour)
+		m.Create("b", 10*mb, time.Hour)
+		m.Create("a", 10*mb, time.Hour)
+		owned := m.Owned("a")
+		if len(owned) != 2 {
+			t.Errorf("Owned = %v", owned)
+		}
+	})
+}
+
+func TestCreateInvalidCapacity(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		if _, err := m.Create("a", 0, time.Hour); err == nil {
+			t.Error("zero capacity accepted")
+		}
+		if _, err := m.Create("a", -5, time.Hour); err == nil {
+			t.Error("negative capacity accepted")
+		}
+	})
+}
+
+func TestGroupLotMembership(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l, _ := m.Create("john", 50*mb, time.Hour)
+		// Non-members cannot charge the lot.
+		if err := m.ChargeWrite("mary", l.ID, "/f", mb); err != ErrNotOwner {
+			t.Errorf("non-member charge = %v, want ErrNotOwner", err)
+		}
+		// Only the owner edits membership.
+		if err := m.AddMember("mary", l.ID, "mary"); err != ErrNotOwner {
+			t.Errorf("foreign AddMember = %v", err)
+		}
+		if err := m.AddMember("john", l.ID, "mary"); err != nil {
+			t.Fatal(err)
+		}
+		if !m.UsableBy(l.ID, "mary") {
+			t.Error("member not usable")
+		}
+		if err := m.ChargeWrite("mary", l.ID, "/f", mb); err != nil {
+			t.Errorf("member charge = %v", err)
+		}
+		info, _ := m.Lookup(l.ID)
+		if len(info.Members) != 1 || info.Members[0] != "mary" {
+			t.Errorf("Members = %v", info.Members)
+		}
+		// Membership does not leak owner powers.
+		if err := m.Release("mary", l.ID); err != ErrNotOwner {
+			t.Errorf("member release = %v", err)
+		}
+		// Removal revokes access.
+		if err := m.RemoveMember("john", l.ID, "mary"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ChargeWrite("mary", l.ID, "/g", mb); err != ErrNotOwner {
+			t.Errorf("charge after removal = %v", err)
+		}
+	})
+}
+
+func TestGroupLotSpansForMembers(t *testing.T) {
+	run(t, func(c *sim.VirtualClock) {
+		m := NewManager(c, 100*mb, NeSTManaged, nil)
+		l1, _ := m.Create("john", 20*mb, time.Hour)
+		m.AddMember("john", l1.ID, "mary")
+		// Mary's own lot plus her membership: a default-lot charge
+		// (no named lot) can use both.
+		m.Create("mary", 20*mb, time.Hour)
+		if err := m.ChargeWrite("mary", "", "/big", 35*mb); err != nil {
+			t.Errorf("member spanning charge = %v", err)
+		}
+	})
+}

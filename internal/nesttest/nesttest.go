@@ -1,0 +1,111 @@
+// Package nesttest provides shared fixtures for protocol-level tests:
+// a minimal live appliance (storage manager + transfer manager +
+// dispatcher) listening on loopback TCP through a protocol handler
+// under test.
+package nesttest
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/dispatch"
+	"nest/internal/gsi"
+	"nest/internal/lots"
+	"nest/internal/protocol"
+	"nest/internal/quota"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// MB is a byte-count convenience.
+const MB = sim.MB
+
+// Fixture is a running single-protocol appliance.
+type Fixture struct {
+	Clock sim.Clock
+	Store *storage.Manager
+	Xfer  *transfer.Manager
+	Disp  *dispatch.Dispatcher
+	CA    *gsi.CA
+	Addr  string
+}
+
+// Options tunes the fixture.
+type Options struct {
+	// RootRights is the ACL granted to system:anyuser at "/"
+	// (default: all rights, so anonymous protocols can exercise every
+	// path).
+	RootRights acl.Rights
+	// NoLots disables the lot manager (writes need no guarantee).
+	NoLots bool
+	// QuotaLots selects quota-backed enforcement (with an enabled
+	// quota manager) instead of the default NeST-managed accounting.
+	QuotaLots bool
+	// Capacity is the filesystem/lot capacity (default 1 GB).
+	Capacity int64
+}
+
+// Start assembles the appliance and serves handler on a fresh
+// loopback listener. Cleanup is registered on t.
+func Start(t *testing.T, handler protocol.Handler, o Options) *Fixture {
+	t.Helper()
+	clock := sim.NewRealClock()
+	if o.Capacity == 0 {
+		o.Capacity = 1 << 30
+	}
+	if o.RootRights == 0 {
+		o.RootRights = acl.AllRights
+	}
+	fs := storage.NewMemFS(clock, o.Capacity)
+	table := acl.NewTable(o.RootRights, gsi.Anonymous)
+	var lotMgr *lots.Manager
+	if !o.NoLots {
+		if o.QuotaLots {
+			lotMgr = lots.NewManager(clock, o.Capacity, lots.QuotaBacked, quota.NewManager(true))
+		} else {
+			lotMgr = lots.NewManager(clock, o.Capacity, lots.NeSTManaged, nil)
+		}
+	}
+	store := storage.NewManager(fs, table, lotMgr)
+	xfer := transfer.NewManager(transfer.Options{Clock: clock, Model: transfer.Threads, Slots: 16})
+	disp := dispatch.New(clock, store, xfer)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go disp.ServeListener(ln, handler)
+	t.Cleanup(func() {
+		disp.Close()
+		xfer.Close()
+	})
+	return &Fixture{
+		Clock: clock,
+		Store: store,
+		Xfer:  xfer,
+		Disp:  disp,
+		Addr:  ln.Addr().String(),
+	}
+}
+
+// NewCA returns a CA plus a credential for the named user.
+func NewCA(user string) (*gsi.CA, *gsi.Credential) {
+	ca := gsi.NewCA("/O=Grid/CN=NeST-Test-CA", []byte("nesttest-secret"))
+	cred := ca.Issue("/O=Grid/OU=test/CN="+user, time.Hour, true)
+	return ca, cred
+}
+
+// GrantLot creates a lot for user directly through the storage
+// manager, for tests that need write admission without driving the
+// Chirp lot verbs.
+func (f *Fixture) GrantLot(t *testing.T, user string, capacity int64) string {
+	t.Helper()
+	info, err := f.Store.Lots().Create(user, capacity, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}

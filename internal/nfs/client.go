@@ -1,0 +1,329 @@
+package nfs
+
+import (
+	"fmt"
+	"time"
+
+	"nest/internal/protocol"
+	"nest/internal/sunrpc"
+	"nest/internal/xdr"
+)
+
+// Fattr is the decoded subset of RFC 1094 file attributes clients use.
+type Fattr struct {
+	IsDir  bool
+	Size   int64
+	FileID uint32
+	MTime  time.Duration
+}
+
+// Error is an NFS-level failure.
+type Error struct {
+	Proc   string
+	Status uint32
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("nfs: %s failed with status %d", e.Proc, e.Status)
+}
+
+// Client speaks NFS v2 + MOUNT v1 over one RPC connection.
+type Client struct {
+	rpc *sunrpc.Client
+}
+
+// Dial connects to a NeST NFS endpoint.
+func Dial(addr string) (*Client, error) {
+	rpc, err := sunrpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rpc.Cred = sunrpc.Cred{Flavor: sunrpc.AuthUnix, Machine: "nest-client", UID: 0, GID: 0}
+	return &Client{rpc: rpc}, nil
+}
+
+// NewClient wraps an existing RPC client.
+func NewClient(rpc *sunrpc.Client) *Client { return &Client{rpc: rpc} }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+func decodeFattr(d *xdr.Decoder) (Fattr, error) {
+	var vals [10]uint32
+	ftype, err := d.Uint32()
+	if err != nil {
+		return Fattr{}, err
+	}
+	for i := range vals {
+		if vals[i], err = d.Uint32(); err != nil {
+			return Fattr{}, err
+		}
+	}
+	// vals: mode nlink uid gid size blocksize rdev blocks fsid fileid
+	var times [6]uint32
+	for i := range times {
+		if times[i], err = d.Uint32(); err != nil {
+			return Fattr{}, err
+		}
+	}
+	return Fattr{
+		IsDir:  ftype == 2,
+		Size:   int64(vals[4]),
+		FileID: vals[9],
+		MTime:  time.Duration(times[2])*time.Second + time.Duration(times[3])*time.Microsecond,
+	}, nil
+}
+
+func (c *Client) call(prog, vers, proc uint32, args *xdr.Encoder) (*xdr.Decoder, error) {
+	var raw []byte
+	if args != nil {
+		raw = args.Bytes()
+	}
+	return c.rpc.Call(prog, vers, proc, raw)
+}
+
+// statusCall issues an RPC and consumes the leading status word,
+// mapping NFS failures to *Error.
+func (c *Client) statusCall(name string, prog, vers, proc uint32, args *xdr.Encoder) (*xdr.Decoder, error) {
+	d, err := c.call(prog, vers, proc, args)
+	if err != nil {
+		return nil, err
+	}
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if st != OK {
+		return nil, &Error{Proc: name, Status: st}
+	}
+	return d, nil
+}
+
+// Mount obtains the root file handle for dir.
+func (c *Client) Mount(dir string) (FH, error) {
+	args := xdr.NewEncoder()
+	args.String(dir)
+	d, err := c.statusCall("mount", MountProgram, MountVersion, MountMnt, args)
+	if err != nil {
+		return FH{}, err
+	}
+	raw, err := d.FixedOpaque(FHSize)
+	if err != nil {
+		return FH{}, err
+	}
+	return FH(raw), nil
+}
+
+// Unmount notifies the server (a no-op in NeST).
+func (c *Client) Unmount(dir string) error {
+	args := xdr.NewEncoder()
+	args.String(dir)
+	_, err := c.call(MountProgram, MountVersion, MountUmnt, args)
+	return err
+}
+
+func fhArgs(fh FH) *xdr.Encoder {
+	e := xdr.NewEncoder()
+	e.FixedOpaque(fh[:])
+	return e
+}
+
+// Getattr fetches a file's attributes.
+func (c *Client) Getattr(fh FH) (Fattr, error) {
+	d, err := c.statusCall("getattr", NFSProgram, NFSVersion, ProcGetattr, fhArgs(fh))
+	if err != nil {
+		return Fattr{}, err
+	}
+	return decodeFattr(d)
+}
+
+// Lookup resolves name within the directory dir.
+func (c *Client) Lookup(dir FH, name string) (FH, Fattr, error) {
+	args := fhArgs(dir)
+	args.String(name)
+	d, err := c.statusCall("lookup", NFSProgram, NFSVersion, ProcLookup, args)
+	if err != nil {
+		return FH{}, Fattr{}, err
+	}
+	raw, err := d.FixedOpaque(FHSize)
+	if err != nil {
+		return FH{}, Fattr{}, err
+	}
+	attr, err := decodeFattr(d)
+	return FH(raw), attr, err
+}
+
+// Read fetches up to count bytes at offset (count capped at the NFS
+// block size by the server).
+func (c *Client) Read(fh FH, offset uint32, count uint32) ([]byte, error) {
+	args := fhArgs(fh)
+	args.Uint32(offset)
+	args.Uint32(count)
+	args.Uint32(count) // totalcount (unused)
+	d, err := c.statusCall("read", NFSProgram, NFSVersion, ProcRead, args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := decodeFattr(d); err != nil {
+		return nil, err
+	}
+	return d.Opaque(protocol.NFSBlockSize)
+}
+
+// Write stores data at offset.
+func (c *Client) Write(fh FH, offset uint32, data []byte) (Fattr, error) {
+	args := fhArgs(fh)
+	args.Uint32(0) // beginoffset
+	args.Uint32(offset)
+	args.Uint32(uint32(len(data))) // totalcount
+	args.Opaque(data)
+	d, err := c.statusCall("write", NFSProgram, NFSVersion, ProcWrite, args)
+	if err != nil {
+		return Fattr{}, err
+	}
+	return decodeFattr(d)
+}
+
+// Create makes an empty file in dir.
+func (c *Client) Create(dir FH, name string) (FH, error) {
+	args := fhArgs(dir)
+	args.String(name)
+	encodeSattr(args)
+	d, err := c.statusCall("create", NFSProgram, NFSVersion, ProcCreate, args)
+	if err != nil {
+		return FH{}, err
+	}
+	raw, err := d.FixedOpaque(FHSize)
+	if err != nil {
+		return FH{}, err
+	}
+	return FH(raw), nil
+}
+
+// Mkdir makes a directory in dir.
+func (c *Client) Mkdir(dir FH, name string) (FH, error) {
+	args := fhArgs(dir)
+	args.String(name)
+	encodeSattr(args)
+	d, err := c.statusCall("mkdir", NFSProgram, NFSVersion, ProcMkdir, args)
+	if err != nil {
+		return FH{}, err
+	}
+	raw, err := d.FixedOpaque(FHSize)
+	if err != nil {
+		return FH{}, err
+	}
+	return FH(raw), nil
+}
+
+// encodeSattr writes a "don't care" sattr (all -1).
+func encodeSattr(e *xdr.Encoder) {
+	for i := 0; i < 8; i++ {
+		e.Uint32(0xffffffff)
+	}
+}
+
+// Remove deletes a file from dir.
+func (c *Client) Remove(dir FH, name string) error {
+	args := fhArgs(dir)
+	args.String(name)
+	_, err := c.statusCall("remove", NFSProgram, NFSVersion, ProcRemove, args)
+	return err
+}
+
+// Rmdir deletes a directory from dir.
+func (c *Client) Rmdir(dir FH, name string) error {
+	args := fhArgs(dir)
+	args.String(name)
+	_, err := c.statusCall("rmdir", NFSProgram, NFSVersion, ProcRmdir, args)
+	return err
+}
+
+// Readdir lists all names in a directory (iterating server cookies).
+func (c *Client) Readdir(fh FH) ([]string, error) {
+	args := fhArgs(fh)
+	args.FixedOpaque([]byte{0, 0, 0, 0})
+	args.Uint32(protocol.NFSBlockSize)
+	d, err := c.statusCall("readdir", NFSProgram, NFSVersion, ProcReaddir, args)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if _, err := d.Uint32(); err != nil { // fileid
+			return nil, err
+		}
+		name, err := d.String(255)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.FixedOpaque(4); err != nil { // cookie
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// StatfsResult reports filesystem capacity.
+type StatfsResult struct {
+	TransferSize uint32
+	BlockSize    uint32
+	Blocks       uint32
+	Free         uint32
+	Avail        uint32
+}
+
+// Statfs queries filesystem statistics.
+func (c *Client) Statfs(fh FH) (StatfsResult, error) {
+	d, err := c.statusCall("statfs", NFSProgram, NFSVersion, ProcStatfs, fhArgs(fh))
+	if err != nil {
+		return StatfsResult{}, err
+	}
+	var r StatfsResult
+	for _, p := range []*uint32{&r.TransferSize, &r.BlockSize, &r.Blocks, &r.Free, &r.Avail} {
+		if *p, err = d.Uint32(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// ReadAll fetches a whole file block by block, the access pattern that
+// makes NFS the paper's block-based protocol.
+func (c *Client) ReadAll(fh FH) ([]byte, error) {
+	var out []byte
+	offset := uint32(0)
+	for {
+		block, err := c.Read(fh, offset, protocol.NFSBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block...)
+		if len(block) < protocol.NFSBlockSize {
+			return out, nil
+		}
+		offset += uint32(len(block))
+	}
+}
+
+// WriteAll stores data block by block.
+func (c *Client) WriteAll(fh FH, data []byte) error {
+	for off := 0; off < len(data); off += protocol.NFSBlockSize {
+		end := off + protocol.NFSBlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.Write(fh, uint32(off), data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package nfs implements the restricted subset of NFS version 2
+// (RFC 1094) that NeST serves, together with the MOUNT v1 protocol,
+// over Sun RPC on TCP. Each NFS block operation (an 8 KB READ or
+// WRITE) becomes one common-interface request, which is why NFS is the
+// paper's exemplar block-based protocol: the transfer manager must
+// account strides by bytes or NFS is starved (paper §4.2), and FIFO
+// scheduling disfavors it behind whole-file transfers (Figure 3).
+//
+// NeST 0.9 grants NFS clients anonymous access only.
+package nfs
+
+import (
+	"crypto/sha256"
+	"hash/fnv"
+	"sync"
+
+	"nest/internal/protocol"
+	"nest/internal/storage"
+)
+
+// Program and version numbers.
+const (
+	NFSProgram   = 100003
+	NFSVersion   = 2
+	MountProgram = 100005
+	MountVersion = 1
+)
+
+// NFS v2 procedures (the supported subset).
+const (
+	ProcNull    = 0
+	ProcGetattr = 1
+	ProcSetattr = 2
+	ProcLookup  = 4
+	ProcRead    = 6
+	ProcWrite   = 8
+	ProcCreate  = 9
+	ProcRemove  = 10
+	ProcRename  = 11
+	ProcMkdir   = 14
+	ProcRmdir   = 15
+	ProcReaddir = 16
+	ProcStatfs  = 17
+)
+
+// MOUNT v1 procedures.
+const (
+	MountNull   = 0
+	MountMnt    = 1
+	MountUmnt   = 3
+	MountExport = 5
+)
+
+// NFS status codes (RFC 1094).
+const (
+	OK          = 0
+	ErrPerm     = 1
+	ErrNoEnt    = 2
+	ErrIO       = 5
+	ErrAcces    = 13
+	ErrExist    = 17
+	ErrNotDir   = 20
+	ErrIsDir    = 21
+	ErrNoSpc    = 28
+	ErrNotEmpty = 66
+	ErrDQuot    = 69
+	ErrStale    = 70
+)
+
+// FHSize is the NFS v2 file handle size.
+const FHSize = 32
+
+// FH is an NFS v2 file handle.
+type FH [FHSize]byte
+
+// codeToStatus maps common-interface reply codes to NFS statuses.
+func codeToStatus(code int) uint32 {
+	switch code {
+	case protocol.CodeOK:
+		return OK
+	case protocol.CodeNotFound:
+		return ErrNoEnt
+	case protocol.CodePermission:
+		return ErrAcces
+	case protocol.CodeExists:
+		return ErrExist
+	case protocol.CodeNotDir:
+		return ErrNotDir
+	case protocol.CodeIsDir:
+		return ErrIsDir
+	case protocol.CodeNotEmpty:
+		return ErrNotEmpty
+	case protocol.CodeNoSpace, protocol.CodeNoLot:
+		return ErrDQuot
+	}
+	return ErrIO
+}
+
+// fhTable maps file handles to paths. Handles are derived
+// deterministically from paths, so the table mainly guards against
+// fabricated (stale) handles.
+type fhTable struct {
+	mu    sync.Mutex
+	paths map[FH]string
+}
+
+func newFHTable() *fhTable {
+	return &fhTable{paths: make(map[FH]string)}
+}
+
+// handleFor registers and returns the handle of a path.
+func (t *fhTable) handleFor(path string) FH {
+	path = storage.Clean(path)
+	fh := FH(sha256.Sum256([]byte("nest-fh:" + path)))
+	t.mu.Lock()
+	t.paths[fh] = path
+	t.mu.Unlock()
+	return fh
+}
+
+// pathFor resolves a handle; ok is false for handles never issued.
+func (t *fhTable) pathFor(fh FH) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.paths[fh]
+	return p, ok
+}
+
+// fileID derives the fattr fileid for a path.
+func fileID(path string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(storage.Clean(path)))
+	id := h.Sum32()
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

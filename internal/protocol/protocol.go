@@ -1,0 +1,231 @@
+// Package protocol defines NeST's common request interface: the
+// protocol-independent request and reply objects that every protocol
+// handler (Chirp, HTTP, FTP, GridFTP, NFS) translates its wire format
+// to and from, and the virtual protocol connection (Session) through
+// which the dispatcher drives clients. This layer plays the role the
+// VFS layer plays in an operating system (paper, Section 3): the rest
+// of NeST is written against it and shared by all protocols.
+package protocol
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Op enumerates the operations of the common request interface. Most
+// request types are shared by all protocols (directory and file
+// operations); lot management and ACL manipulation are reachable only
+// through protocols with matching verbs (Chirp).
+type Op int
+
+// Common request operations.
+const (
+	OpNone Op = iota
+	// Transfer requests, routed to the transfer manager.
+	OpGet // read file data (whole file, or a block for NFS)
+	OpPut // write file data
+	// Non-transfer requests, executed synchronously by the storage
+	// manager.
+	OpList
+	OpStat
+	OpMkdir
+	OpRmdir
+	OpRemove
+	OpLookup // NFS-only: resolve a name to a handle
+	OpLotCreate
+	OpLotRelease
+	OpLotRenew
+	OpLotStatus
+	OpLotAddMember
+	OpLotRemoveMember
+	OpACLSet
+	OpACLGet
+	OpStatfs // server resource query
+	OpPing
+	OpQuit
+)
+
+// String names the op for logs and tests.
+func (o Op) String() string {
+	names := map[Op]string{
+		OpNone: "none", OpGet: "get", OpPut: "put", OpList: "list",
+		OpStat: "stat", OpMkdir: "mkdir", OpRmdir: "rmdir",
+		OpRemove: "remove", OpLookup: "lookup",
+		OpLotCreate: "lot_create", OpLotRelease: "lot_release",
+		OpLotRenew: "lot_renew", OpLotStatus: "lot_status",
+		OpLotAddMember: "lot_add_member", OpLotRemoveMember: "lot_remove_member",
+		OpACLSet: "acl_set", OpACLGet: "acl_get",
+		OpStatfs: "statfs", OpPing: "ping", OpQuit: "quit",
+	}
+	if s, ok := names[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsTransfer reports whether the op moves file data and therefore is
+// scheduled asynchronously by the transfer manager.
+func (o Op) IsTransfer() bool { return o == OpGet || o == OpPut }
+
+// Reply codes of the common request interface.
+const (
+	CodeOK         = 0
+	CodeNotFound   = 1
+	CodeExists     = 2
+	CodePermission = 3
+	CodeNoSpace    = 4
+	CodeBadRequest = 5
+	CodeNotEmpty   = 6
+	CodeNotDir     = 7
+	CodeIsDir      = 8
+	CodeInternal   = 9
+	CodeNoLot      = 10
+)
+
+// CodeString names a reply code.
+func CodeString(code int) string {
+	names := map[int]string{
+		CodeOK: "ok", CodeNotFound: "not found", CodeExists: "exists",
+		CodePermission: "permission denied", CodeNoSpace: "no space",
+		CodeBadRequest: "bad request", CodeNotEmpty: "not empty",
+		CodeNotDir: "not a directory", CodeIsDir: "is a directory",
+		CodeInternal: "internal error", CodeNoLot: "no lot",
+	}
+	if s, ok := names[code]; ok {
+		return s
+	}
+	return fmt.Sprintf("code(%d)", code)
+}
+
+// Block and chunk sizes shared across the system.
+const (
+	// NFSBlockSize is the NFS v2 maximum read/write payload; NFS
+	// clients issue one common-interface request per block, which is
+	// why the stride scheduler must account by bytes (paper §4.2).
+	NFSBlockSize = 8192
+	// ChunkSize is the transfer manager's pump granularity for
+	// file-based protocols.
+	ChunkSize = 64 * 1024
+)
+
+// Request is the protocol-independent form of a client request.
+type Request struct {
+	Op    Op
+	Proto string // protocol class: "chirp", "http", "ftp", "gridftp", "nfs"
+	User  string // authenticated principal (GSI CN) or gsi.Anonymous
+
+	Path    string
+	NewPath string // rename destination (reserved)
+
+	// Transfer geometry. Size is the client-declared length of a put
+	// (-1 when unknown; the protocol frames the end of data). Offset
+	// and Length select a byte range for block-based gets/puts; Length
+	// zero on a get means "to end of file".
+	Size   int64
+	Offset int64
+	Length int64
+
+	// Lot management.
+	LotID       string
+	LotBytes    int64
+	LotDuration time.Duration
+
+	// ACL manipulation.
+	ACLUser   string
+	ACLRights string
+
+	// Arrived is stamped by the dispatcher from the appliance clock.
+	Arrived time.Duration
+
+	// Handle carries protocol-private per-request state (e.g., the RPC
+	// transaction an NFS block request belongs to).
+	Handle interface{}
+}
+
+// FileInfo describes one file or directory in replies.
+type FileInfo struct {
+	Name    string
+	Size    int64
+	IsDir   bool
+	ModTime time.Duration // appliance clock time of last modification
+	Owner   string
+}
+
+// LotInfo describes a storage guarantee in replies.
+type LotInfo struct {
+	ID         string
+	Owner      string
+	Capacity   int64
+	Used       int64
+	Expires    time.Duration
+	BestEffort bool
+}
+
+// Reply is the protocol-independent response to a Request.
+type Reply struct {
+	Code    int
+	Message string
+	Size    int64      // object size for stat/get
+	Info    *FileInfo  // stat result
+	Entries []FileInfo // list result
+	Lot     *LotInfo   // lot operations
+	Ad      string     // statfs: the server's ClassAd text
+	Rights  string     // acl_get
+}
+
+// OK reports whether the reply is a success.
+func (r *Reply) OK() bool { return r.Code == CodeOK }
+
+// ErrReply builds an error reply.
+func ErrReply(code int, format string, args ...interface{}) *Reply {
+	return &Reply{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// OKReply builds an empty success reply.
+func OKReply() *Reply { return &Reply{Code: CodeOK} }
+
+// Session is a virtual protocol connection: the dispatcher's view of
+// one authenticated client, independent of wire protocol. A Session's
+// methods are driven by a single dispatcher goroutine at a time.
+type Session interface {
+	// Proto returns the protocol class name.
+	Proto() string
+	// User returns the authenticated principal.
+	User() string
+	// Next parses the client's next request, blocking until one
+	// arrives. It returns io.EOF when the client disconnects.
+	Next() (*Request, error)
+	// Reply transmits the response to a non-transfer request, or the
+	// final status of a put.
+	Reply(req *Request, rep *Reply) error
+	// SendData begins the data phase of an approved get of size bytes:
+	// the handler emits protocol framing and returns the body sink.
+	// Closing the sink completes the framing.
+	SendData(req *Request, size int64) (io.WriteCloser, error)
+	// RecvData begins the data phase of an approved put: the handler
+	// emits any go-ahead framing and returns the body source, which
+	// yields exactly the put's bytes then io.EOF.
+	RecvData(req *Request) (io.ReadCloser, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// Handler is a protocol module: it owns one listening endpoint and
+// wraps accepted connections into Sessions, performing its
+// protocol-specific authentication (paper §3: authentication is per
+// protocol handler).
+type Handler interface {
+	// Proto returns the protocol class name this handler serves.
+	Proto() string
+	// NewSession authenticates conn and returns its Session.
+	NewSession(conn net.Conn) (Session, error)
+}
+
+// NopWriteCloser wraps w with a no-op Close.
+func NopWriteCloser(w io.Writer) io.WriteCloser { return nopWC{w} }
+
+type nopWC struct{ io.Writer }
+
+func (nopWC) Close() error { return nil }

@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpGet: "get", OpPut: "put", OpList: "list", OpLotCreate: "lot_create",
+		OpACLSet: "acl_set", OpQuit: "quit", Op(999): "op(999)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestIsTransfer(t *testing.T) {
+	for _, op := range []Op{OpGet, OpPut} {
+		if !op.IsTransfer() {
+			t.Errorf("%v.IsTransfer() = false", op)
+		}
+	}
+	for _, op := range []Op{OpList, OpStat, OpMkdir, OpLotCreate, OpACLGet, OpQuit} {
+		if op.IsTransfer() {
+			t.Errorf("%v.IsTransfer() = true", op)
+		}
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if got := CodeString(CodeOK); got != "ok" {
+		t.Errorf("CodeString(OK) = %q", got)
+	}
+	if got := CodeString(CodeNoLot); got != "no lot" {
+		t.Errorf("CodeString(NoLot) = %q", got)
+	}
+	if got := CodeString(12345); !strings.Contains(got, "12345") {
+		t.Errorf("CodeString(unknown) = %q", got)
+	}
+}
+
+func TestReplyHelpers(t *testing.T) {
+	ok := OKReply()
+	if !ok.OK() || ok.Message != "" {
+		t.Errorf("OKReply = %+v", ok)
+	}
+	e := ErrReply(CodeNotFound, "missing %s", "/f")
+	if e.OK() || e.Code != CodeNotFound || e.Message != "missing /f" {
+		t.Errorf("ErrReply = %+v", e)
+	}
+}
+
+func TestNopWriteCloser(t *testing.T) {
+	var sb strings.Builder
+	wc := NopWriteCloser(&sb)
+	if _, err := wc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x" {
+		t.Errorf("buffer = %q", sb.String())
+	}
+}

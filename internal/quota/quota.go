@@ -1,0 +1,142 @@
+// Package quota implements the user-quota subsystem NeST uses as one
+// of its two lot-enforcement mechanisms (paper §5). It stands in for
+// the kernel (ext2) quota machinery: per-user block accounting with a
+// hard limit, plus the per-write bookkeeping overhead the paper
+// measures in Figure 6 (quota-tree updates roughly halve sequential
+// write bandwidth in the worst case).
+//
+// Because quotas are accounted per user — not per lot — a user may
+// overfill one lot and then be unable to fill another to capacity;
+// NeST-managed enforcement (package lots) fixes this at the cost of
+// monitoring writes itself.
+package quota
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverQuota is returned when a charge would exceed the user's limit.
+var ErrOverQuota = errors.New("quota: disk quota exceeded")
+
+// DefaultWriteSlowdown is the multiplicative cost of quota bookkeeping
+// on the disk write path, calibrated to the paper's Figure 6 worst
+// case (~50% bandwidth loss under a single sequential write stream).
+const DefaultWriteSlowdown = 1.9
+
+// Manager tracks per-user limits and usage.
+type Manager struct {
+	mu       sync.Mutex
+	enabled  bool
+	limits   map[string]int64
+	used     map[string]int64
+	slowdown float64
+}
+
+// NewManager returns a quota manager; enabled selects whether limits
+// are enforced and write overhead charged.
+func NewManager(enabled bool) *Manager {
+	return &Manager{
+		enabled:  enabled,
+		limits:   make(map[string]int64),
+		used:     make(map[string]int64),
+		slowdown: DefaultWriteSlowdown,
+	}
+}
+
+// Enabled reports whether quota enforcement is on.
+func (m *Manager) Enabled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enabled
+}
+
+// SetEnabled toggles enforcement at runtime (the Figure 6 experiment
+// sweeps this).
+func (m *Manager) SetEnabled(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.enabled = on
+}
+
+// WriteSlowdown returns the multiplicative disk-write cost factor the
+// simulated filesystem applies while quotas are enabled (1.0 when
+// disabled: reads are never affected, matching the paper).
+func (m *Manager) WriteSlowdown() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.enabled {
+		return 1.0
+	}
+	return m.slowdown
+}
+
+// SetWriteSlowdown overrides the bookkeeping cost factor.
+func (m *Manager) SetWriteSlowdown(f float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f < 1 {
+		f = 1
+	}
+	m.slowdown = f
+}
+
+// AddLimit raises user's quota limit by n bytes (lot creation under
+// quota-backed enforcement).
+func (m *Manager) AddLimit(user string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.limits[user] += n
+}
+
+// ReduceLimit lowers user's limit by n bytes, clamping at zero (lot
+// release).
+func (m *Manager) ReduceLimit(user string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.limits[user] -= n
+	if m.limits[user] < 0 {
+		m.limits[user] = 0
+	}
+}
+
+// Limit returns user's current limit.
+func (m *Manager) Limit(user string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.limits[user]
+}
+
+// Used returns user's accounted usage.
+func (m *Manager) Used(user string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used[user]
+}
+
+// Charge accounts n bytes against user, failing with ErrOverQuota if
+// the limit would be exceeded while enforcement is enabled. Note the
+// per-user granularity: the charge is not tied to any particular lot.
+func (m *Manager) Charge(user string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("quota: negative charge %d", n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.enabled && m.used[user]+n > m.limits[user] {
+		return ErrOverQuota
+	}
+	m.used[user] += n
+	return nil
+}
+
+// Release returns n bytes of user's usage (file removal).
+func (m *Manager) Release(user string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used[user] -= n
+	if m.used[user] < 0 {
+		m.used[user] = 0
+	}
+}

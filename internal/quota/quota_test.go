@@ -1,0 +1,116 @@
+package quota
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeWithinLimit(t *testing.T) {
+	m := NewManager(true)
+	m.AddLimit("john", 100)
+	if err := m.Charge("john", 60); err != nil {
+		t.Fatalf("Charge(60): %v", err)
+	}
+	if err := m.Charge("john", 40); err != nil {
+		t.Fatalf("Charge(40): %v", err)
+	}
+	if err := m.Charge("john", 1); err != ErrOverQuota {
+		t.Errorf("Charge over limit = %v, want ErrOverQuota", err)
+	}
+	if m.Used("john") != 100 {
+		t.Errorf("Used = %d, want 100", m.Used("john"))
+	}
+}
+
+func TestChargeDisabled(t *testing.T) {
+	m := NewManager(false)
+	if err := m.Charge("john", 1<<40); err != nil {
+		t.Errorf("disabled quota rejected charge: %v", err)
+	}
+	if m.WriteSlowdown() != 1.0 {
+		t.Errorf("disabled WriteSlowdown = %v, want 1.0", m.WriteSlowdown())
+	}
+}
+
+func TestWriteSlowdown(t *testing.T) {
+	m := NewManager(true)
+	if m.WriteSlowdown() != DefaultWriteSlowdown {
+		t.Errorf("WriteSlowdown = %v, want %v", m.WriteSlowdown(), DefaultWriteSlowdown)
+	}
+	m.SetWriteSlowdown(2.5)
+	if m.WriteSlowdown() != 2.5 {
+		t.Errorf("WriteSlowdown = %v, want 2.5", m.WriteSlowdown())
+	}
+	m.SetWriteSlowdown(0.1) // clamps at 1
+	if m.WriteSlowdown() != 1.0 {
+		t.Errorf("WriteSlowdown = %v, want clamp to 1", m.WriteSlowdown())
+	}
+	m.SetEnabled(false)
+	if m.WriteSlowdown() != 1.0 {
+		t.Errorf("disabled WriteSlowdown = %v", m.WriteSlowdown())
+	}
+}
+
+func TestRelease(t *testing.T) {
+	m := NewManager(true)
+	m.AddLimit("u", 100)
+	m.Charge("u", 80)
+	m.Release("u", 30)
+	if m.Used("u") != 50 {
+		t.Errorf("Used = %d, want 50", m.Used("u"))
+	}
+	m.Release("u", 1000) // clamps at zero
+	if m.Used("u") != 0 {
+		t.Errorf("Used = %d, want 0", m.Used("u"))
+	}
+}
+
+func TestReduceLimit(t *testing.T) {
+	m := NewManager(true)
+	m.AddLimit("u", 100)
+	m.ReduceLimit("u", 40)
+	if m.Limit("u") != 60 {
+		t.Errorf("Limit = %d, want 60", m.Limit("u"))
+	}
+	m.ReduceLimit("u", 1000)
+	if m.Limit("u") != 0 {
+		t.Errorf("Limit = %d, want 0", m.Limit("u"))
+	}
+}
+
+func TestNegativeCharge(t *testing.T) {
+	m := NewManager(true)
+	if err := m.Charge("u", -5); err == nil {
+		t.Error("negative charge accepted")
+	}
+}
+
+func TestPerUserIsolation(t *testing.T) {
+	m := NewManager(true)
+	m.AddLimit("a", 10)
+	m.AddLimit("b", 20)
+	if err := m.Charge("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Charge("b", 20); err != nil {
+		t.Fatalf("b's quota affected by a: %v", err)
+	}
+}
+
+// Property: used never exceeds limit while enabled.
+func TestQuickUsedBounded(t *testing.T) {
+	f := func(limit uint16, charges []uint8) bool {
+		m := NewManager(true)
+		m.AddLimit("u", int64(limit))
+		for _, c := range charges {
+			m.Charge("u", int64(c))
+			if m.Used("u") > m.Limit("u") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func unit(class string, bytes, seq int64) *Unit {
+	return &Unit{Class: class, Bytes: bytes, Seq: seq}
+}
+
+func TestFIFOPicksLowestSeq(t *testing.T) {
+	p := NewFIFO()
+	pending := []*Unit{unit("a", 10, 3), unit("b", 10, 1), unit("c", 10, 2)}
+	idx, wait := p.Pick(pending, 0)
+	if idx != 1 || wait != 0 {
+		t.Errorf("Pick = %d, %v; want 1, 0", idx, wait)
+	}
+	if idx, _ := p.Pick(nil, 0); idx != -1 {
+		t.Errorf("Pick(empty) = %d", idx)
+	}
+}
+
+// drive repeatedly schedules from a fixed backlog where every class
+// always has work, returning bytes delivered per class.
+func drive(p Policy, classes map[string]int64, rounds int) map[string]int64 {
+	delivered := make(map[string]int64)
+	seq := int64(0)
+	for i := 0; i < rounds; i++ {
+		var pending []*Unit
+		for _, class := range SortedClasses(toFloat(classes)) {
+			seq++
+			pending = append(pending, unit(class, classes[class], seq))
+		}
+		idx, _ := p.Pick(pending, time.Duration(i))
+		if idx < 0 {
+			continue
+		}
+		delivered[pending[idx].Class] += pending[idx].Bytes
+	}
+	return delivered
+}
+
+func toFloat(m map[string]int64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+func TestStrideEqualTickets(t *testing.T) {
+	p := NewStride(map[string]int{"a": 100, "b": 100})
+	delivered := drive(p, map[string]int64{"a": 1000, "b": 1000}, 1000)
+	ratio := float64(delivered["a"]) / float64(delivered["b"])
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("equal tickets ratio = %v (%v)", ratio, delivered)
+	}
+}
+
+func TestStrideProportionalTickets(t *testing.T) {
+	p := NewStride(map[string]int{"a": 300, "b": 100})
+	delivered := drive(p, map[string]int64{"a": 1000, "b": 1000}, 4000)
+	ratio := float64(delivered["a"]) / float64(delivered["b"])
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("3:1 tickets ratio = %v (%v)", ratio, delivered)
+	}
+}
+
+// TestStrideByteBasedEqualizesBlockProtocols is the paper's central
+// stride property: a block protocol issuing 8KB requests gets the same
+// *bandwidth* as a file protocol issuing 1MB requests at equal
+// tickets, because strides are charged by bytes.
+func TestStrideByteBasedEqualizesBlockProtocols(t *testing.T) {
+	p := NewStride(map[string]int{"nfs": 100, "http": 100})
+	delivered := drive(p, map[string]int64{"nfs": 8 * 1024, "http": 1024 * 1024}, 20000)
+	ratio := float64(delivered["nfs"]) / float64(delivered["http"])
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("byte-based bandwidth ratio = %v (%v)", ratio, delivered)
+	}
+}
+
+// With request-based charging (the ablation) NFS gets equal *requests*
+// and therefore 128x less bandwidth.
+func TestStrideRequestBasedStarvesBlockProtocols(t *testing.T) {
+	p := NewStride(map[string]int{"nfs": 100, "http": 100})
+	p.ChargeByBytes = false
+	delivered := drive(p, map[string]int64{"nfs": 8 * 1024, "http": 1024 * 1024}, 20000)
+	ratio := float64(delivered["nfs"]) / float64(delivered["http"])
+	if ratio > 0.05 {
+		t.Errorf("request-based ratio = %v, expected NFS starved", ratio)
+	}
+}
+
+func TestStrideNewClassJoinsAtMinPass(t *testing.T) {
+	p := NewStride(map[string]int{"a": 100, "b": 100})
+	// Run a alone for a while.
+	for i := 0; i < 100; i++ {
+		p.Pick([]*Unit{unit("a", 1000, int64(i))}, 0)
+	}
+	// b arrives; it must not monopolize by having banked zero pass.
+	delivered := drive(p, map[string]int64{"a": 1000, "b": 1000}, 1000)
+	ratio := float64(delivered["b"]) / float64(delivered["a"])
+	if ratio > 1.1 {
+		t.Errorf("late joiner got banked credit: ratio = %v", ratio)
+	}
+}
+
+func TestStrideWorkConserving(t *testing.T) {
+	p := NewStride(map[string]int{"a": 100, "b": 400})
+	// b is owed service but only a has pending work: serve a anyway.
+	p.Pick([]*Unit{unit("a", 100, 1), unit("b", 100, 2)}, 0) // seed passes
+	idx, wait := p.Pick([]*Unit{unit("a", 100, 3)}, 0)
+	if idx != 0 || wait != 0 {
+		t.Errorf("work-conserving Pick = %d, %v", idx, wait)
+	}
+}
+
+func TestStrideNonWorkConservingWaits(t *testing.T) {
+	p := NewStride(map[string]int{"a": 100, "b": 400})
+	p.IdleWait = 10 * time.Millisecond
+	// Seed both classes.
+	pend := []*Unit{unit("a", 1000, 1), unit("b", 1000, 2)}
+	for i := 0; i < 10; i++ {
+		idx, _ := p.Pick(pend, 0)
+		if idx < 0 {
+			t.Fatal("pick failed during seeding")
+		}
+	}
+	// Advance a's pass so the absent b is strictly owed service, then
+	// offer only a: the scheduler must hold the server for b...
+	for i := 0; i < 3; i++ {
+		p.Pick([]*Unit{unit("a", 100000, int64(10+i))}, time.Second)
+	}
+	idx, wait := p.Pick([]*Unit{unit("a", 1000, 99)}, time.Second)
+	if idx != -1 || wait != 10*time.Millisecond {
+		t.Fatalf("expected idle hold, got idx=%d wait=%v", idx, wait)
+	}
+	// ...but give up after IdleWait and serve the competitor.
+	idx, _ = p.Pick([]*Unit{unit("a", 1000, 100)}, time.Second+11*time.Millisecond)
+	if idx != 0 {
+		t.Errorf("after IdleWait: idx = %d, want 0", idx)
+	}
+}
+
+func TestCacheAwarePrefersResident(t *testing.T) {
+	probe := fakeProbe{"/hot": 1.0, "/cold": 0.0}
+	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+	pending := []*Unit{
+		{Class: "x", Bytes: 1 << 20, Path: "/cold", Seq: 1},
+		{Class: "x", Bytes: 1 << 20, Path: "/hot", Seq: 2},
+	}
+	idx, _ := p.Pick(pending, 0)
+	if idx != 1 {
+		t.Errorf("Pick = %d, want the cache-resident request", idx)
+	}
+}
+
+func TestCacheAwarePrefersSmallerOnEqualResidency(t *testing.T) {
+	probe := fakeProbe{"/a": 0.0, "/b": 0.0}
+	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+	pending := []*Unit{
+		{Class: "x", Bytes: 10 << 20, Path: "/a", Seq: 1},
+		{Class: "x", Bytes: 1 << 20, Path: "/b", Seq: 2},
+	}
+	idx, _ := p.Pick(pending, 0)
+	if idx != 1 {
+		t.Errorf("Pick = %d, want the shorter job", idx)
+	}
+}
+
+func TestCacheAwareNilProbe(t *testing.T) {
+	p := NewCacheAware(nil, 200, 20, 0)
+	if idx, _ := p.Pick([]*Unit{unit("x", 100, 1)}, 0); idx != 0 {
+		t.Errorf("nil-probe Pick = %d", idx)
+	}
+}
+
+type fakeProbe map[string]float64
+
+func (f fakeProbe) Residency(path string, off, n int64) float64 { return f[path] }
+
+func TestFairnessIdeal(t *testing.T) {
+	if f := Fairness([]float64{1, 1, 1, 1}); math.Abs(f-1) > 1e-9 {
+		t.Errorf("Fairness(ideal) = %v", f)
+	}
+	if f := Fairness(nil); f != 1 {
+		t.Errorf("Fairness(nil) = %v", f)
+	}
+	if f := Fairness([]float64{0, 0}); f != 1 {
+		t.Errorf("Fairness(zeros) = %v", f)
+	}
+}
+
+func TestFairnessSkewed(t *testing.T) {
+	f := Fairness([]float64{1, 1, 1, 0.2})
+	if f > 0.95 || f < 0.5 {
+		t.Errorf("Fairness(skewed) = %v, want noticeably below 1", f)
+	}
+	// One component hogging everything approaches 1/N.
+	f = Fairness([]float64{1, 0, 0, 0})
+	if math.Abs(f-0.25) > 1e-9 {
+		t.Errorf("Fairness(monopoly) = %v, want 0.25", f)
+	}
+}
+
+// Property: Jain's index is always in (0, 1] and scale-invariant.
+func TestQuickFairnessProperties(t *testing.T) {
+	f := func(xs []uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		vals := make([]float64, len(xs))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			vals[i] = float64(x)
+			scaled[i] = float64(x) * 7.5
+		}
+		a, b := Fairness(vals), Fairness(scaled)
+		return a > 0 && a <= 1+1e-9 && math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stride with equal tickets and equal bytes alternates
+// between classes (no starvation window longer than one pick).
+func TestQuickStrideAlternation(t *testing.T) {
+	p := NewStride(map[string]int{"a": 100, "b": 100})
+	last := ""
+	for i := 0; i < 100; i++ {
+		pending := []*Unit{unit("a", 500, int64(2*i)), unit("b", 500, int64(2*i+1))}
+		idx, _ := p.Pick(pending, 0)
+		if pending[idx].Class == last {
+			t.Fatalf("round %d: class %q served twice in a row", i, last)
+		}
+		last = pending[idx].Class
+	}
+}
+
+func TestSortedClasses(t *testing.T) {
+	m := map[string]float64{"zeta": 1, "alpha": 2, "mid": 3}
+	got := SortedClasses(m)
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedClasses = %v", got)
+		}
+	}
+}
+
+func TestCacheAwareEstimate(t *testing.T) {
+	probe := fakeProbe{"/hot": 1.0, "/cold": 0.0, "/half": 0.5}
+	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+	hot := p.Estimate(&Unit{Path: "/hot", Bytes: 10 << 20})
+	cold := p.Estimate(&Unit{Path: "/cold", Bytes: 10 << 20})
+	half := p.Estimate(&Unit{Path: "/half", Bytes: 10 << 20})
+	if !(hot < half && half < cold) {
+		t.Errorf("estimates not ordered: hot=%v half=%v cold=%v", hot, half, cold)
+	}
+	// Cold estimates include the positioning cost.
+	if cold < 8*time.Millisecond {
+		t.Errorf("cold estimate %v misses seek", cold)
+	}
+}
+
+func TestStrideZeroTicketsIgnored(t *testing.T) {
+	p := NewStride(map[string]int{"a": 0, "b": 100})
+	if p.Tickets("a") != DefaultTickets {
+		t.Errorf("zero tickets not defaulted: %d", p.Tickets("a"))
+	}
+	if p.Tickets("unlisted") != DefaultTickets {
+		t.Errorf("unlisted tickets = %d", p.Tickets("unlisted"))
+	}
+}
+
+func TestStrideEmptyPending(t *testing.T) {
+	p := NewStride(nil)
+	if idx, wait := p.Pick(nil, 0); idx != -1 || wait != 0 {
+		t.Errorf("Pick(empty) = %d, %v", idx, wait)
+	}
+}

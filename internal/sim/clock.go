@@ -1,0 +1,230 @@
+// Package sim provides the simulation substrate used by the NeST
+// experiment harness: a virtual clock with managed goroutines,
+// clock-aware synchronization primitives, and resource models for
+// network links and disks.
+//
+// The same transfer-manager, scheduler, cache and quota code that runs
+// the live appliance runs under this substrate; only the notion of time
+// and the cost of I/O differ. With the RealClock all primitives degrade
+// to their native Go equivalents, so live servers pay no simulation tax.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that must run identically in live
+// and simulated mode. Durations are relative to an arbitrary epoch.
+type Clock interface {
+	// Now returns the current time since the clock's epoch.
+	Now() time.Duration
+	// Sleep pauses the calling goroutine for d. Non-positive d returns
+	// immediately (but still yields in virtual mode so other runnable
+	// goroutines make progress deterministically).
+	Sleep(d time.Duration)
+	// Go runs fn in a new goroutine managed by this clock. All
+	// goroutines that block on simulated resources must be started
+	// through Go (or bracketed with BlockOn) so the virtual clock can
+	// detect quiescence.
+	Go(fn func())
+	// Park marks the calling goroutine as blocked. The goroutine must
+	// then wait for a signal from a waker that calls Unpark *before*
+	// signaling; that handoff keeps the virtual clock's runnable count
+	// exact so time never advances past a pending wake-up. The
+	// clock-aware primitives in this package (Queue, Gate, WaitGroup)
+	// encapsulate the pattern.
+	Park()
+	// Unpark accounts for one parked goroutine that the caller is about
+	// to make runnable. Call it before delivering the wake-up signal.
+	Unpark()
+	// BlockOn marks the calling goroutine as blocked for the duration
+	// of wait, for wakers that are not clock-aware. Because the clock
+	// learns of the wake-up only after wait returns, virtual time may
+	// advance slightly past the signal; use Park/Unpark (or the
+	// primitives built on them) on simulation hot paths.
+	BlockOn(wait func())
+}
+
+// RealClock is a Clock backed by wall-clock time. Its zero value is not
+// usable; call NewRealClock.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a Clock that reports real elapsed time.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now returns wall-clock time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// Sleep pauses for d of real time.
+func (c *RealClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go starts fn as an ordinary goroutine.
+func (c *RealClock) Go(fn func()) { go fn() }
+
+// Park is a no-op for real time.
+func (c *RealClock) Park() {}
+
+// Unpark is a no-op for real time.
+func (c *RealClock) Unpark() {}
+
+// BlockOn simply invokes wait; real goroutines block natively.
+func (c *RealClock) BlockOn(wait func()) { wait() }
+
+// VirtualClock is a discrete-event virtual clock. Time advances only
+// when every managed goroutine is blocked (sleeping or in BlockOn), at
+// which point the clock jumps to the earliest pending wake-up. This
+// yields deterministic, instantaneous simulation of long scenarios.
+type VirtualClock struct {
+	mu       sync.Mutex
+	now      time.Duration
+	active   int // runnable managed goroutines
+	sleepers sleeperHeap
+	seq      int64 // tie-breaker for deterministic wake order
+}
+
+type sleeper struct {
+	wake time.Duration
+	seq  int64
+	ch   chan struct{}
+}
+
+type sleeperHeap []sleeper
+
+func (h sleeperHeap) Len() int { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool {
+	if h[i].wake != h[j].wake {
+		return h[i].wake < h[j].wake
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sleeperHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sleeperHeap) Push(x interface{}) { *h = append(*h, x.(sleeper)) }
+func (h *sleeperHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// NewVirtualClock returns a virtual clock positioned at time zero with
+// no managed goroutines.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep blocks the calling managed goroutine for d of virtual time.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.seq++
+	s := sleeper{wake: c.now + d, seq: c.seq, ch: make(chan struct{})}
+	heap.Push(&c.sleepers, s)
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	<-s.ch
+}
+
+// SleepUntil blocks until virtual time t (no-op if t has passed).
+func (c *VirtualClock) SleepUntil(t time.Duration) {
+	c.mu.Lock()
+	now := c.now
+	c.mu.Unlock()
+	c.Sleep(t - now)
+}
+
+// Go runs fn as a managed goroutine counted toward quiescence.
+func (c *VirtualClock) Go(fn func()) {
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+	go func() {
+		defer c.exit()
+		fn()
+	}()
+}
+
+func (c *VirtualClock) exit() {
+	c.mu.Lock()
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// Park marks the calling goroutine blocked; a clock-aware waker must
+// later call Unpark before signaling it.
+func (c *VirtualClock) Park() {
+	c.mu.Lock()
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// Unpark accounts for one goroutine the caller is about to wake.
+func (c *VirtualClock) Unpark() {
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+}
+
+// BlockOn marks the goroutine idle while wait runs, for wakers that are
+// not clock-aware. Prefer the Park/Unpark-based primitives on hot
+// paths; see the Clock interface documentation.
+func (c *VirtualClock) BlockOn(wait func()) {
+	c.Park()
+	wait()
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+}
+
+// Run executes fn as the root managed goroutine and blocks the (real)
+// caller until fn and every goroutine it spawned via Go have finished
+// or are permanently blocked. It is the entry point for simulations.
+func (c *VirtualClock) Run(fn func()) {
+	done := make(chan struct{})
+	c.Go(func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// maybeAdvanceLocked advances virtual time when no goroutine is
+// runnable. It wakes exactly one sleeper (the earliest); that sleeper
+// becomes runnable and may in turn unblock others.
+func (c *VirtualClock) maybeAdvanceLocked() {
+	for c.active == 0 && c.sleepers.Len() > 0 {
+		s := heap.Pop(&c.sleepers).(sleeper)
+		if s.wake > c.now {
+			c.now = s.wake
+		}
+		c.active++
+		close(s.ch)
+		return
+	}
+}
+
+// String reports clock state for debugging.
+func (c *VirtualClock) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("virtclock{now=%v active=%d sleepers=%d}", c.now, c.active, c.sleepers.Len())
+}

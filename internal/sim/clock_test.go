@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvancesOnSleep(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		if c.Now() != 0 {
+			t.Errorf("initial Now = %v, want 0", c.Now())
+		}
+		c.Sleep(5 * time.Second)
+		if c.Now() != 5*time.Second {
+			t.Errorf("Now after sleep = %v, want 5s", c.Now())
+		}
+	})
+}
+
+func TestVirtualClockNegativeSleep(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		c.Sleep(-time.Second)
+		if c.Now() != 0 {
+			t.Errorf("Now = %v, want 0 after negative sleep", c.Now())
+		}
+	})
+}
+
+func TestVirtualClockConcurrentSleepers(t *testing.T) {
+	c := NewVirtualClock()
+	var order []int
+	var mu sync.Mutex
+	c.Run(func() {
+		wg := NewWaitGroup(c)
+		for i := 1; i <= 3; i++ {
+			i := i
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				c.Sleep(time.Duration(4-i) * time.Second) // 3s, 2s, 1s
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+		if c.Now() != 3*time.Second {
+			t.Errorf("Now = %v, want 3s", c.Now())
+		}
+	})
+	want := []int{3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualClockSleepUntil(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		c.SleepUntil(2 * time.Second)
+		if c.Now() != 2*time.Second {
+			t.Errorf("Now = %v, want 2s", c.Now())
+		}
+		c.SleepUntil(time.Second) // in the past: no-op
+		if c.Now() != 2*time.Second {
+			t.Errorf("Now = %v after past SleepUntil, want 2s", c.Now())
+		}
+	})
+}
+
+func TestVirtualClockDeterministicTieBreak(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		c := NewVirtualClock()
+		var order []int
+		var mu sync.Mutex
+		c.Run(func() {
+			wg := NewWaitGroup(c)
+			for i := 0; i < 4; i++ {
+				i := i
+				wg.Add(1)
+				c.Go(func() {
+					defer wg.Done()
+					c.Sleep(time.Duration(i) * time.Millisecond)
+					c.Sleep(time.Second) // all wake at distinct registration order
+					mu.Lock()
+					order = append(order, i)
+					mu.Unlock()
+				})
+			}
+			wg.Wait()
+		})
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("trial %d: order = %v, want sorted", trial, order)
+			}
+		}
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	start := c.Now()
+	c.Sleep(10 * time.Millisecond)
+	if c.Now()-start < 9*time.Millisecond {
+		t.Errorf("real clock slept too little: %v", c.Now()-start)
+	}
+	done := make(chan struct{})
+	c.Go(func() { close(done) })
+	<-done
+}
+
+func TestQueueFIFO(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		q := NewQueue[int](c)
+		for i := 0; i < 10; i++ {
+			if !q.Push(i) {
+				t.Fatalf("Push(%d) failed", i)
+			}
+		}
+		if q.Len() != 10 {
+			t.Fatalf("Len = %d, want 10", q.Len())
+		}
+		for i := 0; i < 10; i++ {
+			v, ok := q.Pop()
+			if !ok || v != i {
+				t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+			}
+		}
+	})
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		q := NewQueue[string](c)
+		got := make(chan string, 1)
+		c.Go(func() {
+			v, _ := q.Pop()
+			got <- v
+		})
+		c.Go(func() {
+			c.Sleep(time.Second)
+			q.Push("hello")
+		})
+		var v string
+		c.BlockOn(func() { v = <-got })
+		if v != "hello" {
+			t.Errorf("got %q, want hello", v)
+		}
+	})
+}
+
+func TestQueueClose(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		q := NewQueue[int](c)
+		q.Push(1)
+		q.Close()
+		if q.Push(2) {
+			t.Error("Push succeeded on closed queue")
+		}
+		if v, ok := q.Pop(); !ok || v != 1 {
+			t.Errorf("Pop = %d,%v, want 1,true (drain)", v, ok)
+		}
+		if _, ok := q.Pop(); ok {
+			t.Error("Pop on drained closed queue reported ok")
+		}
+	})
+}
+
+func TestQueueCloseWakesWaiters(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		q := NewQueue[int](c)
+		woke := make(chan bool, 2)
+		for i := 0; i < 2; i++ {
+			c.Go(func() {
+				_, ok := q.Pop()
+				woke <- ok
+			})
+		}
+		c.Sleep(time.Millisecond)
+		q.Close()
+		for i := 0; i < 2; i++ {
+			var ok bool
+			c.BlockOn(func() { ok = <-woke })
+			if ok {
+				t.Error("closed Pop reported ok = true")
+			}
+		}
+	})
+}
+
+func TestQueueTryPop(t *testing.T) {
+	c := NewVirtualClock()
+	q := NewQueue[int](c)
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty queue reported ok")
+	}
+	q.Push(7)
+	if v, ok := q.TryPop(); !ok || v != 7 {
+		t.Errorf("TryPop = %d,%v, want 7,true", v, ok)
+	}
+}
+
+func TestGate(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		g := NewGate(c, 2)
+		var inFlight, maxInFlight int32
+		wg := NewWaitGroup(c)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				g.Acquire()
+				n := atomic.AddInt32(&inFlight, 1)
+				for {
+					m := atomic.LoadInt32(&maxInFlight)
+					if n <= m || atomic.CompareAndSwapInt32(&maxInFlight, m, n) {
+						break
+					}
+				}
+				c.Sleep(time.Second)
+				atomic.AddInt32(&inFlight, -1)
+				g.Release()
+			})
+		}
+		wg.Wait()
+		if got := atomic.LoadInt32(&maxInFlight); got > 2 {
+			t.Errorf("max concurrent holders = %d, want <= 2", got)
+		}
+		// 8 jobs, 2 wide, 1s each => 4s.
+		if c.Now() != 4*time.Second {
+			t.Errorf("elapsed = %v, want 4s", c.Now())
+		}
+	})
+}
+
+func TestLinkSerialization(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		l := NewLink(c, 10, 0) // 10 MB/s
+		wg := NewWaitGroup(c)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				l.Send(10 * MB)
+			})
+		}
+		wg.Wait()
+		// Two 10MB sends on a 10MB/s shared link: 2 seconds.
+		if got := c.Now(); got != 2*time.Second {
+			t.Errorf("elapsed = %v, want 2s", got)
+		}
+		if l.Moved() != 20*MB {
+			t.Errorf("Moved = %d, want %d", l.Moved(), 20*MB)
+		}
+	})
+}
+
+func TestLinkRoundTrip(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		l := NewLink(c, 10, 2*time.Millisecond)
+		l.RoundTrip(0)
+		if c.Now() != 2*time.Millisecond {
+			t.Errorf("elapsed = %v, want 2ms", c.Now())
+		}
+	})
+}
+
+func TestDiskSeekOnFileSwitch(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		d := NewDisk(c, 10, 10*time.Millisecond)
+		d.Read("a", 10*MB) // seek + 1s
+		seq := c.Now()
+		if seq != time.Second+10*time.Millisecond {
+			t.Errorf("first read took %v, want 1.01s", seq)
+		}
+		d.Read("a", 10*MB) // sequential: no seek
+		if got := c.Now() - seq; got != time.Second {
+			t.Errorf("sequential read took %v, want 1s", got)
+		}
+		before := c.Now()
+		d.Read("b", 1) // switch: seek again
+		if got := c.Now() - before; got < 10*time.Millisecond {
+			t.Errorf("switched read took %v, want >= seek 10ms", got)
+		}
+	})
+}
+
+func TestDiskWriteSlow(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		d := NewDisk(c, 10, 0)
+		d.Write("a", 10*MB)
+		base := c.Now()
+		d.WriteSlow("a", 10*MB, 1.5)
+		if got := c.Now() - base; got != 1500*time.Millisecond {
+			t.Errorf("slow write took %v, want 1.5s", got)
+		}
+		r, w := d.Stats()
+		if r != 0 || w != 20*MB {
+			t.Errorf("Stats = %d,%d, want 0,%d", r, w, 20*MB)
+		}
+	})
+}
+
+func TestHostProfiles(t *testing.T) {
+	for _, p := range []Profile{LinuxGbE(), Solaris100()} {
+		if p.LinkMBps <= 0 || p.DiskMBps <= 0 || p.CacheSize <= 0 {
+			t.Errorf("%s: non-positive resource parameters: %+v", p.Name, p)
+		}
+		if p.EventDispatch >= p.ThreadSpawn {
+			t.Errorf("%s: event dispatch should be cheaper than thread spawn", p.Name)
+		}
+		if p.ThreadSpawn >= p.ProcSpawn {
+			t.Errorf("%s: thread spawn should be cheaper than process spawn", p.Name)
+		}
+		c := NewVirtualClock()
+		h := NewHost(c, p)
+		if h.Link.Capacity() != p.LinkMBps {
+			t.Errorf("%s: link capacity mismatch", p.Name)
+		}
+	}
+}
+
+func TestDurationFor(t *testing.T) {
+	if got := durationFor(10*MB, 10); got != time.Second {
+		t.Errorf("durationFor(10MB,10) = %v, want 1s", got)
+	}
+	if got := durationFor(123, 0); got != 0 {
+		t.Errorf("durationFor with zero rate = %v, want 0", got)
+	}
+}
+
+func TestCPUSerializesWork(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		cpu := NewCPU(c)
+		wg := NewWaitGroup(c)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			c.Go(func() {
+				defer wg.Done()
+				cpu.Work(time.Second)
+			})
+		}
+		wg.Wait()
+		// Four 1s jobs on one CPU serialize to 4s.
+		if c.Now() != 4*time.Second {
+			t.Errorf("elapsed = %v, want 4s", c.Now())
+		}
+		if cpu.Busy() != 4*time.Second {
+			t.Errorf("Busy = %v, want 4s", cpu.Busy())
+		}
+	})
+}
+
+func TestCPUZeroWork(t *testing.T) {
+	c := NewVirtualClock()
+	c.Run(func() {
+		cpu := NewCPU(c)
+		cpu.Work(0)
+		cpu.Work(-time.Second)
+		if c.Now() != 0 || cpu.Busy() != 0 {
+			t.Errorf("zero work advanced time: %v, busy %v", c.Now(), cpu.Busy())
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "time"
+
+// Profile describes the hardware and operating-system personality a
+// simulated NeST runs on: network and disk characteristics plus the
+// costs of the three concurrency mechanisms. The two stock profiles
+// correspond to the paper's testbeds (Section 7): Linux 2.2.19 Pentiums
+// with IBM 9LZX disks on Gigabit Ethernet, and Solaris 8 Netra T1s on
+// 100 Mbit/s Ethernet.
+type Profile struct {
+	Name string
+
+	// Network.
+	LinkMBps float64       // effective shared-medium capacity
+	RTT      time.Duration // small-message round trip
+
+	// Disk.
+	DiskMBps  float64
+	Seek      time.Duration
+	CacheSize int64 // kernel buffer-cache capacity in bytes
+
+	// Concurrency mechanism costs.
+	ThreadSpawn   time.Duration // create+destroy a kernel thread
+	CtxSwitch     time.Duration // thread context switch, charged per chunk
+	ProcSpawn     time.Duration // fork+exec handoff to a process worker
+	ProcSwitch    time.Duration // process context switch, charged per chunk
+	EventDispatch time.Duration // event-loop dispatch, charged per chunk
+
+	// Per-request fixed server cost (accept, parse, respond).
+	RequestCPU time.Duration
+}
+
+// LinuxGbE is the Linux 2.2.19 / Gigabit Ethernet cluster profile. The
+// ~35 MB/s effective link matches the paper's observed in-cache peak
+// (Figure 3); the disk matches an IBM 9LZX (~22 MB/s outer-zone,
+// ~8.5 ms positioning). Linux 2.2 kernel threads are cheap relative to
+// Solaris LWPs but still far from an event dispatch.
+func LinuxGbE() Profile {
+	return Profile{
+		Name:          "linux-2.2-gbe",
+		LinkMBps:      35.5,
+		RTT:           180 * time.Microsecond,
+		DiskMBps:      22,
+		Seek:          8500 * time.Microsecond,
+		CacheSize:     96 * MB,
+		ThreadSpawn:   120 * time.Microsecond,
+		CtxSwitch:     9 * time.Microsecond,
+		ProcSpawn:     450 * time.Microsecond,
+		ProcSwitch:    14 * time.Microsecond,
+		EventDispatch: 3 * time.Microsecond,
+		RequestCPU:    160 * time.Microsecond,
+	}
+}
+
+// Solaris100 is the Solaris 8 Netra T1 / 100 Mbit Ethernet profile.
+// Thread operations on Solaris 8 LWPs are markedly more expensive,
+// which is why the event model wins on small in-cache requests
+// (Figure 5, left).
+func Solaris100() Profile {
+	return Profile{
+		Name:          "solaris-8-100mbit",
+		LinkMBps:      11.2,
+		RTT:           350 * time.Microsecond,
+		DiskMBps:      18,
+		Seek:          9500 * time.Microsecond,
+		CacheSize:     64 * MB,
+		ThreadSpawn:   900 * time.Microsecond,
+		CtxSwitch:     45 * time.Microsecond,
+		ProcSpawn:     2500 * time.Microsecond,
+		ProcSwitch:    70 * time.Microsecond,
+		EventDispatch: 6 * time.Microsecond,
+		RequestCPU:    420 * time.Microsecond,
+	}
+}
+
+// Host bundles the shared resources of one simulated machine.
+type Host struct {
+	Clock   Clock
+	Profile Profile
+	Link    *Link
+	Disk    *Disk
+	CPU     *CPU
+}
+
+// NewHost builds a host from a profile on the given clock.
+func NewHost(clock Clock, p Profile) *Host {
+	return &Host{
+		Clock:   clock,
+		Profile: p,
+		Link:    NewLink(clock, p.LinkMBps, p.RTT),
+		Disk:    NewDisk(clock, p.DiskMBps, p.Seek),
+		CPU:     NewCPU(clock),
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import "sync"
+
+// Queue is an unbounded FIFO queue whose blocking Pop cooperates with a
+// Clock, so virtual-time simulations can detect quiescence while a
+// consumer waits. With a RealClock it behaves like an ordinary
+// channel-backed queue.
+type Queue[T any] struct {
+	clock   Clock
+	mu      sync.Mutex
+	items   []T
+	waiters []chan popResult[T]
+	closed  bool
+}
+
+type popResult[T any] struct {
+	v  T
+	ok bool
+}
+
+// NewQueue returns an empty queue bound to clock.
+func NewQueue[T any](clock Clock) *Queue[T] {
+	return &Queue[T]{clock: clock}
+}
+
+// Push appends v. It reports false (dropping v) if the queue is closed.
+// Push never blocks.
+func (q *Queue[T]) Push(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if len(q.waiters) > 0 {
+		ch := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.mu.Unlock()
+		q.clock.Unpark()
+		ch <- popResult[T]{v: v, ok: true}
+		return true
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	return true
+}
+
+// Pop removes and returns the head, blocking until an item arrives or
+// the queue is closed. ok is false only when the queue is closed and
+// drained.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		return v, true
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return v, false
+	}
+	ch := make(chan popResult[T], 1)
+	q.waiters = append(q.waiters, ch)
+	q.mu.Unlock()
+	q.clock.Park()
+	r := <-ch
+	return r.v, r.ok
+}
+
+// TryPop removes and returns the head without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and releases all blocked consumers with
+// ok == false. Items already queued may still be drained with Pop.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	waiters := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, ch := range waiters {
+		q.clock.Unpark()
+		ch <- popResult[T]{}
+	}
+}
+
+// WaitGroup is a clock-aware analogue of sync.WaitGroup.
+type WaitGroup struct {
+	clock Clock
+	mu    sync.Mutex
+	n     int
+	done  []chan struct{}
+}
+
+// NewWaitGroup returns a WaitGroup bound to clock.
+func NewWaitGroup(clock Clock) *WaitGroup { return &WaitGroup{clock: clock} }
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	w.n += delta
+	if w.n < 0 {
+		w.mu.Unlock()
+		panic("sim: negative WaitGroup counter")
+	}
+	var wake []chan struct{}
+	if w.n == 0 {
+		wake = w.done
+		w.done = nil
+	}
+	w.mu.Unlock()
+	for _, ch := range wake {
+		w.clock.Unpark()
+		ch <- struct{}{}
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	w.done = append(w.done, ch)
+	w.mu.Unlock()
+	w.clock.Park()
+	<-ch
+}
+
+// Gate is a counting semaphore with clock-aware blocking Acquire.
+type Gate struct {
+	clock   Clock
+	mu      sync.Mutex
+	tokens  int
+	waiters []chan struct{}
+}
+
+// NewGate returns a semaphore with n initial tokens.
+func NewGate(clock Clock, n int) *Gate { return &Gate{clock: clock, tokens: n} }
+
+// Acquire takes one token, blocking until one is available.
+func (g *Gate) Acquire() {
+	g.mu.Lock()
+	if g.tokens > 0 {
+		g.tokens--
+		g.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	g.waiters = append(g.waiters, ch)
+	g.mu.Unlock()
+	g.clock.Park()
+	<-ch
+}
+
+// Release returns one token, waking a blocked Acquire if any.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	if len(g.waiters) > 0 {
+		ch := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		g.mu.Unlock()
+		g.clock.Unpark()
+		ch <- struct{}{}
+		return
+	}
+	g.tokens++
+	g.mu.Unlock()
+}

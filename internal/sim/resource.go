@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// MB is one binary megabyte, the unit the paper reports bandwidth in.
+const MB = 1 << 20
+
+// durationFor converts a byte count and a MB/s rate into a duration.
+func durationFor(n int64, mbps float64) time.Duration {
+	if mbps <= 0 {
+		return 0
+	}
+	sec := float64(n) / (mbps * MB)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Link models a shared network medium (e.g., the server's Ethernet
+// segment) with a fixed capacity. Concurrent transfers serialize at
+// chunk granularity, which approximates fair sharing of the wire while
+// keeping the model deterministic.
+type Link struct {
+	clock Clock
+	mu    sync.Mutex
+	mbps  float64
+	rtt   time.Duration
+	free  time.Duration // time at which the medium is next idle
+	moved int64         // total bytes carried
+}
+
+// NewLink returns a link with the given capacity in MB/s and round-trip
+// latency.
+func NewLink(clock Clock, mbps float64, rtt time.Duration) *Link {
+	return &Link{clock: clock, mbps: mbps, rtt: rtt}
+}
+
+// RTT returns the link's round-trip latency.
+func (l *Link) RTT() time.Duration { return l.rtt }
+
+// Capacity returns the link's capacity in MB/s.
+func (l *Link) Capacity() float64 { return l.mbps }
+
+// Moved returns total bytes carried so far.
+func (l *Link) Moved() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.moved
+}
+
+// Send blocks the caller while n bytes serialize onto the shared
+// medium, honoring queueing behind bytes already committed.
+func (l *Link) Send(n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := l.clock.Now()
+	start := l.free
+	if now > start {
+		start = now
+	}
+	end := start + durationFor(n, l.mbps)
+	l.free = end
+	l.moved += n
+	l.mu.Unlock()
+	l.clock.Sleep(end - now)
+}
+
+// RoundTrip charges one network round trip plus serialization of n
+// payload bytes — the cost of a small RPC such as an NFS block request.
+func (l *Link) RoundTrip(n int64) {
+	l.Send(n)
+	l.clock.Sleep(l.rtt)
+}
+
+// CPU models the server's processor as a serializing resource:
+// concurrent requests queue for protocol parsing, checksumming and
+// copy work. It is what bounds block-based and heavyweight protocols
+// in Figure 3.
+type CPU struct {
+	clock Clock
+	mu    sync.Mutex
+	free  time.Duration
+	busy  time.Duration // cumulative work executed
+}
+
+// NewCPU returns an idle CPU.
+func NewCPU(clock Clock) *CPU { return &CPU{clock: clock} }
+
+// Work blocks the caller while d of processor time executes, queueing
+// behind work already committed.
+func (c *CPU) Work(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	now := c.clock.Now()
+	start := c.free
+	if now > start {
+		start = now
+	}
+	end := start + d
+	c.free = end
+	c.busy += d
+	c.mu.Unlock()
+	c.clock.Sleep(end - now)
+}
+
+// Busy returns cumulative executed work.
+func (c *CPU) Busy() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.busy
+}
+
+// Disk models a single spindle with positioning time and sequential
+// transfer bandwidth. Interleaved access to different files pays a
+// positioning cost, which is what makes cache-aware scheduling and the
+// threads-vs-events tradeoff visible.
+type Disk struct {
+	clock    Clock
+	mu       sync.Mutex
+	mbps     float64
+	seek     time.Duration
+	free     time.Duration
+	lastFile string
+	reads    int64
+	writes   int64
+}
+
+// NewDisk returns a disk with sequential bandwidth in MB/s and average
+// positioning (seek + rotation) time.
+func NewDisk(clock Clock, mbps float64, seek time.Duration) *Disk {
+	return &Disk{clock: clock, mbps: mbps, seek: seek}
+}
+
+// Bandwidth returns the disk's sequential bandwidth in MB/s.
+func (d *Disk) Bandwidth() float64 { return d.mbps }
+
+// Stats returns cumulative bytes read and written.
+func (d *Disk) Stats() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+func (d *Disk) access(file string, n int64, write bool, slowdown float64) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	now := d.clock.Now()
+	start := d.free
+	if now > start {
+		start = now
+	}
+	cost := durationFor(n, d.mbps)
+	if slowdown > 1 {
+		cost = time.Duration(float64(cost) * slowdown)
+	}
+	if file != d.lastFile {
+		cost += d.seek
+		d.lastFile = file
+	}
+	end := start + cost
+	d.free = end
+	if write {
+		d.writes += n
+	} else {
+		d.reads += n
+	}
+	d.mu.Unlock()
+	d.clock.Sleep(end - now)
+}
+
+// Read blocks while n bytes of file stream off the platter.
+func (d *Disk) Read(file string, n int64) { d.access(file, n, false, 1) }
+
+// Write blocks while n bytes of file stream onto the platter.
+func (d *Disk) Write(file string, n int64) { d.access(file, n, true, 1) }
+
+// WriteSlow is Write with a multiplicative slowdown factor; the quota
+// subsystem uses it to model per-block quota-tree bookkeeping.
+func (d *Disk) WriteSlow(file string, n int64, slowdown float64) {
+	d.access(file, n, true, slowdown)
+}

@@ -1,0 +1,96 @@
+// Package storage implements NeST's storage manager (paper §5): it
+// virtualizes the physical storage namespace behind a filesystem
+// interface with pluggable backends (in-memory, local disk, simulated
+// disk), executes non-transfer requests synchronously, enforces access
+// control, and manages guaranteed storage space in the form of lots.
+package storage
+
+import (
+	"errors"
+	"io"
+	"path"
+	"strings"
+	"time"
+)
+
+// Errors reported by filesystem backends.
+var (
+	ErrNotFound = errors.New("storage: no such file or directory")
+	ErrExists   = errors.New("storage: file exists")
+	ErrNotDir   = errors.New("storage: not a directory")
+	ErrIsDir    = errors.New("storage: is a directory")
+	ErrNotEmpty = errors.New("storage: directory not empty")
+	ErrNoSpace  = errors.New("storage: no space left on device")
+	ErrReadOnly = errors.New("storage: file opened read-only")
+)
+
+// Info describes a file or directory.
+type Info struct {
+	Name    string // base name
+	Path    string // full cleaned path
+	Size    int64
+	IsDir   bool
+	Owner   string
+	ModTime time.Duration
+}
+
+// File is an open file supporting random access, as required by
+// block-based protocols (NFS).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Size returns the current length.
+	Size() int64
+	// Truncate sets the length to n.
+	Truncate(n int64) error
+	// Path returns the file's cleaned path.
+	Path() string
+}
+
+// FS is the virtualized physical storage interface. Paths are
+// slash-separated and rooted at "/"; backends clean them internally.
+type FS interface {
+	// Create makes (or truncates) a file owned by owner, open for
+	// read/write.
+	Create(name, owner string) (File, error)
+	// Open opens an existing file for reading (writes fail).
+	Open(name string) (File, error)
+	// OpenRW opens an existing file for reading and writing.
+	OpenRW(name string) (File, error)
+	// Stat describes a file or directory.
+	Stat(name string) (Info, error)
+	// List returns directory entries sorted by name.
+	List(name string) ([]Info, error)
+	// Mkdir creates a directory (parents must exist).
+	Mkdir(name, owner string) error
+	// Rmdir removes an empty directory.
+	Rmdir(name string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Total and Free report capacity in bytes.
+	Total() int64
+	Free() int64
+}
+
+// Clean canonicalizes a client-supplied path to an absolute,
+// dot-dot-free form, preventing escape from the served namespace.
+func Clean(name string) string {
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	return path.Clean(name)
+}
+
+// Split returns the parent directory and base name of a cleaned path.
+func Split(name string) (dir, base string) {
+	name = Clean(name)
+	dir, base = path.Split(name)
+	if dir != "/" {
+		dir = strings.TrimSuffix(dir, "/")
+	}
+	if base == "" {
+		base = "/"
+	}
+	return dir, base
+}

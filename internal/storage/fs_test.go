@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"nest/internal/sim"
+)
+
+const mb = sim.MB
+
+// backends returns each FS implementation under test.
+func backends(t *testing.T) map[string]FS {
+	t.Helper()
+	local, err := NewLocalFS(t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{
+		"memfs":   NewMemFS(nil, 1<<30),
+		"localfs": local,
+	}
+}
+
+func writeFile(t *testing.T, fs FS, name string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(name, "tester")
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt(%s): %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+}
+
+func readFile(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", name, err)
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt(%s): %v", name, err)
+	}
+	return buf
+}
+
+func TestCreateReadBack(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("the quick brown fox")
+			writeFile(t, fs, "/f.txt", data)
+			if got := readFile(t, fs, "/f.txt"); !bytes.Equal(got, data) {
+				t.Errorf("read back %q, want %q", got, data)
+			}
+			info, err := fs.Stat("/f.txt")
+			if err != nil || info.Size != int64(len(data)) || info.IsDir {
+				t.Errorf("Stat = %+v, %v", info, err)
+			}
+		})
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			writeFile(t, fs, "/f", []byte("long old content"))
+			writeFile(t, fs, "/f", []byte("new"))
+			if got := readFile(t, fs, "/f"); string(got) != "new" {
+				t.Errorf("content = %q", got)
+			}
+		})
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := fs.Mkdir("/d", "o"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Mkdir("/d", "o"); err != ErrExists {
+				t.Errorf("duplicate mkdir = %v", err)
+			}
+			if err := fs.Mkdir("/nope/x", "o"); err != ErrNotFound {
+				t.Errorf("mkdir without parent = %v", err)
+			}
+			writeFile(t, fs, "/d/a", []byte("1"))
+			writeFile(t, fs, "/d/b", []byte("22"))
+			infos, err := fs.List("/d")
+			if err != nil || len(infos) != 2 {
+				t.Fatalf("List = %v, %v", infos, err)
+			}
+			if infos[0].Name != "a" || infos[1].Name != "b" {
+				t.Errorf("List order = %v", infos)
+			}
+			if infos[1].Size != 2 {
+				t.Errorf("b size = %d", infos[1].Size)
+			}
+			if err := fs.Rmdir("/d"); err != ErrNotEmpty {
+				t.Errorf("rmdir non-empty = %v", err)
+			}
+			fs.Remove("/d/a")
+			fs.Remove("/d/b")
+			if err := fs.Rmdir("/d"); err != nil {
+				t.Errorf("rmdir empty = %v", err)
+			}
+		})
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("/missing"); err != ErrNotFound {
+				t.Errorf("Open missing = %v", err)
+			}
+			if _, err := fs.Stat("/missing"); err != ErrNotFound {
+				t.Errorf("Stat missing = %v", err)
+			}
+			if err := fs.Remove("/missing"); err != ErrNotFound {
+				t.Errorf("Remove missing = %v", err)
+			}
+			fs.Mkdir("/d", "o")
+			if _, err := fs.Open("/d"); err != ErrIsDir {
+				t.Errorf("Open dir = %v", err)
+			}
+			if err := fs.Remove("/d"); err != ErrIsDir {
+				t.Errorf("Remove dir = %v", err)
+			}
+			if _, err := fs.Create("/d", "o"); err != ErrIsDir {
+				t.Errorf("Create over dir = %v", err)
+			}
+			writeFile(t, fs, "/f", []byte("x"))
+			if err := fs.Rmdir("/f"); err != ErrNotDir {
+				t.Errorf("Rmdir file = %v", err)
+			}
+			if _, err := fs.List("/f"); err != ErrNotDir {
+				t.Errorf("List file = %v", err)
+			}
+		})
+	}
+}
+
+func TestPathEscapePrevention(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			writeFile(t, fs, "/../../escape.txt", []byte("x"))
+			// The dot-dot components must collapse inside the root.
+			if _, err := fs.Stat("/escape.txt"); err != nil {
+				t.Errorf("escaped path not cleaned into namespace: %v", err)
+			}
+		})
+	}
+}
+
+func TestReadOnlyHandles(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			writeFile(t, fs, "/f", []byte("data"))
+			f, err := fs.Open("/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte("no"), 0); err != ErrReadOnly {
+				t.Errorf("WriteAt on read-only handle = %v", err)
+			}
+			if err := f.Truncate(0); err != ErrReadOnly {
+				t.Errorf("Truncate on read-only handle = %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenRW(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			writeFile(t, fs, "/f", []byte("hello"))
+			f, err := fs.OpenRW("/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("J"), 0); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if got := readFile(t, fs, "/f"); string(got) != "Jello" {
+				t.Errorf("content = %q", got)
+			}
+		})
+	}
+}
+
+func TestSparseWrite(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("/sparse", "o")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("end"), 100); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 103 {
+				t.Errorf("Size = %d, want 103", f.Size())
+			}
+			buf := make([]byte, 3)
+			if _, err := f.ReadAt(buf, 50); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, []byte{0, 0, 0}) {
+				t.Errorf("hole = %v, want zeros", buf)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("/t", "o")
+			f.WriteAt([]byte("0123456789"), 0)
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 4 {
+				t.Errorf("Size = %d", f.Size())
+			}
+			if err := f.Truncate(8); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			f.ReadAt(buf, 0)
+			if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+				t.Errorf("after grow = %v", buf)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestMemFSCapacity(t *testing.T) {
+	fs := NewMemFS(nil, 100)
+	f, _ := fs.Create("/f", "o")
+	if _, err := f.WriteAt(make([]byte, 60), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 60), 60); err != ErrNoSpace {
+		t.Errorf("over-capacity write = %v", err)
+	}
+	if fs.Free() != 40 {
+		t.Errorf("Free = %d, want 40", fs.Free())
+	}
+	f.Close()
+	fs.Remove("/f")
+	if fs.Free() != 100 {
+		t.Errorf("Free after remove = %d", fs.Free())
+	}
+}
+
+func TestClean(t *testing.T) {
+	cases := map[string]string{
+		"":        "/",
+		"/":       "/",
+		"a/b":     "/a/b",
+		"/a//b/":  "/a/b",
+		"/a/../b": "/b",
+		"/../..":  "/",
+		"a/./b":   "/a/b",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", "/"},
+	}
+	for _, c := range cases {
+		dir, base := Split(c.in)
+		if dir != c.dir || base != c.base {
+			t.Errorf("Split(%q) = %q,%q want %q,%q", c.in, dir, base, c.dir, c.base)
+		}
+	}
+}
+
+// Property: memfs WriteAt then ReadAt returns the written bytes.
+func TestQuickMemFSReadBack(t *testing.T) {
+	fs := NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/q", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	check := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if _, err := f.WriteAt(data, int64(off)); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := f.ReadAt(got, int64(off)); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

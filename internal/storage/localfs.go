@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+var errEOF = io.EOF
+
+// LocalFS serves the local filesystem rooted at a directory — the
+// backend a production NeST runs on (paper §5: "in our current
+// implementation, we currently use only the local filesystem").
+type LocalFS struct {
+	root  string
+	total int64
+	epoch time.Time
+}
+
+// NewLocalFS returns a backend rooted at dir, which must exist.
+// capacity is the advertised total space (local filesystems do not
+// expose a portable free-space call in the stdlib, so NeST tracks an
+// administrative capacity).
+func NewLocalFS(dir string, capacity int64) (*LocalFS, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, ErrNotDir
+	}
+	return &LocalFS{root: dir, total: capacity, epoch: time.Now()}, nil
+}
+
+// resolve maps a cleaned virtual path under the root directory.
+func (l *LocalFS) resolve(name string) string {
+	return filepath.Join(l.root, filepath.FromSlash(Clean(name)))
+}
+
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return ErrNotFound
+	case errors.Is(err, fs.ErrExist):
+		return ErrExists
+	}
+	return err
+}
+
+// Create implements FS.
+func (l *LocalFS) Create(name, owner string) (File, error) {
+	if info, err := os.Stat(l.resolve(name)); err == nil && info.IsDir() {
+		return nil, ErrIsDir
+	}
+	f, err := os.OpenFile(l.resolve(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &localFile{f: f, path: Clean(name), writable: true}, nil
+}
+
+// Open implements FS.
+func (l *LocalFS) Open(name string) (File, error) {
+	f, err := os.Open(l.resolve(name))
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if info, err := f.Stat(); err == nil && info.IsDir() {
+		f.Close()
+		return nil, ErrIsDir
+	}
+	return &localFile{f: f, path: Clean(name)}, nil
+}
+
+// OpenRW implements FS.
+func (l *LocalFS) OpenRW(name string) (File, error) {
+	f, err := os.OpenFile(l.resolve(name), os.O_RDWR, 0)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &localFile{f: f, path: Clean(name), writable: true}, nil
+}
+
+// Stat implements FS.
+func (l *LocalFS) Stat(name string) (Info, error) {
+	info, err := os.Stat(l.resolve(name))
+	if err != nil {
+		return Info{}, mapErr(err)
+	}
+	return l.info(Clean(name), info), nil
+}
+
+func (l *LocalFS) info(path string, info fs.FileInfo) Info {
+	name := info.Name()
+	if path == "/" {
+		name = "/"
+	}
+	return Info{
+		Name:    name,
+		Path:    path,
+		Size:    info.Size(),
+		IsDir:   info.IsDir(),
+		ModTime: info.ModTime().Sub(l.epoch),
+	}
+}
+
+// List implements FS.
+func (l *LocalFS) List(name string) ([]Info, error) {
+	entries, err := os.ReadDir(l.resolve(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, ErrNotDir
+	}
+	dir := Clean(name)
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		p := dir + "/" + e.Name()
+		if dir == "/" {
+			p = "/" + e.Name()
+		}
+		out = append(out, l.info(p, info))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mkdir implements FS.
+func (l *LocalFS) Mkdir(name, owner string) error {
+	return mapErr(os.Mkdir(l.resolve(name), 0o755))
+}
+
+// Rmdir implements FS.
+func (l *LocalFS) Rmdir(name string) error {
+	p := l.resolve(name)
+	info, err := os.Stat(p)
+	if err != nil {
+		return mapErr(err)
+	}
+	if !info.IsDir() {
+		return ErrNotDir
+	}
+	if entries, err := os.ReadDir(p); err == nil && len(entries) > 0 {
+		return ErrNotEmpty
+	}
+	return mapErr(os.Remove(p))
+}
+
+// Remove implements FS.
+func (l *LocalFS) Remove(name string) error {
+	p := l.resolve(name)
+	info, err := os.Stat(p)
+	if err != nil {
+		return mapErr(err)
+	}
+	if info.IsDir() {
+		return ErrIsDir
+	}
+	return mapErr(os.Remove(p))
+}
+
+// Total implements FS.
+func (l *LocalFS) Total() int64 { return l.total }
+
+// Free implements FS.
+func (l *LocalFS) Free() int64 {
+	var used int64
+	filepath.Walk(l.root, func(_ string, info fs.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			used += info.Size()
+		}
+		return nil
+	})
+	free := l.total - used
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+type localFile struct {
+	f        *os.File
+	path     string
+	writable bool
+}
+
+func (f *localFile) Path() string { return f.path }
+
+func (f *localFile) Size() int64 {
+	info, err := f.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+func (f *localFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.f.ReadAt(p, off)
+}
+
+func (f *localFile) WriteAt(p []byte, off int64) (int, error) {
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *localFile) Truncate(n int64) error {
+	if !f.writable {
+		return ErrReadOnly
+	}
+	return f.f.Truncate(n)
+}
+
+func (f *localFile) Close() error { return f.f.Close() }

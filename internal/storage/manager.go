@@ -1,0 +1,430 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"nest/internal/acl"
+	"nest/internal/classad"
+	"nest/internal/lots"
+	"nest/internal/protocol"
+	"nest/internal/quota"
+)
+
+// Manager is NeST's storage manager: it virtualizes physical storage,
+// executes non-transfer requests synchronously, enforces access
+// control across all protocols, and admits transfers against lot
+// guarantees. The dispatcher serializes calls into Execute; transfer
+// approval may run concurrently with it, so Manager methods take no
+// shared locks beyond those of their components.
+type Manager struct {
+	fs   FS
+	acl  *acl.Table
+	lots *lots.Manager
+}
+
+// NewManager wires a storage manager from its parts.
+func NewManager(fs FS, table *acl.Table, lotMgr *lots.Manager) *Manager {
+	m := &Manager{fs: fs, acl: table, lots: lotMgr}
+	if lotMgr != nil {
+		lotMgr.OnReclaim(m.reclaimLot)
+	}
+	return m
+}
+
+// FS exposes the underlying filesystem (examples and tests).
+func (m *Manager) FS() FS { return m.fs }
+
+// ACL exposes the access-control table.
+func (m *Manager) ACL() *acl.Table { return m.acl }
+
+// Lots exposes the lot manager.
+func (m *Manager) Lots() *lots.Manager { return m.lots }
+
+// reclaimLot deletes the files of a reclaimed best-effort lot.
+func (m *Manager) reclaimLot(l *lots.Lot) {
+	for path := range l.Files {
+		m.fs.Remove(path)
+	}
+}
+
+// errReply maps storage and lot errors to protocol replies.
+func errReply(err error) *protocol.Reply {
+	switch {
+	case err == nil:
+		return protocol.OKReply()
+	case errors.Is(err, ErrNotFound), errors.Is(err, lots.ErrNotFound):
+		return protocol.ErrReply(protocol.CodeNotFound, "%v", err)
+	case errors.Is(err, ErrExists):
+		return protocol.ErrReply(protocol.CodeExists, "%v", err)
+	case errors.Is(err, ErrNotDir):
+		return protocol.ErrReply(protocol.CodeNotDir, "%v", err)
+	case errors.Is(err, ErrIsDir):
+		return protocol.ErrReply(protocol.CodeIsDir, "%v", err)
+	case errors.Is(err, ErrNotEmpty):
+		return protocol.ErrReply(protocol.CodeNotEmpty, "%v", err)
+	case errors.Is(err, ErrNoSpace), errors.Is(err, lots.ErrNoSpace),
+		errors.Is(err, lots.ErrLotFull), errors.Is(err, quota.ErrOverQuota):
+		return protocol.ErrReply(protocol.CodeNoSpace, "%v", err)
+	case errors.Is(err, lots.ErrNoLot):
+		return protocol.ErrReply(protocol.CodeNoLot, "%v", err)
+	case errors.Is(err, lots.ErrNotOwner):
+		return protocol.ErrReply(protocol.CodePermission, "%v", err)
+	}
+	return protocol.ErrReply(protocol.CodeInternal, "%v", err)
+}
+
+func lotInfo(info lots.Info) *protocol.LotInfo {
+	return &protocol.LotInfo{
+		ID:         info.ID,
+		Owner:      info.Owner,
+		Capacity:   info.Capacity,
+		Used:       info.Used,
+		Expires:    info.Expires,
+		BestEffort: info.BestEffort,
+	}
+}
+
+// Execute synchronously performs a non-transfer request. The
+// dispatcher guarantees these execute in a serialized, thread-safe
+// schedule (paper §2.1).
+func (m *Manager) Execute(req *protocol.Request) *protocol.Reply {
+	switch req.Op {
+	case protocol.OpPing:
+		return protocol.OKReply()
+	case protocol.OpList:
+		return m.list(req)
+	case protocol.OpStat, protocol.OpLookup:
+		return m.stat(req)
+	case protocol.OpMkdir:
+		return m.mkdir(req)
+	case protocol.OpRmdir:
+		return m.rmdir(req)
+	case protocol.OpRemove:
+		return m.remove(req)
+	case protocol.OpLotCreate:
+		return m.lotCreate(req)
+	case protocol.OpLotRelease:
+		return m.lotRelease(req)
+	case protocol.OpLotRenew:
+		return m.lotRenew(req)
+	case protocol.OpLotStatus:
+		return m.lotStatus(req)
+	case protocol.OpLotAddMember:
+		return m.lotMember(req, true)
+	case protocol.OpLotRemoveMember:
+		return m.lotMember(req, false)
+	case protocol.OpACLSet:
+		return m.aclSet(req)
+	case protocol.OpACLGet:
+		return m.aclGet(req)
+	case protocol.OpStatfs:
+		return m.statfs(req)
+	}
+	return protocol.ErrReply(protocol.CodeBadRequest, "storage: unsupported op %v", req.Op)
+}
+
+func (m *Manager) list(req *protocol.Request) *protocol.Reply {
+	dir := Clean(req.Path)
+	if !m.acl.Check(req.User, dir, acl.Lookup) {
+		return protocol.ErrReply(protocol.CodePermission, "list %s: permission denied", dir)
+	}
+	infos, err := m.fs.List(dir)
+	if err != nil {
+		return errReply(err)
+	}
+	rep := protocol.OKReply()
+	for _, info := range infos {
+		rep.Entries = append(rep.Entries, protocol.FileInfo{
+			Name: info.Name, Size: info.Size, IsDir: info.IsDir,
+			ModTime: info.ModTime, Owner: info.Owner,
+		})
+	}
+	return rep
+}
+
+func (m *Manager) stat(req *protocol.Request) *protocol.Reply {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	if !m.acl.Check(req.User, dir, acl.Lookup) {
+		return protocol.ErrReply(protocol.CodePermission, "stat %s: permission denied", p)
+	}
+	info, err := m.fs.Stat(p)
+	if err != nil {
+		return errReply(err)
+	}
+	rep := protocol.OKReply()
+	rep.Size = info.Size
+	rep.Info = &protocol.FileInfo{
+		Name: info.Name, Size: info.Size, IsDir: info.IsDir,
+		ModTime: info.ModTime, Owner: info.Owner,
+	}
+	return rep
+}
+
+func (m *Manager) mkdir(req *protocol.Request) *protocol.Reply {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	if !m.acl.Check(req.User, dir, acl.Insert) {
+		return protocol.ErrReply(protocol.CodePermission, "mkdir %s: permission denied", p)
+	}
+	return errReply(m.fs.Mkdir(p, req.User))
+}
+
+func (m *Manager) rmdir(req *protocol.Request) *protocol.Reply {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	if !m.acl.Check(req.User, dir, acl.Delete) {
+		return protocol.ErrReply(protocol.CodePermission, "rmdir %s: permission denied", p)
+	}
+	return errReply(m.fs.Rmdir(p))
+}
+
+func (m *Manager) remove(req *protocol.Request) *protocol.Reply {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	if !m.acl.Check(req.User, dir, acl.Delete) {
+		return protocol.ErrReply(protocol.CodePermission, "remove %s: permission denied", p)
+	}
+	if err := m.fs.Remove(p); err != nil {
+		return errReply(err)
+	}
+	if m.lots != nil {
+		m.lots.ReleaseFile(req.User, p)
+	}
+	return protocol.OKReply()
+}
+
+func (m *Manager) lotCreate(req *protocol.Request) *protocol.Reply {
+	if m.lots == nil {
+		return protocol.ErrReply(protocol.CodeBadRequest, "lots disabled")
+	}
+	info, err := m.lots.Create(req.User, req.LotBytes, req.LotDuration)
+	if err != nil {
+		return errReply(err)
+	}
+	rep := protocol.OKReply()
+	rep.Lot = lotInfo(info)
+	return rep
+}
+
+func (m *Manager) lotRelease(req *protocol.Request) *protocol.Reply {
+	if m.lots == nil {
+		return protocol.ErrReply(protocol.CodeBadRequest, "lots disabled")
+	}
+	return errReply(m.lots.Release(req.User, req.LotID))
+}
+
+func (m *Manager) lotRenew(req *protocol.Request) *protocol.Reply {
+	if m.lots == nil {
+		return protocol.ErrReply(protocol.CodeBadRequest, "lots disabled")
+	}
+	info, err := m.lots.Renew(req.User, req.LotID, req.LotDuration)
+	if err != nil {
+		return errReply(err)
+	}
+	rep := protocol.OKReply()
+	rep.Lot = lotInfo(info)
+	return rep
+}
+
+func (m *Manager) lotStatus(req *protocol.Request) *protocol.Reply {
+	if m.lots == nil {
+		return protocol.ErrReply(protocol.CodeBadRequest, "lots disabled")
+	}
+	info, err := m.lots.Lookup(req.LotID)
+	if err != nil {
+		return errReply(err)
+	}
+	if info.Owner != req.User && !m.lots.UsableBy(req.LotID, req.User) {
+		return protocol.ErrReply(protocol.CodePermission, "lot %s: not owner or member", req.LotID)
+	}
+	rep := protocol.OKReply()
+	rep.Lot = lotInfo(info)
+	return rep
+}
+
+// lotMember edits group-lot membership (paper §5's planned group
+// lots): the ACLUser field carries the member's name.
+func (m *Manager) lotMember(req *protocol.Request, add bool) *protocol.Reply {
+	if m.lots == nil {
+		return protocol.ErrReply(protocol.CodeBadRequest, "lots disabled")
+	}
+	var err error
+	if add {
+		err = m.lots.AddMember(req.User, req.LotID, req.ACLUser)
+	} else {
+		err = m.lots.RemoveMember(req.User, req.LotID, req.ACLUser)
+	}
+	return errReply(err)
+}
+
+func (m *Manager) aclSet(req *protocol.Request) *protocol.Reply {
+	dir := Clean(req.Path)
+	if !m.acl.Check(req.User, dir, acl.Admin) {
+		return protocol.ErrReply(protocol.CodePermission, "acl_set %s: permission denied", dir)
+	}
+	rights, err := acl.ParseRights(req.ACLRights)
+	if err != nil && req.ACLRights != "" {
+		return protocol.ErrReply(protocol.CodeBadRequest, "%v", err)
+	}
+	m.acl.Set(dir, req.ACLUser, rights)
+	return protocol.OKReply()
+}
+
+func (m *Manager) aclGet(req *protocol.Request) *protocol.Reply {
+	dir := Clean(req.Path)
+	if !m.acl.Check(req.User, dir, acl.Lookup) {
+		return protocol.ErrReply(protocol.CodePermission, "acl_get %s: permission denied", dir)
+	}
+	entries := m.acl.Get(dir)
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = e.Principal + " " + e.Rights.String()
+	}
+	rep := protocol.OKReply()
+	rep.Rights = strings.Join(parts, "\n")
+	return rep
+}
+
+func (m *Manager) statfs(req *protocol.Request) *protocol.Reply {
+	rep := protocol.OKReply()
+	rep.Ad = m.Advertisement().String()
+	rep.Size = m.fs.Free()
+	rep.Info = &protocol.FileInfo{Name: "/", Size: m.fs.Total(), IsDir: true}
+	return rep
+}
+
+// Advertisement builds the storage half of the NeST ClassAd the
+// dispatcher periodically publishes into the Grid discovery system.
+func (m *Manager) Advertisement() *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Type", "Storage")
+	ad.SetInt("TotalDisk", m.fs.Total())
+	ad.SetInt("FreeDisk", m.fs.Free())
+	if m.lots != nil {
+		ad.SetInt("GuaranteedSpace", m.lots.Guaranteed())
+		ad.SetInt("GuaranteeableSpace", m.lots.Total()-m.lots.Guaranteed())
+		ad.SetString("LotEnforcement", m.lots.Mode().String())
+	}
+	return ad
+}
+
+// PutTicket is an approved put: the open destination file plus the
+// accounting needed to settle when the transfer completes.
+type PutTicket struct {
+	File    File
+	req     *protocol.Request
+	charged int64
+	oldSize int64
+}
+
+// ApproveGet validates a read transfer and opens its source. It
+// returns a nil reply on success, an error reply otherwise.
+func (m *Manager) ApproveGet(req *protocol.Request) (File, int64, *protocol.Reply) {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	if !m.acl.Check(req.User, dir, acl.Read) {
+		return nil, 0, protocol.ErrReply(protocol.CodePermission, "get %s: permission denied", p)
+	}
+	f, err := m.fs.Open(p)
+	if err != nil {
+		return nil, 0, errReply(err)
+	}
+	size := f.Size()
+	length := req.Length
+	if length <= 0 || req.Offset+length > size {
+		length = size - req.Offset
+	}
+	if length < 0 {
+		length = 0
+	}
+	return f, length, nil
+}
+
+// ApprovePut validates a write transfer, charges the writer's lot for
+// the declared size (when known), and opens the destination.
+func (m *Manager) ApprovePut(req *protocol.Request) (*PutTicket, *protocol.Reply) {
+	p := Clean(req.Path)
+	dir, _ := Split(p)
+	existing, statErr := m.fs.Stat(p)
+	var need acl.Rights = acl.Insert
+	if statErr == nil && !existing.IsDir {
+		need = acl.Write
+	}
+	if !m.acl.Check(req.User, dir, need) {
+		return nil, protocol.ErrReply(protocol.CodePermission, "put %s: permission denied", p)
+	}
+	var oldSize int64
+	if statErr == nil {
+		oldSize = existing.Size
+	}
+
+	// Charge the guarantee up front when the size is declared. Block
+	// writes (NFS) and unknown-length streams settle in FinishPut.
+	var charged int64
+	if m.lots != nil && req.Size > 0 && req.Offset == 0 {
+		growth := req.Size
+		if err := m.lots.ChargeWrite(req.User, req.LotID, p, growth); err != nil {
+			return nil, errReply(err)
+		}
+		charged = growth
+	}
+
+	var f File
+	var err error
+	if req.Offset > 0 || (statErr == nil && req.Size < 0) {
+		f, err = m.fs.OpenRW(p)
+		if errors.Is(err, ErrNotFound) {
+			f, err = m.fs.Create(p, req.User)
+		}
+	} else {
+		f, err = m.fs.Create(p, req.User)
+		if m.lots != nil && err == nil && req.Offset == 0 && oldSize > 0 {
+			// Truncating rewrite: release the old bytes.
+			m.lots.UnchargeFile(req.User, p, oldSize)
+		}
+	}
+	if err != nil {
+		if charged > 0 {
+			m.lots.UnchargeFile(req.User, p, charged)
+		}
+		return nil, errReply(err)
+	}
+	return &PutTicket{File: f, req: req, charged: charged, oldSize: f.Size()}, nil
+}
+
+// FinishPut settles lot accounting after the data phase moved written
+// bytes (growing the file from the ticket's original size) and returns
+// the reply to send the client.
+func (m *Manager) FinishPut(t *PutTicket, written int64, transferErr error) *protocol.Reply {
+	defer t.File.Close()
+	growth := t.File.Size() - t.oldSize
+	if growth < 0 {
+		growth = 0
+	}
+	if m.lots != nil {
+		switch {
+		case growth > t.charged:
+			if err := m.lots.ChargeWrite(t.req.User, t.req.LotID, t.File.Path(), growth-t.charged); err != nil {
+				// Over guarantee: trim the file back to what was paid for.
+				t.File.Truncate(t.oldSize + t.charged)
+				return errReply(err)
+			}
+		case growth < t.charged:
+			m.lots.UnchargeFile(t.req.User, t.File.Path(), t.charged-growth)
+		}
+	}
+	if transferErr != nil {
+		return protocol.ErrReply(protocol.CodeInternal, "transfer failed: %v", transferErr)
+	}
+	rep := protocol.OKReply()
+	rep.Size = written
+	return rep
+}
+
+// String describes the manager for logs.
+func (m *Manager) String() string {
+	return fmt.Sprintf("storage{total=%d free=%d}", m.fs.Total(), m.fs.Free())
+}

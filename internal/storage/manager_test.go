@@ -1,0 +1,483 @@
+package storage
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"nest/internal/acl"
+	"nest/internal/lots"
+	"nest/internal/protocol"
+	"nest/internal/quota"
+	"nest/internal/sim"
+)
+
+// newTestManager builds a manager over memfs with permissive root ACL
+// and NeST-managed lots.
+func newTestManager(clock sim.Clock) *Manager {
+	if clock == nil {
+		clock = sim.NewRealClock()
+	}
+	fs := NewMemFS(clock, 1000*mb)
+	table := acl.NewTable(acl.AllRights, "anonymous")
+	lotMgr := lots.NewManager(clock, 1000*mb, lots.NeSTManaged, nil)
+	return NewManager(fs, table, lotMgr)
+}
+
+func req(op protocol.Op, user, path string) *protocol.Request {
+	return &protocol.Request{Op: op, User: user, Path: path, Proto: "chirp"}
+}
+
+func TestExecuteMkdirListStat(t *testing.T) {
+	m := newTestManager(nil)
+	if rep := m.Execute(req(protocol.OpMkdir, "john", "/data")); !rep.OK() {
+		t.Fatalf("mkdir: %+v", rep)
+	}
+	if rep := m.Execute(req(protocol.OpMkdir, "john", "/data")); rep.Code != protocol.CodeExists {
+		t.Errorf("duplicate mkdir code = %d", rep.Code)
+	}
+	if rep := m.Execute(req(protocol.OpStat, "john", "/data")); !rep.OK() || !rep.Info.IsDir {
+		t.Errorf("stat: %+v", rep)
+	}
+	rep := m.Execute(req(protocol.OpList, "john", "/"))
+	if !rep.OK() || len(rep.Entries) != 1 || rep.Entries[0].Name != "data" {
+		t.Errorf("list: %+v", rep)
+	}
+}
+
+func TestExecutePermissionDenied(t *testing.T) {
+	clock := sim.NewRealClock()
+	fs := NewMemFS(clock, 1000*mb)
+	table := acl.NewTable(acl.Read|acl.Lookup, "anonymous") // no insert at root
+	m := NewManager(fs, table, nil)
+	if rep := m.Execute(req(protocol.OpMkdir, "john", "/d")); rep.Code != protocol.CodePermission {
+		t.Errorf("mkdir without insert = %d", rep.Code)
+	}
+	if rep := m.Execute(req(protocol.OpList, "john", "/")); !rep.OK() {
+		t.Errorf("list with lookup: %+v", rep)
+	}
+	if rep := m.Execute(req(protocol.OpRemove, "john", "/x")); rep.Code != protocol.CodePermission {
+		t.Errorf("remove without delete = %d", rep.Code)
+	}
+}
+
+func TestACLManipulation(t *testing.T) {
+	m := newTestManager(nil)
+	m.Execute(req(protocol.OpMkdir, "john", "/priv"))
+	r := req(protocol.OpACLSet, "john", "/priv")
+	r.ACLUser = "john"
+	r.ACLRights = "rlidwa"
+	if rep := m.Execute(r); !rep.OK() {
+		t.Fatalf("acl_set: %+v", rep)
+	}
+	// Now only john may act in /priv.
+	if rep := m.Execute(req(protocol.OpList, "mary", "/priv")); rep.Code != protocol.CodePermission {
+		t.Errorf("mary list = %d", rep.Code)
+	}
+	g := req(protocol.OpACLGet, "john", "/priv")
+	rep := m.Execute(g)
+	if !rep.OK() || rep.Rights != "john rlidwa" {
+		t.Errorf("acl_get: %+v", rep)
+	}
+	// Non-admin cannot change the ACL.
+	r2 := req(protocol.OpACLSet, "mary", "/priv")
+	r2.ACLUser = "mary"
+	r2.ACLRights = "rlidwa"
+	if rep := m.Execute(r2); rep.Code != protocol.CodePermission {
+		t.Errorf("mary acl_set = %d", rep.Code)
+	}
+}
+
+func TestLotLifecycleViaRequests(t *testing.T) {
+	m := newTestManager(nil)
+	r := req(protocol.OpLotCreate, "john", "")
+	r.LotBytes = 50 * mb
+	r.LotDuration = time.Hour
+	rep := m.Execute(r)
+	if !rep.OK() || rep.Lot == nil || rep.Lot.Capacity != 50*mb {
+		t.Fatalf("lot_create: %+v", rep)
+	}
+	id := rep.Lot.ID
+	s := req(protocol.OpLotStatus, "john", "")
+	s.LotID = id
+	if rep := m.Execute(s); !rep.OK() || rep.Lot.ID != id {
+		t.Errorf("lot_status: %+v", rep)
+	}
+	s.User = "mary"
+	if rep := m.Execute(s); rep.Code != protocol.CodePermission {
+		t.Errorf("foreign lot_status = %d", rep.Code)
+	}
+	rel := req(protocol.OpLotRelease, "john", "")
+	rel.LotID = id
+	if rep := m.Execute(rel); !rep.OK() {
+		t.Errorf("lot_release: %+v", rep)
+	}
+	if rep := m.Execute(s); rep.Code != protocol.CodeNotFound {
+		t.Errorf("status after release = %d", rep.Code)
+	}
+}
+
+func TestStatfsAdvertisement(t *testing.T) {
+	m := newTestManager(nil)
+	rep := m.Execute(req(protocol.OpStatfs, "x", ""))
+	if !rep.OK() || rep.Ad == "" {
+		t.Fatalf("statfs: %+v", rep)
+	}
+	ad := m.Advertisement()
+	if v, _ := ad.EvalAttr("Type", nil).StringVal(); v != "Storage" {
+		t.Errorf("ad Type = %q", v)
+	}
+	if v, ok := ad.EvalAttr("TotalDisk", nil).IntVal(); !ok || v != 1000*mb {
+		t.Errorf("ad TotalDisk = %d", v)
+	}
+}
+
+// approvePut drives the put path: approve, write data, finish.
+func approvePut(t *testing.T, m *Manager, r *protocol.Request, data []byte) *protocol.Reply {
+	t.Helper()
+	ticket, rep := m.ApprovePut(r)
+	if rep != nil {
+		return rep
+	}
+	n, err := ticket.File.WriteAt(data, r.Offset)
+	return m.FinishPut(ticket, int64(n), err)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	m := newTestManager(nil)
+	// Need a lot to write into.
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 10 * mb
+	lc.LotDuration = time.Hour
+	if rep := m.Execute(lc); !rep.OK() {
+		t.Fatal(rep.Message)
+	}
+
+	pr := req(protocol.OpPut, "john", "/f.dat")
+	pr.Size = 5
+	if rep := approvePut(t, m, pr, []byte("hello")); !rep.OK() {
+		t.Fatalf("put: %+v", rep)
+	}
+
+	gr := req(protocol.OpGet, "john", "/f.dat")
+	f, size, errRep := m.ApproveGet(gr)
+	if errRep != nil {
+		t.Fatalf("get: %+v", errRep)
+	}
+	defer f.Close()
+	if size != 5 {
+		t.Errorf("size = %d", size)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("data = %q", buf)
+	}
+}
+
+func TestPutWithoutLot(t *testing.T) {
+	m := newTestManager(nil)
+	pr := req(protocol.OpPut, "john", "/f")
+	pr.Size = 100
+	rep := approvePut(t, m, pr, make([]byte, 100))
+	if rep.Code != protocol.CodeNoLot {
+		t.Errorf("put without lot = %d (%s)", rep.Code, rep.Message)
+	}
+}
+
+func TestPutOverLotTruncates(t *testing.T) {
+	m := newTestManager(nil)
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 1 * mb
+	lc.LotDuration = time.Hour
+	m.Execute(lc)
+	// Undeclared-size put that exceeds the lot settles at FinishPut:
+	// the file is trimmed back to the guaranteed bytes.
+	pr := req(protocol.OpPut, "john", "/big")
+	pr.Size = -1
+	ticket, errRep := m.ApprovePut(pr)
+	if errRep != nil {
+		t.Fatalf("approve: %+v", errRep)
+	}
+	data := make([]byte, 2*mb)
+	ticket.File.WriteAt(data, 0)
+	rep := m.FinishPut(ticket, 2*mb, nil)
+	if rep.Code != protocol.CodeNoSpace {
+		t.Errorf("over-lot put = %d", rep.Code)
+	}
+	info, err := m.FS().Stat("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 0 {
+		t.Errorf("file size after failed settle = %d, want 0 (nothing charged)", info.Size)
+	}
+}
+
+func TestPutDeclaredOverLotRejected(t *testing.T) {
+	m := newTestManager(nil)
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 1 * mb
+	lc.LotDuration = time.Hour
+	m.Execute(lc)
+	pr := req(protocol.OpPut, "john", "/big")
+	pr.Size = 2 * mb
+	if _, rep := m.ApprovePut(pr); rep == nil || rep.Code != protocol.CodeNoSpace {
+		t.Errorf("declared over-lot put = %+v", rep)
+	}
+}
+
+func TestRewriteReleasesOldBytes(t *testing.T) {
+	m := newTestManager(nil)
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 1 * mb
+	lc.LotDuration = time.Hour
+	m.Execute(lc)
+	pr := req(protocol.OpPut, "john", "/f")
+	pr.Size = 512 * 1024
+	if rep := approvePut(t, m, pr, make([]byte, 512*1024)); !rep.OK() {
+		t.Fatalf("first put: %+v", rep)
+	}
+	// Rewriting the same file must not double-charge the lot.
+	for i := 0; i < 3; i++ {
+		if rep := approvePut(t, m, pr, make([]byte, 512*1024)); !rep.OK() {
+			t.Fatalf("rewrite %d: %+v", i, rep)
+		}
+	}
+	owned := m.Lots().Owned("john")
+	if owned[0].Used != 512*1024 {
+		t.Errorf("lot used = %d, want 512K", owned[0].Used)
+	}
+}
+
+func TestRemoveReleasesLot(t *testing.T) {
+	m := newTestManager(nil)
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 1 * mb
+	lc.LotDuration = time.Hour
+	m.Execute(lc)
+	pr := req(protocol.OpPut, "john", "/f")
+	pr.Size = 1000
+	approvePut(t, m, pr, make([]byte, 1000))
+	if rep := m.Execute(req(protocol.OpRemove, "john", "/f")); !rep.OK() {
+		t.Fatalf("remove: %+v", rep)
+	}
+	if used := m.Lots().Owned("john")[0].Used; used != 0 {
+		t.Errorf("lot used after remove = %d", used)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	m := newTestManager(nil)
+	lc := req(protocol.OpLotCreate, "john", "")
+	lc.LotBytes = 1 * mb
+	lc.LotDuration = time.Hour
+	m.Execute(lc)
+	pr := req(protocol.OpPut, "john", "/f")
+	pr.Size = 10
+	approvePut(t, m, pr, []byte("0123456789"))
+	gr := req(protocol.OpGet, "john", "/f")
+	gr.Offset = 4
+	gr.Length = 3
+	f, size, errRep := m.ApproveGet(gr)
+	if errRep != nil {
+		t.Fatal(errRep.Message)
+	}
+	defer f.Close()
+	if size != 3 {
+		t.Errorf("range size = %d", size)
+	}
+	// Range beyond EOF clamps.
+	gr2 := req(protocol.OpGet, "john", "/f")
+	gr2.Offset = 8
+	gr2.Length = 100
+	f2, size2, _ := m.ApproveGet(gr2)
+	defer f2.Close()
+	if size2 != 2 {
+		t.Errorf("clamped size = %d", size2)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	m := newTestManager(nil)
+	_, _, rep := m.ApproveGet(req(protocol.OpGet, "john", "/nope"))
+	if rep == nil || rep.Code != protocol.CodeNotFound {
+		t.Errorf("get missing = %+v", rep)
+	}
+}
+
+func TestReclaimDeletesFiles(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := newTestManager(clock)
+		lc := req(protocol.OpLotCreate, "john", "")
+		lc.LotBytes = 600 * mb
+		lc.LotDuration = time.Minute
+		rep := m.Execute(lc)
+		pr := req(protocol.OpPut, "john", "/doomed")
+		pr.Size = 500 * mb
+		pr.LotID = rep.Lot.ID
+		ticket, errRep := m.ApprovePut(pr)
+		if errRep != nil {
+			t.Fatalf("put: %+v", errRep)
+		}
+		ticket.File.Truncate(500 * mb)
+		m.FinishPut(ticket, 500*mb, nil)
+		clock.Sleep(2 * time.Minute)
+		// A big new lot forces reclamation of john's expired lot, and
+		// the storage manager deletes its files.
+		lc2 := req(protocol.OpLotCreate, "mary", "")
+		lc2.LotBytes = 900 * mb
+		lc2.LotDuration = time.Hour
+		if rep := m.Execute(lc2); !rep.OK() {
+			t.Fatalf("mary's lot: %+v", rep)
+		}
+		if _, err := m.FS().Stat("/doomed"); err != ErrNotFound {
+			t.Errorf("victim file survived reclamation: %v", err)
+		}
+	})
+}
+
+func TestSimFSTiming(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		qm := quota.NewManager(false)
+		fs := NewSimFS(host, 10000*mb, qm)
+		f, err := fs.Create("/f", "o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write 1MB: write-back absorbs it, only memcpy time passes.
+		start := clock.Now()
+		f.WriteAt(make([]byte, mb), 0)
+		writeTime := clock.Now() - start
+		if writeTime > 50*time.Millisecond {
+			t.Errorf("buffered write took %v", writeTime)
+		}
+		f.Close()
+
+		// Cold read of an uncached file costs disk time.
+		fs.Cache().Clear()
+		r, _ := fs.Open("/f")
+		start = clock.Now()
+		buf := make([]byte, mb)
+		r.ReadAt(buf, 0)
+		coldTime := clock.Now() - start
+		// 1MB at 22MB/s is ~45ms plus seek.
+		if coldTime < 40*time.Millisecond {
+			t.Errorf("cold read too fast: %v", coldTime)
+		}
+		// Warm read hits the cache: memcpy speed.
+		start = clock.Now()
+		r.ReadAt(buf, 0)
+		warmTime := clock.Now() - start
+		if warmTime*5 > coldTime {
+			t.Errorf("warm read %v not much faster than cold %v", warmTime, coldTime)
+		}
+		r.Close()
+	})
+}
+
+func TestSimFSQuotaSlowdown(t *testing.T) {
+	writeTime := func(enabled bool) time.Duration {
+		clock := sim.NewVirtualClock()
+		var elapsed time.Duration
+		clock.Run(func() {
+			host := sim.NewHost(clock, sim.LinuxGbE())
+			qm := quota.NewManager(enabled)
+			fs := NewSimFS(host, 10000*mb, qm)
+			f, _ := fs.Create("/w", "o")
+			start := clock.Now()
+			chunk := make([]byte, mb)
+			for i := int64(0); i < 100; i++ { // 100MB, past the dirty limit
+				f.WriteAt(chunk, i*mb)
+			}
+			elapsed = clock.Now() - start
+			f.Close()
+		})
+		return elapsed
+	}
+	off := writeTime(false)
+	on := writeTime(true)
+	ratio := float64(on) / float64(off)
+	if ratio < 1.3 || ratio > 2.5 {
+		t.Errorf("quota slowdown ratio = %.2f (on=%v off=%v), want ~1.9", ratio, on, off)
+	}
+}
+
+func TestSimFSWarm(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		fs := NewSimFS(host, 10000*mb, nil)
+		f, _ := fs.Create("/w", "o")
+		f.Truncate(mb)
+		f.Close()
+		fs.Cache().Clear()
+		if err := fs.Warm("/w"); err != nil {
+			t.Fatal(err)
+		}
+		if r := fs.Cache().Residency("/w", 0, mb); r != 1 {
+			t.Errorf("residency after Warm = %v", r)
+		}
+		if err := fs.Warm("/missing"); err == nil {
+			t.Error("Warm of missing file succeeded")
+		}
+	})
+}
+
+func TestSimFSReadAhead(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		fs := NewSimFS(host, 1000*mb, nil)
+		f, _ := fs.Create("/ra", "o")
+		f.Truncate(4 * mb)
+		f.Close()
+		fs.Cache().Clear()
+
+		r, _ := fs.Open("/ra")
+		defer r.Close()
+		buf := make([]byte, 64*1024)
+		// First read misses and prefetches DefaultReadAhead bytes.
+		r.ReadAt(buf, 0)
+		if res := fs.Cache().Residency("/ra", 0, DefaultReadAhead); res < 0.99 {
+			t.Errorf("residency after readahead = %v, want ~1", res)
+		}
+		reads, _ := host.Disk.Stats()
+		if reads < DefaultReadAhead {
+			t.Errorf("disk read %d bytes, want >= readahead %d", reads, DefaultReadAhead)
+		}
+		// The next sequential chunk is already resident: no extra disk.
+		before := reads
+		r.ReadAt(buf, 64*1024)
+		reads, _ = host.Disk.Stats()
+		if reads != before {
+			t.Errorf("sequential read hit the disk: %d -> %d", before, reads)
+		}
+	})
+}
+
+func TestSimFSReadAheadClampsAtEOF(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		fs := NewSimFS(host, 1000*mb, nil)
+		f, _ := fs.Create("/small", "o")
+		f.Truncate(10 * 1024) // 10KB file, far below readahead depth
+		f.Close()
+		fs.Cache().Clear()
+		r, _ := fs.Open("/small")
+		defer r.Close()
+		buf := make([]byte, 4096)
+		r.ReadAt(buf, 0)
+		reads, _ := host.Disk.Stats()
+		// Prefetch must not exceed the file.
+		if reads > 2*64*1024 {
+			t.Errorf("disk read %d bytes for a 10KB file", reads)
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nest/internal/sim"
+)
+
+// MemFS is an in-memory filesystem backend. It backs unit tests, the
+// JBOS baseline servers, and (wrapped by SimFS) the simulated
+// appliance.
+type MemFS struct {
+	mu    sync.Mutex
+	clock sim.Clock
+	root  *memNode
+	total int64
+	used  int64
+}
+
+type memNode struct {
+	name     string
+	isDir    bool
+	owner    string
+	modTime  time.Duration
+	data     []byte
+	children map[string]*memNode
+}
+
+// NewMemFS returns an empty filesystem with the given capacity. A nil
+// clock uses a real clock for modification times.
+func NewMemFS(clock sim.Clock, capacity int64) *MemFS {
+	if clock == nil {
+		clock = sim.NewRealClock()
+	}
+	return &MemFS{
+		clock: clock,
+		root:  &memNode{name: "/", isDir: true, children: make(map[string]*memNode)},
+		total: capacity,
+	}
+}
+
+// lookup walks to the node for a cleaned path.
+func (fs *MemFS) lookup(name string) (*memNode, error) {
+	name = Clean(name)
+	if name == "/" {
+		return fs.root, nil
+	}
+	node := fs.root
+	for _, part := range strings.Split(strings.TrimPrefix(name, "/"), "/") {
+		if !node.isDir {
+			return nil, ErrNotDir
+		}
+		child, ok := node.children[part]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		node = child
+	}
+	return node, nil
+}
+
+// lookupDir walks to the parent directory of a cleaned path.
+func (fs *MemFS) lookupDir(name string) (*memNode, string, error) {
+	dir, base := Split(name)
+	node, err := fs.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !node.isDir {
+		return nil, "", ErrNotDir
+	}
+	return node, base, nil
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name, owner string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, base, err := fs.lookupDir(name)
+	if err != nil {
+		return nil, err
+	}
+	if existing, ok := parent.children[base]; ok {
+		if existing.isDir {
+			return nil, ErrIsDir
+		}
+		fs.used -= int64(len(existing.data))
+		existing.data = nil
+		existing.modTime = fs.clock.Now()
+		return &memFile{fs: fs, node: existing, path: Clean(name), writable: true}, nil
+	}
+	node := &memNode{name: base, owner: owner, modTime: fs.clock.Now()}
+	parent.children[base] = node
+	return &memFile{fs: fs, node: node, path: Clean(name), writable: true}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	return fs.open(name, false)
+}
+
+// OpenRW implements FS.
+func (fs *MemFS) OpenRW(name string) (File, error) {
+	return fs.open(name, true)
+}
+
+func (fs *MemFS) open(name string, writable bool) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if node.isDir {
+		return nil, ErrIsDir
+	}
+	return &memFile{fs: fs, node: node, path: Clean(name), writable: writable}, nil
+}
+
+// Stat implements FS.
+func (fs *MemFS) Stat(name string) (Info, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node, err := fs.lookup(name)
+	if err != nil {
+		return Info{}, err
+	}
+	return fs.infoLocked(Clean(name), node), nil
+}
+
+func (fs *MemFS) infoLocked(path string, node *memNode) Info {
+	return Info{
+		Name:    node.name,
+		Path:    path,
+		Size:    int64(len(node.data)),
+		IsDir:   node.isDir,
+		Owner:   node.owner,
+		ModTime: node.modTime,
+	}
+}
+
+// List implements FS.
+func (fs *MemFS) List(name string) ([]Info, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	node, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if !node.isDir {
+		return nil, ErrNotDir
+	}
+	dir := Clean(name)
+	var out []Info
+	for child, n := range node.children {
+		p := dir + "/" + child
+		if dir == "/" {
+			p = "/" + child
+		}
+		out = append(out, fs.infoLocked(p, n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mkdir implements FS.
+func (fs *MemFS) Mkdir(name, owner string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, base, err := fs.lookupDir(name)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		return ErrExists
+	}
+	parent.children[base] = &memNode{
+		name: base, isDir: true, owner: owner,
+		modTime:  fs.clock.Now(),
+		children: make(map[string]*memNode),
+	}
+	return nil
+}
+
+// Rmdir implements FS.
+func (fs *MemFS) Rmdir(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, base, err := fs.lookupDir(name)
+	if err != nil {
+		return err
+	}
+	node, ok := parent.children[base]
+	if !ok {
+		return ErrNotFound
+	}
+	if !node.isDir {
+		return ErrNotDir
+	}
+	if len(node.children) > 0 {
+		return ErrNotEmpty
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, base, err := fs.lookupDir(name)
+	if err != nil {
+		return err
+	}
+	node, ok := parent.children[base]
+	if !ok {
+		return ErrNotFound
+	}
+	if node.isDir {
+		return ErrIsDir
+	}
+	fs.used -= int64(len(node.data))
+	delete(parent.children, base)
+	return nil
+}
+
+// Total implements FS.
+func (fs *MemFS) Total() int64 { return fs.total }
+
+// Free implements FS.
+func (fs *MemFS) Free() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.total - fs.used
+}
+
+// memFile is an open handle on a memNode.
+type memFile struct {
+	fs       *MemFS
+	node     *memNode
+	path     string
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Path() string { return f.path }
+
+func (f *memFile) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.node.data))
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off >= int64(len(f.node.data)) {
+		return 0, errEOF
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, errEOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	end := off + int64(len(p))
+	grow := end - int64(len(f.node.data))
+	if grow > 0 {
+		if f.fs.used+grow > f.fs.total {
+			return 0, ErrNoSpace
+		}
+		f.node.data = append(f.node.data, make([]byte, grow)...)
+		f.fs.used += grow
+	}
+	copy(f.node.data[off:end], p)
+	f.node.modTime = f.fs.clock.Now()
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(n int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if !f.writable {
+		return ErrReadOnly
+	}
+	cur := int64(len(f.node.data))
+	switch {
+	case n < cur:
+		f.node.data = f.node.data[:n]
+		f.fs.used -= cur - n
+	case n > cur:
+		if f.fs.used+n-cur > f.fs.total {
+			return ErrNoSpace
+		}
+		f.node.data = append(f.node.data, make([]byte, n-cur)...)
+		f.fs.used += n - cur
+	}
+	f.node.modTime = f.fs.clock.Now()
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"sync"
+	"time"
+
+	"nest/internal/cache"
+	"nest/internal/quota"
+	"nest/internal/sim"
+)
+
+// MemCopyMBps models the 2002-era memory-copy bandwidth of the server
+// (buffer cache to user space); in-cache reads cost this rather than
+// disk time.
+const MemCopyMBps = 220.0
+
+// DefaultDirtyLimit is the write-back buffer: bytes of dirty data the
+// kernel lets accumulate before throttling writers to disk speed. Its
+// size determines where quota overhead becomes visible in Figure 6.
+const DefaultDirtyLimit int64 = 16 * sim.MB
+
+// SimFS wraps an in-memory filesystem with a timing model of the
+// paper's testbed: an LRU kernel buffer cache, a single spindle with
+// positioning costs, write-back with a dirty limit, and optional quota
+// bookkeeping overhead on the write path. It exercises the identical
+// storage-manager and transfer-manager code as the live backends while
+// letting experiments run in deterministic virtual time.
+type SimFS struct {
+	inner *MemFS
+	host  *sim.Host
+	cache *cache.Model
+	quota *quota.Manager // nil disables quota effects
+
+	mu         sync.Mutex
+	flushFree  time.Duration // virtual time when write-back drains
+	dirtyLimit int64
+	readAhead  int64
+}
+
+// DefaultReadAhead is the sequential prefetch depth: on a cache miss
+// the kernel fetches this much ahead, amortizing positioning time so
+// interleaved sequential streams do not reduce the disk to
+// seek-per-chunk throughput.
+const DefaultReadAhead int64 = 1 * sim.MB
+
+// NewSimFS builds a simulated filesystem on host with the given
+// capacity. qm may be nil.
+func NewSimFS(host *sim.Host, capacity int64, qm *quota.Manager) *SimFS {
+	return &SimFS{
+		inner:      NewMemFS(host.Clock, capacity),
+		host:       host,
+		cache:      cache.New(host.Profile.CacheSize),
+		quota:      qm,
+		dirtyLimit: DefaultDirtyLimit,
+		readAhead:  DefaultReadAhead,
+	}
+}
+
+// Cache exposes the buffer-cache model (the gray-box probe target for
+// cache-aware scheduling).
+func (s *SimFS) Cache() *cache.Model { return s.cache }
+
+// Quota returns the attached quota manager (may be nil).
+func (s *SimFS) Quota() *quota.Manager { return s.quota }
+
+// SetDirtyLimit overrides the write-back buffer size.
+func (s *SimFS) SetDirtyLimit(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirtyLimit = n
+}
+
+// Warm loads a file's blocks into the cache model, for constructing
+// the paper's "in-cache" workloads.
+func (s *SimFS) Warm(name string) error {
+	info, err := s.inner.Stat(name)
+	if err != nil {
+		return err
+	}
+	s.cache.Insert(Clean(name), 0, info.Size)
+	return nil
+}
+
+// SetReadAhead overrides the sequential prefetch depth.
+func (s *SimFS) SetReadAhead(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readAhead = n
+}
+
+// chargeRead advances virtual time for a read of n bytes at off of a
+// file whose total length is size.
+func (s *SimFS) chargeRead(name string, off, n, size int64) {
+	hit, miss := s.cache.Access(name, off, n)
+	if hit > 0 {
+		s.host.Clock.Sleep(memCopyTime(hit))
+	}
+	if miss > 0 {
+		// A miss triggers sequential readahead beyond the requested
+		// range, amortizing the positioning cost.
+		s.mu.Lock()
+		ra := s.readAhead
+		s.mu.Unlock()
+		extra := int64(0)
+		if ra > 0 {
+			end := off + n + ra
+			if end > size {
+				end = size
+			}
+			extra = end - (off + n)
+			if extra > 0 {
+				s.cache.Insert(name, off+n, extra)
+			}
+		}
+		s.host.Disk.Read(name, miss+extra)
+	}
+}
+
+// chargeWrite advances virtual time for a write of n bytes: a memory
+// copy into the cache, plus write-back throttling once the dirty limit
+// is exceeded. Quota bookkeeping multiplies the drain cost.
+func (s *SimFS) chargeWrite(name string, off, n int64) {
+	s.cache.Insert(name, off, n)
+	slowdown := 1.0
+	if s.quota != nil {
+		slowdown = s.quota.WriteSlowdown()
+	}
+	effMBps := s.host.Profile.DiskMBps / slowdown
+
+	s.mu.Lock()
+	now := s.host.Clock.Now()
+	if s.flushFree < now {
+		s.flushFree = now
+	}
+	s.flushFree += timeFor(n, effMBps)
+	backlogAllowance := timeFor(s.dirtyLimit, effMBps)
+	wake := s.flushFree - backlogAllowance
+	s.mu.Unlock()
+
+	if sc, ok := s.host.Clock.(*sim.VirtualClock); ok && wake > now {
+		sc.SleepUntil(wake)
+	} else if wake > now {
+		s.host.Clock.Sleep(wake - now)
+	}
+	s.host.Clock.Sleep(memCopyTime(n))
+}
+
+func memCopyTime(n int64) time.Duration { return timeFor(n, MemCopyMBps) }
+
+func timeFor(n int64, mbps float64) time.Duration {
+	if mbps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (mbps * sim.MB) * float64(time.Second))
+}
+
+// Create implements FS.
+func (s *SimFS) Create(name, owner string) (File, error) {
+	f, err := s.inner.Create(name, owner)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Invalidate(Clean(name))
+	return &simFile{inner: f, fs: s}, nil
+}
+
+// Open implements FS.
+func (s *SimFS) Open(name string) (File, error) {
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &simFile{inner: f, fs: s}, nil
+}
+
+// OpenRW implements FS.
+func (s *SimFS) OpenRW(name string) (File, error) {
+	f, err := s.inner.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return &simFile{inner: f, fs: s}, nil
+}
+
+// Stat implements FS.
+func (s *SimFS) Stat(name string) (Info, error) { return s.inner.Stat(name) }
+
+// List implements FS.
+func (s *SimFS) List(name string) ([]Info, error) { return s.inner.List(name) }
+
+// Mkdir implements FS.
+func (s *SimFS) Mkdir(name, owner string) error { return s.inner.Mkdir(name, owner) }
+
+// Rmdir implements FS.
+func (s *SimFS) Rmdir(name string) error { return s.inner.Rmdir(name) }
+
+// Remove implements FS.
+func (s *SimFS) Remove(name string) error {
+	if err := s.inner.Remove(name); err != nil {
+		return err
+	}
+	s.cache.Invalidate(Clean(name))
+	return nil
+}
+
+// Total implements FS.
+func (s *SimFS) Total() int64 { return s.inner.Total() }
+
+// Free implements FS.
+func (s *SimFS) Free() int64 { return s.inner.Free() }
+
+type simFile struct {
+	inner File
+	fs    *SimFS
+}
+
+func (f *simFile) Path() string { return f.inner.Path() }
+func (f *simFile) Size() int64  { return f.inner.Size() }
+
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.ReadAt(p, off)
+	if n > 0 {
+		f.fs.chargeRead(f.inner.Path(), off, int64(n), f.inner.Size())
+	}
+	return n, err
+}
+
+func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.WriteAt(p, off)
+	if n > 0 {
+		f.fs.chargeWrite(f.inner.Path(), off, int64(n))
+	}
+	return n, err
+}
+
+func (f *simFile) Truncate(n int64) error { return f.inner.Truncate(n) }
+func (f *simFile) Close() error           { return f.inner.Close() }

@@ -1,0 +1,411 @@
+// Package sunrpc implements the ONC/Sun RPC protocol (RFC 1057) over
+// TCP with record marking, as the substrate for NeST's NFS and MOUNT
+// services. It supports AUTH_NULL and AUTH_UNIX credentials.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"nest/internal/xdr"
+)
+
+// RPC message types.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply status.
+const (
+	replyAccepted = 0
+	replyDenied   = 1
+)
+
+// Accept status.
+const (
+	acceptSuccess      = 0
+	acceptProgUnavail  = 1
+	acceptProgMismatch = 2
+	acceptProcUnavail  = 3
+	acceptGarbageArgs  = 4
+	acceptSystemErr    = 5
+)
+
+// Auth flavors.
+const (
+	AuthNull = 0
+	AuthUnix = 1
+)
+
+// MaxRecord bounds a single RPC record (64 KB payload + headers).
+const MaxRecord = 1 << 20
+
+// Errors returned by the client for non-success accept states.
+var (
+	ErrProgUnavail = errors.New("sunrpc: program unavailable")
+	ErrProcUnavail = errors.New("sunrpc: procedure unavailable")
+	ErrGarbageArgs = errors.New("sunrpc: garbage arguments")
+	ErrSystemErr   = errors.New("sunrpc: system error")
+	ErrDenied      = errors.New("sunrpc: call denied")
+)
+
+// Cred carries the caller's credentials as presented on the wire.
+type Cred struct {
+	Flavor  uint32
+	Machine string // AUTH_UNIX machine name
+	UID     uint32
+	GID     uint32
+}
+
+// Call is a decoded RPC call.
+type Call struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred Cred
+	Args *xdr.Decoder
+}
+
+// Handler executes one procedure, encoding results into reply.
+// Returning an error produces a SYSTEM_ERR accept status.
+type Handler func(call *Call, reply *xdr.Encoder) error
+
+// Server dispatches RPC calls to registered program handlers.
+type Server struct {
+	mu       sync.Mutex
+	programs map[progVers]Handler
+	ln       net.Listener
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+type progVers struct {
+	prog, vers uint32
+}
+
+// NewServer returns a server with no registered programs.
+func NewServer() *Server {
+	return &Server{programs: make(map[progVers]Handler)}
+}
+
+// Register installs handler for (program, version).
+func (s *Server) Register(prog, vers uint32, handler Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.programs[progVers{prog, vers}] = handler
+}
+
+// Serve accepts connections on ln until Close. Each connection is
+// served by its own goroutine; calls on one connection execute
+// sequentially in arrival order.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		rec, err := xdr.ReadRecord(conn, MaxRecord)
+		if err != nil {
+			return
+		}
+		resp, err := s.dispatch(rec)
+		if err != nil {
+			return
+		}
+		if err := xdr.WriteRecord(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// ParseCall decodes one RPC call record. A nil call with a non-nil
+// rejection record is returned for protocol-level rejections (RPC
+// version mismatch).
+func ParseCall(rec []byte) (call *Call, rejection []byte, err error) {
+	d := xdr.NewDecoder(rec)
+	xid, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if mtype != msgCall {
+		return nil, nil, fmt.Errorf("sunrpc: unexpected message type %d", mtype)
+	}
+	rpcvers, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if rpcvers != 2 {
+		return nil, denied(xid), nil
+	}
+	prog, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	vers, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	proc, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	cred, err := decodeAuth(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := decodeAuth(d); err != nil { // verifier, ignored
+		return nil, nil, err
+	}
+	return &Call{XID: xid, Prog: prog, Vers: vers, Proc: proc, Cred: cred, Args: d}, nil, nil
+}
+
+// Reply-record builders for servers that drive RPC records directly
+// (NeST's NFS protocol handler).
+
+// SuccessReply frames results as an accepted, successful reply.
+func SuccessReply(xid uint32, results []byte) []byte {
+	return accepted(xid, acceptSuccess, results)
+}
+
+// ProgUnavailReply frames a PROG_UNAVAIL rejection.
+func ProgUnavailReply(xid uint32) []byte { return accepted(xid, acceptProgUnavail, nil) }
+
+// ProcUnavailReply frames a PROC_UNAVAIL rejection.
+func ProcUnavailReply(xid uint32) []byte { return accepted(xid, acceptProcUnavail, nil) }
+
+// GarbageArgsReply frames a GARBAGE_ARGS rejection.
+func GarbageArgsReply(xid uint32) []byte { return accepted(xid, acceptGarbageArgs, nil) }
+
+// SystemErrReply frames a SYSTEM_ERR rejection.
+func SystemErrReply(xid uint32) []byte { return accepted(xid, acceptSystemErr, nil) }
+
+// dispatch decodes one call record and produces the reply record.
+func (s *Server) dispatch(rec []byte) ([]byte, error) {
+	call, rejection, err := ParseCall(rec)
+	if err != nil {
+		return nil, err
+	}
+	if rejection != nil {
+		return rejection, nil
+	}
+	s.mu.Lock()
+	handler, ok := s.programs[progVers{call.Prog, call.Vers}]
+	s.mu.Unlock()
+	if !ok {
+		return ProgUnavailReply(call.XID), nil
+	}
+	reply := xdr.NewEncoder()
+	if err := handler(call, reply); err != nil {
+		if errors.Is(err, ErrProcUnavail) {
+			return ProcUnavailReply(call.XID), nil
+		}
+		if errors.Is(err, ErrGarbageArgs) {
+			return GarbageArgsReply(call.XID), nil
+		}
+		return SystemErrReply(call.XID), nil
+	}
+	return SuccessReply(call.XID, reply.Bytes()), nil
+}
+
+// decodeAuth reads the credential (flavor + opaque body). The verifier
+// is left for the caller.
+func decodeAuth(d *xdr.Decoder) (Cred, error) {
+	var c Cred
+	flavor, err := d.Uint32()
+	if err != nil {
+		return c, err
+	}
+	c.Flavor = flavor
+	body, err := d.Opaque(400)
+	if err != nil {
+		return c, err
+	}
+	if flavor == AuthUnix {
+		bd := xdr.NewDecoder(body)
+		if _, err := bd.Uint32(); err != nil { // stamp
+			return c, err
+		}
+		if c.Machine, err = bd.String(255); err != nil {
+			return c, err
+		}
+		if c.UID, err = bd.Uint32(); err != nil {
+			return c, err
+		}
+		if c.GID, err = bd.Uint32(); err != nil {
+			return c, err
+		}
+		// auxiliary gids ignored
+	}
+	return c, nil
+}
+
+func replyHeader(xid uint32) *xdr.Encoder {
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	return e
+}
+
+func accepted(xid uint32, stat uint32, results []byte) []byte {
+	e := replyHeader(xid)
+	e.Uint32(replyAccepted)
+	e.Uint32(AuthNull) // verifier flavor
+	e.Uint32(0)        // verifier length
+	e.Uint32(stat)
+	e.FixedOpaque(results)
+	return e.Bytes()
+}
+
+func denied(xid uint32) []byte {
+	e := replyHeader(xid)
+	e.Uint32(replyDenied)
+	e.Uint32(0) // RPC_MISMATCH
+	e.Uint32(2) // low
+	e.Uint32(2) // high
+	return e.Bytes()
+}
+
+// Client issues RPC calls over a single TCP connection. It is safe for
+// sequential use; calls are synchronous.
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	xid  uint32
+	Cred Cred // credentials attached to every call
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn, xid: 1, Cred: Cred{Flavor: AuthNull}}
+}
+
+// Dial connects to addr and returns a client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close releases the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call invokes (prog, vers, proc) with encoded args and returns a
+// decoder over the results.
+func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	e := xdr.NewEncoder()
+	e.Uint32(c.xid)
+	e.Uint32(msgCall)
+	e.Uint32(2) // RPC version
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	encodeAuth(e, c.Cred)
+	e.Uint32(AuthNull) // verifier
+	e.Uint32(0)
+	e.FixedOpaque(args)
+	if err := xdr.WriteRecord(c.conn, e.Bytes()); err != nil {
+		return nil, err
+	}
+	rec, err := xdr.ReadRecord(c.conn, MaxRecord)
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(rec)
+	xid, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if xid != c.xid {
+		return nil, fmt.Errorf("sunrpc: reply xid %d, want %d", xid, c.xid)
+	}
+	if mtype, err := d.Uint32(); err != nil || mtype != msgReply {
+		return nil, fmt.Errorf("sunrpc: bad reply message type (%v)", err)
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if stat == replyDenied {
+		return nil, ErrDenied
+	}
+	if _, err := d.Uint32(); err != nil { // verifier flavor
+		return nil, err
+	}
+	if _, err := d.Opaque(400); err != nil { // verifier body
+		return nil, err
+	}
+	astat, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	switch astat {
+	case acceptSuccess:
+		return d, nil
+	case acceptProgUnavail, acceptProgMismatch:
+		return nil, ErrProgUnavail
+	case acceptProcUnavail:
+		return nil, ErrProcUnavail
+	case acceptGarbageArgs:
+		return nil, ErrGarbageArgs
+	}
+	return nil, ErrSystemErr
+}
+
+func encodeAuth(e *xdr.Encoder, c Cred) {
+	e.Uint32(c.Flavor)
+	switch c.Flavor {
+	case AuthUnix:
+		body := xdr.NewEncoder()
+		body.Uint32(0) // stamp
+		body.String(c.Machine)
+		body.Uint32(c.UID)
+		body.Uint32(c.GID)
+		body.Uint32(0) // no auxiliary gids
+		e.Opaque(body.Bytes())
+	default:
+		e.Uint32(0) // empty body
+	}
+}

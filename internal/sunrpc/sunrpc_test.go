@@ -1,0 +1,184 @@
+package sunrpc
+
+import (
+	"net"
+	"testing"
+
+	"nest/internal/xdr"
+)
+
+// startServer runs a test RPC server with an echo-ish program 200000.
+func startServer(t *testing.T) (addr string, srv *Server) {
+	t.Helper()
+	srv = NewServer()
+	// proc 1: add two uint32s. proc 2: echo string. proc 3: report cred.
+	srv.Register(200000, 1, func(call *Call, reply *xdr.Encoder) error {
+		switch call.Proc {
+		case 1:
+			a, err := call.Args.Uint32()
+			if err != nil {
+				return ErrGarbageArgs
+			}
+			b, err := call.Args.Uint32()
+			if err != nil {
+				return ErrGarbageArgs
+			}
+			reply.Uint32(a + b)
+			return nil
+		case 2:
+			s, err := call.Args.String(1024)
+			if err != nil {
+				return ErrGarbageArgs
+			}
+			reply.String(s)
+			return nil
+		case 3:
+			reply.Uint32(call.Cred.Flavor)
+			reply.String(call.Cred.Machine)
+			reply.Uint32(call.Cred.UID)
+			return nil
+		}
+		return ErrProcUnavail
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv
+}
+
+func TestCallAdd(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	args := xdr.NewEncoder()
+	args.Uint32(3)
+	args.Uint32(4)
+	d, err := c.Call(200000, 1, 1, args.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := d.Uint32(); err != nil || sum != 7 {
+		t.Errorf("sum = %d, %v; want 7", sum, err)
+	}
+}
+
+func TestCallEchoRepeated(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, s := range []string{"", "a", "hello world", string(make([]byte, 1000))} {
+		args := xdr.NewEncoder()
+		args.String(s)
+		d, err := c.Call(200000, 1, 2, args.Bytes())
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got, err := d.String(0); err != nil || got != s {
+			t.Errorf("call %d: echo = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestAuthUnix(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Cred = Cred{Flavor: AuthUnix, Machine: "client1", UID: 501, GID: 100}
+	d, err := c.Call(200000, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flavor, _ := d.Uint32()
+	machine, _ := d.String(0)
+	uid, _ := d.Uint32()
+	if flavor != AuthUnix || machine != "client1" || uid != 501 {
+		t.Errorf("cred = %d/%s/%d, want 1/client1/501", flavor, machine, uid)
+	}
+}
+
+func TestProcUnavail(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(200000, 1, 99, nil); err != ErrProcUnavail {
+		t.Errorf("unknown proc error = %v, want ErrProcUnavail", err)
+	}
+}
+
+func TestProgUnavail(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(999999, 1, 1, nil); err != ErrProgUnavail {
+		t.Errorf("unknown prog error = %v, want ErrProgUnavail", err)
+	}
+	if _, err := c.Call(200000, 9, 1, nil); err != ErrProgUnavail {
+		t.Errorf("unknown version error = %v, want ErrProgUnavail", err)
+	}
+}
+
+func TestGarbageArgs(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(200000, 1, 1, []byte{0, 0, 0, 1}); err != ErrGarbageArgs {
+		t.Errorf("short args error = %v, want ErrGarbageArgs", err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	addr, _ := startServer(t)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				args := xdr.NewEncoder()
+				args.Uint32(uint32(i))
+				args.Uint32(uint32(j))
+				d, err := c.Call(200000, 1, 1, args.Bytes())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sum, _ := d.Uint32(); sum != uint32(i+j) {
+					errs <- ErrSystemErr
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

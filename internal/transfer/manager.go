@@ -1,0 +1,265 @@
+package transfer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+)
+
+// Options configures a transfer Manager.
+type Options struct {
+	// Clock drives time; required.
+	Clock sim.Clock
+	// Policy orders pending transfers; nil means FIFO.
+	Policy sched.Policy
+	// Slots bounds concurrently executing transfers (default 8). The
+	// bound is what makes FIFO queueing visible to block-based
+	// protocols in mixed workloads (Figure 3).
+	Slots int
+	// Model selects the concurrency architecture (default Adaptive).
+	Model ModelKind
+	// Profile supplies concurrency-mechanism costs; the zero Profile
+	// charges nothing (live mode: the costs are real).
+	Profile sim.Profile
+	// ProcWorkers sizes the process-model pool.
+	ProcWorkers int
+	// AdaptiveOptions tunes the adaptive model.
+	AdaptiveOptions AdaptiveOptions
+	// AdmitDelay models the user-level scheduler's per-admission cost
+	// (wakeup, bookkeeping, context switch). It serializes admissions,
+	// which is the "slight performance penalty" proportional-share
+	// scheduling pays in Figure 4. Zero for live servers.
+	AdmitDelay time.Duration
+	// Quantum, when positive, preempts transfers every Quantum bytes:
+	// the transfer yields its slot and re-enters the pending queue, so
+	// the policy allocates bandwidth at byte-quantum granularity
+	// rather than per whole transfer. Proportional-share scheduling
+	// requires it; FIFO runs transfers to completion.
+	Quantum int64
+	// Classifier maps a transfer to the scheduling class the policy
+	// sees. Nil classifies by protocol (the paper's configuration);
+	// ClassifyByUser implements the per-user preferences the paper
+	// plans as future work (§4.2).
+	Classifier func(*Transfer) string
+}
+
+// ClassifyByProtocol is the default classifier: the protocol class.
+func ClassifyByProtocol(t *Transfer) string { return t.Class }
+
+// ClassifyByUser schedules by authenticated principal, enabling
+// per-user proportional share (stride tickets keyed by user name).
+func ClassifyByUser(t *Transfer) string {
+	if t.User == "" {
+		return "anonymous"
+	}
+	return t.User
+}
+
+// Manager is the transfer manager: it queues approved transfers,
+// admits them under the scheduling policy, executes them under the
+// concurrency model, and records metrics.
+type Manager struct {
+	clock      sim.Clock
+	policy     sched.Policy
+	slots      int
+	model      Model
+	metrics    *Metrics
+	admitDelay time.Duration
+	quantum    int64
+	classify   func(*Transfer) string
+
+	events    *sim.Queue[managerEvent]
+	inFlight  *sim.WaitGroup
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	nextSeq int64
+}
+
+type managerEvent struct {
+	kind  int // 0 submit, 1 done, 2 wake
+	t     *Transfer
+	model string
+	bytes int64
+	err   error
+}
+
+// NewManager builds and starts a transfer manager.
+func NewManager(o Options) *Manager {
+	if o.Clock == nil {
+		panic("transfer: Options.Clock is required")
+	}
+	if o.Policy == nil {
+		o.Policy = sched.NewFIFO()
+	}
+	if o.Slots <= 0 {
+		o.Slots = 8
+	}
+	m := &Manager{
+		clock:      o.Clock,
+		policy:     o.Policy,
+		slots:      o.Slots,
+		metrics:    NewMetrics(o.Clock.Now()),
+		events:     sim.NewQueue[managerEvent](o.Clock),
+		inFlight:   sim.NewWaitGroup(o.Clock),
+		admitDelay: o.AdmitDelay,
+		quantum:    o.Quantum,
+		classify:   o.Classifier,
+	}
+	if m.classify == nil {
+		m.classify = ClassifyByProtocol
+	}
+	switch o.Model {
+	case Threads:
+		m.model = newThreadModel(o.Clock, o.Profile, m.complete)
+	case Processes:
+		m.model = newProcessModel(o.Clock, o.Profile, o.ProcWorkers, m.complete)
+	case Events:
+		m.model = newEventModel(o.Clock, o.Profile, m.complete)
+	case Seda:
+		m.model = newSedaModel(o.Clock, o.Profile, o.ProcWorkers, m.complete)
+	default:
+		m.model = newAdaptiveModel(o.Clock, o.Profile, o.AdaptiveOptions, m.complete)
+	}
+	o.Clock.Go(m.loop)
+	return m
+}
+
+// Metrics returns the manager's statistics collector.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Policy returns the active scheduling policy.
+func (m *Manager) Policy() sched.Policy { return m.policy }
+
+// ModelName returns the concurrency model in use.
+func (m *Manager) ModelName() string { return m.model.Name() }
+
+// Submit enqueues a transfer for scheduling. The transfer's OnDone (if
+// set) fires when it completes.
+func (m *Manager) Submit(t *Transfer) {
+	m.mu.Lock()
+	m.nextSeq++
+	t.seq = m.nextSeq
+	m.mu.Unlock()
+	t.quantum = m.quantum
+	t.submitted = m.clock.Now()
+	t.started = -1
+	m.inFlight.Add(1)
+	if !m.events.Push(managerEvent{kind: 0, t: t}) {
+		m.inFlight.Done()
+		if t.OnDone != nil {
+			t.OnDone(Result{Transfer: t, Err: fmt.Errorf("transfer: manager closed")})
+		}
+	}
+}
+
+// complete is the completion callback handed to concurrency models.
+func (m *Manager) complete(t *Transfer, model string, bytes int64, err error) {
+	m.events.Push(managerEvent{kind: 1, t: t, model: model, bytes: bytes, err: err})
+}
+
+// Wait blocks until every submitted transfer has completed.
+func (m *Manager) Wait() { m.inFlight.Wait() }
+
+// Close drains the manager: no further submissions are accepted, and
+// Close returns once in-flight transfers finish.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.inFlight.Wait()
+		m.events.Close()
+		m.model.Close()
+	})
+}
+
+// loop is the single scheduling goroutine.
+func (m *Manager) loop() {
+	var pending []*Transfer
+	running := 0
+	wakeArmed := false
+
+	schedule := func() {
+		for running < m.slots && len(pending) > 0 {
+			units := make([]*sched.Unit, len(pending))
+			for i, t := range pending {
+				units[i] = &sched.Unit{
+					Class:  m.classify(t),
+					Bytes:  t.remaining(),
+					Path:   t.Path,
+					Offset: t.Offset,
+					Seq:    t.seq,
+				}
+			}
+			now := m.clock.Now()
+			idx, wait := m.policy.Pick(units, now)
+			if idx < 0 {
+				if wait > 0 && !wakeArmed {
+					wakeArmed = true
+					m.clock.Go(func() {
+						m.clock.Sleep(wait)
+						m.events.Push(managerEvent{kind: 2})
+					})
+				}
+				return
+			}
+			t := pending[idx]
+			pending = append(pending[:idx], pending[idx+1:]...)
+			if m.admitDelay > 0 {
+				m.clock.Sleep(m.admitDelay)
+				now = m.clock.Now()
+			}
+			if t.started < 0 {
+				t.started = now
+			}
+			running++
+			m.model.Start(t)
+		}
+	}
+
+	for {
+		ev, ok := m.events.Pop()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case 0: // submit
+			pending = append(pending, ev.t)
+		case 1: // done
+			running--
+			now := m.clock.Now()
+			t := ev.t
+			if ev.err == nil && t.p != nil && !t.p.done {
+				// Quantum expired with work remaining: credit the
+				// segment's bytes and re-enter the pending queue.
+				m.metrics.addBytes(t.Class, ev.bytes-t.counted)
+				t.counted = ev.bytes
+				m.mu.Lock()
+				m.nextSeq++
+				t.seq = m.nextSeq
+				m.mu.Unlock()
+				pending = append(pending, t)
+				break
+			}
+			res := Result{
+				Transfer: t,
+				Bytes:    ev.bytes,
+				Err:      ev.err,
+				Model:    ev.model,
+				Queue:    t.started - t.submitted,
+				Service:  now - t.started,
+				Latency:  now - t.submitted,
+			}
+			m.metrics.record(res, ev.bytes-t.counted)
+			t.counted = ev.bytes
+			if t.OnDone != nil {
+				t.OnDone(res)
+			}
+			m.inFlight.Done()
+		case 2: // wake (non-work-conserving retry)
+			wakeArmed = false
+		}
+		schedule()
+	}
+}

@@ -1,0 +1,362 @@
+package transfer
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"nest/internal/sim"
+)
+
+// Model is a concurrency architecture executing admitted transfers.
+// Implementations call the completion function exactly once per
+// transfer. There is no single best model across platforms and
+// workloads (paper §4.1), which is why NeST ships three and adapts.
+type Model interface {
+	Name() string
+	// Start begins executing t; it must not block the caller beyond
+	// brief queueing.
+	Start(t *Transfer)
+	// Close releases model resources (worker pools, event loops).
+	Close()
+}
+
+// completion is invoked by models when a transfer finishes.
+type completion func(t *Transfer, model string, bytes int64, err error)
+
+// ModelKind selects a concurrency architecture.
+type ModelKind string
+
+// The concurrency architectures NeST implements.
+const (
+	Threads   ModelKind = "threads"
+	Processes ModelKind = "processes"
+	Events    ModelKind = "events"
+	Adaptive  ModelKind = "adaptive"
+	// Seda is the staged event-driven architecture the paper lists as
+	// future work (§4.1).
+	Seda ModelKind = "seda"
+)
+
+// threadModel runs one thread (goroutine) per transfer: creation cost
+// per request, context-switch cost per chunk, full overlap of disk and
+// network across transfers.
+type threadModel struct {
+	clock sim.Clock
+	prof  sim.Profile
+	done  completion
+}
+
+func newThreadModel(clock sim.Clock, prof sim.Profile, done completion) *threadModel {
+	return &threadModel{clock: clock, prof: prof, done: done}
+}
+
+func (m *threadModel) Name() string { return string(Threads) }
+
+func (m *threadModel) Start(t *Transfer) {
+	m.clock.Go(func() {
+		if m.prof.ThreadSpawn > 0 {
+			m.clock.Sleep(m.prof.ThreadSpawn)
+		}
+		p := t.ensurePump()
+		p.runSegment(m.clock, m.prof.CtxSwitch, t.quantum)
+		m.done(t, m.Name(), p.moved, p.err)
+	})
+}
+
+func (m *threadModel) Close() {}
+
+// processModel runs a pre-forked pool of worker processes; each
+// request pays a hand-off (fork/IPC) cost and each chunk a process
+// context switch. Workers bound intra-model parallelism.
+type processModel struct {
+	clock   sim.Clock
+	prof    sim.Profile
+	done    completion
+	queue   *sim.Queue[*Transfer]
+	workers int
+	wg      *sim.WaitGroup
+	once    sync.Once
+}
+
+func newProcessModel(clock sim.Clock, prof sim.Profile, workers int, done completion) *processModel {
+	if workers <= 0 {
+		workers = 4
+	}
+	m := &processModel{
+		clock:   clock,
+		prof:    prof,
+		done:    done,
+		queue:   sim.NewQueue[*Transfer](clock),
+		workers: workers,
+		wg:      sim.NewWaitGroup(clock),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		clock.Go(m.worker)
+	}
+	return m
+}
+
+func (m *processModel) Name() string { return string(Processes) }
+
+func (m *processModel) worker() {
+	defer m.wg.Done()
+	for {
+		t, ok := m.queue.Pop()
+		if !ok {
+			return
+		}
+		if m.prof.ProcSpawn > 0 {
+			m.clock.Sleep(m.prof.ProcSpawn)
+		}
+		p := t.ensurePump()
+		p.runSegment(m.clock, m.prof.ProcSwitch, t.quantum)
+		m.done(t, m.Name(), p.moved, p.err)
+	}
+}
+
+func (m *processModel) Start(t *Transfer) { m.queue.Push(t) }
+
+func (m *processModel) Close() {
+	m.once.Do(func() {
+		m.queue.Close()
+		m.wg.Wait()
+	})
+}
+
+// eventModel multiplexes all transfers on a single event loop: tiny
+// dispatch cost per chunk, but a chunk that must touch the disk stalls
+// every other transfer — the classic events-versus-threads tradeoff
+// the adaptive scheme exploits (paper §4.1).
+type eventModel struct {
+	clock sim.Clock
+	prof  sim.Profile
+	done  completion
+	queue *sim.Queue[*Transfer]
+	wg    *sim.WaitGroup
+	once  sync.Once
+}
+
+func newEventModel(clock sim.Clock, prof sim.Profile, done completion) *eventModel {
+	m := &eventModel{
+		clock: clock,
+		prof:  prof,
+		done:  done,
+		queue: sim.NewQueue[*Transfer](clock),
+		wg:    sim.NewWaitGroup(clock),
+	}
+	m.wg.Add(1)
+	clock.Go(m.loop)
+	return m
+}
+
+func (m *eventModel) Name() string { return string(Events) }
+
+func (m *eventModel) Start(t *Transfer) { m.queue.Push(t) }
+
+// eventEntry tracks one admitted transfer's segment budget in the
+// event loop.
+type eventEntry struct {
+	p        *pump
+	segStart int64
+}
+
+func (m *eventModel) loop() {
+	defer m.wg.Done()
+	var active []eventEntry
+	next := 0
+	admit := func(t *Transfer) {
+		p := t.ensurePump()
+		active = append(active, eventEntry{p: p, segStart: p.moved})
+	}
+	for {
+		// Absorb all queued arrivals; block only when idle.
+		if len(active) == 0 {
+			t, ok := m.queue.Pop()
+			if !ok {
+				return
+			}
+			admit(t)
+		}
+		for {
+			t, ok := m.queue.TryPop()
+			if !ok {
+				break
+			}
+			admit(t)
+		}
+		if next >= len(active) {
+			next = 0
+		}
+		e := active[next]
+		if m.prof.EventDispatch > 0 {
+			m.clock.Sleep(m.prof.EventDispatch)
+		}
+		finished := e.p.step()
+		quantum := e.p.t.quantum
+		if finished || (quantum > 0 && e.p.moved-e.segStart >= quantum) {
+			m.done(e.p.t, m.Name(), e.p.moved, e.p.err)
+			active = append(active[:next], active[next+1:]...)
+		} else {
+			next++
+		}
+	}
+}
+
+func (m *eventModel) Close() {
+	m.once.Do(func() {
+		m.queue.Close()
+		m.wg.Wait()
+	})
+}
+
+// adaptiveModel selects among sub-models per request. It begins in a
+// probe phase distributing requests round-robin, scores each model by
+// observed per-request throughput (EWMA), then biases toward the best
+// while still exploring occasionally and re-probing all models
+// periodically — the probing is the adaptation cost visible in
+// Figure 5.
+type adaptiveModel struct {
+	clock sim.Clock
+	done  completion
+
+	mu        sync.Mutex
+	models    []Model
+	score     []float64 // EWMA of (bytes+4K)/service-seconds
+	samples   []int64
+	rr        int
+	probeLeft int
+	lastProbe time.Duration
+	started   map[*Transfer]adaptiveStart
+	rng       *rand.Rand
+
+	probePeriod time.Duration
+	probeLen    int
+	epsilon     float64
+}
+
+type adaptiveStart struct {
+	model int
+	at    time.Duration
+}
+
+// AdaptiveOptions tunes the adaptation loop.
+type AdaptiveOptions struct {
+	// Models lists the sub-architectures to adapt over; default is
+	// threads, processes and events.
+	Models []ModelKind
+	// ProbePeriod is how often all models are re-tried (default 5s of
+	// appliance time).
+	ProbePeriod time.Duration
+	// ProbeLen is how many requests per model each probe phase issues
+	// (default 2).
+	ProbeLen int
+	// Epsilon is the residual exploration rate (default 0.05).
+	Epsilon float64
+	// Workers configures the process sub-model pool.
+	Workers int
+	// Seed makes exploration deterministic.
+	Seed int64
+}
+
+func newAdaptiveModel(clock sim.Clock, prof sim.Profile, opts AdaptiveOptions, done completion) *adaptiveModel {
+	if len(opts.Models) == 0 {
+		opts.Models = []ModelKind{Threads, Processes, Events}
+	}
+	if opts.ProbePeriod <= 0 {
+		opts.ProbePeriod = 5 * time.Second
+	}
+	if opts.ProbeLen <= 0 {
+		opts.ProbeLen = 2
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.05
+	}
+	a := &adaptiveModel{
+		clock:       clock,
+		done:        done,
+		started:     make(map[*Transfer]adaptiveStart),
+		rng:         rand.New(rand.NewSource(opts.Seed + 1)),
+		probePeriod: opts.ProbePeriod,
+		probeLen:    opts.ProbeLen,
+		epsilon:     opts.Epsilon,
+		lastProbe:   -1,
+	}
+	for _, kind := range opts.Models {
+		var m Model
+		switch kind {
+		case Processes:
+			m = newProcessModel(clock, prof, opts.Workers, a.subDone)
+		case Events:
+			m = newEventModel(clock, prof, a.subDone)
+		case Seda:
+			m = newSedaModel(clock, prof, opts.Workers, a.subDone)
+		default:
+			m = newThreadModel(clock, prof, a.subDone)
+		}
+		a.models = append(a.models, m)
+		a.score = append(a.score, 0)
+		a.samples = append(a.samples, 0)
+	}
+	return a
+}
+
+func (a *adaptiveModel) Name() string { return string(Adaptive) }
+
+func (a *adaptiveModel) Start(t *Transfer) {
+	a.mu.Lock()
+	now := a.clock.Now()
+	if a.lastProbe < 0 || now-a.lastProbe >= a.probePeriod {
+		a.probeLeft = a.probeLen * len(a.models)
+		a.lastProbe = now
+	}
+	var idx int
+	switch {
+	case a.probeLeft > 0:
+		idx = a.rr % len(a.models)
+		a.rr++
+		a.probeLeft--
+	case a.rng.Float64() < a.epsilon:
+		idx = a.rng.Intn(len(a.models))
+	default:
+		idx = 0
+		for i := 1; i < len(a.score); i++ {
+			if a.score[i] > a.score[idx] {
+				idx = i
+			}
+		}
+	}
+	a.started[t] = adaptiveStart{model: idx, at: now}
+	model := a.models[idx]
+	a.mu.Unlock()
+	model.Start(t)
+}
+
+// subDone scores the sub-model then forwards completion, reporting the
+// adaptive model's own name so metrics reflect the adaptive scheme.
+func (a *adaptiveModel) subDone(t *Transfer, _ string, bytes int64, err error) {
+	a.mu.Lock()
+	if s, ok := a.started[t]; ok {
+		delete(a.started, t)
+		service := (a.clock.Now() - s.at).Seconds()
+		if service > 0 {
+			sample := (float64(bytes) + 4096) / service
+			const alpha = 0.3
+			if a.samples[s.model] == 0 {
+				a.score[s.model] = sample
+			} else {
+				a.score[s.model] = alpha*sample + (1-alpha)*a.score[s.model]
+			}
+			a.samples[s.model]++
+		}
+	}
+	a.mu.Unlock()
+	a.done(t, a.Name(), bytes, err)
+}
+
+func (a *adaptiveModel) Close() {
+	for _, m := range a.models {
+		m.Close()
+	}
+}

@@ -1,0 +1,122 @@
+package transfer
+
+import (
+	"sync"
+
+	"nest/internal/sim"
+)
+
+// sedaModel is the staged event-driven architecture the paper lists as
+// future work (§4.1, citing Welsh et al., SOSP 2001): transfers flow
+// through a pipeline of stages — a disk-read stage and a network-write
+// stage — each with its own bounded worker pool and event queue. A
+// transfer occupies exactly one stage at a time, so its chunks stay
+// ordered, while different transfers overlap across stages: one
+// transfer's disk read proceeds while another's network write drains.
+// The result combines most of the event model's low per-request cost
+// with the thread model's I/O overlap.
+type sedaModel struct {
+	clock sim.Clock
+	prof  sim.Profile
+	done  completion
+
+	readQ  *sim.Queue[*sedaJob]
+	writeQ *sim.Queue[*sedaJob]
+	wg     *sim.WaitGroup
+	once   sync.Once
+}
+
+// sedaJob is one transfer's pipeline token: the pump plus the bytes
+// read by stage one and not yet written by stage two.
+type sedaJob struct {
+	p        *pump
+	n        int   // bytes buffered for the write stage
+	segStart int64 // moved count when this quantum's segment began
+}
+
+// DefaultSedaWorkers sizes each stage's pool.
+const DefaultSedaWorkers = 4
+
+func newSedaModel(clock sim.Clock, prof sim.Profile, workers int, done completion) *sedaModel {
+	if workers <= 0 {
+		workers = DefaultSedaWorkers
+	}
+	m := &sedaModel{
+		clock:  clock,
+		prof:   prof,
+		done:   done,
+		readQ:  sim.NewQueue[*sedaJob](clock),
+		writeQ: sim.NewQueue[*sedaJob](clock),
+		wg:     sim.NewWaitGroup(clock),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(2)
+		clock.Go(m.readWorker)
+		clock.Go(m.writeWorker)
+	}
+	return m
+}
+
+func (m *sedaModel) Name() string { return string(Seda) }
+
+func (m *sedaModel) Start(t *Transfer) {
+	p := t.ensurePump()
+	m.readQ.Push(&sedaJob{p: p, segStart: p.moved})
+}
+
+// finish reports the job's transfer back to the manager.
+func (m *sedaModel) finish(j *sedaJob) {
+	m.done(j.p.t, m.Name(), j.p.moved, j.p.err)
+}
+
+func (m *sedaModel) readWorker() {
+	defer m.wg.Done()
+	for {
+		j, ok := m.readQ.Pop()
+		if !ok {
+			return
+		}
+		if m.prof.EventDispatch > 0 {
+			m.clock.Sleep(m.prof.EventDispatch)
+		}
+		j.n = j.p.readChunk()
+		if j.p.done && j.n == 0 {
+			m.finish(j)
+			continue
+		}
+		m.writeQ.Push(j)
+	}
+}
+
+func (m *sedaModel) writeWorker() {
+	defer m.wg.Done()
+	for {
+		j, ok := m.writeQ.Pop()
+		if !ok {
+			return
+		}
+		if m.prof.EventDispatch > 0 {
+			m.clock.Sleep(m.prof.EventDispatch)
+		}
+		j.p.writeChunk(j.n)
+		j.n = 0
+		quantum := j.p.t.quantum
+		switch {
+		case j.p.done:
+			m.finish(j)
+		case quantum > 0 && j.p.moved-j.segStart >= quantum:
+			// Segment budget exhausted: yield the slot.
+			m.finish(j)
+		default:
+			m.readQ.Push(j)
+		}
+	}
+}
+
+func (m *sedaModel) Close() {
+	m.once.Do(func() {
+		m.readQ.Close()
+		m.writeQ.Close()
+		m.wg.Wait()
+	})
+}

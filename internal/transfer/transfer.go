@@ -1,0 +1,334 @@
+// Package transfer implements NeST's transfer manager (paper §4): the
+// protocol-agnostic machinery that moves data between storage and
+// network for every protocol. It schedules concurrent transfers under
+// a pluggable policy (package sched), executes them under one of three
+// concurrency models — threads, processes, or events — and can adapt
+// among the models at runtime by distributing requests equally at
+// first, monitoring their progress, and slowly biasing toward the most
+// effective choice (paper §4.1).
+package transfer
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"nest/internal/protocol"
+	"nest/internal/sim"
+)
+
+// Transfer is one data-movement request handed to the manager after
+// synchronous approval by the storage manager.
+type Transfer struct {
+	// Class is the protocol class for scheduling (e.g. "nfs").
+	Class string
+	// User is the authenticated principal on whose behalf the data
+	// moves; per-user scheduling policies classify by it.
+	User string
+	// Path and Offset locate the data for cache-aware prediction.
+	Path   string
+	Offset int64
+	// Size is the expected byte count, or -1 to pump until EOF.
+	Size int64
+	// Src and Dst are the endpoints; the pump copies Src to Dst in
+	// ChunkSize pieces.
+	Src io.Reader
+	Dst io.Writer
+	// ChunkSize overrides the pump granularity (0 = protocol.ChunkSize).
+	ChunkSize int
+	// OnDone, if set, receives the result. It runs on the manager's
+	// scheduling goroutine and must not block; hand heavy work off.
+	OnDone func(Result)
+
+	seq       int64
+	submitted time.Duration
+	started   time.Duration
+	// p is the transfer's pump, persistent across scheduling quanta.
+	p *pump
+	// counted tracks bytes already credited to metrics, so per-segment
+	// accounting never double-counts.
+	counted int64
+	// quantum, when positive, bounds how many bytes one admission may
+	// move before the transfer yields its slot and re-enters the
+	// pending queue (stride scheduling's byte-quantum preemption).
+	quantum int64
+}
+
+// ensurePump lazily creates the pump on first admission.
+func (t *Transfer) ensurePump() *pump {
+	if t.p == nil {
+		t.p = newPump(t)
+	}
+	return t.p
+}
+
+// remaining estimates the bytes the next quantum will move, for the
+// scheduler's byte-based accounting.
+func (t *Transfer) remaining() int64 {
+	var rem int64 = -1
+	if t.Size >= 0 {
+		rem = t.Size
+		if t.p != nil {
+			rem -= t.p.moved
+		}
+	}
+	if t.quantum > 0 && (rem < 0 || rem > t.quantum) {
+		return t.quantum
+	}
+	return rem
+}
+
+// Result reports a completed transfer.
+type Result struct {
+	Transfer *Transfer
+	Bytes    int64
+	Err      error
+	Model    string        // concurrency model that executed it
+	Queue    time.Duration // time waiting for admission
+	Service  time.Duration // time executing
+	Latency  time.Duration // Queue + Service (client-perceived)
+}
+
+// ClassStats aggregates per-protocol-class delivery.
+type ClassStats struct {
+	Requests     int64
+	Bytes        int64
+	TotalLatency time.Duration
+	TotalService time.Duration
+	Errors       int64
+}
+
+// ModelStats aggregates per-concurrency-model execution.
+type ModelStats struct {
+	Requests     int64
+	Bytes        int64
+	TotalService time.Duration
+}
+
+// Metrics collects transfer statistics for the experiment harness.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Duration
+	perClass map[string]*ClassStats
+	perModel map[string]*ModelStats
+}
+
+// NewMetrics returns empty metrics with the epoch at now.
+func NewMetrics(now time.Duration) *Metrics {
+	return &Metrics{
+		start:    now,
+		perClass: make(map[string]*ClassStats),
+		perModel: make(map[string]*ModelStats),
+	}
+}
+
+// addBytes credits transferred bytes to a class as segments complete,
+// so bandwidth over a measurement window reflects bytes actually moved
+// rather than whole-transfer completions.
+func (m *Metrics) addBytes(class string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.perClass[class]
+	if cs == nil {
+		cs = &ClassStats{}
+		m.perClass[class] = cs
+	}
+	cs.Bytes += n
+}
+
+func (m *Metrics) record(r Result, byteDelta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.perClass[r.Transfer.Class]
+	if cs == nil {
+		cs = &ClassStats{}
+		m.perClass[r.Transfer.Class] = cs
+	}
+	cs.Requests++
+	cs.Bytes += byteDelta
+	cs.TotalLatency += r.Latency
+	cs.TotalService += r.Service
+	if r.Err != nil {
+		cs.Errors++
+	}
+	ms := m.perModel[r.Model]
+	if ms == nil {
+		ms = &ModelStats{}
+		m.perModel[r.Model] = ms
+	}
+	ms.Requests++
+	ms.Bytes += r.Bytes
+	ms.TotalService += r.Service
+}
+
+// Class returns a copy of the stats for one protocol class.
+func (m *Metrics) Class(class string) ClassStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cs := m.perClass[class]; cs != nil {
+		return *cs
+	}
+	return ClassStats{}
+}
+
+// Classes returns a copy of all per-class stats.
+func (m *Metrics) Classes() map[string]ClassStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]ClassStats, len(m.perClass))
+	for k, v := range m.perClass {
+		out[k] = *v
+	}
+	return out
+}
+
+// Models returns a copy of all per-model stats.
+func (m *Metrics) Models() map[string]ModelStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]ModelStats, len(m.perModel))
+	for k, v := range m.perModel {
+		out[k] = *v
+	}
+	return out
+}
+
+// Reset clears counters and restarts the measurement epoch.
+func (m *Metrics) Reset(now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.start = now
+	m.perClass = make(map[string]*ClassStats)
+	m.perModel = make(map[string]*ModelStats)
+}
+
+// AvgLatency returns the mean client-perceived latency of a class.
+func (m *Metrics) AvgLatency(class string) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.perClass[class]
+	if cs == nil || cs.Requests == 0 {
+		return 0
+	}
+	return cs.TotalLatency / time.Duration(cs.Requests)
+}
+
+// BandwidthMBps converts class bytes into MB/s over the window ending
+// at now.
+func (m *Metrics) BandwidthMBps(class string, now time.Duration) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := (now - m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	cs := m.perClass[class]
+	if cs == nil {
+		return 0
+	}
+	return float64(cs.Bytes) / (1024 * 1024) / elapsed
+}
+
+// pump copies one transfer chunk-by-chunk so concurrency models can
+// interleave transfers at chunk granularity.
+type pump struct {
+	t     *Transfer
+	buf   []byte
+	moved int64
+	err   error
+	done  bool
+}
+
+func newPump(t *Transfer) *pump {
+	size := t.ChunkSize
+	if size <= 0 {
+		size = protocol.ChunkSize
+	}
+	return &pump{t: t, buf: make([]byte, size)}
+}
+
+// readChunk fills the pump buffer with the next chunk. It returns the
+// byte count; the pump is marked done (with p.err set on failure) when
+// the source is exhausted. Staged architectures call readChunk and
+// writeChunk from different stages; step composes them.
+func (p *pump) readChunk() int {
+	if p.done {
+		return 0
+	}
+	limit := int64(len(p.buf))
+	if p.t.Size >= 0 {
+		remaining := p.t.Size - p.moved
+		if remaining <= 0 {
+			p.done = true
+			return 0
+		}
+		if remaining < limit {
+			limit = remaining
+		}
+	}
+	n, rerr := p.t.Src.Read(p.buf[:limit])
+	if rerr != nil {
+		if rerr != io.EOF {
+			p.err = rerr
+		} else if p.t.Size >= 0 && p.moved+int64(n) < p.t.Size {
+			p.err = io.ErrUnexpectedEOF
+		}
+		p.done = true
+	}
+	return n
+}
+
+// writeChunk delivers the first n buffered bytes to the sink and
+// advances the byte count.
+func (p *pump) writeChunk(n int) {
+	if n <= 0 {
+		return
+	}
+	if _, werr := p.t.Dst.Write(p.buf[:n]); werr != nil {
+		p.err = werr
+		p.done = true
+		return
+	}
+	p.moved += int64(n)
+	if p.t.Size >= 0 && p.moved >= p.t.Size {
+		p.done = true
+	}
+}
+
+// step moves one chunk; it reports true when the transfer is finished
+// (p.err holds any failure).
+func (p *pump) step() bool {
+	if p.done {
+		return true
+	}
+	n := p.readChunk()
+	if p.err != nil {
+		return true
+	}
+	p.writeChunk(n)
+	return p.done
+}
+
+// run drives the pump to completion, charging perChunk model overhead
+// before each chunk.
+func (p *pump) run(clock sim.Clock, perChunk time.Duration) {
+	p.runSegment(clock, perChunk, 0)
+}
+
+// runSegment drives the pump until completion or until quantum bytes
+// have moved (quantum <= 0 means no bound). It returns the bytes moved
+// by this segment.
+func (p *pump) runSegment(clock sim.Clock, perChunk time.Duration, quantum int64) int64 {
+	start := p.moved
+	for {
+		if p.done || (quantum > 0 && p.moved-start >= quantum) {
+			return p.moved - start
+		}
+		if perChunk > 0 {
+			clock.Sleep(perChunk)
+		}
+		if p.step() {
+			return p.moved - start
+		}
+	}
+}

@@ -1,0 +1,631 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+)
+
+// linkWriter charges a sim link for every write (a client's network).
+type linkWriter struct{ link *sim.Link }
+
+func (w linkWriter) Write(p []byte) (int, error) {
+	w.link.Send(int64(len(p)))
+	return len(p), nil
+}
+
+// slowReader yields data while charging a resource per read.
+type slowReader struct {
+	clock   sim.Clock
+	perRead time.Duration
+	n       int64
+}
+
+func (r *slowReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	if r.perRead > 0 {
+		r.clock.Sleep(r.perRead)
+	}
+	n := int64(len(p))
+	if n > r.n {
+		n = r.n
+	}
+	r.n -= n
+	return int(n), nil
+}
+
+func TestPumpCopiesExactly(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		src := strings.NewReader("hello world, this is nest")
+		var dst bytes.Buffer
+		m := NewManager(Options{Clock: clock, Model: Threads})
+		done := make(chan Result, 1)
+		m.Submit(&Transfer{
+			Class: "chirp", Size: -1, Src: src, Dst: &dst, ChunkSize: 4,
+			OnDone: func(r Result) { done <- r },
+		})
+		m.Wait()
+		var r Result
+		clock.BlockOn(func() { r = <-done })
+		if r.Err != nil || r.Bytes != 25 {
+			t.Fatalf("result = %+v", r)
+		}
+		if dst.String() != "hello world, this is nest" {
+			t.Errorf("dst = %q", dst.String())
+		}
+		m.Close()
+	})
+}
+
+func TestPumpSizeLimited(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads})
+		var dst bytes.Buffer
+		m.Submit(&Transfer{
+			Class: "chirp", Size: 10, Src: strings.NewReader("0123456789ABCDEF"),
+			Dst: &dst, ChunkSize: 3,
+		})
+		m.Wait()
+		if dst.String() != "0123456789" {
+			t.Errorf("dst = %q", dst.String())
+		}
+		m.Close()
+	})
+}
+
+func TestPumpShortSource(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads})
+		done := make(chan Result, 1)
+		m.Submit(&Transfer{
+			Class: "x", Size: 100, Src: strings.NewReader("short"),
+			Dst: io.Discard, OnDone: func(r Result) { done <- r },
+		})
+		m.Wait()
+		var r Result
+		clock.BlockOn(func() { r = <-done })
+		if !errors.Is(r.Err, io.ErrUnexpectedEOF) {
+			t.Errorf("err = %v, want unexpected EOF", r.Err)
+		}
+		m.Close()
+	})
+}
+
+func TestPumpWriteError(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Events})
+		done := make(chan Result, 1)
+		m.Submit(&Transfer{
+			Class: "x", Size: -1, Src: strings.NewReader("data"),
+			Dst: failWriter{}, OnDone: func(r Result) { done <- r },
+		})
+		m.Wait()
+		var r Result
+		clock.BlockOn(func() { r = <-done })
+		if r.Err == nil {
+			t.Error("write error not surfaced")
+		}
+		m.Close()
+	})
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestAllModelsComplete(t *testing.T) {
+	for _, kind := range []ModelKind{Threads, Processes, Events, Adaptive} {
+		t.Run(string(kind), func(t *testing.T) {
+			clock := sim.NewVirtualClock()
+			clock.Run(func() {
+				m := NewManager(Options{Clock: clock, Model: kind, Profile: sim.LinuxGbE()})
+				var mu sync.Mutex
+				var total int64
+				n := 20
+				for i := 0; i < n; i++ {
+					m.Submit(&Transfer{
+						Class: "chirp", Size: -1,
+						Src: &slowReader{clock: clock, n: 1000},
+						Dst: io.Discard,
+						OnDone: func(r Result) {
+							mu.Lock()
+							total += r.Bytes
+							mu.Unlock()
+						},
+					})
+				}
+				m.Wait()
+				if total != int64(n)*1000 {
+					t.Errorf("total = %d, want %d", total, n*1000)
+				}
+				stats := m.Metrics().Class("chirp")
+				if stats.Requests != int64(n) || stats.Errors != 0 {
+					t.Errorf("stats = %+v", stats)
+				}
+				m.Close()
+			})
+		})
+	}
+}
+
+func TestSlotsBoundConcurrency(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads, Slots: 2})
+		for i := 0; i < 6; i++ {
+			m.Submit(&Transfer{
+				Class: "x", Size: -1,
+				Src: &slowReader{clock: clock, perRead: time.Second, n: 10},
+				Dst: io.Discard,
+			})
+		}
+		m.Wait()
+		// 6 one-second transfers, 2 at a time: 3 seconds.
+		if got := clock.Now(); got != 3*time.Second {
+			t.Errorf("elapsed = %v, want 3s", got)
+		}
+		m.Close()
+	})
+}
+
+func TestFIFOOrder(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads, Slots: 1})
+		var mu sync.Mutex
+		var order []string
+		submit := func(name string) {
+			m.Submit(&Transfer{
+				Class: name, Size: -1,
+				Src: &slowReader{clock: clock, perRead: time.Millisecond, n: 1},
+				Dst: io.Discard,
+				OnDone: func(Result) {
+					mu.Lock()
+					order = append(order, name)
+					mu.Unlock()
+				},
+			})
+		}
+		for _, name := range []string{"a", "b", "c", "d"} {
+			submit(name)
+		}
+		m.Wait()
+		if got := strings.Join(order, ""); got != "abcd" {
+			t.Errorf("order = %q", got)
+		}
+		m.Close()
+	})
+}
+
+// TestStrideProportions drives two classes through a slot-limited
+// manager over a shared link and verifies delivered bandwidth follows
+// the 2:1 ticket ratio.
+func TestStrideProportions(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		policy := sched.NewStride(map[string]int{"fast": 200, "slow": 100})
+		m := NewManager(Options{Clock: clock, Model: Threads, Slots: 1, Policy: policy})
+		stop := false
+		var offered sync.WaitGroup
+		// Closed-loop clients resubmitting 1MB transfers.
+		client := func(class string) {
+			defer offered.Done()
+			for !stop {
+				done := make(chan struct{})
+				m.Submit(&Transfer{
+					Class: class, Path: "/" + class, Size: 1 * sim.MB,
+					Src: &slowReader{clock: clock, n: 1 * sim.MB},
+					Dst: linkWriter{host.Link},
+					OnDone: func(Result) {
+						clock.Unpark()
+						done <- struct{}{}
+					},
+				})
+				clock.Park()
+				<-done
+			}
+		}
+		for i := 0; i < 4; i++ {
+			offered.Add(1)
+			class := "fast"
+			if i%2 == 1 {
+				class = "slow"
+			}
+			clock.Go(func() { client(class) })
+		}
+		clock.Sleep(20 * time.Second)
+		stop = true
+		fast := m.Metrics().BandwidthMBps("fast", clock.Now())
+		slow := m.Metrics().BandwidthMBps("slow", clock.Now())
+		ratio := fast / slow
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("fast/slow = %.2f (fast=%.1f slow=%.1f), want ~2", ratio, fast, slow)
+		}
+	})
+}
+
+// TestAdaptiveConvergesToEvents checks that with tiny in-cache
+// requests on the Solaris profile the adaptive model routes most
+// traffic to the event model.
+func TestAdaptiveConvergesToEvents(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		prof := sim.Solaris100()
+		wg := sim.NewWaitGroup(clock)
+		a := newAdaptiveModel(clock, prof, AdaptiveOptions{
+			Models:      []ModelKind{Threads, Events},
+			ProbePeriod: time.Hour, // probe once at start
+			ProbeLen:    3,
+		}, func(t *Transfer, model string, bytes int64, err error) { wg.Done() })
+		// Drive sequential small in-cache requests; each request's
+		// service time is dominated by the model's per-request cost.
+		for i := 0; i < 60; i++ {
+			wg.Add(1)
+			tr := &Transfer{Class: "chirp", Size: -1,
+				Src: &slowReader{clock: clock, n: 1024}, Dst: io.Discard}
+			a.Start(tr)
+			wg.Wait() // sequential: isolates per-request model cost
+		}
+		// The event model must score higher than threads for this
+		// workload (thread spawn dominates 1KB requests).
+		var evIdx, thIdx int
+		for i, m := range a.models {
+			switch m.Name() {
+			case string(Events):
+				evIdx = i
+			case string(Threads):
+				thIdx = i
+			}
+		}
+		if a.score[evIdx] <= a.score[thIdx] {
+			t.Errorf("events score %.0f <= threads score %.0f", a.score[evIdx], a.score[thIdx])
+		}
+		a.Close()
+	})
+}
+
+func TestMetricsBandwidth(t *testing.T) {
+	m := NewMetrics(0)
+	m.record(Result{Transfer: &Transfer{Class: "c"}, Bytes: 10 * sim.MB, Model: "threads"}, 10*sim.MB)
+	if bw := m.BandwidthMBps("c", 2*time.Second); bw != 5 {
+		t.Errorf("bandwidth = %v, want 5", bw)
+	}
+	if bw := m.BandwidthMBps("missing", time.Second); bw != 0 {
+		t.Errorf("missing class bandwidth = %v", bw)
+	}
+	m.Reset(10 * time.Second)
+	if bw := m.BandwidthMBps("c", 12*time.Second); bw != 0 {
+		t.Errorf("bandwidth after reset = %v", bw)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads})
+		m.Close()
+		done := make(chan Result, 1)
+		m.Submit(&Transfer{Class: "x", Size: -1, Src: strings.NewReader("x"),
+			Dst: io.Discard, OnDone: func(r Result) { done <- r }})
+		var r Result
+		clock.BlockOn(func() { r = <-done })
+		if r.Err == nil {
+			t.Error("submit after close did not error")
+		}
+	})
+}
+
+// TestPerUserStrideMeasured exercises the paper's future-work
+// extension — proportional share keyed by user rather than protocol —
+// via the manager's classifier hook, and measures the 3:1 allocation
+// (metrics are labeled per user through the transfer Class).
+func TestPerUserStrideMeasured(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		host := sim.NewHost(clock, sim.LinuxGbE())
+		policy := sched.NewStride(map[string]int{"alice": 300, "bob": 100})
+		m := NewManager(Options{
+			Clock: clock, Model: Threads, Slots: 2, Policy: policy,
+			Quantum: 64 * 1024, Classifier: ClassifyByUser,
+		})
+		stop := false
+		client := func(user string) {
+			for !stop {
+				done := make(chan struct{})
+				m.Submit(&Transfer{
+					Class: user, User: user, Size: 1 * sim.MB,
+					Src: &slowReader{clock: clock, n: 1 * sim.MB},
+					Dst: linkWriter{host.Link},
+					OnDone: func(Result) {
+						clock.Unpark()
+						done <- struct{}{}
+					},
+				})
+				clock.Park()
+				<-done
+			}
+		}
+		for i := 0; i < 4; i++ {
+			user := "alice"
+			if i%2 == 1 {
+				user = "bob"
+			}
+			clock.Go(func() { client(user) })
+		}
+		clock.Sleep(30 * time.Second)
+		stop = true
+		alice := m.Metrics().BandwidthMBps("alice", clock.Now())
+		bob := m.Metrics().BandwidthMBps("bob", clock.Now())
+		ratio := alice / bob
+		if ratio < 2.5 || ratio > 3.5 {
+			t.Errorf("alice/bob = %.2f (alice=%.1f bob=%.1f), want ~3", ratio, alice, bob)
+		}
+	})
+}
+
+// TestQuantumPreemption verifies a big transfer yields between quanta
+// and still completes exactly.
+func TestQuantumPreemption(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Threads, Slots: 1, Quantum: 1000})
+		var big, small Result
+		done := make(chan struct{}, 2)
+		m.Submit(&Transfer{
+			Class: "big", Size: 10_000, ChunkSize: 500,
+			Src: &slowReader{clock: clock, perRead: time.Millisecond, n: 10_000},
+			Dst: io.Discard,
+			OnDone: func(r Result) {
+				big = r
+				clock.Unpark()
+				done <- struct{}{}
+			},
+		})
+		m.Submit(&Transfer{
+			Class: "small", Size: 500, ChunkSize: 500,
+			Src: &slowReader{clock: clock, perRead: time.Millisecond, n: 500},
+			Dst: io.Discard,
+			OnDone: func(r Result) {
+				small = r
+				clock.Unpark()
+				done <- struct{}{}
+			},
+		})
+		for i := 0; i < 2; i++ {
+			clock.Park()
+			<-done
+		}
+		if big.Bytes != 10_000 || big.Err != nil {
+			t.Errorf("big = %+v", big)
+		}
+		if small.Bytes != 500 || small.Err != nil {
+			t.Errorf("small = %+v", small)
+		}
+		// With slots=1 and quantum=1000, the small transfer (submitted
+		// second) must have finished before the 10KB transfer: the big
+		// one yielded its slot.
+		if small.Latency >= big.Latency {
+			t.Errorf("small latency %v >= big latency %v: no preemption", small.Latency, big.Latency)
+		}
+	})
+}
+
+// TestQuantumMetricsExact: per-segment byte accounting sums to the
+// transfer size exactly once.
+func TestQuantumMetricsExact(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Events, Slots: 4, Quantum: 700})
+		for i := 0; i < 5; i++ {
+			m.Submit(&Transfer{
+				Class: "q", Size: 5000, ChunkSize: 300,
+				Src: &slowReader{clock: clock, n: 5000}, Dst: io.Discard,
+			})
+		}
+		m.Wait()
+		stats := m.Metrics().Class("q")
+		if stats.Bytes != 25000 {
+			t.Errorf("Bytes = %d, want 25000 (no double counting across segments)", stats.Bytes)
+		}
+		if stats.Requests != 5 {
+			t.Errorf("Requests = %d, want 5 (segments are not requests)", stats.Requests)
+		}
+		m.Close()
+	})
+}
+
+// TestAdaptiveConvergesToThreads: with disk-bound large transfers the
+// thread model's overlap wins, and the adaptive scorer must find it.
+func TestAdaptiveConvergesToThreads(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		prof := sim.LinuxGbE()
+		host := sim.NewHost(clock, prof)
+		wg := sim.NewWaitGroup(clock)
+		a := newAdaptiveModel(clock, prof, AdaptiveOptions{
+			Models:      []ModelKind{Threads, Events},
+			ProbePeriod: time.Hour,
+			ProbeLen:    3,
+		}, func(tr *Transfer, model string, bytes int64, err error) { wg.Done() })
+		// Four concurrent waves of disk+link transfers: threads overlap
+		// the two resources, the event loop serializes them.
+		for wave := 0; wave < 12; wave++ {
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				name := "/f" + string(rune('a'+i))
+				tr := &Transfer{Class: "chirp", Size: 2 * sim.MB, ChunkSize: 64 * 1024,
+					Src: &diskReader{disk: host.Disk, name: name, n: 2 * sim.MB},
+					Dst: linkWriter{host.Link}}
+				a.Start(tr)
+			}
+			wg.Wait()
+		}
+		var thIdx, evIdx int
+		for i, m := range a.models {
+			switch m.Name() {
+			case string(Threads):
+				thIdx = i
+			case string(Events):
+				evIdx = i
+			}
+		}
+		if a.score[thIdx] <= a.score[evIdx] {
+			t.Errorf("threads score %.0f <= events score %.0f on disk-bound workload",
+				a.score[thIdx], a.score[evIdx])
+		}
+		a.Close()
+	})
+}
+
+// diskReader charges the disk for every read.
+type diskReader struct {
+	disk *sim.Disk
+	name string
+	n    int64
+}
+
+func (r *diskReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if n > r.n {
+		n = r.n
+	}
+	r.disk.Read(r.name, n)
+	r.n -= n
+	return int(n), nil
+}
+
+// TestSedaModelCompletes: the staged pipeline moves every byte exactly
+// once, in order, across all transfers.
+func TestSedaModelCompletes(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Seda, Profile: sim.LinuxGbE()})
+		var mu sync.Mutex
+		results := map[*Transfer]Result{}
+		n := 16
+		var bufs []*bytes.Buffer
+		for i := 0; i < n; i++ {
+			payload := bytes.Repeat([]byte{byte(i)}, 5000+i*13)
+			dst := &bytes.Buffer{}
+			bufs = append(bufs, dst)
+			m.Submit(&Transfer{
+				Class: "chirp", Size: int64(len(payload)), ChunkSize: 777,
+				Src: bytes.NewReader(payload), Dst: dst,
+				OnDone: func(r Result) {
+					mu.Lock()
+					results[r.Transfer] = r
+					mu.Unlock()
+				},
+			})
+		}
+		m.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(results) != n {
+			t.Fatalf("completed = %d, want %d", len(results), n)
+		}
+		for tr, r := range results {
+			if r.Err != nil || r.Bytes != tr.Size {
+				t.Errorf("result = %+v", r)
+			}
+		}
+		for i, dst := range bufs {
+			want := bytes.Repeat([]byte{byte(i)}, 5000+i*13)
+			if !bytes.Equal(dst.Bytes(), want) {
+				t.Errorf("transfer %d corrupted: %d bytes", i, dst.Len())
+			}
+		}
+		m.Close()
+	})
+}
+
+// TestSedaPipelinesAcrossTransfers: the staged pipeline overlaps one
+// transfer's disk reads with another's network writes, finishing a
+// disk+link workload faster than the fully serialized event loop.
+func TestSedaPipelinesAcrossTransfers(t *testing.T) {
+	elapsed := func(kind ModelKind) time.Duration {
+		clock := sim.NewVirtualClock()
+		var out time.Duration
+		clock.Run(func() {
+			host := sim.NewHost(clock, sim.LinuxGbE())
+			m := NewManager(Options{Clock: clock, Model: kind, Slots: 8})
+			start := clock.Now()
+			for i := 0; i < 4; i++ {
+				m.Submit(&Transfer{
+					Class: "chirp", Size: 2 * sim.MB, ChunkSize: 64 * 1024,
+					// One shared sequential stream name keeps the disk
+					// from paying a positioning cost per chunk; the
+					// comparison isolates stage overlap.
+					Src: &diskReader{disk: host.Disk, name: "/seq", n: 2 * sim.MB},
+					Dst: linkWriter{host.Link},
+				})
+			}
+			m.Wait()
+			out = clock.Now() - start
+			m.Close()
+		})
+		return out
+	}
+	seda := elapsed(Seda)
+	events := elapsed(Events)
+	// Events serialize disk and link chunk by chunk; SEDA overlaps
+	// them, approaching max(disk, link) instead of their sum.
+	if float64(seda) > 0.8*float64(events) {
+		t.Errorf("seda %v not faster than events %v", seda, events)
+	}
+}
+
+// TestSedaWithQuantum: the staged model honors quantum preemption.
+func TestSedaWithQuantum(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		m := NewManager(Options{Clock: clock, Model: Seda, Slots: 1, Quantum: 1000})
+		var small Result
+		done := make(chan struct{}, 2)
+		m.Submit(&Transfer{
+			Class: "big", Size: 20_000, ChunkSize: 500,
+			Src: &slowReader{clock: clock, perRead: time.Millisecond, n: 20_000},
+			Dst: io.Discard,
+			OnDone: func(r Result) {
+				clock.Unpark()
+				done <- struct{}{}
+			},
+		})
+		m.Submit(&Transfer{
+			Class: "small", Size: 500, ChunkSize: 500,
+			Src: &slowReader{clock: clock, perRead: time.Millisecond, n: 500},
+			Dst: io.Discard,
+			OnDone: func(r Result) {
+				small = r
+				clock.Unpark()
+				done <- struct{}{}
+			},
+		})
+		for i := 0; i < 2; i++ {
+			clock.Park()
+			<-done
+		}
+		// The small transfer did not wait for the whole 20KB transfer.
+		if small.Latency > 15*time.Millisecond {
+			t.Errorf("small latency = %v: quantum preemption failed", small.Latency)
+		}
+		m.Close()
+	})
+}
