@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper figure/ablation (see bench_test.go).
 bench:

@@ -86,7 +86,7 @@ const GroupPrefix = "group:"
 // ACL of a path is the nearest ancestor directory with an explicit
 // list; rights from all matching principals are unioned.
 type Table struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	dirs   map[string]map[string]Rights // dir -> principal -> rights
 	groups map[string]map[string]bool   // group -> member set
 	anon   string                       // the anonymous principal name
@@ -129,8 +129,8 @@ func (t *Table) Set(dir, principal string, rights Rights) {
 // sorted by principal.
 func (t *Table) Get(dir string) []Entry {
 	dir = cleanDir(dir)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	m := t.dirs[dir]
 	out := make([]Entry, 0, len(m))
 	for p, r := range m {
@@ -171,8 +171,8 @@ func (t *Table) RemoveGroupMember(group, user string) {
 // to the nearest ancestor with an explicit ACL.
 func (t *Table) effective(user, dir string) Rights {
 	dir = cleanDir(dir)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for {
 		if m, ok := t.dirs[dir]; ok {
 			var r Rights
@@ -218,8 +218,8 @@ func (t *Table) Check(user, dir string, need Rights) bool {
 // manager's canonical persistence format (paper §5: "a generic
 // framework built on top of collections of ClassAd").
 func (t *Table) Ads() []*classad.Ad {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var dirs []string
 	for d := range t.dirs {
 		dirs = append(dirs, d)

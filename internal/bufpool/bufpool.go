@@ -1,0 +1,49 @@
+// Package bufpool provides size-keyed pools of byte buffers for the
+// data plane. Transfer pumps and protocol clients move data in fixed
+// chunk sizes (protocol.ChunkSize and friends); allocating a fresh
+// chunk buffer per transfer or per call puts tens of kilobytes per
+// operation on the garbage collector. The pool hands buffers back out
+// keyed by exact capacity, so every distinct chunk size reuses its own
+// free list.
+package bufpool
+
+import "sync"
+
+// pools maps buffer capacity -> *sync.Pool of *[]byte. Pools are
+// created on first use and live for the process; the set of distinct
+// chunk sizes in the system is small and static.
+var pools sync.Map
+
+func poolFor(size int) *sync.Pool {
+	if p, ok := pools.Load(size); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := pools.LoadOrStore(size, &sync.Pool{
+		New: func() interface{} {
+			b := make([]byte, size)
+			return &b
+		},
+	})
+	return p.(*sync.Pool)
+}
+
+// Get returns a buffer of exactly size bytes (len == cap == size). The
+// pointer form avoids an allocation when the buffer is returned with
+// Put. Callers must not retain the buffer after Put.
+func Get(size int) *[]byte {
+	if size <= 0 {
+		b := []byte{}
+		return &b
+	}
+	return poolFor(size).Get().(*[]byte)
+}
+
+// Put returns a buffer obtained from Get to its size class. Buffers
+// whose capacity was changed are dropped rather than pooled.
+func Put(buf *[]byte) {
+	if buf == nil || cap(*buf) == 0 {
+		return
+	}
+	*buf = (*buf)[:cap(*buf)]
+	poolFor(cap(*buf)).Put(buf)
+}

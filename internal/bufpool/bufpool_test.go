@@ -1,0 +1,80 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetSizes(t *testing.T) {
+	for _, size := range []int{1, 512, 64 * 1024} {
+		b := Get(size)
+		if len(*b) != size || cap(*b) != size {
+			t.Errorf("Get(%d): len=%d cap=%d", size, len(*b), cap(*b))
+		}
+		Put(b)
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	b := Get(0)
+	if len(*b) != 0 {
+		t.Errorf("Get(0): len=%d", len(*b))
+	}
+	Put(b) // must not panic or pool the empty buffer
+}
+
+func TestReuseBySizeClass(t *testing.T) {
+	// A buffer put back is served again for the same size and never
+	// for a different size.
+	b := Get(4096)
+	(*b)[0] = 0xAB
+	Put(b)
+	other := Get(8192)
+	if cap(*other) != 8192 {
+		t.Errorf("cross-class buffer: cap=%d", cap(*other))
+	}
+	again := Get(4096)
+	if cap(*again) != 4096 {
+		t.Errorf("same-class buffer: cap=%d", cap(*again))
+	}
+}
+
+func TestPutRestoresFullLength(t *testing.T) {
+	b := Get(1024)
+	*b = (*b)[:10] // caller shrank the view
+	Put(b)
+	c := Get(1024)
+	if len(*c) != 1024 {
+		t.Errorf("recycled buffer len=%d, want full length", len(*c))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b := Get(64 * 1024)
+				(*b)[0] = byte(j)
+				Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	// Warm the pool, then verify the get/put cycle allocates nothing.
+	Put(Get(32 * 1024))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := Get(32 * 1024)
+		Put(b)
+	})
+	// A stray GC may victimize the pool once; steady state means the
+	// cycle does not allocate on every run.
+	if allocs >= 1 {
+		t.Errorf("steady-state Get/Put allocates %v per run, want ~0", allocs)
+	}
+}

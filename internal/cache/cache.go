@@ -25,7 +25,7 @@ type blockKey struct {
 // Model tracks probable buffer-cache contents with LRU replacement.
 // All methods are safe for concurrent use.
 type Model struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int64 // bytes
 	used     int64
 	lru      *list.List // front = most recent; values are blockKey
@@ -49,15 +49,15 @@ func (m *Model) Capacity() int64 { return m.capacity }
 
 // Used returns the bytes currently modeled as resident.
 func (m *Model) Used() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.used
 }
 
 // Stats returns cumulative block hits and misses recorded by Access.
 func (m *Model) Stats() (hits, misses int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.hits, m.misses
 }
 
@@ -125,8 +125,8 @@ func (m *Model) insertLocked(key blockKey) {
 // [off, off+n) of file is cache-resident. The cache-aware scheduler
 // uses this probe to approximate shortest-job-first (paper §4.2).
 func (m *Model) Residency(file string, off, n int64) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	first, last := blockRange(off, n)
 	if last < first {
 		return 1

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"nest/internal/bufpool"
 	"nest/internal/classad"
 	"nest/internal/gsi"
 	"nest/internal/protocol"
@@ -246,7 +247,15 @@ func (c *Client) recvBody(w io.Writer) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return io.CopyN(w, c.br, size)
+	// CopyBuffer with a pooled chunk avoids io.CopyN's per-call 32 KB
+	// allocation on the body path.
+	buf := bufpool.Get(protocol.ChunkSize)
+	defer bufpool.Put(buf)
+	n, err := io.CopyBuffer(w, io.LimitReader(c.br, size), *buf)
+	if err == nil && n < size {
+		err = io.EOF // match io.CopyN: short body is an error
+	}
+	return n, err
 }
 
 // Get fetches a whole file into memory.

@@ -28,9 +28,13 @@ type Dispatcher struct {
 	store *storage.Manager
 	xfer  *transfer.Manager
 
-	// storageMu serializes non-transfer requests at the storage
-	// manager; they execute synchronously (paper §2.1).
-	storageMu sync.Mutex
+	// storageMu orders non-transfer requests at the storage manager.
+	// Mutating ops take the write lock and execute in the paper's
+	// serialized, thread-safe schedule (§2.1); read-only ops (stat,
+	// list, ping, statfs, acl_get, lot_status) take the read lock and
+	// run concurrently with each other, relying on the reader locks of
+	// the components below (acl, lots, quota, cache, memfs).
+	storageMu sync.RWMutex
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -156,6 +160,13 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 			return
 		case req.Op.IsTransfer():
 			d.handleTransfer(s, req)
+		case req.Op.IsReadOnly():
+			d.storageMu.RLock()
+			rep := d.store.Execute(req)
+			d.storageMu.RUnlock()
+			if err := s.Reply(req, rep); err != nil {
+				return
+			}
 		default:
 			d.storageMu.Lock()
 			rep := d.store.Execute(req)

@@ -72,7 +72,7 @@ func (s *fakeSession) Close() error {
 	return nil
 }
 
-func newDispatcher(t *testing.T) (*dispatch.Dispatcher, *storage.Manager) {
+func newDispatcher(t testing.TB) (*dispatch.Dispatcher, *storage.Manager) {
 	t.Helper()
 	clock := sim.NewRealClock()
 	fs := storage.NewMemFS(clock, 1<<30)

@@ -1,0 +1,147 @@
+package dispatch_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"nest/internal/protocol"
+)
+
+// streamSession feeds the dispatcher a fixed script of requests and
+// collects every reply, from whatever goroutine drives it.
+type streamSession struct {
+	reqs    []*protocol.Request
+	i       int
+	replies []*protocol.Reply
+}
+
+func (s *streamSession) Proto() string { return "stress" }
+func (s *streamSession) User() string  { return "tester" }
+
+func (s *streamSession) Next() (*protocol.Request, error) {
+	if s.i >= len(s.reqs) {
+		return nil, io.EOF
+	}
+	req := s.reqs[s.i]
+	s.i++
+	return req, nil
+}
+
+func (s *streamSession) Reply(req *protocol.Request, rep *protocol.Reply) error {
+	s.replies = append(s.replies, rep)
+	return nil
+}
+
+func (s *streamSession) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
+	return nil, io.ErrClosedPipe
+}
+
+func (s *streamSession) RecvData(req *protocol.Request) (io.ReadCloser, error) {
+	return nil, io.ErrClosedPipe
+}
+
+func (s *streamSession) Close() error { return nil }
+
+// TestConcurrentControlPlane hammers the dispatcher with parallel
+// read-only sessions (stat/list/ping/statfs) interleaved with mutating
+// sessions (mkdir/remove cycles) and checks the replies stay
+// consistent: reads on stable paths always succeed, and every mutating
+// session observes its own serialized schedule (mkdir then rmdir of a
+// private directory never conflicts). Run under -race this doubles as
+// the data-race check for the shared-lock fast path.
+func TestConcurrentControlPlane(t *testing.T) {
+	d, store := newDispatcher(t)
+	if err := store.FS().Mkdir("/stable", "tester"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := store.FS().Create("/stable/f", "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	const (
+		readers = 8
+		writers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := make([]*protocol.Request, 0, 4*rounds)
+			for i := 0; i < rounds; i++ {
+				reqs = append(reqs,
+					&protocol.Request{Op: protocol.OpStat, Path: "/stable/f"},
+					&protocol.Request{Op: protocol.OpList, Path: "/stable"},
+					&protocol.Request{Op: protocol.OpPing},
+					&protocol.Request{Op: protocol.OpStatfs},
+				)
+			}
+			s := &streamSession{reqs: reqs}
+			d.ServeSession(s)
+			if len(s.replies) != len(reqs) {
+				t.Errorf("reader: %d replies for %d requests", len(s.replies), len(reqs))
+				return
+			}
+			for i, rep := range s.replies {
+				if !rep.OK() {
+					t.Errorf("reader: reply %d (%v) = %+v", i, reqs[i].Op, rep)
+					return
+				}
+				if reqs[i].Op == protocol.OpStat && rep.Size != 4 {
+					t.Errorf("reader: stat size = %d, want 4", rep.Size)
+					return
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/w%d", w)
+			reqs := make([]*protocol.Request, 0, 2*rounds)
+			for i := 0; i < rounds; i++ {
+				reqs = append(reqs,
+					&protocol.Request{Op: protocol.OpMkdir, Path: dir},
+					&protocol.Request{Op: protocol.OpRmdir, Path: dir},
+				)
+			}
+			s := &streamSession{reqs: reqs}
+			d.ServeSession(s)
+			if len(s.replies) != len(reqs) {
+				t.Errorf("writer %d: %d replies for %d requests", w, len(s.replies), len(reqs))
+				return
+			}
+			// Each writer owns its directory, and its own ops are
+			// serialized by the session; with mutating ops exclusive at
+			// the dispatcher every mkdir/rmdir pair must succeed.
+			for i, rep := range s.replies {
+				if !rep.OK() {
+					t.Errorf("writer %d: reply %d (%v) = %+v", w, i, reqs[i].Op, rep)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+
+	// The namespace settled: only /stable remains.
+	infos, err := store.FS().List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "stable" {
+		t.Errorf("final root listing = %+v", infos)
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"net/textproto"
 	"strings"
 
+	"nest/internal/bufpool"
 	"nest/internal/gsi"
+	"nest/internal/protocol"
 )
 
 // Client is an FTP/GridFTP control-connection client supporting stream
@@ -210,9 +212,12 @@ func (c *Client) Stor(path string, r io.Reader) (int64, error) {
 }
 
 // copyChunked feeds the MODE E sender in bounded writes so blocks stay
-// reasonably sized.
+// reasonably sized. The chunk buffer is pooled: no 64 KB allocation
+// per call.
 func copyChunked(w io.Writer, r io.Reader) (int64, error) {
-	buf := make([]byte, 64*1024)
+	bufp := bufpool.Get(protocol.ChunkSize)
+	defer bufpool.Put(bufp)
+	buf := *bufp
 	var moved int64
 	for {
 		n, rerr := r.Read(buf)

@@ -106,7 +106,7 @@ type Manager struct {
 	mode    EnforcementMode
 	quota   *quota.Manager
 	policy  ReclaimPolicy
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	total   int64 // guaranteeable bytes
 	lots    map[string]*Lot
 	order   []string // creation order of lot IDs
@@ -152,6 +152,35 @@ func (m *Manager) sweepLocked() {
 		if !l.BestEffort && now >= l.Expires {
 			l.BestEffort = true
 		}
+	}
+}
+
+// needSweepLocked reports whether any active lot has expired. Safe
+// under either lock mode: it only reads.
+func (m *Manager) needSweepLocked() bool {
+	now := m.clock.Now()
+	for _, l := range m.lots {
+		if !l.BestEffort && now >= l.Expires {
+			return true
+		}
+	}
+	return false
+}
+
+// rlockSwept acquires the read lock with expired lots already swept,
+// upgrading to the write lock only when a sweep is actually due — the
+// common case (no expiry since the last check) stays on the shared
+// path. The caller must RUnlock.
+func (m *Manager) rlockSwept() {
+	for {
+		m.mu.RLock()
+		if !m.needSweepLocked() {
+			return
+		}
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.sweepLocked()
+		m.mu.Unlock()
 	}
 }
 
@@ -347,17 +376,16 @@ func (m *Manager) RemoveMember(owner, id, user string) error {
 // UsableBy reports whether user may charge writes to the lot (owner or
 // member).
 func (m *Manager) UsableBy(id, user string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	l, ok := m.lots[id]
 	return ok && l.usableBy(user)
 }
 
 // Lookup returns a snapshot of one lot.
 func (m *Manager) Lookup(id string) (Info, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sweepLocked()
+	m.rlockSwept()
+	defer m.mu.RUnlock()
 	l, ok := m.lots[id]
 	if !ok {
 		return Info{}, ErrNotFound
@@ -367,9 +395,8 @@ func (m *Manager) Lookup(id string) (Info, error) {
 
 // Owned returns snapshots of owner's lots in creation order.
 func (m *Manager) Owned(owner string) []Info {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sweepLocked()
+	m.rlockSwept()
+	defer m.mu.RUnlock()
 	var out []Info
 	for _, id := range m.order {
 		if l := m.lots[id]; l != nil && l.Owner == owner {
@@ -381,9 +408,8 @@ func (m *Manager) Owned(owner string) []Info {
 
 // Guaranteed returns the bytes currently promised to active lots.
 func (m *Manager) Guaranteed() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sweepLocked()
+	m.rlockSwept()
+	defer m.mu.RUnlock()
 	return m.guaranteedLocked()
 }
 

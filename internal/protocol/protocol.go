@@ -47,19 +47,20 @@ const (
 	OpQuit
 )
 
+var opNames = map[Op]string{
+	OpNone: "none", OpGet: "get", OpPut: "put", OpList: "list",
+	OpStat: "stat", OpMkdir: "mkdir", OpRmdir: "rmdir",
+	OpRemove: "remove", OpLookup: "lookup",
+	OpLotCreate: "lot_create", OpLotRelease: "lot_release",
+	OpLotRenew: "lot_renew", OpLotStatus: "lot_status",
+	OpLotAddMember: "lot_add_member", OpLotRemoveMember: "lot_remove_member",
+	OpACLSet: "acl_set", OpACLGet: "acl_get",
+	OpStatfs: "statfs", OpPing: "ping", OpQuit: "quit",
+}
+
 // String names the op for logs and tests.
 func (o Op) String() string {
-	names := map[Op]string{
-		OpNone: "none", OpGet: "get", OpPut: "put", OpList: "list",
-		OpStat: "stat", OpMkdir: "mkdir", OpRmdir: "rmdir",
-		OpRemove: "remove", OpLookup: "lookup",
-		OpLotCreate: "lot_create", OpLotRelease: "lot_release",
-		OpLotRenew: "lot_renew", OpLotStatus: "lot_status",
-		OpLotAddMember: "lot_add_member", OpLotRemoveMember: "lot_remove_member",
-		OpACLSet: "acl_set", OpACLGet: "acl_get",
-		OpStatfs: "statfs", OpPing: "ping", OpQuit: "quit",
-	}
-	if s, ok := names[o]; ok {
+	if s, ok := opNames[o]; ok {
 		return s
 	}
 	return fmt.Sprintf("op(%d)", int(o))
@@ -68,6 +69,20 @@ func (o Op) String() string {
 // IsTransfer reports whether the op moves file data and therefore is
 // scheduled asynchronously by the transfer manager.
 func (o Op) IsTransfer() bool { return o == OpGet || o == OpPut }
+
+// IsReadOnly reports whether the op observes appliance state without
+// mutating it. The dispatcher routes read-only ops through a shared
+// (reader) lock so they execute concurrently across sessions, while
+// mutating ops keep the paper's serialized schedule (§2.1). Transfer
+// ops are not classified here: they follow the approval + transfer
+// manager path.
+func (o Op) IsReadOnly() bool {
+	switch o {
+	case OpPing, OpStat, OpLookup, OpList, OpStatfs, OpACLGet, OpLotStatus:
+		return true
+	}
+	return false
+}
 
 // Reply codes of the common request interface.
 const (
@@ -84,16 +99,17 @@ const (
 	CodeNoLot      = 10
 )
 
+var codeNames = map[int]string{
+	CodeOK: "ok", CodeNotFound: "not found", CodeExists: "exists",
+	CodePermission: "permission denied", CodeNoSpace: "no space",
+	CodeBadRequest: "bad request", CodeNotEmpty: "not empty",
+	CodeNotDir: "not a directory", CodeIsDir: "is a directory",
+	CodeInternal: "internal error", CodeNoLot: "no lot",
+}
+
 // CodeString names a reply code.
 func CodeString(code int) string {
-	names := map[int]string{
-		CodeOK: "ok", CodeNotFound: "not found", CodeExists: "exists",
-		CodePermission: "permission denied", CodeNoSpace: "no space",
-		CodeBadRequest: "bad request", CodeNotEmpty: "not empty",
-		CodeNotDir: "not a directory", CodeIsDir: "is a directory",
-		CodeInternal: "internal error", CodeNoLot: "no lot",
-	}
-	if s, ok := names[code]; ok {
+	if s, ok := codeNames[code]; ok {
 		return s
 	}
 	return fmt.Sprintf("code(%d)", code)

@@ -30,6 +30,49 @@ func TestIsTransfer(t *testing.T) {
 	}
 }
 
+func TestIsReadOnly(t *testing.T) {
+	readOnly := []Op{OpPing, OpStat, OpLookup, OpList, OpStatfs, OpACLGet, OpLotStatus}
+	for _, op := range readOnly {
+		if !op.IsReadOnly() {
+			t.Errorf("%v.IsReadOnly() = false", op)
+		}
+		if op.IsTransfer() {
+			t.Errorf("%v is both read-only and transfer", op)
+		}
+	}
+	mutating := []Op{
+		OpMkdir, OpRmdir, OpRemove,
+		OpLotCreate, OpLotRelease, OpLotRenew, OpLotAddMember, OpLotRemoveMember,
+		OpACLSet,
+	}
+	for _, op := range mutating {
+		if op.IsReadOnly() {
+			t.Errorf("%v.IsReadOnly() = true, must stay on the serialized schedule", op)
+		}
+	}
+	// Every named op is exactly one of: transfer, read-only, mutating
+	// storage op, or the session-control none/quit pair. A new op that
+	// falls through unclassified lands on the (safe) serialized path,
+	// but must be added here deliberately.
+	for op := range opNames {
+		switch {
+		case op == OpNone || op == OpQuit:
+		case op.IsTransfer():
+		case op.IsReadOnly():
+		default:
+			found := false
+			for _, m := range mutating {
+				if m == op {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%v unclassified: add it to the read-only or mutating set", op)
+			}
+		}
+	}
+}
+
 func TestCodeString(t *testing.T) {
 	if got := CodeString(CodeOK); got != "ok" {
 		t.Errorf("CodeString(OK) = %q", got)

@@ -27,7 +27,7 @@ const DefaultWriteSlowdown = 1.9
 
 // Manager tracks per-user limits and usage.
 type Manager struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	enabled  bool
 	limits   map[string]int64
 	used     map[string]int64
@@ -47,8 +47,8 @@ func NewManager(enabled bool) *Manager {
 
 // Enabled reports whether quota enforcement is on.
 func (m *Manager) Enabled() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.enabled
 }
 
@@ -64,8 +64,8 @@ func (m *Manager) SetEnabled(on bool) {
 // simulated filesystem applies while quotas are enabled (1.0 when
 // disabled: reads are never affected, matching the paper).
 func (m *Manager) WriteSlowdown() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if !m.enabled {
 		return 1.0
 	}
@@ -103,15 +103,15 @@ func (m *Manager) ReduceLimit(user string, n int64) {
 
 // Limit returns user's current limit.
 func (m *Manager) Limit(user string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.limits[user]
 }
 
 // Used returns user's accounted usage.
 func (m *Manager) Used(user string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.used[user]
 }
 

@@ -13,7 +13,7 @@ import (
 // JBOS baseline servers, and (wrapped by SimFS) the simulated
 // appliance.
 type MemFS struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	clock sim.Clock
 	root  *memNode
 	total int64
@@ -108,8 +108,8 @@ func (fs *MemFS) OpenRW(name string) (File, error) {
 }
 
 func (fs *MemFS) open(name string, writable bool) (File, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	node, err := fs.lookup(name)
 	if err != nil {
 		return nil, err
@@ -122,8 +122,8 @@ func (fs *MemFS) open(name string, writable bool) (File, error) {
 
 // Stat implements FS.
 func (fs *MemFS) Stat(name string) (Info, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	node, err := fs.lookup(name)
 	if err != nil {
 		return Info{}, err
@@ -144,8 +144,8 @@ func (fs *MemFS) infoLocked(path string, node *memNode) Info {
 
 // List implements FS.
 func (fs *MemFS) List(name string) ([]Info, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	node, err := fs.lookup(name)
 	if err != nil {
 		return nil, err
@@ -232,8 +232,8 @@ func (fs *MemFS) Total() int64 { return fs.total }
 
 // Free implements FS.
 func (fs *MemFS) Free() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.total - fs.used
 }
 
@@ -249,14 +249,14 @@ type memFile struct {
 func (f *memFile) Path() string { return f.path }
 
 func (f *memFile) Size() int64 {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
 	return int64(len(f.node.data))
 }
 
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
 	if off >= int64(len(f.node.data)) {
 		return 0, errEOF
 	}

@@ -253,6 +253,11 @@ func (m *Manager) loop() {
 			}
 			m.metrics.record(res, ev.bytes-t.counted)
 			t.counted = ev.bytes
+			if t.p != nil {
+				// The transfer is finished for good: recycle its chunk
+				// buffer for the next pump.
+				t.p.release()
+			}
 			if t.OnDone != nil {
 				t.OnDone(res)
 			}

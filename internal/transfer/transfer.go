@@ -11,8 +11,10 @@ package transfer
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nest/internal/bufpool"
 	"nest/internal/protocol"
 	"nest/internal/sim"
 )
@@ -105,11 +107,36 @@ type ModelStats struct {
 	TotalService time.Duration
 }
 
+// classCounters is the internal per-class accumulator. The bytes
+// counter is the hot one — credited on every completed segment from
+// concurrently completing transfers — so it is atomic and never takes
+// the metrics lock; the cold completion fields are guarded by
+// Metrics.mu.
+type classCounters struct {
+	bytes        atomic.Int64
+	requests     int64
+	totalLatency time.Duration
+	totalService time.Duration
+	errors       int64
+}
+
+// snapshot copies the counters; call with Metrics.mu held (read or
+// write) so the cold fields are stable.
+func (cs *classCounters) snapshot() ClassStats {
+	return ClassStats{
+		Requests:     cs.requests,
+		Bytes:        cs.bytes.Load(),
+		TotalLatency: cs.totalLatency,
+		TotalService: cs.totalService,
+		Errors:       cs.errors,
+	}
+}
+
 // Metrics collects transfer statistics for the experiment harness.
 type Metrics struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	start    time.Duration
-	perClass map[string]*ClassStats
+	perClass map[string]*classCounters
 	perModel map[string]*ModelStats
 }
 
@@ -117,39 +144,47 @@ type Metrics struct {
 func NewMetrics(now time.Duration) *Metrics {
 	return &Metrics{
 		start:    now,
-		perClass: make(map[string]*ClassStats),
+		perClass: make(map[string]*classCounters),
 		perModel: make(map[string]*ModelStats),
 	}
+}
+
+// class returns the accumulator for a class, creating it on first
+// touch. Steady state is a read-locked map lookup.
+func (m *Metrics) class(class string) *classCounters {
+	m.mu.RLock()
+	cs := m.perClass[class]
+	m.mu.RUnlock()
+	if cs != nil {
+		return cs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cs := m.perClass[class]; cs != nil {
+		return cs
+	}
+	cs = &classCounters{}
+	m.perClass[class] = cs
+	return cs
 }
 
 // addBytes credits transferred bytes to a class as segments complete,
 // so bandwidth over a measurement window reflects bytes actually moved
 // rather than whole-transfer completions.
 func (m *Metrics) addBytes(class string, n int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cs := m.perClass[class]
-	if cs == nil {
-		cs = &ClassStats{}
-		m.perClass[class] = cs
-	}
-	cs.Bytes += n
+	m.class(class).bytes.Add(n)
 }
 
 func (m *Metrics) record(r Result, byteDelta int64) {
+	cs := m.class(r.Transfer.Class)
+	cs.bytes.Add(byteDelta)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	cs := m.perClass[r.Transfer.Class]
-	if cs == nil {
-		cs = &ClassStats{}
-		m.perClass[r.Transfer.Class] = cs
-	}
-	cs.Requests++
-	cs.Bytes += byteDelta
-	cs.TotalLatency += r.Latency
-	cs.TotalService += r.Service
+	cs.requests++
+	cs.totalLatency += r.Latency
+	cs.totalService += r.Service
 	if r.Err != nil {
-		cs.Errors++
+		cs.errors++
 	}
 	ms := m.perModel[r.Model]
 	if ms == nil {
@@ -163,29 +198,29 @@ func (m *Metrics) record(r Result, byteDelta int64) {
 
 // Class returns a copy of the stats for one protocol class.
 func (m *Metrics) Class(class string) ClassStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if cs := m.perClass[class]; cs != nil {
-		return *cs
+		return cs.snapshot()
 	}
 	return ClassStats{}
 }
 
 // Classes returns a copy of all per-class stats.
 func (m *Metrics) Classes() map[string]ClassStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make(map[string]ClassStats, len(m.perClass))
 	for k, v := range m.perClass {
-		out[k] = *v
+		out[k] = v.snapshot()
 	}
 	return out
 }
 
 // Models returns a copy of all per-model stats.
 func (m *Metrics) Models() map[string]ModelStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make(map[string]ModelStats, len(m.perModel))
 	for k, v := range m.perModel {
 		out[k] = *v
@@ -198,26 +233,26 @@ func (m *Metrics) Reset(now time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.start = now
-	m.perClass = make(map[string]*ClassStats)
+	m.perClass = make(map[string]*classCounters)
 	m.perModel = make(map[string]*ModelStats)
 }
 
 // AvgLatency returns the mean client-perceived latency of a class.
 func (m *Metrics) AvgLatency(class string) time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cs := m.perClass[class]
-	if cs == nil || cs.Requests == 0 {
+	if cs == nil || cs.requests == 0 {
 		return 0
 	}
-	return cs.TotalLatency / time.Duration(cs.Requests)
+	return cs.totalLatency / time.Duration(cs.requests)
 }
 
 // BandwidthMBps converts class bytes into MB/s over the window ending
 // at now.
 func (m *Metrics) BandwidthMBps(class string, now time.Duration) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	elapsed := (now - m.start).Seconds()
 	if elapsed <= 0 {
 		return 0
@@ -226,7 +261,7 @@ func (m *Metrics) BandwidthMBps(class string, now time.Duration) float64 {
 	if cs == nil {
 		return 0
 	}
-	return float64(cs.Bytes) / (1024 * 1024) / elapsed
+	return float64(cs.bytes.Load()) / (1024 * 1024) / elapsed
 }
 
 // pump copies one transfer chunk-by-chunk so concurrency models can
@@ -234,6 +269,7 @@ func (m *Metrics) BandwidthMBps(class string, now time.Duration) float64 {
 type pump struct {
 	t     *Transfer
 	buf   []byte
+	bufp  *[]byte // pooled backing of buf, nil after release
 	moved int64
 	err   error
 	done  bool
@@ -244,7 +280,20 @@ func newPump(t *Transfer) *pump {
 	if size <= 0 {
 		size = protocol.ChunkSize
 	}
-	return &pump{t: t, buf: make([]byte, size)}
+	bp := bufpool.Get(size)
+	return &pump{t: t, buf: *bp, bufp: bp}
+}
+
+// release returns the chunk buffer to the pool. The manager calls it
+// once the transfer fully completes (never on quantum preemption: the
+// buffer persists across scheduling segments).
+func (p *pump) release() {
+	if p.bufp == nil {
+		return
+	}
+	bufpool.Put(p.bufp)
+	p.bufp = nil
+	p.buf = nil
 }
 
 // readChunk fills the pump buffer with the next chunk. It returns the
