@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench figures examples clean
+.PHONY: all build test race bench bench-storage figures examples clean
 
 all: build test
 
@@ -16,6 +16,11 @@ race:
 # One testing.B benchmark per paper figure/ablation (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Data-plane storage benchmarks (extent allocator, two-tier locking);
+# numbers recorded in docs/storage_bench.md and DESIGN.md §6.
+bench-storage:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=2s ./internal/storage/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 
+	"nest/internal/bufpool"
 	"nest/internal/protocol"
 	"nest/internal/sim"
 	"nest/internal/storage"
@@ -163,7 +164,13 @@ func (s *Server) get(sess protocol.Session, req *protocol.Request) {
 	if err != nil {
 		return
 	}
-	n, err := io.Copy(sink, io.NewSectionReader(f, req.Offset, size))
+	// Copy with a pooled chunk buffer: io.Copy would allocate a fresh
+	// 32 KB buffer per transfer, and per-connection copies run
+	// concurrently (per-file storage locking lets them proceed in
+	// parallel on distinct files).
+	buf := bufpool.Get(protocol.ChunkSize)
+	n, err := io.CopyBuffer(sink, io.NewSectionReader(f, req.Offset, size), *buf)
+	bufpool.Put(buf)
 	sink.Close()
 	s.mu.Lock()
 	s.moved += n
@@ -191,7 +198,9 @@ func (s *Server) put(sess protocol.Session, req *protocol.Request) {
 	if req.Size >= 0 {
 		reader = io.LimitReader(src, req.Size)
 	}
-	n, err := io.Copy(io.NewOffsetWriter(ticket.File, req.Offset), reader)
+	buf := bufpool.Get(protocol.ChunkSize)
+	n, err := io.CopyBuffer(io.NewOffsetWriter(ticket.File, req.Offset), reader, *buf)
+	bufpool.Put(buf)
 	src.Close()
 	s.mu.Lock()
 	s.moved += n

@@ -22,6 +22,7 @@ var (
 	ErrNotEmpty = errors.New("storage: directory not empty")
 	ErrNoSpace  = errors.New("storage: no space left on device")
 	ErrReadOnly = errors.New("storage: file opened read-only")
+	ErrClosed   = errors.New("storage: file already closed")
 )
 
 // Info describes a file or directory.

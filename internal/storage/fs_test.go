@@ -2,7 +2,10 @@ package storage
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -296,6 +299,296 @@ func TestSplit(t *testing.T) {
 			t.Errorf("Split(%q) = %q,%q want %q,%q", c.in, dir, base, c.dir, c.base)
 		}
 	}
+}
+
+// TestClosedHandle pins the closed-handle contract on every backend:
+// data operations on a closed handle fail with ErrClosed, as does a
+// second Close.
+func TestClosedHandle(t *testing.T) {
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			writeFile(t, fs, "/f", []byte("data"))
+			f, err := fs.OpenRW("/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, err := f.ReadAt(make([]byte, 4), 0); err != ErrClosed {
+				t.Errorf("ReadAt on closed = %v, want ErrClosed", err)
+			}
+			if _, err := f.WriteAt([]byte("x"), 0); err != ErrClosed {
+				t.Errorf("WriteAt on closed = %v, want ErrClosed", err)
+			}
+			if err := f.Truncate(0); err != ErrClosed {
+				t.Errorf("Truncate on closed = %v, want ErrClosed", err)
+			}
+			if err := f.Close(); err != ErrClosed {
+				t.Errorf("double Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestSparseAcrossExtents writes far past EOF so the hole spans
+// multiple 64 KB extents, and checks the hole reads back as zeros in
+// every extent it crosses — including recycled (dirty) pool blocks.
+func TestSparseAcrossExtents(t *testing.T) {
+	fs := NewMemFS(nil, 1<<30)
+	// Dirty the pool first: fill and remove a file so its extents go
+	// back full of non-zero bytes.
+	junk := make([]byte, 4*ExtentSize)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	writeFile(t, fs, "/junk", junk)
+	if err := fs.Remove("/junk"); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := fs.Create("/sparse", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(3*ExtentSize + 100)
+	if _, err := f.WriteAt([]byte("tail"), off); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Size(), off+4; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	// Probe the hole at extent boundaries and interiors.
+	for _, probe := range []int64{0, ExtentSize - 2, ExtentSize, 2*ExtentSize + 17, 3 * ExtentSize} {
+		buf := []byte{1, 2, 3, 4}
+		if _, err := f.ReadAt(buf, probe); err != nil {
+			t.Fatalf("ReadAt(%d): %v", probe, err)
+		}
+		if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+			t.Errorf("hole at %d = %v, want zeros", probe, buf)
+		}
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "tail" {
+		t.Errorf("data = %q", buf)
+	}
+}
+
+// TestTruncateRestoresUsed checks that grow/shrink cycles settle the
+// space accounting exactly, and that a shrink-then-grow re-zeroes the
+// abandoned tail of a partially kept extent.
+func TestTruncateRestoresUsed(t *testing.T) {
+	fs := NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/t", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 2*ExtentSize+500)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Free(); got != 1<<30-int64(len(data)) {
+		t.Fatalf("Free after write = %d", got)
+	}
+	// Shrink into the middle of extent 0, then grow back: everything
+	// beyond the shrink point must read as zeros, not stale 0xAB.
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Free(); got != 1<<30-100 {
+		t.Fatalf("Free after shrink = %d", got)
+	}
+	if err := f.Truncate(ExtentSize + 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Free(); got != 1<<30-(ExtentSize+200) {
+		t.Fatalf("Free after regrow = %d", got)
+	}
+	buf := make([]byte, ExtentSize+100)
+	if _, err := f.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("stale byte %#x at offset %d after shrink+grow", b, 100+i)
+		}
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Free(); got != 1<<30 {
+		t.Fatalf("Free after truncate 0 = %d", got)
+	}
+}
+
+// TestQuotaReserveRollback checks that failed reservations leave used
+// untouched: an over-capacity WriteAt or Truncate must not leak
+// reserved bytes, under sequential and concurrent pressure.
+func TestQuotaReserveRollback(t *testing.T) {
+	fs := NewMemFS(nil, 1000)
+	f, err := fs.Create("/f", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, 600), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 600), 600); err != ErrNoSpace {
+		t.Fatalf("over-capacity WriteAt = %v", err)
+	}
+	if err := f.Truncate(2000); err != ErrNoSpace {
+		t.Fatalf("over-capacity Truncate = %v", err)
+	}
+	if got := fs.Free(); got != 400 {
+		t.Fatalf("Free after failed reservations = %d, want 400", got)
+	}
+	// Concurrent writers fighting over the last 400 bytes: exactly one
+	// 400-byte extension can win, and failures must roll back fully.
+	var wg sync.WaitGroup
+	var wins atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.WriteAt(make([]byte, 400), 600); err == nil {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() < 1 {
+		t.Error("no writer won the remaining space")
+	}
+	if got := fs.Free(); got != 0 {
+		t.Fatalf("Free after concurrent contention = %d, want 0", got)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Free(); got != 1000 {
+		t.Fatalf("Free after cleanup = %d, want 1000", got)
+	}
+}
+
+// TestConcurrentFileStress hammers the two-tier locking under -race:
+// pumps on disjoint files, readers and writers sharing one file, a
+// truncator, and a control-plane stat/list loop all run concurrently.
+func TestConcurrentFileStress(t *testing.T) {
+	fs := NewMemFS(nil, 1<<30)
+	const iters = 300
+	var wg sync.WaitGroup
+
+	// Disjoint-file pumps: each writes then reads back its own file and
+	// must always observe its own bytes.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := fmt.Sprintf("/own%d", id)
+			f, err := fs.Create(name, "o")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			pattern := byte(id + 1)
+			buf := make([]byte, 1024)
+			got := make([]byte, 1024)
+			for i := range buf {
+				buf[i] = pattern
+			}
+			for i := 0; i < iters; i++ {
+				off := int64(i%7) * 1024
+				if _, err := f.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := f.ReadAt(got, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					t.Errorf("worker %d read back wrong bytes", id)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Shared-file writers, readers and a truncator on /shared.
+	sf, err := fs.Create("/shared", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := fs.OpenRW("/shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			buf := make([]byte, 512)
+			for i := 0; i < iters; i++ {
+				if _, err := f.WriteAt(buf, int64(i%5)*512); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f, err := fs.Open("/shared")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		buf := make([]byte, 512)
+		for i := 0; i < iters; i++ {
+			if _, err := f.ReadAt(buf, int64(i%5)*512); err != nil && err != io.EOF {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/3; i++ {
+			if err := sf.Truncate(int64(i%3) * 700); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Control-plane loop: stats and lists must never block on data ops.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			fs.Stat("/shared")
+			fs.List("/")
+			fs.Free()
+		}
+	}()
+
+	wg.Wait()
 }
 
 // Property: memfs WriteAt then ReadAt returns the written bytes.

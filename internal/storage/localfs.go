@@ -2,15 +2,12 @@ package storage
 
 import (
 	"errors"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 )
-
-var errEOF = io.EOF
 
 // LocalFS serves the local filesystem rooted at a directory — the
 // backend a production NeST runs on (paper §5: "in our current
@@ -49,6 +46,8 @@ func mapErr(err error) error {
 		return ErrNotFound
 	case errors.Is(err, fs.ErrExist):
 		return ErrExists
+	case errors.Is(err, fs.ErrClosed):
+		return ErrClosed
 	}
 	return err
 }
@@ -206,21 +205,26 @@ func (f *localFile) Size() int64 {
 }
 
 func (f *localFile) ReadAt(p []byte, off int64) (int, error) {
-	return f.f.ReadAt(p, off)
+	n, err := f.f.ReadAt(p, off)
+	if err != nil && errors.Is(err, fs.ErrClosed) {
+		err = ErrClosed
+	}
+	return n, err
 }
 
 func (f *localFile) WriteAt(p []byte, off int64) (int, error) {
 	if !f.writable {
 		return 0, ErrReadOnly
 	}
-	return f.f.WriteAt(p, off)
+	n, err := f.f.WriteAt(p, off)
+	return n, mapErr(err)
 }
 
 func (f *localFile) Truncate(n int64) error {
 	if !f.writable {
 		return ErrReadOnly
 	}
-	return f.f.Truncate(n)
+	return mapErr(f.f.Truncate(n))
 }
 
-func (f *localFile) Close() error { return f.f.Close() }
+func (f *localFile) Close() error { return mapErr(f.f.Close()) }

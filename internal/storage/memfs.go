@@ -1,32 +1,154 @@
 package storage
 
 import (
+	"io"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nest/internal/bufpool"
 	"nest/internal/sim"
 )
+
+// ExtentSize is the fixed block size backing MemFS file data. It
+// matches protocol.ChunkSize, so extents live in the same 64 KB
+// bufpool size class the transfer pumps draw their chunk buffers
+// from: blocks freed by Truncate or Remove are recycled into the
+// data plane instead of becoming garbage.
+const ExtentSize = 64 * 1024
 
 // MemFS is an in-memory filesystem backend. It backs unit tests, the
 // JBOS baseline servers, and (wrapped by SimFS) the simulated
 // appliance.
+//
+// Locking is two-tier. mu guards only the namespace tree — the
+// children maps walked by lookup/create/remove/list. Each file node
+// carries its own RWMutex for data operations, so reads and writes on
+// distinct files never contend, and reads on one file overlap each
+// other. Space accounting (used) is atomic with reserve/rollback
+// semantics, so quota checks on the data path take no lock at all.
+//
+// Lock ordering: namespace before file, never the reverse. Namespace
+// operations that touch file data (Create over an existing file,
+// Remove) acquire node.mu while holding fs.mu; data operations
+// (ReadAt/WriteAt/Truncate/Size) take only node.mu. No code path
+// acquires fs.mu while holding a node lock.
 type MemFS struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex // namespace tree only
 	clock sim.Clock
 	root  *memNode
 	total int64
-	used  int64
+	used  atomic.Int64 // logical bytes; reserve/rollback, never locked
 }
 
+// memNode is one file or directory.
+//
+// Invariant (files): every allocated extent byte at logical offset
+// >= size is zero. Extents are cleared when drawn from the pool, and
+// Truncate-shrink re-zeroes the tail of the last kept extent, so
+// growth (sparse WriteAt past EOF, Truncate up) never has to zero-fill
+// holes — they are already zero.
 type memNode struct {
-	name     string
-	isDir    bool
-	owner    string
-	modTime  time.Duration
-	data     []byte
+	// Immutable after creation.
+	name  string
+	isDir bool
+	owner string
+
+	// Directory tree, guarded by MemFS.mu.
 	children map[string]*memNode
+
+	// File data, guarded by mu. size and modTime are additionally
+	// atomic so namespace reads (Stat, List) and Size never block on
+	// in-flight data operations.
+	mu      sync.RWMutex
+	extents []*[]byte
+	size    atomic.Int64
+	modTime atomic.Int64 // time.Duration since the clock epoch
+}
+
+func (n *memNode) setModTime(t time.Duration) { n.modTime.Store(int64(t)) }
+func (n *memNode) getModTime() time.Duration  { return time.Duration(n.modTime.Load()) }
+
+// newExtent draws a zeroed block from the shared buffer pool. Pooled
+// buffers come back dirty, so clearing here is what maintains the
+// zero-beyond-size invariant for sparse holes.
+func newExtent() *[]byte {
+	bp := bufpool.Get(ExtentSize)
+	clear(*bp)
+	return bp
+}
+
+// extentsFor returns the extent count covering n logical bytes.
+func extentsFor(n int64) int {
+	return int((n + ExtentSize - 1) / ExtentSize)
+}
+
+// ensureExtents grows the extent slice to cover end logical bytes.
+// Caller holds n.mu exclusively.
+func (n *memNode) ensureExtents(end int64) {
+	for len(n.extents) < extentsFor(end) {
+		n.extents = append(n.extents, newExtent())
+	}
+}
+
+// ensureExtentsForWrite grows the extent slice to cover end logical
+// bytes ahead of a copyIn of [off, end). Extents the write fully
+// covers are left dirty — copyIn overwrites every byte under the same
+// critical section — halving memory traffic on the hot sequential
+// path; partially covered extents are cleared to keep the
+// zero-beyond-size invariant for the hole below off and the tail
+// beyond end. Caller holds n.mu exclusively.
+func (n *memNode) ensureExtentsForWrite(off, end int64) {
+	for len(n.extents) < extentsFor(end) {
+		lo := int64(len(n.extents)) * ExtentSize
+		bp := bufpool.Get(ExtentSize)
+		if off > lo || end < lo+ExtentSize {
+			clear(*bp)
+		}
+		n.extents = append(n.extents, bp)
+	}
+}
+
+// shrink truncates the data to sz logical bytes, recycling whole freed
+// extents through the pool and re-zeroing the abandoned tail of the
+// last kept extent. Caller holds n.mu exclusively; caller settles the
+// used accounting.
+func (n *memNode) shrink(sz int64) {
+	keep := extentsFor(sz)
+	for i := keep; i < len(n.extents); i++ {
+		bufpool.Put(n.extents[i])
+		n.extents[i] = nil
+	}
+	n.extents = n.extents[:keep]
+	if rem := sz % ExtentSize; rem != 0 {
+		clear((*n.extents[keep-1])[rem:])
+	}
+	n.size.Store(sz)
+}
+
+// copyIn writes p at logical offset off across extent boundaries.
+// Caller holds n.mu exclusively and has ensured coverage.
+func (n *memNode) copyIn(p []byte, off int64) {
+	for len(p) > 0 {
+		ext := *n.extents[off/ExtentSize]
+		c := copy(ext[off%ExtentSize:], p)
+		p = p[c:]
+		off += int64(c)
+	}
+}
+
+// copyOut fills p from logical offset off across extent boundaries.
+// Caller holds n.mu (shared suffices) and has bounds-checked [off,
+// off+len(p)) against size.
+func (n *memNode) copyOut(p []byte, off int64) {
+	for len(p) > 0 {
+		ext := *n.extents[off/ExtentSize]
+		c := copy(p, ext[off%ExtentSize:])
+		p = p[c:]
+		off += int64(c)
+	}
 }
 
 // NewMemFS returns an empty filesystem with the given capacity. A nil
@@ -42,18 +164,46 @@ func NewMemFS(clock sim.Clock, capacity int64) *MemFS {
 	}
 }
 
-// lookup walks to the node for a cleaned path.
+// reserve atomically claims n logical bytes against capacity, rolling
+// the claim back if it would overcommit. It is the only admission
+// check on the write path and takes no lock.
+func (fs *MemFS) reserve(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if fs.used.Add(n) > fs.total {
+		fs.used.Add(-n)
+		return ErrNoSpace
+	}
+	return nil
+}
+
+// release returns n reserved bytes.
+func (fs *MemFS) release(n int64) {
+	if n > 0 {
+		fs.used.Add(-n)
+	}
+}
+
+// lookup walks to the node for a cleaned path. It iterates path
+// segments in place (no per-walk allocation — this runs under the
+// namespace lock on every control-plane stat/list). Caller holds
+// fs.mu.
 func (fs *MemFS) lookup(name string) (*memNode, error) {
 	name = Clean(name)
-	if name == "/" {
-		return fs.root, nil
-	}
 	node := fs.root
-	for _, part := range strings.Split(strings.TrimPrefix(name, "/"), "/") {
+	rest := name[1:] // skip the leading "/"; empty for the root itself
+	for rest != "" {
+		seg := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seg, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		if !node.isDir {
 			return nil, ErrNotDir
 		}
-		child, ok := node.children[part]
+		child, ok := node.children[seg]
 		if !ok {
 			return nil, ErrNotFound
 		}
@@ -87,12 +237,18 @@ func (fs *MemFS) Create(name, owner string) (File, error) {
 		if existing.isDir {
 			return nil, ErrIsDir
 		}
-		fs.used -= int64(len(existing.data))
-		existing.data = nil
-		existing.modTime = fs.clock.Now()
+		// Truncating rewrite: free the old data under the file lock
+		// (namespace→file ordering) so concurrent readers of the old
+		// handle see a clean cut, never recycled extents.
+		existing.mu.Lock()
+		fs.release(existing.size.Load())
+		existing.shrink(0)
+		existing.mu.Unlock()
+		existing.setModTime(fs.clock.Now())
 		return &memFile{fs: fs, node: existing, path: Clean(name), writable: true}, nil
 	}
-	node := &memNode{name: base, owner: owner, modTime: fs.clock.Now()}
+	node := &memNode{name: base, owner: owner}
+	node.setModTime(fs.clock.Now())
 	parent.children[base] = node
 	return &memFile{fs: fs, node: node, path: Clean(name), writable: true}, nil
 }
@@ -128,17 +284,19 @@ func (fs *MemFS) Stat(name string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	return fs.infoLocked(Clean(name), node), nil
+	return fs.info(Clean(name), node), nil
 }
 
-func (fs *MemFS) infoLocked(path string, node *memNode) Info {
+// info snapshots a node's metadata; size and modTime are atomic, so
+// only the namespace lock (for tree reachability) is required.
+func (fs *MemFS) info(path string, node *memNode) Info {
 	return Info{
 		Name:    node.name,
 		Path:    path,
-		Size:    int64(len(node.data)),
+		Size:    node.size.Load(),
 		IsDir:   node.isDir,
 		Owner:   node.owner,
-		ModTime: node.modTime,
+		ModTime: node.getModTime(),
 	}
 }
 
@@ -160,7 +318,7 @@ func (fs *MemFS) List(name string) ([]Info, error) {
 		if dir == "/" {
 			p = "/" + child
 		}
-		out = append(out, fs.infoLocked(p, n))
+		out = append(out, fs.info(p, n))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -177,11 +335,12 @@ func (fs *MemFS) Mkdir(name, owner string) error {
 	if _, ok := parent.children[base]; ok {
 		return ErrExists
 	}
-	parent.children[base] = &memNode{
+	node := &memNode{
 		name: base, isDir: true, owner: owner,
-		modTime:  fs.clock.Now(),
 		children: make(map[string]*memNode),
 	}
+	node.setModTime(fs.clock.Now())
+	parent.children[base] = node
 	return nil
 }
 
@@ -222,7 +381,13 @@ func (fs *MemFS) Remove(name string) error {
 	if node.isDir {
 		return ErrIsDir
 	}
-	fs.used -= int64(len(node.data))
+	// Free the data under the file lock so in-flight readers finish
+	// first; stale open handles then observe an empty file rather than
+	// recycled extents.
+	node.mu.Lock()
+	fs.release(node.size.Load())
+	node.shrink(0)
+	node.mu.Unlock()
 	delete(parent.children, base)
 	return nil
 }
@@ -231,11 +396,7 @@ func (fs *MemFS) Remove(name string) error {
 func (fs *MemFS) Total() int64 { return fs.total }
 
 // Free implements FS.
-func (fs *MemFS) Free() int64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.total - fs.used
-}
+func (fs *MemFS) Free() int64 { return fs.total - fs.used.Load() }
 
 // memFile is an open handle on a memNode.
 type memFile struct {
@@ -243,73 +404,87 @@ type memFile struct {
 	node     *memNode
 	path     string
 	writable bool
-	closed   bool
+	closed   atomic.Bool
 }
 
 func (f *memFile) Path() string { return f.path }
 
-func (f *memFile) Size() int64 {
-	f.fs.mu.RLock()
-	defer f.fs.mu.RUnlock()
-	return int64(len(f.node.data))
-}
+// Size reads the atomic length: no lock, valid even mid-write (a
+// concurrent writer publishes size only after its data is in place).
+func (f *memFile) Size() int64 { return f.node.size.Load() }
 
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
-	f.fs.mu.RLock()
-	defer f.fs.mu.RUnlock()
-	if off >= int64(len(f.node.data)) {
-		return 0, errEOF
+	if f.closed.Load() {
+		return 0, ErrClosed
 	}
-	n := copy(p, f.node.data[off:])
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	size := f.node.size.Load()
+	if off >= size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	f.node.copyOut(p[:n], off)
 	if n < len(p) {
-		return n, errEOF
+		return n, io.EOF
 	}
 	return n, nil
 }
 
 func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
+	if f.closed.Load() {
+		return 0, ErrClosed
+	}
 	if !f.writable {
 		return 0, ErrReadOnly
 	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	size := f.node.size.Load()
 	end := off + int64(len(p))
-	grow := end - int64(len(f.node.data))
-	if grow > 0 {
-		if f.fs.used+grow > f.fs.total {
-			return 0, ErrNoSpace
+	if grow := end - size; grow > 0 {
+		if err := f.fs.reserve(grow); err != nil {
+			return 0, err
 		}
-		f.node.data = append(f.node.data, make([]byte, grow)...)
-		f.fs.used += grow
+		f.node.ensureExtentsForWrite(off, end)
+		f.node.size.Store(end)
 	}
-	copy(f.node.data[off:end], p)
-	f.node.modTime = f.fs.clock.Now()
+	f.node.copyIn(p, off)
+	f.node.setModTime(f.fs.clock.Now())
 	return len(p), nil
 }
 
 func (f *memFile) Truncate(n int64) error {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
+	if f.closed.Load() {
+		return ErrClosed
+	}
 	if !f.writable {
 		return ErrReadOnly
 	}
-	cur := int64(len(f.node.data))
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	cur := f.node.size.Load()
 	switch {
 	case n < cur:
-		f.node.data = f.node.data[:n]
-		f.fs.used -= cur - n
+		f.node.shrink(n)
+		f.fs.release(cur - n)
 	case n > cur:
-		if f.fs.used+n-cur > f.fs.total {
-			return ErrNoSpace
+		if err := f.fs.reserve(n - cur); err != nil {
+			return err
 		}
-		f.node.data = append(f.node.data, make([]byte, n-cur)...)
-		f.fs.used += n - cur
+		f.node.ensureExtents(n)
+		f.node.size.Store(n)
 	}
-	f.node.modTime = f.fs.clock.Now()
+	f.node.setModTime(f.fs.clock.Now())
 	return nil
 }
 
 func (f *memFile) Close() error {
-	f.closed = true
+	if f.closed.Swap(true) {
+		return ErrClosed
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nest/internal/cache"
@@ -31,10 +32,14 @@ type SimFS struct {
 	cache *cache.Model
 	quota *quota.Manager // nil disables quota effects
 
+	// mu guards only flushFree (the single write-back drain horizon);
+	// the tunables are atomic so the read path charges time without
+	// taking any SimFS-wide lock, preserving the per-file parallelism
+	// of the extent-backed MemFS underneath.
 	mu         sync.Mutex
 	flushFree  time.Duration // virtual time when write-back drains
-	dirtyLimit int64
-	readAhead  int64
+	dirtyLimit atomic.Int64
+	readAhead  atomic.Int64
 }
 
 // DefaultReadAhead is the sequential prefetch depth: on a cache miss
@@ -46,14 +51,15 @@ const DefaultReadAhead int64 = 1 * sim.MB
 // NewSimFS builds a simulated filesystem on host with the given
 // capacity. qm may be nil.
 func NewSimFS(host *sim.Host, capacity int64, qm *quota.Manager) *SimFS {
-	return &SimFS{
-		inner:      NewMemFS(host.Clock, capacity),
-		host:       host,
-		cache:      cache.New(host.Profile.CacheSize),
-		quota:      qm,
-		dirtyLimit: DefaultDirtyLimit,
-		readAhead:  DefaultReadAhead,
+	s := &SimFS{
+		inner: NewMemFS(host.Clock, capacity),
+		host:  host,
+		cache: cache.New(host.Profile.CacheSize),
+		quota: qm,
 	}
+	s.dirtyLimit.Store(DefaultDirtyLimit)
+	s.readAhead.Store(DefaultReadAhead)
+	return s
 }
 
 // Cache exposes the buffer-cache model (the gray-box probe target for
@@ -64,11 +70,7 @@ func (s *SimFS) Cache() *cache.Model { return s.cache }
 func (s *SimFS) Quota() *quota.Manager { return s.quota }
 
 // SetDirtyLimit overrides the write-back buffer size.
-func (s *SimFS) SetDirtyLimit(n int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dirtyLimit = n
-}
+func (s *SimFS) SetDirtyLimit(n int64) { s.dirtyLimit.Store(n) }
 
 // Warm loads a file's blocks into the cache model, for constructing
 // the paper's "in-cache" workloads.
@@ -82,11 +84,7 @@ func (s *SimFS) Warm(name string) error {
 }
 
 // SetReadAhead overrides the sequential prefetch depth.
-func (s *SimFS) SetReadAhead(n int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.readAhead = n
-}
+func (s *SimFS) SetReadAhead(n int64) { s.readAhead.Store(n) }
 
 // chargeRead advances virtual time for a read of n bytes at off of a
 // file whose total length is size.
@@ -98,9 +96,7 @@ func (s *SimFS) chargeRead(name string, off, n, size int64) {
 	if miss > 0 {
 		// A miss triggers sequential readahead beyond the requested
 		// range, amortizing the positioning cost.
-		s.mu.Lock()
-		ra := s.readAhead
-		s.mu.Unlock()
+		ra := s.readAhead.Load()
 		extra := int64(0)
 		if ra > 0 {
 			end := off + n + ra
@@ -133,7 +129,7 @@ func (s *SimFS) chargeWrite(name string, off, n int64) {
 		s.flushFree = now
 	}
 	s.flushFree += timeFor(n, effMBps)
-	backlogAllowance := timeFor(s.dirtyLimit, effMBps)
+	backlogAllowance := timeFor(s.dirtyLimit.Load(), effMBps)
 	wake := s.flushFree - backlogAllowance
 	s.mu.Unlock()
 

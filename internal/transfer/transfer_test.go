@@ -11,6 +11,7 @@ import (
 
 	"nest/internal/sched"
 	"nest/internal/sim"
+	"nest/internal/storage"
 )
 
 // linkWriter charges a sim link for every write (a client's network).
@@ -626,6 +627,79 @@ func TestSedaWithQuantum(t *testing.T) {
 		if small.Latency > 15*time.Millisecond {
 			t.Errorf("small latency = %v: quantum preemption failed", small.Latency)
 		}
+		m.Close()
+	})
+}
+
+// TestPumpOverExtentFile moves data between the pump and the
+// extent-backed storage File with a chunk size deliberately unaligned
+// to the 64 KB extent size, so every few chunks straddle an extent
+// boundary. Both directions must stay byte-exact: get (SectionReader
+// over ReadAt, as the dispatcher wires it) and put (OffsetWriter over
+// WriteAt).
+func TestPumpOverExtentFile(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		fs := storage.NewMemFS(clock, 1<<30)
+		size := int64(3*storage.ExtentSize + 12345)
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i*31 + i>>9)
+		}
+		src, err := fs.Create("/src", "o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+
+		// Get direction: storage -> client buffer.
+		const chunk = 48_000 // not a multiple or divisor of ExtentSize
+		var got bytes.Buffer
+		m := NewManager(Options{Clock: clock, Model: Threads})
+		done := make(chan Result, 2)
+		m.Submit(&Transfer{
+			Class: "ftp", Size: size, ChunkSize: chunk,
+			Src:    io.NewSectionReader(src, 0, size),
+			Dst:    &got,
+			OnDone: func(r Result) { done <- r },
+		})
+		m.Wait()
+		var r Result
+		clock.BlockOn(func() { r = <-done })
+		if r.Err != nil || r.Bytes != size {
+			t.Fatalf("get result = %+v", r)
+		}
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatal("get direction corrupted data across extent boundaries")
+		}
+
+		// Put direction: client buffer -> storage.
+		dst, err := fs.Create("/dst", "o")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Submit(&Transfer{
+			Class: "ftp", Size: size, ChunkSize: chunk,
+			Src:    bytes.NewReader(data),
+			Dst:    io.NewOffsetWriter(dst, 0),
+			OnDone: func(r Result) { done <- r },
+		})
+		m.Wait()
+		clock.BlockOn(func() { r = <-done })
+		if r.Err != nil || r.Bytes != size {
+			t.Fatalf("put result = %+v", r)
+		}
+		back := make([]byte, size)
+		if _, err := dst.ReadAt(back, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("put direction corrupted data across extent boundaries")
+		}
+		src.Close()
+		dst.Close()
 		m.Close()
 	})
 }
