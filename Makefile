@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage figures examples clean
+.PHONY: all build test race bench bench-storage bench-sched figures examples clean
 
 all: build test
 
@@ -21,6 +21,13 @@ bench:
 # numbers recorded in docs/storage_bench.md and DESIGN.md §6.
 bench-storage:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=2s ./internal/storage/
+
+# Scheduler admission benchmarks (incremental policies vs the retired
+# snapshot baseline, plus manager-level quantum preemption); numbers
+# recorded in docs/sched_bench.md and DESIGN.md §7.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerAdmit' -benchmem ./internal/sched/
+	$(GO) test -run '^$$' -bench 'BenchmarkManagerQuantumPreemption' -benchmem ./internal/transfer/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

@@ -33,6 +33,12 @@ type Model struct {
 
 	hits   int64
 	misses int64
+	// gen advances whenever the set of modeled-resident blocks changes
+	// (faults, evictions, invalidations) — not on pure hits or probes,
+	// which leave residency untouched. The cache-aware scheduler keys
+	// cached service-time estimates off it (sched.Generational), so
+	// admissions re-probe only when a prediction may actually differ.
+	gen uint64
 }
 
 // New returns a model of a cache holding capacity bytes.
@@ -59,6 +65,16 @@ func (m *Model) Stats() (hits, misses int64) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.hits, m.misses
+}
+
+// Generation implements sched.Generational: it reports a counter that
+// advances whenever predicted residency may have changed, letting the
+// cache-aware policy invalidate cached estimates precisely instead of
+// re-probing every pending request on each admission.
+func (m *Model) Generation() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.gen
 }
 
 func blockRange(off, n int64) (first, last int64) {
@@ -108,6 +124,7 @@ func (m *Model) Insert(file string, off, n int64) {
 }
 
 func (m *Model) insertLocked(key blockKey) {
+	m.gen++
 	for m.used+BlockSize > m.capacity && m.lru.Len() > 0 {
 		oldest := m.lru.Back()
 		delete(m.index, oldest.Value.(blockKey))
@@ -152,6 +169,7 @@ func (m *Model) Invalidate(file string) {
 			delete(m.index, e.Value.(blockKey))
 			m.lru.Remove(e)
 			m.used -= BlockSize
+			m.gen++
 		}
 		e = next
 	}
@@ -164,4 +182,5 @@ func (m *Model) Clear() {
 	m.lru.Init()
 	m.index = make(map[blockKey]*list.Element)
 	m.used = 0
+	m.gen++
 }

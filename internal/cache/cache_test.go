@@ -164,3 +164,43 @@ func TestQuickAccessAccounting(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGenerationTracksResidencyChanges: the version counter advances
+// exactly when the set of modeled-resident blocks can have changed, so
+// the cache-aware scheduler invalidates estimates neither too rarely
+// (stale predictions) nor on every probe (no fast path).
+func TestGenerationTracksResidencyChanges(t *testing.T) {
+	m := New(4 * BlockSize)
+	g0 := m.Generation()
+	m.Access("a", 0, 2*BlockSize) // faults blocks in
+	g1 := m.Generation()
+	if g1 == g0 {
+		t.Fatal("generation did not advance on fault")
+	}
+	m.Access("a", 0, 2*BlockSize) // pure hits
+	if m.Generation() != g1 {
+		t.Error("generation advanced on a pure hit")
+	}
+	m.Residency("a", 0, 2*BlockSize) // probes never perturb
+	if m.Generation() != g1 {
+		t.Error("generation advanced on a probe")
+	}
+	m.Insert("b", 0, BlockSize)
+	g2 := m.Generation()
+	if g2 == g1 {
+		t.Error("generation did not advance on insert")
+	}
+	m.Invalidate("a")
+	g3 := m.Generation()
+	if g3 == g2 {
+		t.Error("generation did not advance on invalidate")
+	}
+	m.Invalidate("a") // nothing left to drop
+	if m.Generation() != g3 {
+		t.Error("generation advanced on a no-op invalidate")
+	}
+	m.Clear()
+	if m.Generation() == g3 {
+		t.Error("generation did not advance on clear")
+	}
+}

@@ -28,6 +28,10 @@ import (
 	"nest/internal/transfer"
 )
 
+// The cache-aware policy leans on the buffer-cache model advertising
+// residency changes; keep the contract checked at compile time.
+var _ sched.Generational = (*cache.Model)(nil)
+
 // SchedulerKind selects the transfer manager's scheduling policy.
 type SchedulerKind string
 
@@ -164,6 +168,8 @@ func New(cfg Config) (*Server, error) {
 	case SchedStride:
 		policy = sched.NewStride(cfg.Tickets)
 	case SchedCacheAware:
+		// The cache model is versioned (sched.Generational), so the
+		// policy re-probes residency only when the model has changed.
 		policy = sched.NewCacheAware(s.Cache, storage.MemCopyMBps, 22, 8*time.Millisecond)
 	default:
 		policy = sched.NewFIFO()

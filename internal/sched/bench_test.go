@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The admission benchmarks measure one steady-state scheduling
+// decision at a fixed queue depth: admit the best unit, then re-queue
+// it with a fresh sequence number (exactly the manager's byte-quantum
+// preemption pattern). BenchmarkSchedulerAdmit exercises the
+// incremental policies; BenchmarkSchedulerAdmitSnapshot replays the
+// retired formulation — rebuild the []*Unit snapshot, linear-scan,
+// splice — as the before-side baseline recorded in
+// docs/sched_bench.md.
+
+var benchTickets = map[string]int{"chirp": 300, "gridftp": 100, "http": 200, "nfs": 400}
+
+// benchProbe is a static versioned residency model: deterministic
+// estimates with no churn, so cache-aware admission stays on its
+// indexed fast path (the churn path is covered by the equivalence
+// tests).
+type benchProbe struct{}
+
+func (benchProbe) Residency(path string, off, n int64) float64 {
+	return float64(len(path)%4) / 4
+}
+
+func (benchProbe) Generation() uint64 { return 1 }
+
+var benchDepths = []int{64, 1024, 8192}
+
+func benchUnits(depth int) []*Unit {
+	classes := []string{"chirp", "gridftp", "http", "nfs"}
+	units := make([]*Unit, depth)
+	for i := range units {
+		units[i] = &Unit{
+			Class: classes[i%len(classes)],
+			Bytes: int64(8<<10 + (i%64)<<10),
+			Path:  fmt.Sprintf("/f%03d", i%128),
+			Seq:   int64(i + 1),
+		}
+	}
+	return units
+}
+
+func benchPolicies() []struct {
+	name string
+	mk   func() Policy
+} {
+	return []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"fifo", func() Policy { return NewFIFO() }},
+		{"stride", func() Policy { return NewStride(benchTickets) }},
+		{"cache-aware", func() Policy {
+			return NewCacheAware(benchProbe{}, 200, 20, 8*time.Millisecond)
+		}},
+	}
+}
+
+func BenchmarkSchedulerAdmit(b *testing.B) {
+	for _, pol := range benchPolicies() {
+		for _, depth := range benchDepths {
+			b.Run(fmt.Sprintf("%s/depth-%d", pol.name, depth), func(b *testing.B) {
+				p := pol.mk()
+				units := benchUnits(depth)
+				for _, u := range units {
+					p.Add(u)
+				}
+				seq := int64(depth)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					u, _ := p.Next(0)
+					seq++
+					u.Seq = seq
+					p.Add(u)
+				}
+			})
+		}
+	}
+}
+
+func benchOracles() []struct {
+	name string
+	mk   func() refPolicy
+} {
+	return []struct {
+		name string
+		mk   func() refPolicy
+	}{
+		{"fifo", func() refPolicy { return &refFIFO{} }},
+		{"stride", func() refPolicy { return newRefStride(benchTickets) }},
+		{"cache-aware", func() refPolicy {
+			return &refCacheAware{probe: benchProbe{}, memMBps: 200, diskMBps: 20, seek: 8 * time.Millisecond}
+		}},
+	}
+}
+
+func BenchmarkSchedulerAdmitSnapshot(b *testing.B) {
+	for _, pol := range benchOracles() {
+		for _, depth := range benchDepths {
+			b.Run(fmt.Sprintf("%s/depth-%d", pol.name, depth), func(b *testing.B) {
+				p := pol.mk()
+				transfers := benchUnits(depth)
+				seq := int64(depth)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// The retired manager rebuilt the unit snapshot from
+					// its pending transfers on every admission.
+					pending := make([]*Unit, len(transfers))
+					for j, t := range transfers {
+						pending[j] = &Unit{
+							Class:  t.Class,
+							Bytes:  t.Bytes,
+							Path:   t.Path,
+							Offset: t.Offset,
+							Seq:    t.Seq,
+						}
+					}
+					idx, _ := p.pick(pending, 0)
+					seq++
+					transfers[idx].Seq = seq // re-queue in place
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package sched
+
+// Intrusive containers backing the incremental policies. The element
+// pointers live inside Unit and strideClass themselves, so queue and
+// heap maintenance allocates nothing and membership updates (Remove of
+// an arbitrary queued unit, heap re-key after a pass charge) are found
+// by the stored index instead of a search.
+
+// unitList is an intrusive doubly-linked list of units kept ordered by
+// Seq. The transfer manager assigns monotonically increasing sequence
+// numbers, so insertBySeq appends at the back in O(1) there; arbitrary
+// insertion orders remain correct, costing the distance from the back.
+type unitList struct {
+	front, back *Unit
+	n           int
+}
+
+func (l *unitList) insertBySeq(u *Unit) {
+	at := l.back
+	for at != nil && at.Seq > u.Seq {
+		at = at.prev
+	}
+	u.prev = at
+	if at == nil {
+		u.next = l.front
+		if l.front != nil {
+			l.front.prev = u
+		} else {
+			l.back = u
+		}
+		l.front = u
+	} else {
+		u.next = at.next
+		if at.next != nil {
+			at.next.prev = u
+		} else {
+			l.back = u
+		}
+		at.next = u
+	}
+	l.n++
+}
+
+func (l *unitList) remove(u *Unit) {
+	if u.prev != nil {
+		u.prev.next = u.next
+	} else {
+		l.front = u.next
+	}
+	if u.next != nil {
+		u.next.prev = u.prev
+	} else {
+		l.back = u.prev
+	}
+	u.next, u.prev = nil, nil
+	l.n--
+}
+
+func (l *unitList) popFront() *Unit {
+	u := l.front
+	if u != nil {
+		l.remove(u)
+	}
+	return u
+}
+
+// unitHeap is a min-heap of units keyed by (est, Seq) — the cache-aware
+// policy's order. Each unit records its slot in heapIdx.
+type unitHeap []*Unit
+
+func (h unitHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.est != b.est {
+		return a.est < b.est
+	}
+	return a.Seq < b.Seq
+}
+
+func (h unitHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *unitHeap) push(u *Unit) {
+	u.heapIdx = len(*h)
+	*h = append(*h, u)
+	h.up(u.heapIdx)
+}
+
+// removeAt detaches and returns the unit at slot i (i == 0 pops the
+// minimum).
+func (h *unitHeap) removeAt(i int) *Unit {
+	hh := *h
+	n := len(hh) - 1
+	u := hh[i]
+	if i != n {
+		hh.swap(i, n)
+	}
+	hh[n] = nil
+	*h = hh[:n]
+	if i < n {
+		h.fix(i)
+	}
+	u.heapIdx = -1
+	return u
+}
+
+func (h unitHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
+// reinit restores the heap invariant after every key changed at once
+// (estimate invalidation).
+func (h unitHeap) reinit() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h unitHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h unitHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// classHeap is a min-heap of stride classes with pending work, keyed by
+// (pass, front unit Seq) — exactly the order the snapshot scan
+// minimized over all pending units, since each class's sub-queue is
+// FIFO. Every member has a non-empty sub-queue.
+type classHeap []*strideClass
+
+func (h classHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.pass != b.pass {
+		return a.pass < b.pass
+	}
+	return a.q.front.Seq < b.q.front.Seq
+}
+
+func (h classHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *classHeap) push(c *strideClass) {
+	c.heapIdx = len(*h)
+	*h = append(*h, c)
+	h.up(c.heapIdx)
+}
+
+func (h *classHeap) removeAt(i int) *strideClass {
+	hh := *h
+	n := len(hh) - 1
+	c := hh[i]
+	if i != n {
+		hh.swap(i, n)
+	}
+	hh[n] = nil
+	*h = hh[:n]
+	if i < n {
+		h.fix(i)
+	}
+	c.heapIdx = -1
+	return c
+}
+
+func (h classHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
+func (h classHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h classHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file retains the snapshot-based policy formulations that the
+// incremental implementations replaced: pick the best index out of a
+// freshly built []*Unit, scanning every pending transfer per
+// admission. They are kept verbatim (modulo the deterministic sorted
+// idle scan, mirrored in both formulations) as reference oracles: the
+// equivalence tests replay randomized workloads through an oracle and
+// its incremental counterpart and assert byte-for-byte identical
+// decisions, and the scheduler benchmarks measure them as the
+// before-side baseline. Nothing outside tests constructs them.
+
+// refPolicy is the retired snapshot scheduling interface.
+type refPolicy interface {
+	name() string
+	// pick returns the index of the unit to admit next, or -1 to leave
+	// the server idle; a non-zero wait asks the manager to retry after
+	// that delay even if no transfer completes.
+	pick(pending []*Unit, now time.Duration) (idx int, wait time.Duration)
+}
+
+// refFIFO is the linear-scan arrival-order picker.
+type refFIFO struct{}
+
+func (*refFIFO) name() string { return "fifo" }
+
+func (*refFIFO) pick(pending []*Unit, _ time.Duration) (int, time.Duration) {
+	if len(pending) == 0 {
+		return -1, 0
+	}
+	best := 0
+	for i, u := range pending {
+		if u.Seq < pending[best].Seq {
+			best = i
+		}
+	}
+	return best, 0
+}
+
+// refStride is the snapshot stride scheduler: per-admission it rescans
+// the pending set for present classes, joins newcomers at the minimum
+// pass, and linear-scans for the lowest-(pass, Seq) unit.
+type refStride struct {
+	tickets       map[string]int
+	pass          map[string]float64
+	chargeByBytes bool
+	idleWait      time.Duration
+	// waitingSince tracks, per class, when the class began being
+	// waited for; prevents unbounded waiting.
+	waitingSince map[string]time.Duration
+}
+
+func newRefStride(tickets map[string]int) *refStride {
+	t := make(map[string]int, len(tickets))
+	for k, v := range tickets {
+		if v > 0 {
+			t[k] = v
+		}
+	}
+	return &refStride{
+		tickets:       t,
+		pass:          make(map[string]float64),
+		chargeByBytes: true,
+		waitingSince:  make(map[string]time.Duration),
+	}
+}
+
+func (s *refStride) name() string { return "stride" }
+
+func (s *refStride) ticketsFor(class string) int {
+	if t, ok := s.tickets[class]; ok {
+		return t
+	}
+	return DefaultTickets
+}
+
+func (s *refStride) pick(pending []*Unit, now time.Duration) (int, time.Duration) {
+	if len(pending) == 0 {
+		return -1, 0
+	}
+	// The pass of classes with pending work; new or returning classes
+	// join at the current minimum so they cannot claim banked credit.
+	minPass := math.Inf(1)
+	present := make(map[string]bool)
+	for _, u := range pending {
+		present[u.Class] = true
+	}
+	for class := range present {
+		if p, ok := s.pass[class]; ok && p < minPass {
+			minPass = p
+		}
+	}
+	if math.IsInf(minPass, 1) {
+		minPass = 0
+	}
+	for class := range present {
+		if _, ok := s.pass[class]; !ok {
+			s.pass[class] = minPass
+		}
+	}
+
+	// Non-work-conserving: if some known class is owed service (its
+	// pass is strictly minimal among all classes) but has nothing
+	// pending, hold the server briefly for it. Classes are visited in
+	// sorted name order so the scan is deterministic.
+	if s.idleWait > 0 {
+		names := make([]string, 0, len(s.pass))
+		for class := range s.pass {
+			names = append(names, class)
+		}
+		sort.Strings(names)
+		for _, class := range names {
+			p := s.pass[class]
+			if present[class] {
+				delete(s.waitingSince, class)
+				continue
+			}
+			owed := true
+			for other, op := range s.pass {
+				if other != class && op <= p {
+					owed = false
+					break
+				}
+			}
+			if !owed {
+				delete(s.waitingSince, class)
+				continue
+			}
+			since, started := s.waitingSince[class]
+			if !started {
+				s.waitingSince[class] = now
+				return -1, s.idleWait
+			}
+			if now-since < s.idleWait {
+				return -1, s.idleWait - (now - since)
+			}
+			// Waited long enough; fall through and serve a competitor.
+		}
+	}
+
+	// Work-conserving core: admit the pending unit of the lowest-pass
+	// class (FIFO within the class).
+	best := -1
+	for i, u := range pending {
+		if best == -1 {
+			best = i
+			continue
+		}
+		bp, up := s.pass[pending[best].Class], s.pass[u.Class]
+		if up < bp || (up == bp && u.Seq < pending[best].Seq) {
+			best = i
+		}
+	}
+	u := pending[best]
+	charge := float64(u.Bytes)
+	if !s.chargeByBytes {
+		charge = 64 * 1024 // one nominal request quantum
+	}
+	if charge < 1 {
+		charge = 1
+	}
+	s.pass[u.Class] += charge / float64(s.ticketsFor(u.Class))
+	delete(s.waitingSince, u.Class)
+	return best, 0
+}
+
+// refCacheAware re-estimates every pending unit against the live probe
+// on each admission and linear-scans for the minimum.
+type refCacheAware struct {
+	probe    Residency
+	memMBps  float64
+	diskMBps float64
+	seek     time.Duration
+}
+
+func (*refCacheAware) name() string { return "cache-aware" }
+
+func (c *refCacheAware) estimate(u *Unit) time.Duration {
+	return estimate(c.probe, c.memMBps, c.diskMBps, c.seek, u)
+}
+
+func (c *refCacheAware) pick(pending []*Unit, _ time.Duration) (int, time.Duration) {
+	if len(pending) == 0 {
+		return -1, 0
+	}
+	best := 0
+	bestEst := c.estimate(pending[0])
+	for i := 1; i < len(pending); i++ {
+		est := c.estimate(pending[i])
+		if est < bestEst || (est == bestEst && pending[i].Seq < pending[best].Seq) {
+			best, bestEst = i, est
+		}
+	}
+	return best, 0
+}

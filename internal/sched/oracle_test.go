@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The equivalence harness replays one randomized workload — arrivals,
+// cancellations, admissions, quantum-style re-queues, residency churn,
+// and advancing time — simultaneously through an incremental policy
+// and its retained snapshot oracle, asserting the two make
+// byte-for-byte identical decisions at every step. Stride passes and
+// idle-wait bookkeeping stay in lockstep exactly because every
+// decision matches, so a single divergence cascades and is caught
+// immediately.
+
+type eqScenario struct {
+	name string
+	// mk builds a fresh incremental policy, its oracle, and an
+	// optional mutator that perturbs shared policy inputs (the
+	// residency model) mid-workload.
+	mk func() (Policy, refPolicy, func(rng *rand.Rand))
+}
+
+// mutProbe is a mutable residency model shared by an incremental
+// policy and its oracle; the versioned variant advances a generation
+// counter on every change, the unversioned one relies on the policy
+// re-probing each admission.
+type mutProbe struct {
+	res map[string]float64
+}
+
+func (p *mutProbe) Residency(path string, off, n int64) float64 { return p.res[path] }
+
+type versionedProbe struct {
+	*mutProbe
+	gen uint64
+}
+
+func (p *versionedProbe) Generation() uint64 { return p.gen }
+
+var eqClasses = []string{"chirp", "ftp", "gridftp", "http", "nfs"}
+var eqPaths = []string{"/a", "/b", "/c", "/d", "/e", "/f"}
+
+func newMutProbe() *mutProbe {
+	p := &mutProbe{res: map[string]float64{}}
+	for i, path := range eqPaths {
+		p.res[path] = float64(i%3) / 2
+	}
+	return p
+}
+
+func eqScenarios() []eqScenario {
+	tickets := map[string]int{"chirp": 300, "gridftp": 100, "http": 200, "nfs": 400}
+	mkStride := func(byBytes bool, idle time.Duration) func() (Policy, refPolicy, func(*rand.Rand)) {
+		return func() (Policy, refPolicy, func(*rand.Rand)) {
+			inc := NewStride(tickets)
+			inc.ChargeByBytes = byBytes
+			inc.IdleWait = idle
+			ref := newRefStride(tickets)
+			ref.chargeByBytes = byBytes
+			ref.idleWait = idle
+			return inc, ref, nil
+		}
+	}
+	return []eqScenario{
+		{
+			name: "fifo",
+			mk: func() (Policy, refPolicy, func(*rand.Rand)) {
+				return NewFIFO(), &refFIFO{}, nil
+			},
+		},
+		{name: "stride-bytes", mk: mkStride(true, 0)},
+		{name: "stride-requests", mk: mkStride(false, 0)},
+		{name: "stride-idlewait", mk: mkStride(true, 4*time.Millisecond)},
+		{name: "stride-requests-idlewait", mk: mkStride(false, 4*time.Millisecond)},
+		{
+			name: "cache-aware-versioned",
+			mk: func() (Policy, refPolicy, func(*rand.Rand)) {
+				probe := &versionedProbe{mutProbe: newMutProbe()}
+				inc := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+				ref := &refCacheAware{probe: probe, memMBps: 200, diskMBps: 20, seek: 8 * time.Millisecond}
+				mutate := func(rng *rand.Rand) {
+					probe.res[eqPaths[rng.Intn(len(eqPaths))]] = float64(rng.Intn(5)) / 4
+					probe.gen++
+				}
+				return inc, ref, mutate
+			},
+		},
+		{
+			name: "cache-aware-reprobe",
+			mk: func() (Policy, refPolicy, func(*rand.Rand)) {
+				probe := newMutProbe()
+				inc := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+				ref := &refCacheAware{probe: probe, memMBps: 200, diskMBps: 20, seek: 8 * time.Millisecond}
+				mutate := func(rng *rand.Rand) {
+					probe.res[eqPaths[rng.Intn(len(eqPaths))]] = float64(rng.Intn(5)) / 4
+				}
+				return inc, ref, mutate
+			},
+		},
+	}
+}
+
+func TestOracleEquivalence(t *testing.T) {
+	for _, sc := range eqScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				runEquivalence(t, sc, seed, 4000)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+func runEquivalence(t *testing.T, sc eqScenario, seed int64, steps int) {
+	t.Helper()
+	inc, ref, mutate := sc.mk()
+	rng := rand.New(rand.NewSource(seed))
+	var pending []*Unit
+	seq := int64(0)
+	now := time.Duration(0)
+	fail := func(format string, args ...any) {
+		t.Fatalf("[%s seed=%d] %s", sc.name, seed, fmt.Sprintf(format, args...))
+	}
+	admit := func() {
+		idx, refWait := ref.pick(pending, now)
+		got, incWait := inc.Next(now)
+		if incWait != refWait {
+			fail("wait mismatch: incremental %v, oracle %v", incWait, refWait)
+		}
+		if idx < 0 {
+			if got != nil {
+				fail("oracle idled, incremental admitted seq %d", got.Seq)
+			}
+			return
+		}
+		want := pending[idx]
+		if got != want {
+			fail("admission mismatch: incremental %+v, oracle seq %d", got, want.Seq)
+		}
+		pending = append(pending[:idx], pending[idx+1:]...)
+		// Quantum-style re-queue: the admitted transfer returns with a
+		// fresh sequence number and fewer remaining bytes.
+		if rng.Intn(3) == 0 && want.Bytes > 1 {
+			seq++
+			want.Seq = seq
+			want.Bytes -= want.Bytes / 2
+			pending = append(pending, want)
+			inc.Add(want)
+		}
+	}
+	for step := 0; step < steps; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 4: // arrival
+			seq++
+			u := &Unit{
+				Class:  eqClasses[rng.Intn(len(eqClasses))],
+				Bytes:  int64(rng.Intn(1 << 20)),
+				Path:   eqPaths[rng.Intn(len(eqPaths))],
+				Offset: int64(rng.Intn(1 << 20)),
+				Seq:    seq,
+			}
+			pending = append(pending, u)
+			inc.Add(u)
+		case op < 5 && len(pending) > 0: // cancellation
+			i := rng.Intn(len(pending))
+			u := pending[i]
+			pending = append(pending[:i], pending[i+1:]...)
+			inc.Remove(u)
+		case op < 9: // admission decision
+			admit()
+		default: // environment churn
+			if mutate != nil {
+				mutate(rng)
+			}
+		}
+		if inc.Len() != len(pending) {
+			fail("Len = %d, want %d", inc.Len(), len(pending))
+		}
+		now += time.Duration(rng.Intn(int(2 * time.Millisecond)))
+	}
+	// Drain: every remaining decision must also match.
+	for len(pending) > 0 {
+		before := len(pending)
+		admit()
+		if len(pending) >= before {
+			now += time.Millisecond // idle hold: let the grace expire
+		}
+	}
+}

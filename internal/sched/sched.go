@@ -5,38 +5,77 @@
 // accounting across protocol classes, and cache-aware scheduling that
 // approximates shortest-job-first using the gray-box buffer-cache
 // model.
+//
+// The policies are incrementally indexed: the pending set lives inside
+// the policy and is updated by Add/Remove, so an admission decision
+// costs O(1) for FIFO, O(log C) in the number of active classes for
+// stride, and O(log n) for cache-aware — instead of the snapshot
+// formulation's O(n) rebuild and linear scan per admission. The
+// snapshot formulation is retained verbatim in oracle.go as the
+// reference the equivalence tests replay against.
 package sched
 
 import (
-	"math"
 	"sort"
 	"time"
 )
 
-// Unit is one schedulable transfer as the policies see it.
+// Unit is one schedulable transfer as the policies see it. The
+// submitter owns the exported fields; they identify the unit and must
+// stay fixed while it is queued. Between Add and the Next or Remove
+// that takes it back out, the owning policy additionally uses the
+// unexported intrusive fields, so a unit may be queued under at most
+// one policy at a time. Units are reusable: after admission the
+// submitter may update Bytes and Seq and Add the same unit again
+// (byte-quantum preemption re-queues transfers this way).
 type Unit struct {
 	Class  string // protocol class ("chirp", "nfs", ...)
 	Bytes  int64  // bytes this unit will move
 	Path   string // file touched, for cache prediction
 	Offset int64
 	Seq    int64 // arrival order, assigned by the transfer manager
+	// Owner is an opaque back-pointer for the submitter's use — the
+	// transfer manager stores the *Transfer the unit schedules, so no
+	// side table is needed to map a decision back to its transfer.
+	// Policies never touch it.
+	Owner any
+
+	// Intrusive queue links and heap slot, owned by the queued-under
+	// policy. Keeping them inside the unit is what makes admission
+	// allocation-free: policies never wrap units in container nodes.
+	next, prev *Unit
+	heapIdx    int
+	est        time.Duration // cached service-time estimate (cache-aware)
 }
 
-// Policy orders pending transfers. Pick returns the index of the unit
-// to admit next, or -1 to leave the server idle; a non-zero wait asks
-// the manager to retry after that delay even if no transfer completes
-// (used by the non-work-conserving stride variant). Pick is called
-// from a single scheduling goroutine.
+// Policy maintains the pending transfer set incrementally. All methods
+// are called from the transfer manager's single scheduling goroutine:
+//
+//   - Add inserts a unit into the pending set.
+//   - Remove withdraws a unit that was added but not yet admitted.
+//   - Next admits the best pending unit, removing it from the set and
+//     charging any policy accounting, or returns nil to leave the
+//     server idle; nil with a non-zero wait asks the manager to retry
+//     after that delay even if no transfer completes (used by the
+//     non-work-conserving stride variant).
+//   - Len reports how many units are queued.
 type Policy interface {
 	Name() string
-	Pick(pending []*Unit, now time.Duration) (idx int, wait time.Duration)
+	Add(*Unit)
+	Remove(*Unit)
+	Next(now time.Duration) (*Unit, time.Duration)
+	Len() int
 }
 
 // FIFO serves requests strictly in arrival order. Because block-based
 // protocols re-enter the queue for every block, FIFO disfavors them
 // behind whole-file transfers — the effect visible in Figure 3's mixed
-// workload.
-type FIFO struct{}
+// workload. The queue is an intrusive list ordered by Seq, so with the
+// manager's monotonically increasing sequence numbers both admission
+// and arrival are O(1) with zero allocations.
+type FIFO struct {
+	q unitList
+}
 
 // NewFIFO returns the first-come-first-served policy.
 func NewFIFO() *FIFO { return &FIFO{} }
@@ -44,213 +83,18 @@ func NewFIFO() *FIFO { return &FIFO{} }
 // Name implements Policy.
 func (*FIFO) Name() string { return "fifo" }
 
-// Pick implements Policy.
-func (*FIFO) Pick(pending []*Unit, _ time.Duration) (int, time.Duration) {
-	if len(pending) == 0 {
-		return -1, 0
-	}
-	best := 0
-	for i, u := range pending {
-		if u.Seq < pending[best].Seq {
-			best = i
-		}
-	}
-	return best, 0
-}
+// Add implements Policy.
+func (f *FIFO) Add(u *Unit) { f.q.insertBySeq(u) }
 
-// Stride is the proportional-share stride scheduler (Waldspurger &
-// Weihl) with byte-based strides: each admission advances its class's
-// pass by bytes/tickets, so a class issuing many small block requests
-// (NFS) receives the same bandwidth as one issuing few large requests
-// at equal tickets (paper §4.2).
-type Stride struct {
-	tickets map[string]int
-	pass    map[string]float64
-	// ChargeByBytes selects byte-based strides (the paper's design).
-	// When false, every admission charges one request — the ablation
-	// showing why request-based accounting starves block protocols.
-	ChargeByBytes bool
-	// IdleWait, when positive, makes the scheduler non-work-conserving:
-	// if the lowest-pass class has no pending request, the server
-	// waits up to IdleWait for one to arrive before scheduling a
-	// competitor (paper §7.2's proposed fix for the 1:1:1:4 case).
-	IdleWait time.Duration
-	// deficit tracks, per class, the virtual time the class was last
-	// deferred for; prevents unbounded waiting.
-	waitingSince map[string]time.Duration
-}
+// Remove implements Policy.
+func (f *FIFO) Remove(u *Unit) { f.q.remove(u) }
 
-// NewStride builds a stride scheduler with per-class ticket counts.
-// Classes not listed receive DefaultTickets.
-func NewStride(tickets map[string]int) *Stride {
-	t := make(map[string]int, len(tickets))
-	for k, v := range tickets {
-		if v > 0 {
-			t[k] = v
-		}
-	}
-	return &Stride{
-		tickets:       t,
-		pass:          make(map[string]float64),
-		ChargeByBytes: true,
-		waitingSince:  make(map[string]time.Duration),
-	}
-}
+// Len implements Policy.
+func (f *FIFO) Len() int { return f.q.n }
 
-// DefaultTickets is the ticket count for classes without an explicit
-// allocation.
-const DefaultTickets = 100
-
-// Name implements Policy.
-func (s *Stride) Name() string { return "stride" }
-
-// Tickets returns the allocation for class.
-func (s *Stride) Tickets(class string) int {
-	if t, ok := s.tickets[class]; ok {
-		return t
-	}
-	return DefaultTickets
-}
-
-// Pick implements Policy.
-func (s *Stride) Pick(pending []*Unit, now time.Duration) (int, time.Duration) {
-	if len(pending) == 0 {
-		return -1, 0
-	}
-	// The pass of classes with pending work; new or returning classes
-	// join at the current minimum so they cannot claim banked credit.
-	minPass := math.Inf(1)
-	present := make(map[string]bool)
-	for _, u := range pending {
-		present[u.Class] = true
-	}
-	for class := range present {
-		if p, ok := s.pass[class]; ok && p < minPass {
-			minPass = p
-		}
-	}
-	if math.IsInf(minPass, 1) {
-		minPass = 0
-	}
-	for class := range present {
-		if _, ok := s.pass[class]; !ok {
-			s.pass[class] = minPass
-		}
-	}
-
-	// Non-work-conserving: if some known class is owed service (its
-	// pass is strictly minimal among all classes) but has nothing
-	// pending, hold the server briefly for it.
-	if s.IdleWait > 0 {
-		for class, p := range s.pass {
-			if present[class] {
-				delete(s.waitingSince, class)
-				continue
-			}
-			owed := true
-			for other, op := range s.pass {
-				if other != class && op <= p {
-					owed = false
-					break
-				}
-			}
-			if !owed {
-				delete(s.waitingSince, class)
-				continue
-			}
-			since, started := s.waitingSince[class]
-			if !started {
-				s.waitingSince[class] = now
-				return -1, s.IdleWait
-			}
-			if now-since < s.IdleWait {
-				return -1, s.IdleWait - (now - since)
-			}
-			// Waited long enough; fall through and serve a competitor.
-		}
-	}
-
-	// Work-conserving core: admit the pending unit of the lowest-pass
-	// class (FIFO within the class).
-	best := -1
-	for i, u := range pending {
-		if best == -1 {
-			best = i
-			continue
-		}
-		bp, up := s.pass[pending[best].Class], s.pass[u.Class]
-		if up < bp || (up == bp && u.Seq < pending[best].Seq) {
-			best = i
-		}
-	}
-	u := pending[best]
-	charge := float64(u.Bytes)
-	if !s.ChargeByBytes {
-		charge = 64 * 1024 // one nominal request quantum
-	}
-	if charge < 1 {
-		charge = 1
-	}
-	s.pass[u.Class] += charge / float64(s.Tickets(u.Class))
-	delete(s.waitingSince, u.Class)
-	return best, 0
-}
-
-// Residency is the gray-box probe the cache-aware policy consults
-// (implemented by the buffer-cache model).
-type Residency interface {
-	Residency(path string, off, n int64) float64
-}
-
-// CacheAware schedules predicted cache hits before disk-bound requests,
-// approximating shortest-job-first: it improves client response time
-// and server throughput by reducing contention for secondary storage
-// (paper §4.2; Burnett et al. 2002).
-type CacheAware struct {
-	probe    Residency
-	memMBps  float64
-	diskMBps float64
-	seek     time.Duration
-}
-
-// NewCacheAware builds the policy around a residency probe and the
-// service-rate estimates used to rank requests.
-func NewCacheAware(probe Residency, memMBps, diskMBps float64, seek time.Duration) *CacheAware {
-	return &CacheAware{probe: probe, memMBps: memMBps, diskMBps: diskMBps, seek: seek}
-}
-
-// Name implements Policy.
-func (*CacheAware) Name() string { return "cache-aware" }
-
-// Estimate predicts the service time of a unit from its residency.
-func (c *CacheAware) Estimate(u *Unit) time.Duration {
-	r := 1.0
-	if c.probe != nil {
-		r = c.probe.Residency(u.Path, u.Offset, u.Bytes)
-	}
-	memBytes := r * float64(u.Bytes)
-	diskBytes := (1 - r) * float64(u.Bytes)
-	est := time.Duration(memBytes / (c.memMBps * 1024 * 1024) * float64(time.Second))
-	if diskBytes > 0 {
-		est += c.seek + time.Duration(diskBytes/(c.diskMBps*1024*1024)*float64(time.Second))
-	}
-	return est
-}
-
-// Pick implements Policy.
-func (c *CacheAware) Pick(pending []*Unit, _ time.Duration) (int, time.Duration) {
-	if len(pending) == 0 {
-		return -1, 0
-	}
-	best := 0
-	bestEst := c.Estimate(pending[0])
-	for i := 1; i < len(pending); i++ {
-		est := c.Estimate(pending[i])
-		if est < bestEst || (est == bestEst && pending[i].Seq < pending[best].Seq) {
-			best, bestEst = i, est
-		}
-	}
-	return best, 0
+// Next implements Policy: pop the lowest-Seq unit.
+func (f *FIFO) Next(time.Duration) (*Unit, time.Duration) {
+	return f.q.popFront(), 0
 }
 
 // Fairness computes Jain's fairness index over per-class ratios of
@@ -271,8 +115,9 @@ func Fairness(deliveredToDesired []float64) float64 {
 	return sum * sum / (float64(len(deliveredToDesired)) * sumSq)
 }
 
-// SortBydes is a test helper exposing deterministic ordering of class
-// names (fair comparisons in benches).
+// SortedClasses returns the keys of a per-class map in sorted order,
+// for deterministic iteration over class-keyed results (used by the
+// qos example and by tests when rendering fair comparisons).
 func SortedClasses(m map[string]float64) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -11,15 +11,62 @@ func unit(class string, bytes, seq int64) *Unit {
 	return &Unit{Class: class, Bytes: bytes, Seq: seq}
 }
 
+// pickOnce mirrors the retired snapshot Pick for tests written against
+// it: offer the units, take one admission decision, withdraw the rest.
+func pickOnce(p Policy, now time.Duration, units ...*Unit) (*Unit, time.Duration) {
+	for _, u := range units {
+		p.Add(u)
+	}
+	got, wait := p.Next(now)
+	for _, u := range units {
+		if u != got {
+			p.Remove(u)
+		}
+	}
+	return got, wait
+}
+
 func TestFIFOPicksLowestSeq(t *testing.T) {
 	p := NewFIFO()
-	pending := []*Unit{unit("a", 10, 3), unit("b", 10, 1), unit("c", 10, 2)}
-	idx, wait := p.Pick(pending, 0)
-	if idx != 1 || wait != 0 {
-		t.Errorf("Pick = %d, %v; want 1, 0", idx, wait)
+	got, wait := pickOnce(p, 0, unit("a", 10, 3), unit("b", 10, 1), unit("c", 10, 2))
+	if got == nil || got.Seq != 1 || wait != 0 {
+		t.Errorf("pick = %+v, %v; want seq 1, 0", got, wait)
 	}
-	if idx, _ := p.Pick(nil, 0); idx != -1 {
-		t.Errorf("Pick(empty) = %d", idx)
+	if got, _ := p.Next(0); got != nil {
+		t.Errorf("Next(empty) = %+v", got)
+	}
+}
+
+func TestFIFOOutOfOrderArrival(t *testing.T) {
+	p := NewFIFO()
+	for _, seq := range []int64{5, 2, 9, 1, 7} {
+		p.Add(unit("x", 10, seq))
+	}
+	want := []int64{1, 2, 5, 7, 9}
+	for _, w := range want {
+		u, _ := p.Next(0)
+		if u == nil || u.Seq != w {
+			t.Fatalf("Next = %+v, want seq %d", u, w)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after draining", p.Len())
+	}
+}
+
+func TestFIFORemove(t *testing.T) {
+	p := NewFIFO()
+	u1, u2, u3 := unit("x", 10, 1), unit("x", 10, 2), unit("x", 10, 3)
+	p.Add(u1)
+	p.Add(u2)
+	p.Add(u3)
+	p.Remove(u2)
+	p.Remove(u1)
+	if got, _ := p.Next(0); got != u3 {
+		t.Errorf("Next = %+v, want the surviving unit", got)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
 	}
 }
 
@@ -29,16 +76,16 @@ func drive(p Policy, classes map[string]int64, rounds int) map[string]int64 {
 	delivered := make(map[string]int64)
 	seq := int64(0)
 	for i := 0; i < rounds; i++ {
-		var pending []*Unit
+		var units []*Unit
 		for _, class := range SortedClasses(toFloat(classes)) {
 			seq++
-			pending = append(pending, unit(class, classes[class], seq))
+			units = append(units, unit(class, classes[class], seq))
 		}
-		idx, _ := p.Pick(pending, time.Duration(i))
-		if idx < 0 {
+		got, _ := pickOnce(p, time.Duration(i), units...)
+		if got == nil {
 			continue
 		}
-		delivered[pending[idx].Class] += pending[idx].Bytes
+		delivered[got.Class] += got.Bytes
 	}
 	return delivered
 }
@@ -98,7 +145,7 @@ func TestStrideNewClassJoinsAtMinPass(t *testing.T) {
 	p := NewStride(map[string]int{"a": 100, "b": 100})
 	// Run a alone for a while.
 	for i := 0; i < 100; i++ {
-		p.Pick([]*Unit{unit("a", 1000, int64(i))}, 0)
+		pickOnce(p, 0, unit("a", 1000, int64(i)))
 	}
 	// b arrives; it must not monopolize by having banked zero pass.
 	delivered := drive(p, map[string]int64{"a": 1000, "b": 1000}, 1000)
@@ -111,10 +158,10 @@ func TestStrideNewClassJoinsAtMinPass(t *testing.T) {
 func TestStrideWorkConserving(t *testing.T) {
 	p := NewStride(map[string]int{"a": 100, "b": 400})
 	// b is owed service but only a has pending work: serve a anyway.
-	p.Pick([]*Unit{unit("a", 100, 1), unit("b", 100, 2)}, 0) // seed passes
-	idx, wait := p.Pick([]*Unit{unit("a", 100, 3)}, 0)
-	if idx != 0 || wait != 0 {
-		t.Errorf("work-conserving Pick = %d, %v", idx, wait)
+	pickOnce(p, 0, unit("a", 100, 1), unit("b", 100, 2)) // seed passes
+	got, wait := pickOnce(p, 0, unit("a", 100, 3))
+	if got == nil || got.Class != "a" || wait != 0 {
+		t.Errorf("work-conserving pick = %+v, %v", got, wait)
 	}
 }
 
@@ -122,61 +169,138 @@ func TestStrideNonWorkConservingWaits(t *testing.T) {
 	p := NewStride(map[string]int{"a": 100, "b": 400})
 	p.IdleWait = 10 * time.Millisecond
 	// Seed both classes.
-	pend := []*Unit{unit("a", 1000, 1), unit("b", 1000, 2)}
 	for i := 0; i < 10; i++ {
-		idx, _ := p.Pick(pend, 0)
-		if idx < 0 {
+		got, _ := pickOnce(p, 0, unit("a", 1000, 1), unit("b", 1000, 2))
+		if got == nil {
 			t.Fatal("pick failed during seeding")
 		}
 	}
 	// Advance a's pass so the absent b is strictly owed service, then
 	// offer only a: the scheduler must hold the server for b...
 	for i := 0; i < 3; i++ {
-		p.Pick([]*Unit{unit("a", 100000, int64(10+i))}, time.Second)
+		pickOnce(p, time.Second, unit("a", 100000, int64(10+i)))
 	}
-	idx, wait := p.Pick([]*Unit{unit("a", 1000, 99)}, time.Second)
-	if idx != -1 || wait != 10*time.Millisecond {
-		t.Fatalf("expected idle hold, got idx=%d wait=%v", idx, wait)
+	got, wait := pickOnce(p, time.Second, unit("a", 1000, 99))
+	if got != nil || wait != 10*time.Millisecond {
+		t.Fatalf("expected idle hold, got %+v wait=%v", got, wait)
 	}
 	// ...but give up after IdleWait and serve the competitor.
-	idx, _ = p.Pick([]*Unit{unit("a", 1000, 100)}, time.Second+11*time.Millisecond)
-	if idx != 0 {
-		t.Errorf("after IdleWait: idx = %d, want 0", idx)
+	got, _ = pickOnce(p, time.Second+11*time.Millisecond, unit("a", 1000, 100))
+	if got == nil || got.Class != "a" {
+		t.Errorf("after IdleWait: pick = %+v, want class a", got)
+	}
+}
+
+// TestStrideIdleScanDeterministic pins the non-work-conserving scan's
+// behavior when two classes are starved at once: the scan visits
+// classes in sorted name order, so the class with the strictly minimal
+// pass arms the wake timer, the waits returned are exact, and the
+// whole trace is identical run to run. (The scan previously ranged
+// over a map, so the bookkeeping — and the returned wait — could
+// differ between runs.)
+func TestStrideIdleScanDeterministic(t *testing.T) {
+	ms := time.Millisecond
+	trace := func() []time.Duration {
+		p := NewStride(map[string]int{"a": 100, "b": 100, "c": 100})
+		p.IdleWait = 10 * ms
+		seq := int64(0)
+		nu := func(class string, bytes int64) *Unit {
+			seq++
+			return unit(class, bytes, seq)
+		}
+		// Seed passes: b lowest (10), a next (20), c far ahead (5000).
+		pickOnce(p, 0, nu("b", 1_000))
+		pickOnce(p, 0, nu("a", 2_000))
+		pickOnce(p, 0, nu("c", 500_000))
+		// Now a and b are both starved below c; only c has work.
+		var waits []time.Duration
+		for _, now := range []time.Duration{0, 3 * ms, 6 * ms, 12 * ms, 15 * ms} {
+			_, wait := pickOnce(p, now, nu("c", 1_000))
+			waits = append(waits, wait)
+		}
+		return waits
+	}
+
+	first := trace()
+	// b (strict minimum) arms the timer at now=0 and holds the server
+	// until the 10ms grace expires; after that competitors are served.
+	want := []time.Duration{10 * ms, 7 * ms, 4 * ms, 0, 0}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", first, want)
+		}
+	}
+	for run := 0; run < 20; run++ {
+		if got := trace(); len(got) != len(first) {
+			t.Fatalf("trace length changed")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("run %d diverged: %v vs %v", run, got, first)
+				}
+			}
+		}
 	}
 }
 
 func TestCacheAwarePrefersResident(t *testing.T) {
 	probe := fakeProbe{"/hot": 1.0, "/cold": 0.0}
 	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
-	pending := []*Unit{
-		{Class: "x", Bytes: 1 << 20, Path: "/cold", Seq: 1},
-		{Class: "x", Bytes: 1 << 20, Path: "/hot", Seq: 2},
-	}
-	idx, _ := p.Pick(pending, 0)
-	if idx != 1 {
-		t.Errorf("Pick = %d, want the cache-resident request", idx)
+	got, _ := pickOnce(p, 0,
+		&Unit{Class: "x", Bytes: 1 << 20, Path: "/cold", Seq: 1},
+		&Unit{Class: "x", Bytes: 1 << 20, Path: "/hot", Seq: 2},
+	)
+	if got == nil || got.Path != "/hot" {
+		t.Errorf("pick = %+v, want the cache-resident request", got)
 	}
 }
 
 func TestCacheAwarePrefersSmallerOnEqualResidency(t *testing.T) {
 	probe := fakeProbe{"/a": 0.0, "/b": 0.0}
 	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
-	pending := []*Unit{
-		{Class: "x", Bytes: 10 << 20, Path: "/a", Seq: 1},
-		{Class: "x", Bytes: 1 << 20, Path: "/b", Seq: 2},
-	}
-	idx, _ := p.Pick(pending, 0)
-	if idx != 1 {
-		t.Errorf("Pick = %d, want the shorter job", idx)
+	got, _ := pickOnce(p, 0,
+		&Unit{Class: "x", Bytes: 10 << 20, Path: "/a", Seq: 1},
+		&Unit{Class: "x", Bytes: 1 << 20, Path: "/b", Seq: 2},
+	)
+	if got == nil || got.Path != "/b" {
+		t.Errorf("pick = %+v, want the shorter job", got)
 	}
 }
 
 func TestCacheAwareNilProbe(t *testing.T) {
 	p := NewCacheAware(nil, 200, 20, 0)
-	if idx, _ := p.Pick([]*Unit{unit("x", 100, 1)}, 0); idx != 0 {
-		t.Errorf("nil-probe Pick = %d", idx)
+	if got, _ := pickOnce(p, 0, unit("x", 100, 1)); got == nil {
+		t.Error("nil-probe pick returned nothing")
 	}
 }
+
+// TestCacheAwareInvalidation: when a versioned residency model
+// changes, cached estimates are recomputed, so a request that went
+// cold loses its place to one that became hot.
+func TestCacheAwareInvalidation(t *testing.T) {
+	probe := &genProbe{res: map[string]float64{"/x": 1.0, "/y": 0.0}}
+	p := NewCacheAware(probe, 200, 20, 8*time.Millisecond)
+	ux := &Unit{Class: "c", Bytes: 1 << 20, Path: "/x", Seq: 1}
+	uy := &Unit{Class: "c", Bytes: 1 << 20, Path: "/y", Seq: 2}
+	p.Add(ux)
+	p.Add(uy)
+	// The model flips before any admission: /y is now the hit.
+	probe.res["/x"], probe.res["/y"] = 0.0, 1.0
+	probe.gen++
+	if got, _ := p.Next(0); got != uy {
+		t.Errorf("Next = %+v, want the newly resident request", got)
+	}
+	p.Remove(ux)
+}
+
+// genProbe is a mutable residency model with a version counter.
+type genProbe struct {
+	res map[string]float64
+	gen uint64
+}
+
+func (p *genProbe) Residency(path string, off, n int64) float64 { return p.res[path] }
+func (p *genProbe) Generation() uint64                          { return p.gen }
 
 type fakeProbe map[string]float64
 
@@ -232,12 +356,14 @@ func TestQuickStrideAlternation(t *testing.T) {
 	p := NewStride(map[string]int{"a": 100, "b": 100})
 	last := ""
 	for i := 0; i < 100; i++ {
-		pending := []*Unit{unit("a", 500, int64(2*i)), unit("b", 500, int64(2*i+1))}
-		idx, _ := p.Pick(pending, 0)
-		if pending[idx].Class == last {
+		got, _ := pickOnce(p, 0, unit("a", 500, int64(2*i)), unit("b", 500, int64(2*i+1)))
+		if got == nil {
+			t.Fatal("no pick")
+		}
+		if got.Class == last {
 			t.Fatalf("round %d: class %q served twice in a row", i, last)
 		}
-		last = pending[idx].Class
+		last = got.Class
 	}
 }
 
@@ -279,7 +405,36 @@ func TestStrideZeroTicketsIgnored(t *testing.T) {
 
 func TestStrideEmptyPending(t *testing.T) {
 	p := NewStride(nil)
-	if idx, wait := p.Pick(nil, 0); idx != -1 || wait != 0 {
-		t.Errorf("Pick(empty) = %d, %v", idx, wait)
+	if got, wait := p.Next(0); got != nil || wait != 0 {
+		t.Errorf("Next(empty) = %+v, %v", got, wait)
+	}
+}
+
+// TestStrideLenTracksMembership: Add/Remove/Next keep the queued count
+// and per-class sub-queues consistent.
+func TestStrideLenTracksMembership(t *testing.T) {
+	p := NewStride(nil)
+	units := []*Unit{unit("a", 10, 1), unit("b", 10, 2), unit("a", 10, 3)}
+	for _, u := range units {
+		p.Add(u)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.Remove(units[2])
+	if p.Len() != 2 {
+		t.Fatalf("Len after Remove = %d", p.Len())
+	}
+	if got, _ := p.Next(0); got == nil {
+		t.Fatal("Next returned nothing")
+	}
+	if got, _ := p.Next(0); got == nil {
+		t.Fatal("Next returned nothing")
+	}
+	if got, _ := p.Next(0); got != nil {
+		t.Fatalf("Next on drained = %+v", got)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d after draining", p.Len())
 	}
 }

@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Stride is the proportional-share stride scheduler (Waldspurger &
+// Weihl) with byte-based strides: each admission advances its class's
+// pass by bytes/tickets, so a class issuing many small block requests
+// (NFS) receives the same bandwidth as one issuing few large requests
+// at equal tickets (paper §4.2).
+//
+// The pending set is indexed as per-class FIFO sub-queues under a
+// min-pass heap over the classes, so admission costs O(log C) in the
+// number of classes with pending work — the heap minimum is exactly
+// the unit the snapshot formulation found by scanning every pending
+// transfer. Only the non-work-conserving IdleWait scan still walks the
+// (small, bounded) class table, in sorted name order so its decisions
+// are deterministic.
+type Stride struct {
+	// ChargeByBytes selects byte-based strides (the paper's design).
+	// When false, every admission charges one request — the ablation
+	// showing why request-based accounting starves block protocols.
+	ChargeByBytes bool
+	// IdleWait, when positive, makes the scheduler non-work-conserving:
+	// if the lowest-pass class has no pending request, the server
+	// waits up to IdleWait for one to arrive before scheduling a
+	// competitor (paper §7.2's proposed fix for the 1:1:1:4 case).
+	IdleWait time.Duration
+
+	tickets map[string]int
+	classes map[string]*strideClass
+	// names holds every known class name in sorted order, so the
+	// IdleWait scan visits starved classes deterministically.
+	names []string
+	// h indexes the classes with pending work and an assigned pass,
+	// keyed (pass, front Seq).
+	h classHeap
+	// uninit lists classes with pending work whose pass has not been
+	// assigned yet; they join at the pass minimum on the next
+	// admission, exactly when the snapshot formulation assigned it, so
+	// they cannot claim banked credit.
+	uninit []*strideClass
+	queued int
+}
+
+// strideClass is the per-class scheduling state. The pass survives the
+// class going idle (an entry is never deleted), which is what the
+// join-at-minimum rule protects against exploiting.
+type strideClass struct {
+	name    string
+	pass    float64
+	hasPass bool
+	q       unitList
+	heapIdx int  // slot in Stride.h, -1 while absent
+	pending bool // on Stride.uninit awaiting pass assignment
+	// waiting/since track the idle-wait timer for this class; see
+	// idleScan. Prevents unbounded waiting for a starved class.
+	waiting bool
+	since   time.Duration
+}
+
+// NewStride builds a stride scheduler with per-class ticket counts.
+// Classes not listed receive DefaultTickets.
+func NewStride(tickets map[string]int) *Stride {
+	t := make(map[string]int, len(tickets))
+	for k, v := range tickets {
+		if v > 0 {
+			t[k] = v
+		}
+	}
+	return &Stride{
+		tickets:       t,
+		ChargeByBytes: true,
+		classes:       make(map[string]*strideClass),
+	}
+}
+
+// DefaultTickets is the ticket count for classes without an explicit
+// allocation.
+const DefaultTickets = 100
+
+// Name implements Policy.
+func (s *Stride) Name() string { return "stride" }
+
+// Len implements Policy.
+func (s *Stride) Len() int { return s.queued }
+
+// Tickets returns the allocation for class.
+func (s *Stride) Tickets(class string) int {
+	if t, ok := s.tickets[class]; ok {
+		return t
+	}
+	return DefaultTickets
+}
+
+// class returns the state for a class name, creating it on first use.
+func (s *Stride) class(name string) *strideClass {
+	c := s.classes[name]
+	if c == nil {
+		c = &strideClass{name: name, heapIdx: -1}
+		s.classes[name] = c
+		i := sort.SearchStrings(s.names, name)
+		s.names = append(s.names, "")
+		copy(s.names[i+1:], s.names[i:])
+		s.names[i] = name
+	}
+	return c
+}
+
+// Add implements Policy.
+func (s *Stride) Add(u *Unit) {
+	c := s.class(u.Class)
+	wasEmpty := c.q.n == 0
+	oldFront := c.q.front
+	c.q.insertBySeq(u)
+	s.queued++
+	switch {
+	case wasEmpty && c.hasPass:
+		s.h.push(c)
+	case wasEmpty:
+		if !c.pending {
+			c.pending = true
+			s.uninit = append(s.uninit, c)
+		}
+	case c.heapIdx >= 0 && c.q.front != oldFront:
+		// An out-of-order arrival became the class's head: re-key.
+		s.h.fix(c.heapIdx)
+	}
+}
+
+// Remove implements Policy.
+func (s *Stride) Remove(u *Unit) {
+	c := s.classes[u.Class]
+	wasFront := c.q.front == u
+	c.q.remove(u)
+	s.queued--
+	if c.q.n == 0 {
+		if c.heapIdx >= 0 {
+			s.h.removeAt(c.heapIdx)
+		} else if c.pending {
+			c.pending = false
+			for i, pc := range s.uninit {
+				if pc == c {
+					s.uninit = append(s.uninit[:i], s.uninit[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if wasFront && c.heapIdx >= 0 {
+		s.h.fix(c.heapIdx)
+	}
+}
+
+// Next implements Policy.
+func (s *Stride) Next(now time.Duration) (*Unit, time.Duration) {
+	if s.queued == 0 {
+		return nil, 0
+	}
+	// Classes that gained work since the last admission join at the
+	// current minimum pass among classes with pending work (0 if none
+	// has an assigned pass yet), so they cannot claim banked credit.
+	if len(s.uninit) > 0 {
+		min := 0.0
+		if len(s.h) > 0 {
+			min = s.h[0].pass
+		}
+		for _, c := range s.uninit {
+			c.pass, c.hasPass, c.pending = min, true, false
+			s.h.push(c)
+		}
+		s.uninit = s.uninit[:0]
+	}
+
+	if s.IdleWait > 0 {
+		if wait, hold := s.idleScan(now); hold {
+			return nil, wait
+		}
+	}
+
+	// Work-conserving core: admit the pending unit of the lowest-pass
+	// class (FIFO within the class) — the heap top.
+	c := s.h[0]
+	u := c.q.popFront()
+	s.queued--
+	charge := float64(u.Bytes)
+	if !s.ChargeByBytes {
+		charge = 64 * 1024 // one nominal request quantum
+	}
+	if charge < 1 {
+		charge = 1
+	}
+	c.pass += charge / float64(s.Tickets(c.name))
+	c.waiting = false
+	if c.q.n == 0 {
+		s.h.removeAt(0)
+	} else {
+		s.h.fix(0)
+	}
+	return u, 0
+}
+
+// idleScan implements the non-work-conserving variant: if some known
+// class is strictly owed service (its pass is lower than every other
+// class's) but has nothing pending, hold the server for up to IdleWait
+// for a request of its to arrive. Classes are visited in sorted name
+// order, so which starved class arms the wake timer — and the wait
+// returned — is deterministic (the scan previously ranged over a map).
+// Once a class has been waited for a full IdleWait the scan falls
+// through and a competitor is served.
+func (s *Stride) idleScan(now time.Duration) (time.Duration, bool) {
+	// Only the unique holder of the strictly minimal pass can be owed.
+	min := math.Inf(1)
+	minCount := 0
+	for _, c := range s.classes {
+		if !c.hasPass {
+			continue
+		}
+		if c.pass < min {
+			min, minCount = c.pass, 1
+		} else if c.pass == min {
+			minCount++
+		}
+	}
+	for _, name := range s.names {
+		c := s.classes[name]
+		if !c.hasPass {
+			continue
+		}
+		if c.q.n > 0 {
+			c.waiting = false
+			continue
+		}
+		if minCount != 1 || c.pass != min {
+			c.waiting = false
+			continue
+		}
+		if !c.waiting {
+			c.waiting = true
+			c.since = now
+			return s.IdleWait, true
+		}
+		if now-c.since < s.IdleWait {
+			return s.IdleWait - (now - c.since), true
+		}
+		// Waited long enough; fall through and serve a competitor.
+	}
+	return 0, false
+}

@@ -174,27 +174,21 @@ func (m *Manager) Close() {
 	})
 }
 
-// loop is the single scheduling goroutine.
+// loop is the single scheduling goroutine. The policy indexes the
+// pending set itself: submissions Add the transfer's embedded unit,
+// quantum-expired transfers update that unit in place and re-Add it,
+// and each admission is a single Next call — no per-schedule snapshot
+// of the queue is ever built.
 func (m *Manager) loop() {
-	var pending []*Transfer
+	queued := 0
 	running := 0
 	wakeArmed := false
 
 	schedule := func() {
-		for running < m.slots && len(pending) > 0 {
-			units := make([]*sched.Unit, len(pending))
-			for i, t := range pending {
-				units[i] = &sched.Unit{
-					Class:  m.classify(t),
-					Bytes:  t.remaining(),
-					Path:   t.Path,
-					Offset: t.Offset,
-					Seq:    t.seq,
-				}
-			}
+		for running < m.slots && queued > 0 {
 			now := m.clock.Now()
-			idx, wait := m.policy.Pick(units, now)
-			if idx < 0 {
+			u, wait := m.policy.Next(now)
+			if u == nil {
 				if wait > 0 && !wakeArmed {
 					wakeArmed = true
 					m.clock.Go(func() {
@@ -204,8 +198,8 @@ func (m *Manager) loop() {
 				}
 				return
 			}
-			t := pending[idx]
-			pending = append(pending[:idx], pending[idx+1:]...)
+			queued--
+			t := u.Owner.(*Transfer)
 			if m.admitDelay > 0 {
 				m.clock.Sleep(m.admitDelay)
 				now = m.clock.Now()
@@ -218,6 +212,14 @@ func (m *Manager) loop() {
 		}
 	}
 
+	// enqueue (re-)indexes a transfer's embedded unit under the policy.
+	enqueue := func(t *Transfer) {
+		t.unit.Bytes = t.remaining()
+		t.unit.Seq = t.seq
+		m.policy.Add(&t.unit)
+		queued++
+	}
+
 	for {
 		ev, ok := m.events.Pop()
 		if !ok {
@@ -225,7 +227,12 @@ func (m *Manager) loop() {
 		}
 		switch ev.kind {
 		case 0: // submit
-			pending = append(pending, ev.t)
+			t := ev.t
+			t.unit.Class = m.classify(t)
+			t.unit.Path = t.Path
+			t.unit.Offset = t.Offset
+			t.unit.Owner = t
+			enqueue(t)
 		case 1: // done
 			running--
 			now := m.clock.Now()
@@ -239,7 +246,7 @@ func (m *Manager) loop() {
 				m.nextSeq++
 				t.seq = m.nextSeq
 				m.mu.Unlock()
-				pending = append(pending, t)
+				enqueue(t)
 				break
 			}
 			res := Result{

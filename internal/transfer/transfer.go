@@ -16,6 +16,7 @@ import (
 
 	"nest/internal/bufpool"
 	"nest/internal/protocol"
+	"nest/internal/sched"
 	"nest/internal/sim"
 )
 
@@ -45,6 +46,11 @@ type Transfer struct {
 	seq       int64
 	submitted time.Duration
 	started   time.Duration
+	// unit is the transfer's persistent scheduling unit: the manager
+	// fills it at submission, hands &unit to the policy, and updates
+	// Bytes/Seq in place when quantum preemption re-queues the
+	// transfer, so scheduling never rebuilds per-transfer state.
+	unit sched.Unit
 	// p is the transfer's pump, persistent across scheduling quanta.
 	p *pump
 	// counted tracks bytes already credited to metrics, so per-segment
