@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched figures examples clean
+.PHONY: all build test race bench bench-storage bench-sched figures examples clean status
+
+# Observability endpoint of a running appliance (nestd -http).
+NEST_HTTP ?= 127.0.0.1:8080
 
 all: build test
 
@@ -38,6 +41,11 @@ examples:
 	$(GO) run ./examples/multiprotocol
 	$(GO) run ./examples/gridscenario
 	$(GO) run ./examples/qos
+
+# Print a running appliance's /statusz (metrics, latency quantiles,
+# recent and slow traces). Point NEST_HTTP at the nestd -http address.
+status:
+	$(GO) run ./cmd/nestctl -http $(NEST_HTTP) status
 
 clean:
 	$(GO) clean ./...

@@ -21,8 +21,14 @@ func main() {
 	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, or all")
 	flag.Parse()
 
+	// The fig3 mixed-workload measurement doubles as the run's final
+	// telemetry snapshot (same per-class counters /statusz exposes).
+	var fig3Rows []bench.Fig3Row
 	run := map[string]func(){
-		"fig3": func() { fmt.Println(bench.FormatFig3(bench.RunFig3())) },
+		"fig3": func() {
+			fig3Rows = bench.RunFig3()
+			fmt.Println(bench.FormatFig3(fig3Rows))
+		},
 		"fig4": func() { fmt.Println(bench.FormatFig4(bench.RunFig4())) },
 		"fig5": func() { fmt.Println(bench.FormatFig5(bench.RunFig5())) },
 		"fig6": func() {
@@ -35,6 +41,7 @@ func main() {
 		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations"} {
 			run[name]()
 		}
+		printTelemetry(fig3Rows)
 		return
 	}
 	fn, ok := run[*exp]
@@ -42,4 +49,16 @@ func main() {
 		log.Fatalf("nestbench: unknown experiment %q", *exp)
 	}
 	fn()
+	printTelemetry(fig3Rows)
+}
+
+// printTelemetry prints the final metrics snapshot from the mixed
+// NeST workload, if that experiment ran.
+func printTelemetry(rows []bench.Fig3Row) {
+	for _, r := range rows {
+		if r.Workload == "mixed" {
+			fmt.Println(bench.FormatTelemetry(r.NeST))
+			return
+		}
+	}
 }

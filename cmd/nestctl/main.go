@@ -20,17 +20,24 @@
 //	statfs                       print the server's ClassAd
 //	ping
 //
+//	status [statusz|metrics|healthz]
+//	                             fetch the appliance's observability
+//	                             page over its HTTP endpoint (-http)
+//
 //	issue -ca-key FILE -ca-name DN -subject DN -out cred.tok
 //	                             mint a GSI credential (admin)
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"nest/internal/chirp"
@@ -39,8 +46,9 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "127.0.0.1:9094", "Chirp address of the NeST")
-		credF  = flag.String("cred", "", "GSI credential token file (empty: anonymous)")
+		server   = flag.String("server", "127.0.0.1:9094", "Chirp address of the NeST")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "HTTP address of the NeST (status command)")
+		credF    = flag.String("cred", "", "GSI credential token file (empty: anonymous)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -50,6 +58,14 @@ func main() {
 	}
 	if args[0] == "issue" {
 		issue(args[1:])
+		return
+	}
+	if args[0] == "status" {
+		page := "statusz"
+		if len(args) > 1 {
+			page = strings.TrimPrefix(args[1], "/")
+		}
+		status(*httpAddr, page)
 		return
 	}
 
@@ -217,6 +233,43 @@ func printLot(lot chirp.Lot) {
 	}
 	fmt.Printf("%s: %d/%d bytes used, %s, expires at +%s\n",
 		lot.ID, lot.Used, lot.Capacity, state, lot.Expires)
+}
+
+// status fetches one observability page ("/statusz", "/metrics",
+// "/healthz") from the appliance's HTTP endpoint and prints the body.
+// The request is a hand-rolled HTTP/1.0 GET, matching the appliance's
+// hand-rolled server: no net/http dependency on either side.
+func status(addr, page string) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		log.Fatalf("nestctl: status: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := fmt.Fprintf(conn, "GET /%s HTTP/1.0\r\n\r\n", page); err != nil {
+		log.Fatalf("nestctl: status: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	statusLine, err := br.ReadString('\n')
+	if err != nil {
+		log.Fatalf("nestctl: status: %v", err)
+	}
+	parts := strings.Fields(statusLine)
+	if len(parts) < 2 || parts[1] != "200" {
+		log.Fatalf("nestctl: status: server said %q", strings.TrimSpace(statusLine))
+	}
+	for { // skip headers
+		line, err := br.ReadString('\n')
+		if err != nil {
+			log.Fatalf("nestctl: status: %v", err)
+		}
+		if strings.TrimRight(line, "\r\n") == "" {
+			break
+		}
+	}
+	if _, err := io.Copy(os.Stdout, br); err != nil {
+		log.Fatalf("nestctl: status: %v", err)
+	}
 }
 
 // issue mints a GSI credential; run it wherever the CA key lives.

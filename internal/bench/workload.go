@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -224,6 +226,10 @@ type Measurement struct {
 	PerClass map[string]float64 // MB/s
 	Total    float64
 	AvgLat   map[string]time.Duration
+	// Telemetry from the transfer manager's per-class metrics over the
+	// measured window: request counts and tail latency.
+	Requests map[string]int64
+	P99      map[string]time.Duration
 }
 
 // RunWorkload drives the client pools against their managers for
@@ -234,7 +240,12 @@ func (r *Rig) RunWorkload(pools []struct {
 	Opt ClientOptions
 }, warmup, duration time.Duration) Measurement {
 	var stop atomic.Bool
-	out := Measurement{PerClass: map[string]float64{}, AvgLat: map[string]time.Duration{}}
+	out := Measurement{
+		PerClass: map[string]float64{},
+		AvgLat:   map[string]time.Duration{},
+		Requests: map[string]int64{},
+		P99:      map[string]time.Duration{},
+	}
 	r.Clock.Run(func() {
 		wg := sim.NewWaitGroup(r.Clock)
 		for _, p := range pools {
@@ -253,12 +264,41 @@ func (r *Rig) RunWorkload(pools []struct {
 		for _, p := range pools {
 			class := p.Opt.Spec.Name
 			bw := p.Mgr.Metrics().BandwidthMBps(class, now)
+			stats := p.Mgr.Metrics().Class(class)
 			out.PerClass[class] = bw
 			out.AvgLat[class] = p.Mgr.Metrics().AvgLatency(class)
+			out.Requests[class] = stats.Requests
+			out.P99[class] = stats.P99
 			out.Total += bw
 		}
 		stop.Store(true)
 		wg.Wait()
 	})
 	return out
+}
+
+// FormatTelemetry renders a measurement's per-class transfer-manager
+// metrics (the same counters /statusz exposes on a live appliance) as
+// the "final metrics snapshot" nestbench prints after the figures.
+func FormatTelemetry(m Measurement) string {
+	var classes []string
+	for c := range m.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var sb strings.Builder
+	sb.WriteString("Final metrics snapshot (mixed NeST workload, per-protocol)\n")
+	sb.WriteString("Counters mirror a live appliance's /statusz exposition.\n\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %12s %12s\n",
+		"protocol", "requests", "MB/s", "avg lat", "p99 lat")
+	var total int64
+	for _, c := range classes {
+		fmt.Fprintf(&sb, "%-10s %10d %10.1f %12s %12s\n",
+			c, m.Requests[c], m.PerClass[c],
+			m.AvgLat[c].Round(time.Microsecond),
+			m.P99[c].Round(time.Microsecond))
+		total += m.Requests[c]
+	}
+	fmt.Fprintf(&sb, "%-10s %10d %10.1f\n", "total", total, m.Total)
+	return sb.String()
 }

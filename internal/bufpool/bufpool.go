@@ -7,12 +7,44 @@
 // free list.
 package bufpool
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // pools maps buffer capacity -> *sync.Pool of *[]byte. Pools are
 // created on first use and live for the process; the set of distinct
 // chunk sizes in the system is small and static.
 var pools sync.Map
+
+// Package-wide counters behind Stats(). Atomic so the data plane pays
+// one uncontended add per Get/Put; misses count pool refills (fresh
+// allocations), so a high hit ratio means the free lists are doing
+// their job.
+var (
+	statGets          atomic.Int64
+	statPuts          atomic.Int64
+	statMisses        atomic.Int64
+	statBytesRecycled atomic.Int64
+)
+
+// PoolStats is a snapshot of the pool's cumulative activity.
+type PoolStats struct {
+	Gets          int64 // buffers handed out
+	Puts          int64 // buffers returned
+	Misses        int64 // Gets that had to allocate fresh
+	BytesRecycled int64 // capacity of all returned buffers
+}
+
+// Stats returns cumulative pool counters (observability exposition).
+func Stats() PoolStats {
+	return PoolStats{
+		Gets:          statGets.Load(),
+		Puts:          statPuts.Load(),
+		Misses:        statMisses.Load(),
+		BytesRecycled: statBytesRecycled.Load(),
+	}
+}
 
 func poolFor(size int) *sync.Pool {
 	if p, ok := pools.Load(size); ok {
@@ -20,6 +52,7 @@ func poolFor(size int) *sync.Pool {
 	}
 	p, _ := pools.LoadOrStore(size, &sync.Pool{
 		New: func() interface{} {
+			statMisses.Add(1)
 			b := make([]byte, size)
 			return &b
 		},
@@ -35,6 +68,7 @@ func Get(size int) *[]byte {
 		b := []byte{}
 		return &b
 	}
+	statGets.Add(1)
 	return poolFor(size).Get().(*[]byte)
 }
 
@@ -45,5 +79,7 @@ func Put(buf *[]byte) {
 		return
 	}
 	*buf = (*buf)[:cap(*buf)]
+	statPuts.Add(1)
+	statBytesRecycled.Add(int64(cap(*buf)))
 	poolFor(cap(*buf)).Put(buf)
 }

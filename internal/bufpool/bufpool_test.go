@@ -65,6 +65,32 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
+func TestStatsCounters(t *testing.T) {
+	before := Stats()
+	b := Get(2048) // fresh size class: must miss
+	Put(b)
+	Get(2048) // warm: pooled, no new miss expected from this class
+	after := Stats()
+	if got := after.Gets - before.Gets; got != 2 {
+		t.Errorf("Gets delta = %d, want 2", got)
+	}
+	if got := after.Puts - before.Puts; got != 1 {
+		t.Errorf("Puts delta = %d, want 1", got)
+	}
+	if after.Misses <= before.Misses {
+		t.Error("fresh size class did not count a miss")
+	}
+	if got := after.BytesRecycled - before.BytesRecycled; got != 2048 {
+		t.Errorf("BytesRecycled delta = %d, want 2048", got)
+	}
+	// Zero-size gets bypass the pools and stay uncounted.
+	statsBefore := Stats()
+	Put(Get(0))
+	if s := Stats(); s.Gets != statsBefore.Gets || s.Puts != statsBefore.Puts {
+		t.Error("zero-size Get/Put counted")
+	}
+}
+
 func TestSteadyStateAllocs(t *testing.T) {
 	// Warm the pool, then verify the get/put cycle allocates nothing.
 	Put(Get(32 * 1024))

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nest/internal/acl"
+	"nest/internal/bufpool"
 	"nest/internal/cache"
 	"nest/internal/chirp"
 	"nest/internal/classad"
@@ -20,6 +21,7 @@ import (
 	"nest/internal/httpx"
 	"nest/internal/lots"
 	"nest/internal/nfs"
+	"nest/internal/obs"
 	"nest/internal/protocol"
 	"nest/internal/quota"
 	"nest/internal/sched"
@@ -193,6 +195,31 @@ func New(cfg Config) (*Server, error) {
 
 	s.Disp = dispatch.New(cfg.Clock, s.Store, s.Xfer)
 
+	// Fold component health into the dispatcher's registry as pull-time
+	// gauges: each component keeps its own atomic counters and pays
+	// nothing until exposition.
+	reg := s.Disp.Obs()
+	reg.Func("nest_storage_total_bytes", fs.Total)
+	reg.Func("nest_storage_free_bytes", fs.Free)
+	reg.Func("nest_storage_extent_allocs_total", func() int64 { a, _ := storage.ExtentStats(); return a })
+	reg.Func("nest_storage_extent_recycles_total", func() int64 { _, r := storage.ExtentStats(); return r })
+	reg.Func("nest_cache_hits_total", func() int64 { h, _ := s.Cache.Stats(); return h })
+	reg.Func("nest_cache_misses_total", func() int64 { _, m := s.Cache.Stats(); return m })
+	reg.Func("nest_bufpool_gets_total", func() int64 { return bufpool.Stats().Gets })
+	reg.Func("nest_bufpool_puts_total", func() int64 { return bufpool.Stats().Puts })
+	reg.Func("nest_bufpool_misses_total", func() int64 { return bufpool.Stats().Misses })
+	reg.Func("nest_bufpool_bytes_recycled_total", func() int64 { return bufpool.Stats().BytesRecycled })
+	reg.Func("nest_quota_charges_total", func() int64 { c, _ := s.Quota.Stats(); return c })
+	reg.Func("nest_quota_rejects_total", func() int64 { _, r := s.Quota.Stats(); return r })
+	if lotMgr != nil {
+		reg.Func("nest_lot_guaranteed_bytes", lotMgr.Guaranteed)
+		reg.Func("nest_lot_free_bytes", func() int64 { return lotMgr.Total() - lotMgr.Guaranteed() })
+		reg.Func("nest_lot_creates_total", func() int64 { return lotMgr.Stats().Creates })
+		reg.Func("nest_lot_create_rejects_total", func() int64 { return lotMgr.Stats().CreateRejects })
+		reg.Func("nest_lot_charge_admits_total", func() int64 { return lotMgr.Stats().ChargeAdmits })
+		reg.Func("nest_lot_charge_rejects_total", func() int64 { return lotMgr.Stats().ChargeRejects })
+	}
+
 	// Security.
 	ca := cfg.CA
 	if ca == nil {
@@ -200,9 +227,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	verifier := gsi.NewVerifier(ca)
 
+	// The HTTP handler doubles as the appliance's observability
+	// surface: /statusz, /metrics and /healthz are answered by the
+	// dispatcher before the path is treated as a file.
+	httpHandler := httpx.NewHandler()
+	httpHandler.SetStatus(s.Disp.StatusPage)
+
 	handlers := map[string]protocol.Handler{
 		chirp.Proto:   chirp.NewHandler(verifier, true),
-		httpx.Proto:   httpx.NewHandler(),
+		httpx.Proto:   httpHandler,
 		ftp.Proto:     ftp.NewHandler(ftp.Options{AllowAnon: true}),
 		gridftp.Proto: gridftp.NewHandler(verifier),
 		"nfs":         nfs.NewHandler(),
@@ -272,6 +305,10 @@ func (s *Server) GrantDefaultLot(user string, capacity int64, duration time.Dura
 func (s *Server) Advertisement() *classad.Ad {
 	return s.Disp.Advertisement(s.cfg.Name)
 }
+
+// Obs returns the appliance's metrics registry (the dispatcher's, with
+// component gauges folded in).
+func (s *Server) Obs() *obs.Registry { return s.Disp.Obs() }
 
 // Close shuts the appliance down, draining in-flight transfers.
 func (s *Server) Close() {

@@ -12,9 +12,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nest/internal/classad"
+	"nest/internal/obs"
 	"nest/internal/protocol"
 	"nest/internal/sim"
 	"nest/internal/storage"
@@ -43,19 +45,47 @@ type Dispatcher struct {
 	closed    bool
 	wg        sync.WaitGroup
 
-	// Logger receives connection-level diagnostics; nil silences.
-	Logger *log.Logger
+	// logger receives connection-level diagnostics; nil silences. It is
+	// an atomic pointer so SetLogger is safe after accept goroutines
+	// have started (the old bare exported field raced with logf).
+	logger atomic.Pointer[log.Logger]
+
+	// Observability (package obs). The registry and rings are created
+	// at New and live for the dispatcher; per-protocol instrument
+	// blocks are resolved once per session, so the per-request record
+	// path is a handful of uncontended atomics.
+	reg      *obs.Registry
+	stats    atomic.Pointer[map[string]*protoStats]
+	latRead  *obs.Histogram // read-lock (concurrent) control-plane path
+	latWrite *obs.Histogram // write-lock (serialized) control-plane path
+	latXfer  *obs.Histogram // transfer path (queue + data phase)
+	ring     *obs.Ring      // sampled recent requests
+	slowRing *obs.Ring      // requests over the slow threshold
+	slowNs   atomic.Int64
+
+	// Advertisement bandwidth window: per-protocol byte counts at the
+	// previous Advertisement call (under mu).
+	pubBytes map[string]int64
+	pubAt    time.Duration
 }
 
 // New wires a dispatcher.
 func New(clock sim.Clock, store *storage.Manager, xfer *transfer.Manager) *Dispatcher {
-	return &Dispatcher{
+	d := &Dispatcher{
 		clock:    clock,
 		store:    store,
 		xfer:     xfer,
 		sessions: make(map[protocol.Session]bool),
+		pubBytes: make(map[string]int64),
+		pubAt:    clock.Now(),
 	}
+	d.initObs()
+	return d
 }
+
+// SetLogger installs (or clears, with nil) the diagnostics logger.
+// Safe to call at any time, including while sessions are being served.
+func (d *Dispatcher) SetLogger(l *log.Logger) { d.logger.Store(l) }
 
 // track registers an active session; it reports false (and closes the
 // session) when the dispatcher is already shut down.
@@ -82,8 +112,8 @@ func (d *Dispatcher) Store() *storage.Manager { return d.store }
 func (d *Dispatcher) Transfers() *transfer.Manager { return d.xfer }
 
 func (d *Dispatcher) logf(format string, args ...interface{}) {
-	if d.Logger != nil {
-		d.Logger.Printf(format, args...)
+	if l := d.logger.Load(); l != nil {
+		l.Printf(format, args...)
 	}
 }
 
@@ -137,40 +167,100 @@ func (d *Dispatcher) serve(ln net.Listener, h protocol.Handler) {
 }
 
 // ServeSession drives one virtual protocol connection to completion.
+//
+// Each request is counted per protocol × op (exact counts, one atomic
+// add). Latency is recorded into the histogram of the path the
+// request took (read-lock, write-lock, or transfer): transfers are
+// timed exactly (the data phase dwarfs the clock reads), control-plane
+// ops are timed for one request in traceSampleEvery — the unsampled
+// fast path takes no extra clock reads, which keeps the dispatcher's
+// per-request overhead inside the <5% benchmark budget. Sampled
+// requests also record full stage timing into the trace ring, and any
+// timed request over the slow threshold lands in the slow-trace ring.
 func (d *Dispatcher) ServeSession(s protocol.Session) {
 	defer s.Close()
 	if !d.track(s) {
 		return
 	}
 	defer d.untrack(s)
+	proto := s.Proto()
+	user := s.User()
+	ps := d.protoStatsFor(proto)
+	var nreq uint64
 	for {
 		req, err := s.Next()
 		if err != nil {
 			if err != io.EOF {
-				d.logf("dispatch: %s session: %v", s.Proto(), err)
+				d.logf("dispatch: %s session: %v", proto, err)
 			}
 			return
 		}
-		req.Proto = s.Proto()
-		req.User = s.User()
-		req.Arrived = d.clock.Now()
+		req.Proto = proto
+		req.User = user
+		arrived := d.clock.Now()
+		req.Arrived = arrived
+		nreq++
+		sampled := nreq%traceSampleEvery == 0
+		// Trace IDs are minted only for requests that can reach a ring
+		// (sampled ones, and every transfer — handled below): the
+		// unsampled control-plane fast path skips the shared counter.
+		if sampled {
+			req.TraceID = d.ring.NextID()
+		}
+		if req.Op < protocol.OpCount {
+			ps.ops[req.Op].Inc()
+		}
 		switch {
 		case req.Op == protocol.OpQuit:
 			s.Reply(req, protocol.OKReply())
 			return
 		case req.Op.IsTransfer():
-			d.handleTransfer(s, req)
+			if !sampled {
+				req.TraceID = d.ring.NextID()
+			}
+			bytes, code, queued := d.handleTransfer(s, req)
+			total := d.clock.Now() - arrived
+			d.latXfer.Observe(int64(total))
+			ps.bytes.Add(bytes)
+			if code != protocol.CodeOK {
+				ps.errors.Inc()
+			}
+			d.maybeTrace(sampled, req, code, bytes, arrived, queued, total)
 		case req.Op.IsReadOnly():
+			var lockAt time.Duration
 			d.storageMu.RLock()
+			if sampled {
+				lockAt = d.clock.Now()
+			}
 			rep := d.store.Execute(req)
 			d.storageMu.RUnlock()
+			if rep.Code != protocol.CodeOK {
+				ps.errors.Inc()
+			}
+			if sampled {
+				total := d.clock.Now() - arrived
+				d.latRead.Observe(int64(total))
+				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+			}
 			if err := s.Reply(req, rep); err != nil {
 				return
 			}
 		default:
+			var lockAt time.Duration
 			d.storageMu.Lock()
+			if sampled {
+				lockAt = d.clock.Now()
+			}
 			rep := d.store.Execute(req)
 			d.storageMu.Unlock()
+			if rep.Code != protocol.CodeOK {
+				ps.errors.Inc()
+			}
+			if sampled {
+				total := d.clock.Now() - arrived
+				d.latWrite.Observe(int64(total))
+				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+			}
 			if err := s.Reply(req, rep); err != nil {
 				return
 			}
@@ -181,14 +271,16 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 // handleTransfer performs the synchronous approval at the storage
 // manager, then hands the data phase to the transfer manager and waits
 // for it (the dispatcher stops listening on the client channel while
-// the transfer is in flight, paper §2.2).
-func (d *Dispatcher) handleTransfer(s protocol.Session, req *protocol.Request) {
+// the transfer is in flight, paper §2.2). It reports the bytes moved,
+// the reply code, and the scheduler queue time for tracing.
+func (d *Dispatcher) handleTransfer(s protocol.Session, req *protocol.Request) (int64, int, time.Duration) {
 	switch req.Op {
 	case protocol.OpGet:
-		d.handleGet(s, req)
+		return d.handleGet(s, req)
 	case protocol.OpPut:
-		d.handlePut(s, req)
+		return d.handlePut(s, req)
 	}
+	return 0, protocol.CodeBadRequest, 0
 }
 
 func (d *Dispatcher) await(t *transfer.Transfer) transfer.Result {
@@ -202,25 +294,26 @@ func (d *Dispatcher) await(t *transfer.Transfer) transfer.Result {
 	return <-done
 }
 
-func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) {
+func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) (int64, int, time.Duration) {
 	f, size, errRep := d.store.ApproveGet(req)
 	if errRep != nil {
 		s.Reply(req, errRep)
-		return
+		return 0, errRep.Code, 0
 	}
 	defer f.Close()
 	sink, err := s.SendData(req, size)
 	if err != nil {
-		return
+		return 0, protocol.CodeInternal, 0
 	}
 	res := d.await(&transfer.Transfer{
-		Class:  req.Proto,
-		User:   req.User,
-		Path:   storage.Clean(req.Path),
-		Offset: req.Offset,
-		Size:   size,
-		Src:    io.NewSectionReader(f, req.Offset, size),
-		Dst:    sink,
+		Class:   req.Proto,
+		User:    req.User,
+		Path:    storage.Clean(req.Path),
+		Offset:  req.Offset,
+		Size:    size,
+		Src:     io.NewSectionReader(f, req.Offset, size),
+		Dst:     sink,
+		TraceID: req.TraceID,
 	})
 	sink.Close()
 	rep := protocol.OKReply()
@@ -229,48 +322,81 @@ func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) {
 		rep = protocol.ErrReply(protocol.CodeInternal, "transfer failed: %v", res.Err)
 	}
 	s.Reply(req, rep)
+	return res.Bytes, rep.Code, res.Queue
 }
 
-func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) {
+func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) (int64, int, time.Duration) {
 	ticket, errRep := d.store.ApprovePut(req)
 	if errRep != nil {
 		s.Reply(req, errRep)
-		return
+		return 0, errRep.Code, 0
 	}
 	src, err := s.RecvData(req)
 	if err != nil {
 		d.store.FinishPut(ticket, 0, err)
-		return
+		return 0, protocol.CodeInternal, 0
 	}
 	res := d.await(&transfer.Transfer{
-		Class:  req.Proto,
-		User:   req.User,
-		Path:   storage.Clean(req.Path),
-		Offset: req.Offset,
-		Size:   req.Size,
-		Src:    src,
-		Dst:    io.NewOffsetWriter(ticket.File, req.Offset),
+		Class:   req.Proto,
+		User:    req.User,
+		Path:    storage.Clean(req.Path),
+		Offset:  req.Offset,
+		Size:    req.Size,
+		Src:     src,
+		Dst:     io.NewOffsetWriter(ticket.File, req.Offset),
+		TraceID: req.TraceID,
 	})
 	src.Close()
 	rep := d.store.FinishPut(ticket, res.Bytes, res.Err)
 	s.Reply(req, rep)
+	return res.Bytes, rep.Code, res.Queue
 }
 
 // Advertisement consolidates resource and data availability into the
-// NeST ClassAd published to the Grid (paper §2.1, §6).
+// NeST ClassAd published to the Grid (paper §2.1, §6), extended with
+// live health: recent per-protocol bandwidth over the window since the
+// previous Advertisement call, p99 request latency across all dispatch
+// paths, and the transfer queue depth — so the matchmaker can rank
+// appliances by current load, not just static capacity.
 func (d *Dispatcher) Advertisement(name string) *classad.Ad {
 	ad := d.store.Advertisement()
 	ad.SetString("Name", name)
+	now := d.clock.Now()
+	stats := *d.stats.Load()
 	d.mu.Lock()
 	vals := make([]classad.Value, len(d.protocols))
 	for i, p := range d.protocols {
 		vals[i] = classad.Str(p)
 	}
+	elapsed := (now - d.pubAt).Seconds()
+	d.pubAt = now
+	var totalMBps float64
+	perProto := make(map[string]float64, len(stats))
+	for p, ps := range stats {
+		cur := ps.bytes.Value()
+		delta := cur - d.pubBytes[p]
+		d.pubBytes[p] = cur
+		var mbps float64
+		if elapsed > 0 && delta > 0 {
+			mbps = float64(delta) / (1 << 20) / elapsed
+		}
+		perProto[p] = mbps
+		totalMBps += mbps
+	}
 	d.mu.Unlock()
 	ad.SetValue("Protocols", classad.List(vals...))
 	ad.SetString("Schedule", d.xfer.Policy().Name())
 	ad.SetString("ConcurrencyModel", d.xfer.ModelName())
-	ad.SetInt("UpdatedAt", int64(d.clock.Now()/time.Millisecond))
+	for p, mbps := range perProto {
+		ad.SetReal("RecentBandwidthMBps_"+p, mbps)
+	}
+	ad.SetReal("RecentBandwidthMBps", totalMBps)
+	lat := d.latRead.Snapshot()
+	lat.Merge(d.latWrite.Snapshot())
+	lat.Merge(d.latXfer.Snapshot())
+	ad.SetReal("P99LatencyMs", float64(lat.Quantile(0.99))/1e6)
+	ad.SetInt("QueueDepth", d.xfer.QueueDepth())
+	ad.SetInt("UpdatedAt", int64(now/time.Millisecond))
 	return ad
 }
 

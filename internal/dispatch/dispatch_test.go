@@ -13,6 +13,7 @@ import (
 
 	"nest/internal/acl"
 	"nest/internal/classad"
+	"nest/internal/discovery"
 	"nest/internal/dispatch"
 	"nest/internal/gsi"
 	"nest/internal/lots"
@@ -251,7 +252,7 @@ func TestServeListenerHandshakeFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	logBuf := &lockedBuffer{}
-	d.Logger = log.New(logBuf, "", 0)
+	d.SetLogger(log.New(logBuf, "", 0))
 	go d.ServeListener(ln, failingHandler{})
 	// Connections are accepted, rejected, and the listener survives.
 	for i := 0; i < 3; i++ {
@@ -288,5 +289,151 @@ func TestRegisterAfterClose(t *testing.T) {
 	// The listener was closed for us.
 	if _, err := ln.Accept(); err == nil {
 		t.Error("listener still accepting after rejected Register")
+	}
+}
+
+// driveTraffic pushes a put, a get and a spread of control-plane ops
+// through the dispatcher so observability state is live.
+func driveTraffic(t *testing.T, d *dispatch.Dispatcher) {
+	t.Helper()
+	payload := strings.Repeat("telemetry ", 1000)
+	s := &fakeSession{
+		recv: strings.NewReader(payload),
+		reqs: []*protocol.Request{
+			{Op: protocol.OpPut, Path: "/t.bin", Size: int64(len(payload))},
+			{Op: protocol.OpGet, Path: "/t.bin"},
+			{Op: protocol.OpStat, Path: "/t.bin"},
+			{Op: protocol.OpList, Path: "/"},
+			{Op: protocol.OpMkdir, Path: "/dir"},
+			{Op: protocol.OpPing},
+		},
+	}
+	d.ServeSession(s)
+	for i, rep := range s.replies {
+		if !rep.OK() {
+			t.Fatalf("request %d failed: %s", i, rep.Message)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	d, _ := newDispatcher(t)
+	driveTraffic(t, d)
+	text := d.Obs().Text()
+	for _, want := range []string{
+		`nest_dispatch_op_total{proto="fake",op="get"} 1`,
+		`nest_dispatch_op_total{proto="fake",op="put"} 1`,
+		`nest_dispatch_op_total{proto="fake",op="stat"} 1`,
+		`nest_dispatch_op_total{proto="fake",op="mkdir"} 1`,
+		"nest_dispatch_latency_transfer_ns_count 2",
+		"nest_transfer_submits_total 2",
+		"nest_transfer_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestStatusPageRoutes(t *testing.T) {
+	d, _ := newDispatcher(t)
+	driveTraffic(t, d)
+	if body, ok := d.StatusPage("/healthz"); !ok || body != "ok\n" {
+		t.Errorf("/healthz = %q, %v", body, ok)
+	}
+	if body, ok := d.StatusPage("/metrics"); !ok || !strings.Contains(body, "nest_dispatch_latency_read_ns_count") {
+		t.Errorf("/metrics not served: %v", ok)
+	}
+	body, ok := d.StatusPage("/statusz")
+	if !ok || !strings.Contains(body, "NeST appliance status") {
+		t.Fatalf("/statusz not served: %v", ok)
+	}
+	if !strings.Contains(body, "fake") {
+		t.Error("/statusz missing per-protocol section")
+	}
+	if _, ok := d.StatusPage("/some/file"); ok {
+		t.Error("StatusPage claimed a regular file path")
+	}
+}
+
+func TestTransfersAlwaysTraced(t *testing.T) {
+	d, _ := newDispatcher(t)
+	// Transfers below the sampling rate still reach the slow ring when
+	// they exceed the threshold; force that by making everything slow.
+	d.SetSlowThreshold(1 * time.Nanosecond)
+	driveTraffic(t, d)
+	slow := d.SlowTraces()
+	var gets, puts int
+	for _, tr := range slow {
+		switch tr.Op {
+		case "get":
+			gets++
+		case "put":
+			puts++
+		}
+	}
+	if gets == 0 || puts == 0 {
+		t.Errorf("slow ring missing transfers: %d gets, %d puts (%d traces)", gets, puts, len(slow))
+	}
+	for _, tr := range slow {
+		if tr.ID == 0 || tr.Proto != "fake" || tr.Total <= 0 {
+			t.Errorf("malformed trace %+v", tr)
+		}
+	}
+}
+
+func TestAdvertisementHealthAttrs(t *testing.T) {
+	d, _ := newDispatcher(t)
+	driveTraffic(t, d)
+	ad := d.Advertisement("health")
+	if v, ok := ad.EvalAttr("QueueDepth", nil).IntVal(); !ok || v < 0 {
+		t.Errorf("QueueDepth = %d, %v", v, ok)
+	}
+	if v, ok := ad.EvalAttr("P99LatencyMs", nil).RealVal(); !ok || v < 0 {
+		t.Errorf("P99LatencyMs = %v, %v", v, ok)
+	}
+	if v, ok := ad.EvalAttr("RecentBandwidthMBps", nil).RealVal(); !ok || v <= 0 {
+		t.Errorf("RecentBandwidthMBps = %v, %v (traffic just moved bytes)", v, ok)
+	}
+	if v, ok := ad.EvalAttr("RecentBandwidthMBps_fake", nil).RealVal(); !ok || v <= 0 {
+		t.Errorf("RecentBandwidthMBps_fake = %v, %v", v, ok)
+	}
+	// The window resets on every Advertisement: with no traffic since
+	// the last call, recent bandwidth drops back toward zero.
+	ad2 := d.Advertisement("health")
+	if v, _ := ad2.EvalAttr("RecentBandwidthMBps", nil).RealVal(); v != 0 {
+		t.Errorf("idle window bandwidth = %v, want 0", v)
+	}
+}
+
+// TestDiscoveryMatchesOnHealth drives the paper's discovery path with
+// the new health attributes: the dispatcher's advertisement lands in a
+// collector and a requester can constrain placement on live load
+// (queue depth, p99 latency, recent bandwidth), not just capacity.
+func TestDiscoveryMatchesOnHealth(t *testing.T) {
+	d, _ := newDispatcher(t)
+	driveTraffic(t, d)
+	coll := discovery.NewCollector(nil, time.Minute)
+	if err := coll.Advertise(d.Advertisement("obs-nest")); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := coll.Query(`QueueDepth == 0 && P99LatencyMs >= 0 && RecentBandwidthMBps > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 1 {
+		t.Fatalf("health constraint matched %d ads, want 1", len(ads))
+	}
+	if name, _ := ads[0].EvalAttr("Name", nil).StringVal(); name != "obs-nest" {
+		t.Errorf("matched ad Name = %q", name)
+	}
+	// A constraint demanding an idle-beyond-possible appliance (deep
+	// queue) must not match.
+	ads, err = coll.Query(`QueueDepth > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 0 {
+		t.Errorf("impossible constraint matched %d ads", len(ads))
 	}
 }

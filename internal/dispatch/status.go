@@ -1,0 +1,227 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nest/internal/obs"
+	"nest/internal/protocol"
+)
+
+// traceSampleEvery selects which requests get full stage timing
+// recorded into the trace ring: one in every traceSampleEvery per
+// session. Slow requests are always traced regardless of sampling.
+// The width amortizes the sampled path's clock reads and ring write
+// to ~1 ns/request on the control-plane fast path.
+const traceSampleEvery = 32
+
+// DefaultSlowThreshold is the latency above which a request is always
+// recorded in the slow-trace ring.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// traceRingSize bounds both trace rings (entries, fixed memory).
+const traceRingSize = 256
+
+// protoStats is one protocol's instrument block: a fixed-width per-op
+// counter array (indexed by protocol.Op, sized by protocol.OpCount so
+// recording is an array index plus an atomic add — no map, no lock),
+// an error counter, and the transfer payload bytes moved for the
+// protocol (both directions; feeds the advertisement's recent
+// bandwidth window).
+type protoStats struct {
+	ops    [protocol.OpCount]obs.Counter
+	errors obs.Counter
+	bytes  obs.Counter
+}
+
+// initObs builds the dispatcher's registry, rings and histograms and
+// registers the exposition hooks. Called once from New.
+func (d *Dispatcher) initObs() {
+	d.reg = obs.NewRegistry()
+	empty := make(map[string]*protoStats)
+	d.stats.Store(&empty)
+	d.latRead = d.reg.Histogram("nest_dispatch_latency_read_ns")
+	d.latWrite = d.reg.Histogram("nest_dispatch_latency_write_ns")
+	d.latXfer = d.reg.Histogram("nest_dispatch_latency_transfer_ns")
+	d.ring = obs.NewRing(traceRingSize)
+	d.slowRing = obs.NewRing(traceRingSize)
+	d.slowNs.Store(int64(DefaultSlowThreshold))
+
+	d.reg.Func("nest_transfer_queue_depth", func() int64 { return d.xfer.Stats().QueueDepth })
+	d.reg.Func("nest_transfer_submits_total", func() int64 { return d.xfer.Stats().Submits })
+	d.reg.Func("nest_transfer_admissions_total", func() int64 { return d.xfer.Stats().Admissions })
+	d.reg.Func("nest_transfer_preemptions_total", func() int64 { return d.xfer.Stats().Preemptions })
+	d.reg.Func("nest_trace_drops_total", func() int64 { return d.ring.Drops() + d.slowRing.Drops() })
+
+	// Per-protocol × per-op request counts, errors and bytes: a labeled
+	// family whose members appear as protocols connect, emitted from
+	// the copy-on-write stats map at exposition time.
+	d.reg.Collect(func(emit obs.Emit) {
+		stats := *d.stats.Load()
+		protos := make([]string, 0, len(stats))
+		for p := range stats {
+			protos = append(protos, p)
+		}
+		sort.Strings(protos)
+		for _, p := range protos {
+			ps := stats[p]
+			for op := protocol.Op(1); op < protocol.OpCount; op++ {
+				if n := ps.ops[op].Value(); n > 0 {
+					emit(fmt.Sprintf("nest_dispatch_op_total{proto=%q,op=%q}", p, op), float64(n))
+				}
+			}
+			emit(fmt.Sprintf("nest_dispatch_errors_total{proto=%q}", p), float64(ps.errors.Value()))
+			emit(fmt.Sprintf("nest_dispatch_bytes_total{proto=%q}", p), float64(ps.bytes.Value()))
+		}
+	})
+}
+
+// Obs returns the dispatcher's metrics registry so the appliance can
+// register component gauges (storage, cache, bufpool, lots, quota)
+// into the same exposition.
+func (d *Dispatcher) Obs() *obs.Registry { return d.reg }
+
+// Traces returns the sampled recent-request traces, newest first.
+func (d *Dispatcher) Traces() []obs.Trace { return d.ring.Snapshot() }
+
+// SlowTraces returns recent requests that exceeded the slow threshold,
+// newest first.
+func (d *Dispatcher) SlowTraces() []obs.Trace { return d.slowRing.Snapshot() }
+
+// SetSlowThreshold adjusts the latency above which every request is
+// traced. Zero or negative disables slow tracing.
+func (d *Dispatcher) SetSlowThreshold(t time.Duration) { d.slowNs.Store(int64(t)) }
+
+// protoStatsFor resolves (or creates) the instrument block for one
+// protocol. Sessions call it once; the map is copy-on-write so the
+// per-request path reads it without locks.
+func (d *Dispatcher) protoStatsFor(proto string) *protoStats {
+	if ps := (*d.stats.Load())[proto]; ps != nil {
+		return ps
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.stats.Load()
+	if ps := old[proto]; ps != nil {
+		return ps
+	}
+	next := make(map[string]*protoStats, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	ps := &protoStats{}
+	next[proto] = ps
+	d.stats.Store(&next)
+	return ps
+}
+
+// maybeTrace records the request into the sampled ring (when sampled)
+// and the slow ring (when total exceeds the threshold). wait is only
+// meaningful for sampled requests; it is clamped to zero otherwise.
+func (d *Dispatcher) maybeTrace(sampled bool, req *protocol.Request, code int, bytes int64, arrived, wait, total time.Duration) {
+	slow := d.slowNs.Load()
+	isSlow := slow > 0 && int64(total) >= slow
+	if !sampled && !isSlow {
+		return
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	tr := obs.Trace{
+		ID:      req.TraceID,
+		Proto:   req.Proto,
+		Op:      req.Op.String(),
+		User:    req.User,
+		Path:    req.Path,
+		Code:    code,
+		Bytes:   bytes,
+		Start:   arrived,
+		Wait:    wait,
+		Service: total - wait,
+		Total:   total,
+	}
+	if sampled {
+		d.ring.Record(&tr)
+	}
+	if isSlow {
+		d.slowRing.Record(&tr)
+	}
+}
+
+// StatusPage serves the observability endpoints from whatever HTTP
+// surface the appliance exposes: "/metrics" is the machine-readable
+// registry text, "/statusz" a human summary with recent and slow
+// traces, "/healthz" a liveness probe. It reports false for paths it
+// does not own, so protocol handlers fall through to normal file ops.
+func (d *Dispatcher) StatusPage(path string) (string, bool) {
+	switch path {
+	case "/metrics":
+		return d.reg.Text(), true
+	case "/healthz":
+		return "ok\n", true
+	case "/statusz":
+		return d.statusz(), true
+	}
+	return "", false
+}
+
+func (d *Dispatcher) statusz() string {
+	var b strings.Builder
+	b.WriteString("NeST appliance status\n=====================\n\n")
+
+	fmt.Fprintf(&b, "schedule: %s   concurrency: %s\n", d.xfer.Policy().Name(), d.xfer.ModelName())
+	ts := d.xfer.Stats()
+	fmt.Fprintf(&b, "transfer queue depth: %d   submits: %d   admissions: %d   preemptions: %d\n\n",
+		ts.QueueDepth, ts.Submits, ts.Admissions, ts.Preemptions)
+
+	b.WriteString("dispatch latency (ns)\n")
+	fmt.Fprintf(&b, "  %-10s %10s %12s %12s %12s\n", "path", "count", "p50", "p95", "p99")
+	for _, row := range []struct {
+		name string
+		h    *obs.Histogram
+	}{{"read", d.latRead}, {"write", d.latWrite}, {"transfer", d.latXfer}} {
+		s := row.h.Snapshot()
+		fmt.Fprintf(&b, "  %-10s %10d %12d %12d %12d\n",
+			row.name, s.Count, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+	}
+	b.WriteString("\nper-protocol requests\n")
+	stats := *d.stats.Load()
+	protos := make([]string, 0, len(stats))
+	for p := range stats {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		ps := stats[p]
+		var total int64
+		var ops []string
+		for op := protocol.Op(1); op < protocol.OpCount; op++ {
+			if n := ps.ops[op].Value(); n > 0 {
+				total += n
+				ops = append(ops, fmt.Sprintf("%s=%d", op, n))
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s total=%d errors=%d bytes=%d  %s\n",
+			p, total, ps.errors.Value(), ps.bytes.Value(), strings.Join(ops, " "))
+	}
+
+	writeTraces := func(title string, traces []obs.Trace) {
+		fmt.Fprintf(&b, "\n%s (%d)\n", title, len(traces))
+		max := len(traces)
+		if max > 16 {
+			max = 16
+		}
+		for _, t := range traces[:max] {
+			fmt.Fprintf(&b, "  #%-6d %-8s %-10s code=%d bytes=%-10d wait=%-12s total=%-12s %s\n",
+				t.ID, t.Proto, t.Op, t.Code, t.Bytes, t.Wait, t.Total, t.Path)
+		}
+	}
+	writeTraces("recent traces (sampled)", d.Traces())
+	writeTraces("slow traces", d.SlowTraces())
+
+	b.WriteString("\nmetrics\n-------\n")
+	d.reg.WriteText(&b)
+	return b.String()
+}

@@ -14,6 +14,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"nest/internal/gsi"
 	"nest/internal/protocol"
@@ -22,11 +23,31 @@ import (
 // Proto is the protocol class name.
 const Proto = "http"
 
+// StatusFunc answers an observability path ("/statusz", "/metrics",
+// "/healthz") with a plain-text page, or reports false so the path
+// falls through to normal file handling.
+type StatusFunc func(path string) (string, bool)
+
 // Handler is the HTTP protocol module.
-type Handler struct{}
+type Handler struct {
+	// status, when set, intercepts GETs for observability pages before
+	// they are mapped to protocol ops. Atomic so SetStatus is safe
+	// after sessions have started.
+	status atomic.Pointer[StatusFunc]
+}
 
 // NewHandler returns the HTTP handler.
 func NewHandler() *Handler { return &Handler{} }
+
+// SetStatus installs the observability page callback. Safe to call at
+// any time; nil disables interception.
+func (h *Handler) SetStatus(fn StatusFunc) {
+	if fn == nil {
+		h.status.Store(nil)
+		return
+	}
+	h.status.Store(&fn)
+}
 
 // Proto implements protocol.Handler.
 func (h *Handler) Proto() string { return Proto }
@@ -35,6 +56,7 @@ func (h *Handler) Proto() string { return Proto }
 // every client is anonymous.
 func (h *Handler) NewSession(conn net.Conn) (protocol.Session, error) {
 	return &session{
+		h:    h,
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
@@ -42,6 +64,7 @@ func (h *Handler) NewSession(conn net.Conn) (protocol.Session, error) {
 }
 
 type session struct {
+	h    *Handler
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
@@ -68,26 +91,44 @@ func (s *session) User() string { return gsi.Anonymous }
 func (s *session) Close() error { return s.conn.Close() }
 
 // Next implements protocol.Session: parse one HTTP request head.
+// Observability paths are answered here directly (they are appliance
+// introspection, not file operations) and the session moves on to the
+// next request.
 func (s *session) Next() (*protocol.Request, error) {
+	for {
+		req, served, err := s.next1()
+		if err != nil {
+			return nil, err
+		}
+		if served {
+			continue
+		}
+		return req, nil
+	}
+}
+
+// next1 parses one HTTP request head. served reports that the request
+// was an observability page answered in-line.
+func (s *session) next1() (req *protocol.Request, served bool, err error) {
 	if s.body != nil {
 		// Previous request's body was not consumed (rejected put):
 		// drain it to keep the connection parseable.
 		if _, err := io.Copy(io.Discard, s.body); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		s.body = nil
 	}
 	if s.close10 {
-		return nil, io.EOF
+		return nil, false, io.EOF
 	}
 	line, err := s.readLine()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	parts := strings.Fields(line)
 	if len(parts) != 3 {
 		s.writeSimple(400, "malformed request line")
-		return nil, fmt.Errorf("httpx: malformed request line %q", line)
+		return nil, false, fmt.Errorf("httpx: malformed request line %q", line)
 	}
 	method, rawPath, version := parts[0], parts[1], parts[2]
 	if version == "HTTP/1.0" {
@@ -95,7 +136,7 @@ func (s *session) Next() (*protocol.Request, error) {
 	}
 	headers, err := s.readHeaders()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if strings.EqualFold(headers["connection"], "close") {
 		s.close10 = true
@@ -103,9 +144,19 @@ func (s *session) Next() (*protocol.Request, error) {
 	u, err := url.ParseRequestURI(rawPath)
 	if err != nil {
 		s.writeSimple(400, "bad path")
-		return nil, fmt.Errorf("httpx: bad path %q", rawPath)
+		return nil, false, fmt.Errorf("httpx: bad path %q", rawPath)
 	}
-	req := &protocol.Request{Proto: Proto, User: gsi.Anonymous, Path: u.Path}
+	if method == "GET" && s.h != nil {
+		if fp := s.h.status.Load(); fp != nil {
+			if page, ok := (*fp)(u.Path); ok {
+				if err := s.serveStatus(page); err != nil {
+					return nil, false, err
+				}
+				return nil, true, nil
+			}
+		}
+	}
+	req = &protocol.Request{Proto: Proto, User: gsi.Anonymous, Path: u.Path}
 	s.head = false
 	switch method {
 	case "GET":
@@ -118,7 +169,7 @@ func (s *session) Next() (*protocol.Request, error) {
 		n, err := strconv.ParseInt(headers["content-length"], 10, 64)
 		if err != nil || n < 0 {
 			s.writeSimple(411, "length required")
-			return nil, fmt.Errorf("httpx: missing Content-Length")
+			return nil, false, fmt.Errorf("httpx: missing Content-Length")
 		}
 		req.Size = n
 		s.body = io.LimitReader(s.br, n)
@@ -126,9 +177,9 @@ func (s *session) Next() (*protocol.Request, error) {
 		req.Op = protocol.OpRemove
 	default:
 		s.writeSimple(405, "method not allowed")
-		return nil, fmt.Errorf("httpx: method %q not allowed", method)
+		return nil, false, fmt.Errorf("httpx: method %q not allowed", method)
 	}
-	return req, nil
+	return req, false, nil
 }
 
 func (s *session) readLine() (string, error) {
@@ -227,6 +278,17 @@ func (s *session) writeSimple(status int, msg string) error {
 		return err
 	}
 	if _, err := s.bw.WriteString(body); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// serveStatus answers an observability page in-line.
+func (s *session) serveStatus(page string) error {
+	if err := s.writeHead(200, int64(len(page)), "Content-Type: text/plain; charset=utf-8\r\n"); err != nil {
+		return err
+	}
+	if _, err := s.bw.WriteString(page); err != nil {
 		return err
 	}
 	return s.bw.Flush()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"nest/internal/httpx"
@@ -232,5 +233,140 @@ func TestPipelinedGets(t *testing.T) {
 	}
 	if got := strings.Count(string(all), "pipelined"); got != 2 {
 		t.Errorf("bodies = %d, want 2", got)
+	}
+}
+
+// startWithStatus wires the fixture dispatcher's status pages into the
+// HTTP handler, as core does for a full appliance.
+func startWithStatus(t *testing.T) (*nesttest.Fixture, *http.Client, string) {
+	t.Helper()
+	h := httpx.NewHandler()
+	f := nesttest.Start(t, h, nesttest.Options{})
+	h.SetStatus(f.Disp.StatusPage)
+	f.GrantLot(t, "anonymous", 100*nesttest.MB)
+	return f, &http.Client{}, "http://" + f.Addr
+}
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusEndpoints(t *testing.T) {
+	_, client, base := startWithStatus(t)
+
+	// Generate some traffic so the pages show live counts.
+	req, _ := http.NewRequest(http.MethodPut, base+"/obs.bin", strings.NewReader("observed payload"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if code, _ := get(t, client, base+"/obs.bin"); code != 200 {
+		t.Fatalf("GET file = %d", code)
+	}
+
+	code, body := get(t, client, base+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, client, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"nest_dispatch_latency_transfer_ns_count",
+		"nest_transfer_queue_depth",
+		`nest_dispatch_op_total{proto="http",op="get"}`,
+		`nest_dispatch_op_total{proto="http",op="put"}`,
+		`nest_dispatch_bytes_total{proto="http"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, client, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	for _, want := range []string{
+		"NeST appliance status",
+		"dispatch latency",
+		"per-protocol requests",
+		"http",
+		"slow traces",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q", want)
+		}
+	}
+
+	// Status paths are introspection, not files: a PUT to /metrics is a
+	// normal (storable) file op, and its content must not shadow the
+	// metrics page on GET.
+	req, _ = http.NewRequest(http.MethodPut, base+"/metrics", strings.NewReader("shadow"))
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if _, body := get(t, client, base+"/metrics"); body == "shadow" {
+		t.Error("file content shadowed the metrics page")
+	}
+}
+
+func TestStatusConcurrentScrape(t *testing.T) {
+	_, client, base := startWithStatus(t)
+	req, _ := http.NewRequest(http.MethodPut, base+"/c.bin", strings.NewReader("concurrent"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Scrapers and file readers race; under -race this exercises the
+	// registry snapshot, trace rings and copy-on-write proto stats.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{}
+			for j := 0; j < 16; j++ {
+				for _, p := range []string{"/metrics", "/statusz", "/c.bin"} {
+					resp, err := c.Get(base + p)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- fmt.Errorf("GET %s = %d", p, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nest/internal/quota"
@@ -112,6 +113,31 @@ type Manager struct {
 	order   []string // creation order of lot IDs
 	nextID  int
 	removed func(lot *Lot) // callback when a lot is reclaimed
+
+	// Admission counters (atomic: recorded on the write hot path,
+	// read lock-free by the observability exposition).
+	creates       atomic.Int64
+	createRejects atomic.Int64
+	chargeAdmits  atomic.Int64
+	chargeRejects atomic.Int64
+}
+
+// Stats is a snapshot of lot admission activity.
+type Stats struct {
+	Creates       int64 // lots granted
+	CreateRejects int64 // lot requests denied (no guaranteeable space)
+	ChargeAdmits  int64 // write charges admitted against a guarantee
+	ChargeRejects int64 // write charges rejected (lot full, over quota, no lot)
+}
+
+// Stats returns cumulative admission counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Creates:       m.creates.Load(),
+		CreateRejects: m.createRejects.Load(),
+		ChargeAdmits:  m.chargeAdmits.Load(),
+		ChargeRejects: m.chargeRejects.Load(),
+	}
 }
 
 // NewManager creates a lot manager over total guaranteeable bytes.
@@ -221,6 +247,7 @@ func (m *Manager) commitmentLocked(exclude *Lot) int64 {
 // fails with ErrNoSpace.
 func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (Info, error) {
 	if capacity <= 0 {
+		m.createRejects.Add(1)
 		return Info{}, fmt.Errorf("lots: non-positive capacity %d", capacity)
 	}
 	m.mu.Lock()
@@ -230,6 +257,7 @@ func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (
 		v := m.pickVictimLocked()
 		if v == nil {
 			m.mu.Unlock()
+			m.createRejects.Add(1)
 			return Info{}, ErrNoSpace
 		}
 		m.deleteLocked(v)
@@ -259,6 +287,7 @@ func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (
 			removed(v)
 		}
 	}
+	m.creates.Add(1)
 	return snapshot(l), nil
 }
 
@@ -429,12 +458,19 @@ func (m *Manager) ChargeWrite(owner, lotID, path string, n int64) error {
 			return nil
 		}
 		if err := m.quota.Charge(owner, n); err != nil {
+			m.chargeRejects.Add(1)
 			return err
 		}
 		m.recordFile(owner, lotID, path, n)
+		m.chargeAdmits.Add(1)
 		return nil
 	}
-	return m.chargeManaged(owner, lotID, path, n)
+	if err := m.chargeManaged(owner, lotID, path, n); err != nil {
+		m.chargeRejects.Add(1)
+		return err
+	}
+	m.chargeAdmits.Add(1)
+	return nil
 }
 
 // recordFile best-effort attributes bytes to a lot for reporting in

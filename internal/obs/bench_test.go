@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsRecord measures the per-request recording cost the
+// dispatcher pays on its hot path: one op counter, one latency
+// histogram observation, one trace-ID mint. Allocations must report
+// zero (TestRecordPathNoAllocs enforces it; this benchmark shows the
+// nanoseconds).
+func BenchmarkMetricsRecord(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("ops")
+	h := reg.Histogram("lat")
+	ring := NewRing(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(int64(i) % 1_000_000)
+		_ = ring.NextID()
+	}
+}
+
+// BenchmarkTraceRecord measures a full sampled-trace ring write.
+func BenchmarkTraceRecord(b *testing.B) {
+	ring := NewRing(256)
+	tr := Trace{Proto: "chirp", Op: "get", User: "alice", Path: "/data/file",
+		Start: time.Millisecond, Wait: time.Microsecond, Service: time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ID = ring.NextID()
+		ring.Record(&tr)
+	}
+}
+
+// BenchmarkHistogramQuantile measures exposition-time quantile cost
+// (never on the hot path).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := int64(0); i < 100_000; i++ {
+		h.Observe(i * 37 % 10_000_000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}

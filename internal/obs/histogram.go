@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of a Histogram: bucket b holds
+// observations whose value has bit length b, i.e. bucket 0 holds the
+// value 0 and bucket b >= 1 holds [2^(b-1), 2^b). Power-of-two
+// bucketing makes recording a single bits.Len64 plus one atomic add,
+// and bounds quantile error to a factor of two — plenty for p50/p95/
+// p99 over request latencies spanning microseconds to minutes.
+const NumBuckets = 65
+
+// Histogram is a log-bucketed distribution with lock-free recording.
+// The zero value is ready to use, so histograms embed by value in hot
+// structs. Values are unit-free int64s; latency histograms record
+// nanoseconds by convention.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero. The
+// record path is two uncontended atomic adds and never allocates.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns the q-quantile (0 < q <= 1) of the live histogram.
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// Snapshot copies the histogram for consistent multi-quantile reads.
+// Concurrent recording may skew a snapshot by the handful of
+// observations in flight; exposition tolerates that.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Buckets [NumBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// bucketMax is the largest value bucket b can hold.
+func bucketMax(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<b - 1
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1):
+// the top of the bucket holding the rank-q observation. The true
+// quantile t satisfies t <= Quantile(q) < 2t, the log-bucket error
+// bound the tests verify against a reference sort.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for b := 0; b < NumBuckets; b++ {
+		seen += s.Buckets[b]
+		if seen >= rank {
+			return bucketMax(b)
+		}
+	}
+	return bucketMax(NumBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds other into s bucket-by-bucket; log buckets align
+// exactly, so merged quantiles keep the factor-of-two bound. Use it
+// to derive an all-paths latency from per-path histograms.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+}

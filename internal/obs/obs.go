@@ -1,0 +1,187 @@
+// Package obs is NeST's appliance-wide observability layer: a
+// stdlib-only metrics registry (atomic counters, gauges and
+// log-bucketed latency histograms), a lock-free ring of recent request
+// traces, and a plain-text exposition format served at /statusz and
+// /metrics and folded into the published ClassAd (paper §2.1, §6: the
+// advertisement should carry live load facts, not just static
+// capacity).
+//
+// The recording discipline is zero-alloc and lock-free on the hot
+// path: instruments are registered once at wiring time and held as
+// struct fields, so recording is one or two uncontended atomic adds.
+// Registry locks are taken only at registration and exposition time,
+// never on record.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is
+// ready to use, so counters embed by value in hot structs.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Emit writes one exposition sample. The name may carry {label="v"}
+// suffixes; values are formatted as integers when exact.
+type Emit func(name string, value float64)
+
+// metric is one registered exposition entry.
+type metric struct {
+	name string
+	kind int // 0 counter, 1 gauge, 2 func, 3 histogram, 4 collector
+	c    *Counter
+	g    *Gauge
+	fn   func() int64
+	h    *Histogram
+	coll func(Emit)
+}
+
+// Registry names instruments for exposition. Registration takes a
+// lock; recording through the returned instruments never does.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].c
+	}
+	c := &Counter{}
+	r.addLocked(metric{name: name, kind: 0, c: c})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].g
+	}
+	g := &Gauge{}
+	r.addLocked(metric{name: name, kind: 1, g: g})
+	return g
+}
+
+// Func registers a pull-time gauge: fn is invoked at exposition, so
+// components keep their own atomic counters and pay nothing extra on
+// the hot path.
+func (r *Registry) Func(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.addLocked(metric{name: name, kind: 2, fn: fn})
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].h
+	}
+	h := &Histogram{}
+	r.addLocked(metric{name: name, kind: 3, h: h})
+	return h
+}
+
+// Collect registers a dynamic collector: at exposition time fn is
+// called with an emitter and may publish any number of samples (used
+// for labeled families whose members appear at runtime, like
+// per-protocol × per-op request counts).
+func (r *Registry) Collect(fn func(Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, metric{kind: 4, coll: fn})
+}
+
+func (r *Registry) addLocked(m metric) {
+	r.byName[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// formatValue renders integers without an exponent and reals with
+// enough precision to be scrape-friendly.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText renders every registered metric as "name value" lines in
+// registration order. Histograms expand to _count, _sum plus p50, p95
+// and p99 quantile samples (all in the histogram's recording unit,
+// nanoseconds for latency histograms by convention).
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.RLock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.RUnlock()
+	emit := func(name string, value float64) {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case 0:
+			emit(m.name, float64(m.c.Value()))
+		case 1:
+			emit(m.name, float64(m.g.Value()))
+		case 2:
+			emit(m.name, float64(m.fn()))
+		case 3:
+			s := m.h.Snapshot()
+			emit(m.name+"_count", float64(s.Count))
+			emit(m.name+"_sum", float64(s.Sum))
+			emit(m.name+"_p50", float64(s.Quantile(0.50)))
+			emit(m.name+"_p95", float64(s.Quantile(0.95)))
+			emit(m.name+"_p99", float64(s.Quantile(0.99)))
+		case 4:
+			m.coll(emit)
+		}
+	}
+}
+
+// Text renders WriteText into a string.
+func (r *Registry) Text() string {
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileAgainstSort checks the log-bucket quantile
+// against a reference sort: for every q the histogram answer must
+// bound the true quantile from above by less than a factor of two.
+func TestHistogramQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1_000_000) }},
+		{"exponentialish", func() int64 { return int64(1) << rng.Intn(30) }},
+		{"latency-like", func() int64 { return 50_000 + rng.Int63n(10_000_000) }},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			var h Histogram
+			vals := make([]int64, 10_000)
+			for i := range vals {
+				vals[i] = dist.gen()
+				h.Observe(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				rank := int(q * float64(len(vals)))
+				if rank < 1 {
+					rank = 1
+				}
+				truth := vals[rank-1]
+				got := h.Quantile(q)
+				if got < truth {
+					t.Errorf("q=%v: histogram %d below true quantile %d", q, got, truth)
+				}
+				if truth > 0 && got >= 2*truth {
+					t.Errorf("q=%v: histogram %d exceeds 2x true quantile %d", q, got, truth)
+				}
+			}
+			if h.Count() != int64(len(vals)) {
+				t.Errorf("Count = %d, want %d", h.Count(), len(vals))
+			}
+		})
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(0)
+	h.Observe(-5) // clamps to zero
+	if got := h.Quantile(1.0); got != 0 {
+		t.Errorf("all-zero quantile = %d", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1_000_000)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged count = %d", s.Count)
+	}
+	// p50 lands in the low half, p99 in the high half.
+	if p50 := s.Quantile(0.5); p50 >= 20 {
+		t.Errorf("merged p50 = %d", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1_000_000 {
+		t.Errorf("merged p99 = %d", p99)
+	}
+}
+
+// TestRingWraparound fills a small ring far past capacity and checks
+// that exactly the newest entries survive, newest first.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	const total = 100
+	for i := 0; i < total; i++ {
+		id := r.NextID()
+		r.Record(&Trace{ID: id, Op: "stat", Total: time.Duration(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(snap))
+	}
+	for i, tr := range snap {
+		want := uint64(total - i)
+		if tr.ID != want {
+			t.Errorf("snap[%d].ID = %d, want %d (newest first, oldest evicted)", i, tr.ID, want)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				r.Record(&Trace{ID: r.NextID(), Proto: "chirp", Op: "ping"})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	snap := r.Snapshot()
+	if len(snap) == 0 || len(snap) > 64 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID >= snap[i-1].ID {
+			t.Fatalf("snapshot not newest-first at %d", i)
+		}
+	}
+}
+
+// TestRecordPathNoAllocs is the allocation guard: counter, gauge,
+// histogram and trace-ring recording must not allocate.
+func TestRecordPathNoAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	ring := NewRing(64)
+	tr := Trace{Proto: "chirp", Op: "get", User: "u", Path: "/p"}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+		h.Observe(123456)
+		tr.ID = ring.NextID()
+		ring.Record(&tr)
+	}); n != 0 {
+		t.Fatalf("record path allocates: %v allocs/op", n)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nest_requests_total").Add(42)
+	reg.Gauge("nest_queue_depth").Set(3)
+	reg.Func("nest_free_bytes", func() int64 { return 1024 })
+	h := reg.Histogram("nest_latency_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	reg.Collect(func(emit Emit) {
+		emit(`nest_op_total{proto="http",op="get"}`, 7)
+	})
+	text := reg.Text()
+	for _, want := range []string{
+		"nest_requests_total 42",
+		"nest_queue_depth 3",
+		"nest_free_bytes 1024",
+		"nest_latency_ns_count 100",
+		"nest_latency_ns_sum 100000",
+		"nest_latency_ns_p99 1023",
+		`nest_op_total{proto="http",op="get"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Idempotent get-or-create hands back the same instrument.
+	if reg.Counter("nest_requests_total").Value() != 42 {
+		t.Error("Counter not idempotent")
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's trip through the appliance: an ID minted at
+// protocol decode, identity fields, and the stage timings recorded as
+// the request moves dispatch → storage/transfer → reply. All string
+// fields are headers copied by value (protocol and op names are
+// static; path/user share the request's backing memory), so recording
+// never allocates.
+type Trace struct {
+	ID    uint64
+	Proto string
+	Op    string
+	User  string
+	Path  string
+	// Code is the protocol reply code the request resolved to.
+	Code int
+	// Bytes is the data moved (transfers only).
+	Bytes int64
+	// Start is the appliance-clock time the request was decoded.
+	Start time.Duration
+	// Wait is time spent before execution began: storage-lock wait for
+	// control-plane ops, scheduler queue time for transfers.
+	Wait time.Duration
+	// Service is execution time (storage op, or the data phase).
+	Service time.Duration
+	// Total is decode → reply-ready latency.
+	Total time.Duration
+}
+
+// traceSlot is one ring entry. state is a per-slot claim flag: 0 free,
+// 1 held by a writer or the snapshotter. Claiming through CAS gives
+// the plain field accesses a happens-before edge, so the ring is both
+// race-clean and lock-free — there is no global lock, and a stalled
+// reader can delay at most the one writer aiming at its slot (who
+// gives up and drops after a short spin).
+type traceSlot struct {
+	state atomic.Int32
+	t     Trace
+}
+
+// Ring is a fixed-size lock-free buffer of recent traces. Writers
+// claim slots round-robin with an atomic cursor; memory is bounded by
+// the slot count forever. The zero Ring is not usable — call NewRing.
+type Ring struct {
+	mask   uint64
+	cursor atomic.Uint64
+	nextID atomic.Uint64
+	drops  atomic.Int64
+	slots  []traceSlot
+}
+
+// NewRing returns a ring holding the most recent n traces (rounded up
+// to a power of two, minimum 8).
+func NewRing(n int) *Ring {
+	size := 8
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{mask: uint64(size - 1), slots: make([]traceSlot, size)}
+}
+
+// NextID mints a fresh trace ID. IDs are dense and monotonic, so the
+// snapshot can order entries newest-first without timestamps.
+func (r *Ring) NextID() uint64 { return r.nextID.Add(1) }
+
+// Record stores a copy of t, overwriting the oldest entry. It never
+// blocks: if the claimed slot is briefly held by a concurrent
+// snapshot, Record spins a few times and then drops the trace
+// (counted in Drops). The record path performs no allocation.
+func (r *Ring) Record(t *Trace) {
+	s := &r.slots[(r.cursor.Add(1)-1)&r.mask]
+	for try := 0; !s.state.CompareAndSwap(0, 1); try++ {
+		if try == 16 {
+			r.drops.Add(1)
+			return
+		}
+	}
+	s.t = *t
+	s.state.Store(0)
+}
+
+// Drops reports traces discarded because their slot was contended.
+func (r *Ring) Drops() int64 { return r.drops.Load() }
+
+// Cap reports the ring capacity in entries.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Snapshot copies the ring's current entries, newest first. Slots
+// held by a concurrent writer are skipped rather than waited for.
+func (r *Ring) Snapshot() []Trace {
+	out := make([]Trace, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		if !s.state.CompareAndSwap(0, 1) {
+			continue
+		}
+		t := s.t
+		s.state.Store(0)
+		if t.ID != 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}

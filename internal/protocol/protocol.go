@@ -45,6 +45,10 @@ const (
 	OpStatfs // server resource query
 	OpPing
 	OpQuit
+
+	// OpCount is the number of ops; observability sizes fixed-width
+	// per-op counter arrays with it so recording never allocates.
+	OpCount
 )
 
 var opNames = map[Op]string{
@@ -154,6 +158,11 @@ type Request struct {
 
 	// Arrived is stamped by the dispatcher from the appliance clock.
 	Arrived time.Duration
+
+	// TraceID identifies the request in the observability trace ring.
+	// The dispatcher mints it; protocol handlers may carry it into
+	// replies or logs.
+	TraceID uint64
 
 	// Handle carries protocol-private per-request state (e.g., the RPC
 	// transaction an NFS block request belongs to).

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrOverQuota is returned when a charge would exceed the user's limit.
@@ -32,6 +33,15 @@ type Manager struct {
 	limits   map[string]int64
 	used     map[string]int64
 	slowdown float64
+
+	// Admission counters (atomic: read lock-free by exposition).
+	charges atomic.Int64
+	rejects atomic.Int64
+}
+
+// Stats returns cumulative charge admissions and rejections.
+func (m *Manager) Stats() (charges, rejects int64) {
+	return m.charges.Load(), m.rejects.Load()
 }
 
 // NewManager returns a quota manager; enabled selects whether limits
@@ -120,14 +130,17 @@ func (m *Manager) Used(user string) int64 {
 // per-user granularity: the charge is not tied to any particular lot.
 func (m *Manager) Charge(user string, n int64) error {
 	if n < 0 {
+		m.rejects.Add(1)
 		return fmt.Errorf("quota: negative charge %d", n)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.enabled && m.used[user]+n > m.limits[user] {
+		m.rejects.Add(1)
 		return ErrOverQuota
 	}
 	m.used[user] += n
+	m.charges.Add(1)
 	return nil
 }
 

@@ -616,3 +616,33 @@ func TestQuickMemFSReadBack(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestExtentStats checks the package-wide extent allocator counters:
+// writing a multi-extent file draws exactly its extent count from the
+// pool, and removing it recycles every one of them. Counters are
+// cumulative across all MemFS instances, so the test asserts deltas.
+func TestExtentStats(t *testing.T) {
+	fs := NewMemFS(nil, 1<<30)
+	allocs0, recycles0 := ExtentStats()
+
+	const nExtents = 3
+	writeFile(t, fs, "/counted", make([]byte, nExtents*ExtentSize))
+	allocs1, recycles1 := ExtentStats()
+	if got := allocs1 - allocs0; got != nExtents {
+		t.Errorf("allocs delta after write = %d, want %d", got, nExtents)
+	}
+	if recycles1 != recycles0 {
+		t.Errorf("recycles moved on write: %d -> %d", recycles0, recycles1)
+	}
+
+	if err := fs.Remove("/counted"); err != nil {
+		t.Fatal(err)
+	}
+	allocs2, recycles2 := ExtentStats()
+	if allocs2 != allocs1 {
+		t.Errorf("allocs moved on remove: %d -> %d", allocs1, allocs2)
+	}
+	if got := recycles2 - recycles1; got != nExtents {
+		t.Errorf("recycles delta after remove = %d, want %d", got, nExtents)
+	}
+}

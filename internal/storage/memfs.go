@@ -71,10 +71,26 @@ type memNode struct {
 func (n *memNode) setModTime(t time.Duration) { n.modTime.Store(int64(t)) }
 func (n *memNode) getModTime() time.Duration  { return time.Duration(n.modTime.Load()) }
 
+// Extent allocator counters, exposed through ExtentStats for the
+// observability layer. Package-wide atomics: the extent pool itself
+// is shared process state (bufpool), so per-FS attribution would lie
+// anyway.
+var (
+	statExtentAllocs   atomic.Int64
+	statExtentRecycles atomic.Int64
+)
+
+// ExtentStats reports cumulative extent draws from and returns to the
+// buffer pool across all MemFS instances.
+func ExtentStats() (allocs, recycles int64) {
+	return statExtentAllocs.Load(), statExtentRecycles.Load()
+}
+
 // newExtent draws a zeroed block from the shared buffer pool. Pooled
 // buffers come back dirty, so clearing here is what maintains the
 // zero-beyond-size invariant for sparse holes.
 func newExtent() *[]byte {
+	statExtentAllocs.Add(1)
 	bp := bufpool.Get(ExtentSize)
 	clear(*bp)
 	return bp
@@ -103,6 +119,7 @@ func (n *memNode) ensureExtents(end int64) {
 func (n *memNode) ensureExtentsForWrite(off, end int64) {
 	for len(n.extents) < extentsFor(end) {
 		lo := int64(len(n.extents)) * ExtentSize
+		statExtentAllocs.Add(1)
 		bp := bufpool.Get(ExtentSize)
 		if off > lo || end < lo+ExtentSize {
 			clear(*bp)
@@ -118,6 +135,7 @@ func (n *memNode) ensureExtentsForWrite(off, end int64) {
 func (n *memNode) shrink(sz int64) {
 	keep := extentsFor(sz)
 	for i := keep; i < len(n.extents); i++ {
+		statExtentRecycles.Add(1)
 		bufpool.Put(n.extents[i])
 		n.extents[i] = nil
 	}

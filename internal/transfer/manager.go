@@ -3,6 +3,7 @@ package transfer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nest/internal/sched"
@@ -77,7 +78,36 @@ type Manager struct {
 
 	mu      sync.Mutex
 	nextSeq int64
+
+	// Observability counters. queueDepth mirrors the scheduling loop's
+	// private queued count so exposition can read it without touching
+	// the loop; the others are cumulative.
+	queueDepth  atomic.Int64
+	submits     atomic.Int64
+	admissions  atomic.Int64
+	preemptions atomic.Int64
 }
+
+// ManagerStats is a snapshot of the manager's scheduling activity.
+type ManagerStats struct {
+	QueueDepth  int64 // transfers pending admission right now
+	Submits     int64 // transfers accepted via Submit
+	Admissions  int64 // policy decisions granting a slot (incl. re-admissions)
+	Preemptions int64 // quantum expiries that requeued a transfer
+}
+
+// Stats returns current scheduling counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		QueueDepth:  m.queueDepth.Load(),
+		Submits:     m.submits.Load(),
+		Admissions:  m.admissions.Load(),
+		Preemptions: m.preemptions.Load(),
+	}
+}
+
+// QueueDepth returns the number of transfers awaiting admission.
+func (m *Manager) QueueDepth() int64 { return m.queueDepth.Load() }
 
 type managerEvent struct {
 	kind  int // 0 submit, 1 done, 2 wake
@@ -147,6 +177,7 @@ func (m *Manager) Submit(t *Transfer) {
 	t.quantum = m.quantum
 	t.submitted = m.clock.Now()
 	t.started = -1
+	m.submits.Add(1)
 	m.inFlight.Add(1)
 	if !m.events.Push(managerEvent{kind: 0, t: t}) {
 		m.inFlight.Done()
@@ -199,6 +230,8 @@ func (m *Manager) loop() {
 				return
 			}
 			queued--
+			m.queueDepth.Add(-1)
+			m.admissions.Add(1)
 			t := u.Owner.(*Transfer)
 			if m.admitDelay > 0 {
 				m.clock.Sleep(m.admitDelay)
@@ -218,6 +251,7 @@ func (m *Manager) loop() {
 		t.unit.Seq = t.seq
 		m.policy.Add(&t.unit)
 		queued++
+		m.queueDepth.Add(1)
 	}
 
 	for {
@@ -246,6 +280,7 @@ func (m *Manager) loop() {
 				m.nextSeq++
 				t.seq = m.nextSeq
 				m.mu.Unlock()
+				m.preemptions.Add(1)
 				enqueue(t)
 				break
 			}

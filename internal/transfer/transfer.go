@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nest/internal/bufpool"
+	"nest/internal/obs"
 	"nest/internal/protocol"
 	"nest/internal/sched"
 	"nest/internal/sim"
@@ -42,6 +43,10 @@ type Transfer struct {
 	// OnDone, if set, receives the result. It runs on the manager's
 	// scheduling goroutine and must not block; hand heavy work off.
 	OnDone func(Result)
+	// TraceID carries the request trace identity minted at protocol
+	// decode, so the transfer's timings land in the same trace record
+	// as its dispatch (package obs).
+	TraceID uint64
 
 	seq       int64
 	submitted time.Duration
@@ -97,13 +102,18 @@ type Result struct {
 	Latency  time.Duration // Queue + Service (client-perceived)
 }
 
-// ClassStats aggregates per-protocol-class delivery.
+// ClassStats aggregates per-protocol-class delivery. The latency
+// quantiles come from a log-bucketed histogram, so each is an upper
+// bound within a factor of two of the true quantile.
 type ClassStats struct {
 	Requests     int64
 	Bytes        int64
 	TotalLatency time.Duration
 	TotalService time.Duration
 	Errors       int64
+	P50          time.Duration
+	P95          time.Duration
+	P99          time.Duration
 }
 
 // ModelStats aggregates per-concurrency-model execution.
@@ -120,6 +130,7 @@ type ModelStats struct {
 // Metrics.mu.
 type classCounters struct {
 	bytes        atomic.Int64
+	lat          obs.Histogram // client-perceived latency, nanoseconds
 	requests     int64
 	totalLatency time.Duration
 	totalService time.Duration
@@ -129,12 +140,16 @@ type classCounters struct {
 // snapshot copies the counters; call with Metrics.mu held (read or
 // write) so the cold fields are stable.
 func (cs *classCounters) snapshot() ClassStats {
+	h := cs.lat.Snapshot()
 	return ClassStats{
 		Requests:     cs.requests,
 		Bytes:        cs.bytes.Load(),
 		TotalLatency: cs.totalLatency,
 		TotalService: cs.totalService,
 		Errors:       cs.errors,
+		P50:          time.Duration(h.Quantile(0.50)),
+		P95:          time.Duration(h.Quantile(0.95)),
+		P99:          time.Duration(h.Quantile(0.99)),
 	}
 }
 
@@ -184,6 +199,7 @@ func (m *Metrics) addBytes(class string, n int64) {
 func (m *Metrics) record(r Result, byteDelta int64) {
 	cs := m.class(r.Transfer.Class)
 	cs.bytes.Add(byteDelta)
+	cs.lat.Observe(int64(r.Latency))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cs.requests++
@@ -241,6 +257,30 @@ func (m *Metrics) Reset(now time.Duration) {
 	m.start = now
 	m.perClass = make(map[string]*classCounters)
 	m.perModel = make(map[string]*ModelStats)
+}
+
+// LatencyQuantile returns an upper bound (within 2x) for the
+// q-quantile of a class's client-perceived latency.
+func (m *Metrics) LatencyQuantile(class string, q float64) time.Duration {
+	m.mu.RLock()
+	cs := m.perClass[class]
+	m.mu.RUnlock()
+	if cs == nil {
+		return 0
+	}
+	return time.Duration(cs.lat.Quantile(q))
+}
+
+// LatencySnapshot returns the latency histogram of a class; merge the
+// per-class snapshots for an all-traffic distribution.
+func (m *Metrics) LatencySnapshot(class string) obs.HistSnapshot {
+	m.mu.RLock()
+	cs := m.perClass[class]
+	m.mu.RUnlock()
+	if cs == nil {
+		return obs.HistSnapshot{}
+	}
+	return cs.lat.Snapshot()
 }
 
 // AvgLatency returns the mean client-perceived latency of a class.
