@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -31,6 +31,13 @@ bench-storage:
 bench-sched:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchedulerAdmit' -benchmem ./internal/sched/
 	$(GO) test -run '^$$' -bench 'BenchmarkManagerQuantumPreemption' -benchmem ./internal/transfer/
+
+# Zero-copy data path benchmarks: pooled pump vs extent handoff
+# (pump-level) and end-to-end loopback GET throughput per protocol;
+# numbers recorded in docs/data_path_bench.md and DESIGN.md §9.
+bench-datapath:
+	$(GO) test -run '^$$' -bench 'BenchmarkTransferThroughput' -benchmem -benchtime=2s ./internal/transfer/
+	$(GO) test -run '^$$' -bench 'BenchmarkProtocolThroughput' -benchtime=2s ./internal/nesttest/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

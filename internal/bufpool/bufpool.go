@@ -72,6 +72,30 @@ func Get(size int) *[]byte {
 	return poolFor(size).Get().(*[]byte)
 }
 
+// minClass is the smallest GetAtLeast size class.
+const minClass = 512
+
+// GetAtLeast returns a buffer with len == size drawn from the nearest
+// power-of-two size class >= size. Callers with variable-size needs
+// (MODE E block payloads, whose length is whatever the sender framed)
+// use it instead of Get so the pool keeps a bounded set of size
+// classes rather than one permanent free list per distinct length
+// ever seen. Put recycles by capacity, preserving class identity.
+func GetAtLeast(size int) *[]byte {
+	if size <= 0 {
+		b := []byte{}
+		return &b
+	}
+	class := minClass
+	for class < size {
+		class <<= 1
+	}
+	statGets.Add(1)
+	bp := poolFor(class).Get().(*[]byte)
+	*bp = (*bp)[:size]
+	return bp
+}
+
 // Put returns a buffer obtained from Get to its size class. Buffers
 // whose capacity was changed are dropped rather than pooled.
 func Put(buf *[]byte) {

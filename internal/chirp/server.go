@@ -339,12 +339,16 @@ func (s *session) Reply(req *protocol.Request, rep *protocol.Reply) error {
 }
 
 // SendData implements protocol.Session: "+OK <size>" then raw bytes.
+// The framing line is not written here: it rides the first payload
+// write as one vectored write straight to the connection, so zero-copy
+// extent chunks go out header+payload in a single writev instead of
+// being copied through the session's buffered writer.
 func (s *session) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
-	if err := s.writeLine(fmt.Sprintf("+OK %d", size)); err != nil {
+	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}
 	s.inData = req
-	return flushWriter{s.bw}, nil
+	return protocol.NewVectoredSink(s.conn, []byte(fmt.Sprintf("+OK %d\n", size))), nil
 }
 
 // RecvData implements protocol.Session: "+DATA" go-ahead, then the
@@ -355,9 +359,3 @@ func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
 	}
 	return io.NopCloser(io.LimitReader(s.br, req.Size)), nil
 }
-
-// flushWriter flushes the session's buffered writer on Close.
-type flushWriter struct{ bw *bufio.Writer }
-
-func (w flushWriter) Write(p []byte) (int, error) { return w.bw.Write(p) }
-func (w flushWriter) Close() error                { return w.bw.Flush() }

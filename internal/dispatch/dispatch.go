@@ -311,7 +311,7 @@ func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) (int64
 		Path:    storage.Clean(req.Path),
 		Offset:  req.Offset,
 		Size:    size,
-		Src:     io.NewSectionReader(f, req.Offset, size),
+		Src:     storage.NewSectionReader(f, req.Offset, size),
 		Dst:     sink,
 		TraceID: req.TraceID,
 	})
@@ -343,7 +343,7 @@ func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) (int64
 		Offset:  req.Offset,
 		Size:    req.Size,
 		Src:     src,
-		Dst:     io.NewOffsetWriter(ticket.File, req.Offset),
+		Dst:     storage.NewOffsetWriter(ticket.File, req.Offset),
 		TraceID: req.TraceID,
 	})
 	src.Close()

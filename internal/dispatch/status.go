@@ -8,6 +8,7 @@ import (
 
 	"nest/internal/obs"
 	"nest/internal/protocol"
+	"nest/internal/transfer"
 )
 
 // traceSampleEvery selects which requests get full stage timing
@@ -53,6 +54,17 @@ func (d *Dispatcher) initObs() {
 	d.reg.Func("nest_transfer_submits_total", func() int64 { return d.xfer.Stats().Submits })
 	d.reg.Func("nest_transfer_admissions_total", func() int64 { return d.xfer.Stats().Admissions })
 	d.reg.Func("nest_transfer_preemptions_total", func() int64 { return d.xfer.Stats().Preemptions })
+	// Data-path mode split: chunks moved by the zero-copy extent handoff
+	// vs the pooled-buffer pump fallback (process-wide, like the extent
+	// allocator counters — the pumps are shared machinery).
+	d.reg.Func("nest_datapath_handoff_chunks_total", func() int64 {
+		h, _ := transfer.DataPathStats()
+		return h
+	})
+	d.reg.Func("nest_datapath_pooled_chunks_total", func() int64 {
+		_, p := transfer.DataPathStats()
+		return p
+	})
 	d.reg.Func("nest_trace_drops_total", func() int64 { return d.ring.Drops() + d.slowRing.Drops() })
 
 	// Per-protocol × per-op request counts, errors and bytes: a labeled
@@ -173,8 +185,10 @@ func (d *Dispatcher) statusz() string {
 
 	fmt.Fprintf(&b, "schedule: %s   concurrency: %s\n", d.xfer.Policy().Name(), d.xfer.ModelName())
 	ts := d.xfer.Stats()
-	fmt.Fprintf(&b, "transfer queue depth: %d   submits: %d   admissions: %d   preemptions: %d\n\n",
+	fmt.Fprintf(&b, "transfer queue depth: %d   submits: %d   admissions: %d   preemptions: %d\n",
 		ts.QueueDepth, ts.Submits, ts.Admissions, ts.Preemptions)
+	handoff, pooled := transfer.DataPathStats()
+	fmt.Fprintf(&b, "data path chunks: zero-copy handoff: %d   pooled pump: %d\n\n", handoff, pooled)
 
 	b.WriteString("dispatch latency (ns)\n")
 	fmt.Fprintf(&b, "  %-10s %10s %12s %12s %12s\n", "path", "count", "p50", "p95", "p99")

@@ -26,6 +26,9 @@ const (
 	DescEOF = 0x40
 )
 
+// blockHeaderLen is the wire size of a MODE E block header.
+const blockHeaderLen = 17
+
 // blockHeader is the 17-byte MODE E header: descriptor, byte count,
 // offset.
 type blockHeader struct {
@@ -35,7 +38,7 @@ type blockHeader struct {
 }
 
 func writeBlockHeader(w io.Writer, h blockHeader) error {
-	var buf [17]byte
+	var buf [blockHeaderLen]byte
 	buf[0] = h.Desc
 	binary.BigEndian.PutUint64(buf[1:9], h.Count)
 	binary.BigEndian.PutUint64(buf[9:17], h.Offset)
@@ -44,7 +47,7 @@ func writeBlockHeader(w io.Writer, h blockHeader) error {
 }
 
 func readBlockHeader(r io.Reader) (blockHeader, error) {
-	var buf [17]byte
+	var buf [blockHeaderLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return blockHeader{}, err
 	}

@@ -1,22 +1,30 @@
 package ftp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sort"
 	"sync"
+
+	"nest/internal/bufpool"
 )
 
 // modeESender stripes written data across parallel streams as MODE E
 // blocks: every Write becomes one block, assigned round-robin. Close
 // emits EOD on every stream and EOF (carrying the stream count) on the
-// first.
+// first. Header and payload go out as one vectored write (writev on
+// TCP), so zero-copy extent chunks are never concatenated with their
+// 17-byte block header in user space; hdr and bufs are reused scratch
+// so the steady-state block path does not allocate.
 type modeESender struct {
 	conns  []net.Conn
 	next   int
 	offset uint64
 	closed bool
+	hdr    [blockHeaderLen]byte
+	bufs   net.Buffers
 }
 
 func newModeESender(conns []net.Conn) *modeESender {
@@ -29,11 +37,11 @@ func (s *modeESender) Write(p []byte) (int, error) {
 	}
 	conn := s.conns[s.next%len(s.conns)]
 	s.next++
-	h := blockHeader{Count: uint64(len(p)), Offset: s.offset}
-	if err := writeBlockHeader(conn, h); err != nil {
-		return 0, err
-	}
-	if _, err := conn.Write(p); err != nil {
+	s.hdr[0] = 0
+	binary.BigEndian.PutUint64(s.hdr[1:9], uint64(len(p)))
+	binary.BigEndian.PutUint64(s.hdr[9:17], s.offset)
+	s.bufs = append(s.bufs[:0], s.hdr[:], p)
+	if _, err := s.bufs.WriteTo(conn); err != nil {
 		return 0, err
 	}
 	s.offset += uint64(len(p))
@@ -69,9 +77,11 @@ func (s *modeESender) Close() error {
 type modeEReceiver struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending map[uint64][]byte // offset -> data
+	pending map[uint64][]byte  // offset -> data
+	backing map[uint64]*[]byte // offset -> pooled buffer behind pending data
 	nextOff uint64
-	buf     []byte // current in-order run being consumed
+	buf     []byte  // current in-order run being consumed
+	bufp    *[]byte // pooled backing of buf; recycled once drained
 	eods    int
 	streams int // 0 until the EOF block announces the count
 	err     error
@@ -79,7 +89,10 @@ type modeEReceiver struct {
 }
 
 func newModeEReceiver() *modeEReceiver {
-	r := &modeEReceiver{pending: make(map[uint64][]byte)}
+	r := &modeEReceiver{
+		pending: make(map[uint64][]byte),
+		backing: make(map[uint64]*[]byte),
+	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
@@ -99,17 +112,30 @@ func (r *modeEReceiver) readStream(conn net.Conn) {
 			r.fail(fmt.Errorf("ftp: mode E stream: %w", err))
 			return
 		}
+		// Block payloads come from the shared buffer pool (heavy MODE E
+		// senders emit one block per chunk, so a per-block make would
+		// allocate the whole transfer again); the buffer is recycled as
+		// soon as Read drains it, or by Close.
 		var data []byte
+		var datap *[]byte
 		if h.Count > 0 {
-			data = make([]byte, h.Count)
+			datap = bufpool.GetAtLeast(int(h.Count))
+			data = *datap
 			if _, err := io.ReadFull(conn, data); err != nil {
+				bufpool.Put(datap)
 				r.fail(fmt.Errorf("ftp: mode E payload: %w", err))
 				return
 			}
 		}
 		r.mu.Lock()
 		if len(data) > 0 {
+			if prev, ok := r.backing[h.Offset]; ok {
+				// Duplicate offset from a misbehaving sender: recycle the
+				// replaced block instead of leaking it from the pool.
+				bufpool.Put(prev)
+			}
 			r.pending[h.Offset] = data
+			r.backing[h.Offset] = datap
 		}
 		if h.Desc&DescEOF != 0 {
 			r.streams = int(h.Offset)
@@ -148,8 +174,11 @@ func (r *modeEReceiver) Read(p []byte) (int, error) {
 	defer r.mu.Unlock()
 	for {
 		if len(r.buf) == 0 {
+			r.recycleBufLocked()
 			if data, ok := r.pending[r.nextOff]; ok {
 				delete(r.pending, r.nextOff)
+				r.bufp = r.backing[r.nextOff]
+				delete(r.backing, r.nextOff)
 				r.nextOff += uint64(len(data))
 				r.buf = data
 			}
@@ -157,6 +186,9 @@ func (r *modeEReceiver) Read(p []byte) (int, error) {
 		if len(r.buf) > 0 {
 			n := copy(p, r.buf)
 			r.buf = r.buf[n:]
+			if len(r.buf) == 0 {
+				r.recycleBufLocked()
+			}
 			return n, nil
 		}
 		if r.err != nil {
@@ -178,13 +210,30 @@ func (r *modeEReceiver) Read(p []byte) (int, error) {
 	}
 }
 
-// Close tears down all attached streams.
+// recycleBufLocked returns the drained in-order block's pooled buffer.
+// Caller holds r.mu.
+func (r *modeEReceiver) recycleBufLocked() {
+	if r.bufp != nil {
+		bufpool.Put(r.bufp)
+		r.bufp = nil
+		r.buf = nil
+	}
+}
+
+// Close tears down all attached streams and recycles any block buffers
+// still pending reassembly.
 func (r *modeEReceiver) Close() error {
 	r.mu.Lock()
 	conns := r.conns
 	r.conns = nil
 	if r.err == nil && !r.finishedLocked() {
 		r.err = io.ErrClosedPipe
+	}
+	r.recycleBufLocked()
+	for off, bp := range r.backing {
+		bufpool.Put(bp)
+		delete(r.backing, off)
+		delete(r.pending, off)
 	}
 	r.cond.Broadcast()
 	r.mu.Unlock()

@@ -321,12 +321,22 @@ func (s *session) Reply(req *protocol.Request, rep *protocol.Reply) error {
 }
 
 // SendData implements protocol.Session: response head then the body.
+// The head is not staged through the buffered writer: it goes out with
+// the first body chunk as one vectored write to the connection, so
+// zero-copy extent payloads skip the bufio copy entirely.
 func (s *session) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
-	if err := s.writeHead(200, size, "Content-Type: application/octet-stream\r\n"); err != nil {
+	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}
+	conn := "keep-alive"
+	if s.close10 {
+		conn = "close"
+	}
+	head := fmt.Appendf(nil,
+		"HTTP/1.1 200 OK\r\nServer: NeST/0.9\r\nContent-Length: %d\r\nConnection: %s\r\nContent-Type: application/octet-stream\r\n\r\n",
+		size, conn)
 	s.inData = req
-	return flushWriter{s.bw}, nil
+	return protocol.NewVectoredSink(s.conn, head), nil
 }
 
 // RecvData implements protocol.Session: the request body.
@@ -338,8 +348,3 @@ func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
 	}
 	return io.NopCloser(body), nil
 }
-
-type flushWriter struct{ bw *bufio.Writer }
-
-func (w flushWriter) Write(p []byte) (int, error) { return w.bw.Write(p) }
-func (w flushWriter) Close() error                { return w.bw.Flush() }

@@ -14,7 +14,6 @@ import (
 	"net"
 	"sync"
 
-	"nest/internal/bufpool"
 	"nest/internal/protocol"
 	"nest/internal/sim"
 	"nest/internal/storage"
@@ -164,13 +163,11 @@ func (s *Server) get(sess protocol.Session, req *protocol.Request) {
 	if err != nil {
 		return
 	}
-	// Copy with a pooled chunk buffer: io.Copy would allocate a fresh
-	// 32 KB buffer per transfer, and per-connection copies run
-	// concurrently (per-file storage locking lets them proceed in
-	// parallel on distinct files).
-	buf := bufpool.Get(protocol.ChunkSize)
-	n, err := io.CopyBuffer(sink, io.NewSectionReader(f, req.Offset, size), *buf)
-	bufpool.Put(buf)
+	// storage.SectionReader's WriteTo hands resident extents straight to
+	// the sink (zero-copy) on MemFS/SimFS backends, and falls back to a
+	// pooled chunk buffer elsewhere — never io.Copy's fresh 32 KB
+	// allocation per transfer.
+	n, err := io.Copy(sink, storage.NewSectionReader(f, req.Offset, size))
 	sink.Close()
 	s.mu.Lock()
 	s.moved += n
@@ -198,9 +195,9 @@ func (s *Server) put(sess protocol.Session, req *protocol.Request) {
 	if req.Size >= 0 {
 		reader = io.LimitReader(src, req.Size)
 	}
-	buf := bufpool.Get(protocol.ChunkSize)
-	n, err := io.CopyBuffer(io.NewOffsetWriter(ticket.File, req.Offset), reader, *buf)
-	bufpool.Put(buf)
+	// storage.OffsetWriter's ReadFrom fills extents in place from the
+	// connection on MemFS/SimFS backends, pooled-buffer copy elsewhere.
+	n, err := io.Copy(storage.NewOffsetWriter(ticket.File, req.Offset), reader)
 	src.Close()
 	s.mu.Lock()
 	s.moved += n

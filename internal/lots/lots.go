@@ -277,6 +277,9 @@ func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (
 	m.lots[l.ID] = l
 	m.order = append(m.order, l.ID)
 	removed := m.removed
+	// Snapshot while still locked: the lot is published in m.lots, so a
+	// concurrent ChargeWrite may mutate Used/Files the moment mu drops.
+	info := snapshot(l)
 	m.mu.Unlock()
 
 	if m.mode == QuotaBacked && m.quota != nil {
@@ -288,7 +291,7 @@ func (m *Manager) Create(owner string, capacity int64, duration time.Duration) (
 		}
 	}
 	m.creates.Add(1)
-	return snapshot(l), nil
+	return info, nil
 }
 
 // pickVictimLocked chooses the next best-effort lot to reclaim, or nil.

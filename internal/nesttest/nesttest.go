@@ -50,7 +50,7 @@ type Options struct {
 
 // Start assembles the appliance and serves handler on a fresh
 // loopback listener. Cleanup is registered on t.
-func Start(t *testing.T, handler protocol.Handler, o Options) *Fixture {
+func Start(t testing.TB, handler protocol.Handler, o Options) *Fixture {
 	t.Helper()
 	clock := sim.NewRealClock()
 	if o.Capacity == 0 {
@@ -101,7 +101,7 @@ func NewCA(user string) (*gsi.CA, *gsi.Credential) {
 // GrantLot creates a lot for user directly through the storage
 // manager, for tests that need write admission without driving the
 // Chirp lot verbs.
-func (f *Fixture) GrantLot(t *testing.T, user string, capacity int64) string {
+func (f *Fixture) GrantLot(t testing.TB, user string, capacity int64) string {
 	t.Helper()
 	info, err := f.Store.Lots().Create(user, capacity, time.Hour)
 	if err != nil {

@@ -417,6 +417,11 @@ func (s *session) replyMount(st *rpcState, rep *protocol.Reply) error {
 func (s *session) SendData(req *protocol.Request, size int64) (io.WriteCloser, error) {
 	st := req.Handle.(*rpcState)
 	st.buf = &bytes.Buffer{}
+	if size > 0 {
+		// Pre-size the staging buffer so zero-copy extent chunks land in
+		// one write without intermediate growth copies.
+		st.buf.Grow(int(size))
+	}
 	return protocol.NopWriteCloser(st.buf), nil
 }
 

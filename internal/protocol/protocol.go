@@ -254,3 +254,61 @@ func NopWriteCloser(w io.Writer) io.WriteCloser { return nopWC{w} }
 type nopWC struct{ io.Writer }
 
 func (nopWC) Close() error { return nil }
+
+// VectoredSink frames one response body with a prepared header that
+// rides the first payload write as a single vectored write
+// (net.Buffers, i.e. writev on TCP sockets): headers and zero-copy
+// extent payloads reach the wire in one syscall without being
+// concatenated into a staging buffer. If the body is empty, Close
+// emits the header alone. The sink never closes the underlying
+// writer; callers must not interleave other writes to w between the
+// first Write and Close.
+type VectoredSink struct {
+	w      io.Writer
+	header []byte
+	bufs   net.Buffers
+}
+
+// NewVectoredSink returns a sink that prefixes the first write to w
+// with header.
+func NewVectoredSink(w io.Writer, header []byte) *VectoredSink {
+	return &VectoredSink{w: w, header: header}
+}
+
+// Write implements io.Writer. The first call sends header+p as one
+// vectored write; the return counts only payload bytes, so byte
+// accounting upstream never includes framing.
+func (v *VectoredSink) Write(p []byte) (int, error) {
+	if v.header == nil {
+		return v.w.Write(p)
+	}
+	hdr := v.header
+	v.header = nil
+	v.bufs = append(v.bufs[:0], hdr, p)
+	n, err := v.bufs.WriteTo(v.w)
+	n -= int64(len(hdr))
+	if n < 0 {
+		// The write died inside the header: no payload was accepted.
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return 0, err
+	}
+	if err == nil && int(n) < len(p) {
+		err = io.ErrShortWrite
+	}
+	return int(n), err
+}
+
+// Close flushes the header if no body write ever happened (zero-byte
+// transfers still get framed). It does not close the underlying
+// writer.
+func (v *VectoredSink) Close() error {
+	if v.header == nil {
+		return nil
+	}
+	hdr := v.header
+	v.header = nil
+	_, err := v.w.Write(hdr)
+	return err
+}

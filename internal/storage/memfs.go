@@ -475,6 +475,139 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// WriteRangeTo implements RangeWriterTo: it walks the resident extents
+// covering [off, off+n) under the node's read lock and hands each
+// fragment slice straight to w — the sink reads extent memory in
+// place, with no staging copy. Requests past EOF (or clamped by it)
+// report io.EOF after delivering the resident prefix, mirroring
+// ReadAt.
+//
+// Lock-hold discipline: w.Write runs under node.mu.RLock, so a
+// concurrent Truncate cannot recycle an extent out from under the
+// sink. Other readers of the same file proceed (shared lock); writers
+// wait for at most one call's worth of sink writes, so callers bound n
+// (the transfer pump uses its chunk size).
+func (f *memFile) WriteRangeTo(w io.Writer, off, n int64) (int64, error) {
+	if f.closed.Load() {
+		return 0, ErrClosed
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	size := f.node.size.Load()
+	if off >= size {
+		return 0, io.EOF
+	}
+	req := n
+	if n > size-off {
+		n = size - off
+	}
+	var written int64
+	for written < n {
+		pos := off + written
+		ext := *f.node.extents[pos/ExtentSize]
+		frag := ext[pos%ExtentSize:]
+		if rem := n - written; int64(len(frag)) > rem {
+			frag = frag[:rem]
+		}
+		wn, err := w.Write(frag)
+		written += int64(wn)
+		if err != nil {
+			return written, err
+		}
+		if wn < len(frag) {
+			return written, io.ErrShortWrite
+		}
+	}
+	if n < req {
+		return written, io.EOF
+	}
+	return written, nil
+}
+
+// ReadRangeFrom implements RangeReaderFrom: it issues r.Read calls
+// directly into extent memory at [off, off+limit), one extent fragment
+// at a time, growing the file in place. Quota is reserved per fragment
+// before the read and the unused remainder released after, so a short
+// or failing source never leaves phantom usage; the size is published
+// only after the bytes are in place, so concurrent ReadAt never
+// observes unwritten extent memory as data. A short source read
+// returns early (nil error) rather than blocking the file's write lock
+// on a stalled source for more than one fragment.
+func (f *memFile) ReadRangeFrom(r io.Reader, off, limit int64) (int64, error) {
+	if f.closed.Load() {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	if limit <= 0 {
+		return 0, nil
+	}
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	var moved int64
+	for moved < limit {
+		pos := off + moved
+		fragEnd := (pos/ExtentSize + 1) * ExtentSize
+		if end := off + limit; fragEnd > end {
+			fragEnd = end
+		}
+		size := f.node.size.Load()
+		if fragEnd > size {
+			if err := f.fs.reserve(fragEnd - size); err != nil {
+				f.touch(moved)
+				return moved, err
+			}
+		}
+		fresh := len(f.node.extents) // first extent index drawn below
+		f.node.ensureExtentsForWrite(pos, fragEnd)
+		ext := *f.node.extents[pos/ExtentSize]
+		want := fragEnd - pos
+		rn, rerr := r.Read(ext[pos%ExtentSize:][:want])
+		newEnd := pos + int64(rn)
+		if int64(rn) < want && int(pos/ExtentSize) >= fresh {
+			// The fragment's extent came from the pool this call and was
+			// left dirty for a full overwrite that fell short: re-zero
+			// the unwritten tail to keep the zero-beyond-size invariant.
+			clear(ext[pos%ExtentSize+int64(rn):])
+		}
+		if fragEnd > size {
+			// Settle the reservation: keep only the growth actually
+			// covered by bytes read, release the rest.
+			high := newEnd
+			if high < size {
+				high = size
+			}
+			f.fs.release(fragEnd - high)
+			if newEnd > size {
+				f.node.size.Store(newEnd)
+			}
+		}
+		moved += int64(rn)
+		if rerr != nil {
+			f.touch(moved)
+			return moved, rerr
+		}
+		if int64(rn) < want {
+			f.touch(moved)
+			return moved, nil
+		}
+	}
+	f.touch(moved)
+	return moved, nil
+}
+
+// touch updates the modification time if a write moved bytes. Caller
+// holds node.mu exclusively.
+func (f *memFile) touch(moved int64) {
+	if moved > 0 {
+		f.node.setModTime(f.fs.clock.Now())
+	}
+}
+
 func (f *memFile) Truncate(n int64) error {
 	if f.closed.Load() {
 		return ErrClosed

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -225,6 +226,31 @@ func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
 	n, err := f.inner.WriteAt(p, off)
 	if n > 0 {
 		f.fs.chargeWrite(f.inner.Path(), off, int64(n))
+	}
+	return n, err
+}
+
+// WriteRangeTo implements RangeWriterTo, delegating to the extent
+// handoff of the wrapped MemFS file and charging virtual read time for
+// the bytes actually delivered — the same per-call cache/disk
+// accounting the pooled path pays per ReadAt, so zero-copy and pooled
+// transfers are indistinguishable in virtual time.
+func (f *simFile) WriteRangeTo(w io.Writer, off, n int64) (int64, error) {
+	wn, err := f.inner.(RangeWriterTo).WriteRangeTo(w, off, n)
+	if wn > 0 {
+		f.fs.chargeRead(f.inner.Path(), off, wn, f.inner.Size())
+	}
+	return wn, err
+}
+
+// ReadRangeFrom implements RangeReaderFrom, delegating to the wrapped
+// MemFS file and charging virtual write time (cache insert, write-back
+// throttle, quota slowdown) for the bytes moved, mirroring the pooled
+// path's per-WriteAt charges.
+func (f *simFile) ReadRangeFrom(r io.Reader, off, limit int64) (int64, error) {
+	n, err := f.inner.(RangeReaderFrom).ReadRangeFrom(r, off, limit)
+	if n > 0 {
+		f.fs.chargeWrite(f.inner.Path(), off, n)
 	}
 	return n, err
 }

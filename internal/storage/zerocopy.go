@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"io"
+
+	"nest/internal/bufpool"
+)
+
+// RangeWriterTo is the read-side extent-handoff capability: a file that
+// can hand its resident extent slices directly to a sink, with no
+// intermediate copy. WriteRangeTo delivers up to n bytes starting at
+// off, returning the bytes the sink accepted. It returns io.EOF when
+// off is at or past EOF, or when fewer than n bytes were resident
+// (after delivering the resident prefix), mirroring ReadAt; it returns
+// io.ErrShortWrite when the sink accepts fewer bytes than offered
+// without reporting its own error.
+//
+// Lock-hold discipline: implementations call w.Write while holding the
+// file's read lock, so extent contents cannot be truncated or recycled
+// mid-write. Sinks must therefore not retain the slice past Write, and
+// a slow sink can hold the per-file lock for at most one call's worth
+// of data — callers that need preemption granularity bound n.
+type RangeWriterTo interface {
+	WriteRangeTo(w io.Writer, off, n int64) (int64, error)
+}
+
+// RangeReaderFrom is the write-side extent-handoff capability: a file
+// that fills its extents in place from a source. ReadRangeFrom issues
+// reads directly into extent memory starting at off, moving at most
+// limit bytes, and returns the bytes moved plus any error reported by
+// the source (including io.EOF). A short source read returns early
+// with a nil error rather than looping, so callers keep chunk-granular
+// control over how long the file's write lock is held per call.
+type RangeReaderFrom interface {
+	ReadRangeFrom(r io.Reader, off, limit int64) (int64, error)
+}
+
+// SectionReader reads the byte range [off, off+n) of a File, like
+// io.NewSectionReader, but additionally exposes the extent-handoff
+// fast path when the underlying file supports it: the transfer pump's
+// zero-copy loop calls WriteNextTo instead of Read, and whole-stream
+// copiers (io.Copy) hit WriteTo. Not safe for concurrent use; each
+// transfer owns its reader.
+type SectionReader struct {
+	f   File
+	rt  RangeWriterTo // non-nil when f supports extent handoff
+	off int64         // current position
+	end int64         // section limit
+}
+
+// NewSectionReader returns a reader over the n bytes of f starting at
+// off.
+func NewSectionReader(f File, off, n int64) *SectionReader {
+	sr := &SectionReader{f: f, off: off, end: off + n}
+	if rt, ok := f.(RangeWriterTo); ok {
+		sr.rt = rt
+	}
+	return sr
+}
+
+// Handoff reports whether WriteNextTo can move bytes without an
+// intermediate buffer. When false, callers must use Read.
+func (s *SectionReader) Handoff() bool { return s.rt != nil }
+
+// Read implements io.Reader with io.SectionReader semantics.
+func (s *SectionReader) Read(p []byte) (int, error) {
+	if s.off >= s.end {
+		return 0, io.EOF
+	}
+	if max := s.end - s.off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := s.f.ReadAt(p, s.off)
+	s.off += int64(n)
+	return n, err
+}
+
+// WriteNextTo hands the next run of resident extent bytes (at most
+// limit) to w and advances the section position by the bytes w
+// accepted. It returns io.EOF at the end of the section or of the
+// file. Only valid when Handoff reports true.
+func (s *SectionReader) WriteNextTo(w io.Writer, limit int64) (int64, error) {
+	if s.off >= s.end {
+		return 0, io.EOF
+	}
+	if max := s.end - s.off; limit > max {
+		limit = max
+	}
+	n, err := s.rt.WriteRangeTo(w, s.off, limit)
+	s.off += n
+	return n, err
+}
+
+// WriteTo implements io.WriterTo so io.Copy moves the whole remaining
+// section without allocating: via extent handoff when available,
+// otherwise through a pooled chunk buffer. A file shorter than the
+// section ends the copy cleanly (nil error), matching
+// io.Copy(w, io.NewSectionReader(f, off, n)).
+func (s *SectionReader) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if s.rt != nil {
+		for s.off < s.end {
+			n, err := s.WriteNextTo(w, s.end-s.off)
+			total += n
+			if err == io.EOF {
+				return total, nil
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	bp := bufpool.Get(ExtentSize)
+	defer bufpool.Put(bp)
+	for {
+		n, rerr := s.Read(*bp)
+		if n > 0 {
+			wn, werr := w.Write((*bp)[:n])
+			total += int64(wn)
+			if werr != nil {
+				return total, werr
+			}
+			if wn < n {
+				return total, io.ErrShortWrite
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}
+
+// OffsetWriter writes to a File at a moving offset, like
+// io.NewOffsetWriter, but additionally exposes the extent-handoff fast
+// path when the underlying file supports it: the transfer pump's
+// zero-copy loop calls ReadNextFrom instead of Write, and whole-stream
+// copiers (io.Copy) hit ReadFrom. Not safe for concurrent use.
+type OffsetWriter struct {
+	f   File
+	rf  RangeReaderFrom // non-nil when f supports extent handoff
+	off int64
+}
+
+// NewOffsetWriter returns a writer into f starting at off.
+func NewOffsetWriter(f File, off int64) *OffsetWriter {
+	ow := &OffsetWriter{f: f, off: off}
+	if rf, ok := f.(RangeReaderFrom); ok {
+		ow.rf = rf
+	}
+	return ow
+}
+
+// Handoff reports whether ReadNextFrom can move bytes without an
+// intermediate buffer. When false, callers must use Write.
+func (o *OffsetWriter) Handoff() bool { return o.rf != nil }
+
+// Write implements io.Writer at the moving offset.
+func (o *OffsetWriter) Write(p []byte) (int, error) {
+	n, err := o.f.WriteAt(p, o.off)
+	o.off += int64(n)
+	return n, err
+}
+
+// ReadNextFrom fills the file's extents in place from r, moving at
+// most limit bytes at the current offset, and advances by the bytes
+// moved. Only valid when Handoff reports true.
+func (o *OffsetWriter) ReadNextFrom(r io.Reader, limit int64) (int64, error) {
+	n, err := o.rf.ReadRangeFrom(r, o.off, limit)
+	o.off += n
+	return n, err
+}
+
+// ReadFrom implements io.ReaderFrom so io.Copy moves the whole stream
+// without allocating: via extent handoff when available, otherwise
+// through a pooled chunk buffer.
+func (o *OffsetWriter) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	if o.rf != nil {
+		for {
+			n, err := o.ReadNextFrom(r, ExtentSize)
+			total += n
+			if err == io.EOF {
+				return total, nil
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	bp := bufpool.Get(ExtentSize)
+	defer bufpool.Put(bp)
+	for {
+		n, rerr := r.Read(*bp)
+		if n > 0 {
+			wn, werr := o.Write((*bp)[:n])
+			total += int64(wn)
+			if werr != nil {
+				return total, werr
+			}
+			if wn < n {
+				return total, io.ErrShortWrite
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}

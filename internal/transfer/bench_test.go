@@ -6,6 +6,7 @@ import (
 
 	"nest/internal/sched"
 	"nest/internal/sim"
+	"nest/internal/storage"
 )
 
 // zeroReader yields zero bytes forever without allocating.
@@ -68,6 +69,114 @@ func BenchmarkManagerQuantumPreemption(b *testing.B) {
 		b.StopTimer()
 		m.Close()
 	})
+}
+
+// copySink models the cost a real socket imposes on every delivered
+// byte: each Write is copied into a fixed scratch buffer (as the
+// kernel copies user memory into socket buffers). io.Discard would
+// make both data paths look free; against copySink the pooled pump
+// pays two copies per byte (extent -> chunk buffer -> scratch) and the
+// zero-copy handoff pays one (extent -> scratch), so the benchmark
+// measures the copy actually saved.
+type copySink struct{ scratch [64 * 1024]byte }
+
+func (s *copySink) Write(p []byte) (int, error) {
+	n := 0
+	for len(p) > 0 {
+		c := copy(s.scratch[:], p)
+		p = p[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// BenchmarkTransferThroughput compares the pooled pump against the
+// zero-copy extent handoff, moving 16 MB per op in two regimes:
+//
+//   - hot: a 1 MB extent file (cache-resident) served 16 times — the
+//     appliance's common case, popular content re-served from memory.
+//     Here the stream and the copy the handoff eliminates live in the
+//     same cache tier, so the saving shows at full strength.
+//   - stream: one contiguous 16 MB transfer — bounded by last-level
+//     cache / memory bandwidth in both paths, so the eliminated
+//     (cache-hot) copy buys a smaller margin.
+//
+// The pooled baseline is forced by hiding the handoff capability
+// behind a plain reader; -benchmem shows the handoff path's constant
+// per-transfer allocation (no per-chunk buffers).
+func BenchmarkTransferThroughput(b *testing.B) {
+	const total = 16 << 20
+	run := func(b *testing.B, fileSize int64, pooled bool) {
+		fs := storage.NewMemFS(nil, 2*fileSize)
+		f, err := fs.Create("/bench", "u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt(make([]byte, fileSize), 0); err != nil {
+			b.Fatal(err)
+		}
+		passes := total / fileSize
+		clock := sim.NewRealClock()
+		sink := &copySink{}
+		b.SetBytes(total)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := int64(0); j < passes; j++ {
+				var src io.Reader = storage.NewSectionReader(f, 0, fileSize)
+				if pooled {
+					src = plainReader{src}
+				}
+				tr := &Transfer{Class: "bench", Size: fileSize, Src: src, Dst: sink}
+				p := tr.ensurePump()
+				p.run(clock, 0)
+				if p.err != nil {
+					b.Fatal(p.err)
+				}
+				p.release()
+			}
+		}
+	}
+	b.Run("hot/pooled", func(b *testing.B) { run(b, 1<<20, true) })
+	b.Run("hot/zerocopy", func(b *testing.B) { run(b, 1<<20, false) })
+	b.Run("stream/pooled", func(b *testing.B) { run(b, total, true) })
+	b.Run("stream/zerocopy", func(b *testing.B) { run(b, total, false) })
+}
+
+// TestHandoffReadPathAllocFree is the steady-state alloc guard for the
+// zero-copy read path: a 64-chunk handoff transfer may allocate only
+// its constant per-transfer descriptors (Transfer, pump,
+// SectionReader), never anything per chunk. A per-chunk allocation
+// would show up as >=64 allocs per run.
+func TestHandoffReadPathAllocFree(t *testing.T) {
+	clock := sim.NewRealClock()
+	const size = 4 << 20
+	fs := storage.NewMemFS(nil, size)
+	f, err := fs.Create("/a", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, size), 0); err != nil {
+		t.Fatal(err)
+	}
+	sink := &copySink{}
+	allocs := testing.AllocsPerRun(10, func() {
+		tr := &Transfer{Class: "t", Size: size, Src: storage.NewSectionReader(f, 0, size), Dst: sink}
+		p := tr.ensurePump()
+		if !p.handoff() {
+			t.Fatal("expected handoff pump")
+		}
+		p.run(clock, 0)
+		if p.err != nil {
+			t.Fatal(p.err)
+		}
+		p.release()
+	})
+	if allocs >= 8 {
+		t.Errorf("handoff read path allocates %v per 64-chunk transfer, want constant (<8)", allocs)
+	}
 }
 
 // TestPumpChunkLoopAllocFree pins down that the chunk loop itself —

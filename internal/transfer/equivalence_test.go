@@ -1,0 +1,381 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+	"nest/internal/storage"
+)
+
+// The equivalence suite proves the zero-copy handoff loop and the
+// pooled-buffer pump are interchangeable: byte-identical output,
+// identical scheduler byte-charges (admissions/preemptions under a
+// byte quantum), and identical obs byte counters — across sparse
+// files, truncation, and mid-transfer sink failure.
+//
+// The pooled path is forced by hiding the handoff capability behind
+// plain wrapper types, so both runs drive the same endpoints.
+
+// plainReader hides WriteNextTo/Handoff so the pump stages through its
+// pooled buffer.
+type plainReader struct{ r io.Reader }
+
+func (p plainReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+// plainWriter hides ReadNextFrom/Handoff.
+type plainWriter struct{ w io.Writer }
+
+func (p plainWriter) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+// collectWriter is a concurrency-safe accumulating sink.
+type collectWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *collectWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *collectWriter) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+// sparseFile builds a MemFS file with data at scattered offsets and
+// holes between them.
+func sparseFile(t testing.TB, fs *storage.MemFS, path string, seed int64) (storage.File, int64) {
+	t.Helper()
+	f, err := fs.Create(path, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Runs landing across extent boundaries, with gaps.
+	offs := []int64{0, 70_000, 200_000, 64 * 1024 * 5, 64*1024*7 + 13}
+	for _, off := range offs {
+		chunk := make([]byte, 30_000+rng.Intn(40_000))
+		rng.Read(chunk)
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, f.Size()
+}
+
+// runManaged submits one transfer through a fresh manager with a byte
+// quantum and reports (output unavailable here), metrics bytes,
+// admissions, preemptions, and the transfer result.
+func runManaged(t testing.TB, tr *Transfer, quantum int64) (ManagerStats, ClassStats, Result) {
+	t.Helper()
+	clock := sim.NewRealClock()
+	m := NewManager(Options{
+		Clock:   clock,
+		Model:   Threads,
+		Slots:   1,
+		Quantum: quantum,
+		Policy:  sched.NewStride(map[string]int{tr.Class: 100}),
+	})
+	var res Result
+	done := make(chan struct{})
+	tr.OnDone = func(r Result) { res = r; close(done) }
+	m.Submit(tr)
+	<-done
+	m.Wait()
+	stats := m.Stats()
+	cls := m.Metrics().Class(tr.Class)
+	m.Close()
+	return stats, cls, res
+}
+
+func TestEquivalenceSparseGet(t *testing.T) {
+	const quantum = 192 * 1024 // three chunks per admission
+	run := func(pooled bool) ([]byte, ManagerStats, ClassStats, Result) {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, size := sparseFile(t, fs, "/f", 42)
+		defer f.Close()
+		var src io.Reader = storage.NewSectionReader(f, 0, size)
+		if pooled {
+			src = plainReader{src}
+		}
+		sink := &collectWriter{}
+		tr := &Transfer{Class: "eq", Size: size, Src: src, Dst: sink}
+		stats, cls, res := runManaged(t, tr, quantum)
+		return sink.bytes(), stats, cls, res
+	}
+
+	outH, statsH, clsH, resH := run(false)
+	outP, statsP, clsP, resP := run(true)
+
+	if resH.Err != nil || resP.Err != nil {
+		t.Fatalf("errs: handoff=%v pooled=%v", resH.Err, resP.Err)
+	}
+	if !bytes.Equal(outH, outP) {
+		t.Fatalf("output differs: handoff %d bytes, pooled %d bytes", len(outH), len(outP))
+	}
+	if resH.Bytes != resP.Bytes {
+		t.Fatalf("result bytes differ: %d vs %d", resH.Bytes, resP.Bytes)
+	}
+	if clsH.Bytes != clsP.Bytes {
+		t.Fatalf("obs byte counters differ: %d vs %d", clsH.Bytes, clsP.Bytes)
+	}
+	if statsH.Admissions != statsP.Admissions || statsH.Preemptions != statsP.Preemptions {
+		t.Fatalf("scheduler charges differ: handoff adm=%d pre=%d, pooled adm=%d pre=%d",
+			statsH.Admissions, statsH.Preemptions, statsP.Admissions, statsP.Preemptions)
+	}
+	// Sanity: the sparse file's holes came through as zeros.
+	if int64(len(outH)) == 0 {
+		t.Fatal("no bytes moved")
+	}
+}
+
+func TestEquivalenceSparsePut(t *testing.T) {
+	const quantum = 128 * 1024
+	data := make([]byte, 900_000) // unaligned, crosses many extents
+	rand.New(rand.NewSource(7)).Read(data)
+	const putOff = 150_000 // sparse: hole below the write
+
+	run := func(pooled bool) ([]byte, ManagerStats, ClassStats, Result) {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/out", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var dst io.Writer = storage.NewOffsetWriter(f, putOff)
+		if pooled {
+			dst = plainWriter{dst}
+		}
+		tr := &Transfer{Class: "eq", Size: int64(len(data)), Src: bytes.NewReader(data), Dst: dst}
+		stats, cls, res := runManaged(t, tr, quantum)
+		out := make([]byte, f.Size())
+		if _, err := f.ReadAt(out, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		return out, stats, cls, res
+	}
+
+	outH, statsH, clsH, resH := run(false)
+	outP, statsP, clsP, resP := run(true)
+
+	if resH.Err != nil || resP.Err != nil {
+		t.Fatalf("errs: handoff=%v pooled=%v", resH.Err, resP.Err)
+	}
+	if !bytes.Equal(outH, outP) {
+		t.Fatal("stored file contents differ between paths")
+	}
+	if resH.Bytes != resP.Bytes || clsH.Bytes != clsP.Bytes {
+		t.Fatalf("byte charges differ: result %d/%d obs %d/%d",
+			resH.Bytes, resP.Bytes, clsH.Bytes, clsP.Bytes)
+	}
+	if statsH.Admissions != statsP.Admissions || statsH.Preemptions != statsP.Preemptions {
+		t.Fatalf("scheduler charges differ: handoff adm=%d pre=%d, pooled adm=%d pre=%d",
+			statsH.Admissions, statsH.Preemptions, statsP.Admissions, statsP.Preemptions)
+	}
+}
+
+// TestEquivalenceTruncatedSource: the file is shorter than the
+// promised Size (chunk-aligned so the divergence-free comparison
+// holds); both paths must deliver the same prefix, charge the same
+// bytes, and fail with io.ErrUnexpectedEOF.
+func TestEquivalenceTruncatedSource(t *testing.T) {
+	const fileSize = 4 * 64 * 1024  // chunk-aligned resident data
+	const promised = 8 * 64 * 1024 // transfer claims more
+
+	run := func(pooled bool) ([]byte, ClassStats, Result) {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/t", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		data := make([]byte, fileSize)
+		rand.New(rand.NewSource(3)).Read(data)
+		f.WriteAt(data, 0)
+
+		var src io.Reader = storage.NewSectionReader(f, 0, promised)
+		if pooled {
+			src = plainReader{src}
+		}
+		sink := &collectWriter{}
+		tr := &Transfer{Class: "eq", Size: promised, Src: src, Dst: sink}
+		_, cls, res := runManaged(t, tr, 0)
+		return sink.bytes(), cls, res
+	}
+
+	outH, clsH, resH := run(false)
+	outP, clsP, resP := run(true)
+
+	if !errors.Is(resH.Err, io.ErrUnexpectedEOF) || !errors.Is(resP.Err, io.ErrUnexpectedEOF) {
+		t.Fatalf("errs: handoff=%v pooled=%v, want ErrUnexpectedEOF", resH.Err, resP.Err)
+	}
+	if !bytes.Equal(outH, outP) {
+		t.Fatalf("truncated output differs: %d vs %d bytes", len(outH), len(outP))
+	}
+	if resH.Bytes != fileSize || resP.Bytes != fileSize {
+		t.Fatalf("bytes: handoff=%d pooled=%d, want %d", resH.Bytes, resP.Bytes, fileSize)
+	}
+	if clsH.Bytes != clsP.Bytes {
+		t.Fatalf("obs counters differ: %d vs %d", clsH.Bytes, clsP.Bytes)
+	}
+}
+
+// failAfterWriter accepts exactly budget bytes, then rejects every
+// write outright (accept-nothing), modeling a client that vanishes
+// mid-transfer.
+type failAfterWriter struct {
+	budget int
+	err    error
+	got    bytes.Buffer
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		return 0, w.err
+	}
+	w.budget -= len(p)
+	return w.got.Write(p)
+}
+
+// TestEquivalenceCancellation: the sink dies after a chunk-aligned
+// byte budget; both paths must charge exactly the delivered bytes and
+// surface the sink's error.
+func TestEquivalenceCancellation(t *testing.T) {
+	const total = 16 * 64 * 1024
+	const budget = 5 * 64 * 1024
+	boom := errors.New("connection reset")
+
+	run := func(pooled bool) (ClassStats, Result, int) {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/c", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		data := make([]byte, total)
+		rand.New(rand.NewSource(5)).Read(data)
+		f.WriteAt(data, 0)
+
+		var src io.Reader = storage.NewSectionReader(f, 0, total)
+		if pooled {
+			src = plainReader{src}
+		}
+		sink := &failAfterWriter{budget: budget, err: boom}
+		tr := &Transfer{Class: "eq", Size: total, Src: src, Dst: sink}
+		_, cls, res := runManaged(t, tr, 0)
+		return cls, res, sink.got.Len()
+	}
+
+	clsH, resH, gotH := run(false)
+	clsP, resP, gotP := run(true)
+
+	if !errors.Is(resH.Err, boom) || !errors.Is(resP.Err, boom) {
+		t.Fatalf("errs: handoff=%v pooled=%v, want boom", resH.Err, resP.Err)
+	}
+	if gotH != budget || gotP != budget {
+		t.Fatalf("sink received handoff=%d pooled=%d, want %d", gotH, gotP, budget)
+	}
+	if resH.Bytes != resP.Bytes || clsH.Bytes != clsP.Bytes {
+		t.Fatalf("byte charges differ: result %d/%d obs %d/%d",
+			resH.Bytes, resP.Bytes, clsH.Bytes, clsP.Bytes)
+	}
+}
+
+// TestEquivalenceTruncationRace runs a reader transfer while a writer
+// goroutine truncates and rewrites the file. There is no deterministic
+// output to compare; the test pins the invariants that survive the
+// race on both paths — the transfer ends (cleanly or with
+// ErrUnexpectedEOF), charged bytes never exceed delivered bytes — and
+// gives the race detector both lock disciplines to chew on.
+func TestEquivalenceTruncationRace(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/r", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const size = 32 * 64 * 1024
+		data := make([]byte, size)
+		f.WriteAt(data, 0)
+
+		w, err := fs.OpenRW("/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Truncate(int64(size / 2))
+				w.WriteAt(data[:4096], int64(size/2)-2048)
+				w.Truncate(size)
+			}
+		}()
+
+		var src io.Reader = storage.NewSectionReader(f, 0, size)
+		if pooled {
+			src = plainReader{src}
+		}
+		sink := &collectWriter{}
+		tr := &Transfer{Class: "eq", Size: size, Src: src, Dst: sink}
+		_, _, res := runManaged(t, tr, 64*1024)
+		close(stop)
+		wg.Wait()
+		w.Close()
+		f.Close()
+
+		if res.Err != nil && !errors.Is(res.Err, io.ErrUnexpectedEOF) {
+			t.Fatalf("pooled=%v: unexpected error %v", pooled, res.Err)
+		}
+		if delivered := int64(len(sink.bytes())); res.Bytes > delivered {
+			t.Fatalf("pooled=%v: charged %d > delivered %d", pooled, res.Bytes, delivered)
+		}
+	}
+}
+
+// TestHandoffChunkCounters verifies the data-path mode split counters
+// move with the right loop.
+func TestHandoffChunkCounters(t *testing.T) {
+	fs := storage.NewMemFS(nil, 1<<30)
+	f, _ := fs.Create("/m", "u")
+	data := make([]byte, 4*64*1024)
+	f.WriteAt(data, 0)
+	defer f.Close()
+
+	h0, p0 := DataPathStats()
+	tr := &Transfer{Class: "m", Size: int64(len(data)), Src: storage.NewSectionReader(f, 0, int64(len(data))), Dst: io.Discard}
+	pp := tr.ensurePump()
+	for !pp.step() {
+	}
+	pp.release()
+	h1, p1 := DataPathStats()
+	if h1-h0 != 4 || p1 != p0 {
+		t.Fatalf("handoff get: counters moved handoff=%d pooled=%d, want 4/0", h1-h0, p1-p0)
+	}
+
+	tr = &Transfer{Class: "m", Size: int64(len(data)), Src: plainReader{storage.NewSectionReader(f, 0, int64(len(data)))}, Dst: io.Discard}
+	pp = tr.ensurePump()
+	for !pp.step() {
+	}
+	pp.release()
+	h2, p2 := DataPathStats()
+	if p2-p1 != 4 || h2 != h1 {
+		t.Fatalf("pooled get: counters moved handoff=%d pooled=%d, want 0/4", h2-h1, p2-p1)
+	}
+}

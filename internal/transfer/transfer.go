@@ -310,12 +310,69 @@ func (m *Metrics) BandwidthMBps(class string, now time.Duration) float64 {
 	return float64(cs.bytes.Load()) / (1024 * 1024) / elapsed
 }
 
+// chunkWriterTo is the read-side zero-copy capability a source may
+// expose (storage.SectionReader does): WriteNextTo hands the next run
+// of resident bytes — at most limit — directly to the sink, with no
+// intermediate buffer. Handoff gates the fast path: a false report
+// means the implementation would have to stage through a buffer
+// anyway, so the pump keeps its pooled loop (verbatim semantics).
+type chunkWriterTo interface {
+	WriteNextTo(w io.Writer, limit int64) (int64, error)
+	Handoff() bool
+}
+
+// chunkReaderFrom is the write-side zero-copy capability a sink may
+// expose (storage.OffsetWriter does): ReadNextFrom fills storage in
+// place from the source, at most limit bytes per call.
+type chunkReaderFrom interface {
+	ReadNextFrom(r io.Reader, limit int64) (int64, error)
+	Handoff() bool
+}
+
+// Data-path mode counters: chunks moved by the zero-copy handoff loop
+// vs the pooled-buffer pump, exposed on /statusz via DataPathStats.
+// Package-wide atomics for the same reason as the extent counters —
+// the pools and pumps are process-shared machinery.
+var (
+	statHandoffChunks atomic.Int64
+	statPooledChunks  atomic.Int64
+)
+
+// DataPathStats reports cumulative chunks moved via zero-copy extent
+// handoff and via the pooled-buffer fallback, across all managers.
+func DataPathStats() (handoff, pooled int64) {
+	return statHandoffChunks.Load(), statPooledChunks.Load()
+}
+
+// countWriter is the accounting sink wrapped around Dst on the handoff
+// read path: byte-charging credits what the sink actually accepted,
+// independent of what the handoff implementation claims, so scheduler
+// quanta and obs counters stay truthful even over partial writes.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // pump copies one transfer chunk-by-chunk so concurrency models can
-// interleave transfers at chunk granularity.
+// interleave transfers at chunk granularity. When an endpoint exposes
+// the extent-handoff capability the pump skips the pooled buffer
+// entirely and moves chunk-limited runs of extent memory straight
+// between storage and the protocol framing; otherwise it stages
+// through a pooled chunk buffer exactly as before.
 type pump struct {
 	t     *Transfer
 	buf   []byte
 	bufp  *[]byte // pooled backing of buf, nil after release
+	src   chunkWriterTo   // non-nil: zero-copy read handoff
+	dst   chunkReaderFrom // non-nil: zero-copy write handoff
+	cw    countWriter     // reused accounting sink for src handoffs
+	chunk int64           // chunk granularity (scheduler quantum unit)
 	moved int64
 	err   error
 	done  bool
@@ -326,8 +383,76 @@ func newPump(t *Transfer) *pump {
 	if size <= 0 {
 		size = protocol.ChunkSize
 	}
+	p := &pump{t: t, chunk: int64(size)}
+	if src, ok := t.Src.(chunkWriterTo); ok && src.Handoff() {
+		p.src = src
+		return p
+	}
+	if dst, ok := t.Dst.(chunkReaderFrom); ok && dst.Handoff() {
+		p.dst = dst
+		return p
+	}
 	bp := bufpool.Get(size)
-	return &pump{t: t, buf: *bp, bufp: bp}
+	p.buf, p.bufp = *bp, bp
+	return p
+}
+
+// handoff reports whether this pump runs the zero-copy loop.
+func (p *pump) handoff() bool { return p.src != nil || p.dst != nil }
+
+// handoffStep moves one chunk through the zero-copy path, preserving
+// the pooled pump's accounting to the byte: a chunk that fails
+// mid-delivery is not charged (writeChunk never advances moved on
+// error), a source EOF short of the promised Size is
+// io.ErrUnexpectedEOF with the final partial chunk uncharged
+// (readChunk drops it), and an EOF that lands exactly on Size — or any
+// EOF on an unbounded transfer — completes cleanly with the chunk
+// charged.
+func (p *pump) handoffStep() {
+	limit := p.chunk
+	if p.t.Size >= 0 {
+		remaining := p.t.Size - p.moved
+		if remaining <= 0 {
+			p.done = true
+			return
+		}
+		if remaining < limit {
+			limit = remaining
+		}
+	}
+	var n int64
+	var err error
+	if p.src != nil {
+		p.cw.w, p.cw.n = p.t.Dst, 0
+		_, err = p.src.WriteNextTo(&p.cw, limit)
+		n = p.cw.n
+		p.cw.w = nil
+	} else {
+		n, err = p.dst.ReadNextFrom(p.t.Src, limit)
+	}
+	if err != nil {
+		p.done = true
+		switch {
+		case err != io.EOF:
+			p.err = err
+		case p.t.Size < 0, p.moved+n == p.t.Size:
+			// Clean EOF: the chunk completes the transfer.
+			p.moved += n
+			if n > 0 {
+				statHandoffChunks.Add(1)
+			}
+		default:
+			p.err = io.ErrUnexpectedEOF
+		}
+		return
+	}
+	p.moved += n
+	if n > 0 {
+		statHandoffChunks.Add(1)
+	}
+	if p.t.Size >= 0 && p.moved >= p.t.Size {
+		p.done = true
+	}
 }
 
 // release returns the chunk buffer to the pool. The manager calls it
@@ -345,9 +470,17 @@ func (p *pump) release() {
 // readChunk fills the pump buffer with the next chunk. It returns the
 // byte count; the pump is marked done (with p.err set on failure) when
 // the source is exhausted. Staged architectures call readChunk and
-// writeChunk from different stages; step composes them.
+// writeChunk from different stages; step composes them. On a handoff
+// pump there is no buffer to fill: readChunk performs the whole
+// zero-copy chunk move (storage and sink touch the same memory, so
+// read and write are one act — naturally in the disk stage) and
+// returns 0, leaving writeChunk a no-op.
 func (p *pump) readChunk() int {
 	if p.done {
+		return 0
+	}
+	if p.handoff() {
+		p.handoffStep()
 		return 0
 	}
 	limit := int64(len(p.buf))
@@ -385,6 +518,7 @@ func (p *pump) writeChunk(n int) {
 		return
 	}
 	p.moved += int64(n)
+	statPooledChunks.Add(1)
 	if p.t.Size >= 0 && p.moved >= p.t.Size {
 		p.done = true
 	}
@@ -395,6 +529,10 @@ func (p *pump) writeChunk(n int) {
 func (p *pump) step() bool {
 	if p.done {
 		return true
+	}
+	if p.handoff() {
+		p.handoffStep()
+		return p.done
 	}
 	n := p.readChunk()
 	if p.err != nil {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // ErrShortBuffer reports a decode past the end of input.
@@ -197,12 +198,16 @@ func ReadRecord(r io.Reader, maxSize int) ([]byte, error) {
 }
 
 // WriteRecord writes p to w as a single final record-marking fragment.
+// Marker and payload go out as one vectored write (writev when w is a
+// TCP connection), so the record never crosses the wire in two
+// segments nor gets concatenated in user space.
 func WriteRecord(w io.Writer, p []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(p))|0x80000000)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	bufs := net.Buffers{hdr[:], p}
+	n, err := bufs.WriteTo(w)
+	if err == nil && n < int64(len(hdr)+len(p)) {
+		return io.ErrShortWrite
 	}
-	_, err := w.Write(p)
 	return err
 }
