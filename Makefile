@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched bench-datapath figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -38,6 +38,13 @@ bench-sched:
 bench-datapath:
 	$(GO) test -run '^$$' -bench 'BenchmarkTransferThroughput' -benchmem -benchtime=2s ./internal/transfer/
 	$(GO) test -run '^$$' -bench 'BenchmarkProtocolThroughput' -benchtime=2s ./internal/nesttest/
+
+# Striped-transfer benchmarks: pump-level stripe-width scaling on a
+# 64 MB GET, and end-to-end MODE E loopback GETs at widths 1/2/4;
+# numbers recorded in docs/data_path_bench.md and DESIGN.md §12.
+bench-stripe:
+	$(GO) test -run '^$$' -bench 'BenchmarkStripedThroughput' -benchmem -benchtime=2s ./internal/transfer/
+	$(GO) test -run '^$$' -bench 'BenchmarkProtocolThroughput/ftp-modee' -benchtime=2s ./internal/nesttest/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

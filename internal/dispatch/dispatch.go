@@ -305,16 +305,19 @@ func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) (int64
 	if err != nil {
 		return 0, protocol.CodeInternal, 0
 	}
-	res := d.await(&transfer.Transfer{
+	tr := &transfer.Transfer{
 		Class:   req.Proto,
 		User:    req.User,
 		Path:    storage.Clean(req.Path),
 		Offset:  req.Offset,
 		Size:    size,
-		Src:     storage.NewSectionReader(f, req.Offset, size),
-		Dst:     sink,
 		TraceID: req.TraceID,
-	})
+	}
+	if !stripeGet(tr, req, f, size, sink) {
+		tr.Src = storage.NewSectionReader(f, req.Offset, size)
+		tr.Dst = sink
+	}
+	res := d.await(tr)
 	sink.Close()
 	rep := protocol.OKReply()
 	rep.Size = res.Bytes
@@ -336,20 +339,85 @@ func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) (int64
 		d.store.FinishPut(ticket, 0, err)
 		return 0, protocol.CodeInternal, 0
 	}
-	res := d.await(&transfer.Transfer{
+	tr := &transfer.Transfer{
 		Class:   req.Proto,
 		User:    req.User,
 		Path:    storage.Clean(req.Path),
 		Offset:  req.Offset,
 		Size:    req.Size,
-		Src:     src,
-		Dst:     storage.NewOffsetWriter(ticket.File, req.Offset),
 		TraceID: req.TraceID,
-	})
+	}
+	if !stripePut(tr, req, ticket.File, src) {
+		tr.Src = src
+		tr.Dst = storage.NewOffsetWriter(ticket.File, req.Offset)
+	}
+	res := d.await(tr)
 	src.Close()
 	rep := d.store.FinishPut(ticket, res.Bytes, res.Err)
 	s.Reply(req, rep)
 	return res.Bytes, rep.Code, res.Queue
+}
+
+// stripeGet populates tr.Ranges for a striped get when the protocol
+// handler asked for parallelism (req.Stripes > 1), the sink can frame
+// offset-addressed stripes (FTP MODE E), and the file is large enough
+// to partition on extent boundaries. Each stripe reads its own
+// SectionReader and writes its own sink at the payload-relative offset;
+// it reports whether striping was set up.
+func stripeGet(tr *transfer.Transfer, req *protocol.Request, f storage.File, size int64, sink io.WriteCloser) bool {
+	if req.Stripes < 2 || size <= 0 {
+		return false
+	}
+	ss, ok := sink.(protocol.StripeSink)
+	if !ok {
+		return false
+	}
+	ranges := storage.PartitionStripes(req.Offset, size, req.Stripes)
+	if len(ranges) < 2 {
+		return false
+	}
+	for _, r := range ranges {
+		tr.Ranges = append(tr.Ranges, transfer.StripeRange{
+			Offset: r.Off,
+			Size:   r.N,
+			Src:    storage.NewSectionReader(f, r.Off, r.N),
+			Dst:    ss.SinkAt(r.Off - req.Offset),
+		})
+	}
+	return true
+}
+
+// stripePut is the put-side counterpart: it partitions the declared
+// size, announces the interior boundaries to the source (so arriving
+// blocks are split to stripe ranges), and gives each stripe its own
+// range reader and OffsetWriter. Puts with unknown size (-1) cannot
+// stripe — there is nothing to partition.
+func stripePut(tr *transfer.Transfer, req *protocol.Request, f storage.File, src io.ReadCloser) bool {
+	if req.Stripes < 2 || req.Size <= 0 {
+		return false
+	}
+	sSrc, ok := src.(protocol.StripeSource)
+	if !ok {
+		return false
+	}
+	ranges := storage.PartitionStripes(req.Offset, req.Size, req.Stripes)
+	if len(ranges) < 2 {
+		return false
+	}
+	bounds := make([]int64, 0, len(ranges)-1)
+	for _, r := range ranges[1:] {
+		bounds = append(bounds, r.Off-req.Offset)
+	}
+	sSrc.SetStripeBounds(bounds)
+	for _, r := range ranges {
+		tr.Ranges = append(tr.Ranges, transfer.StripeRange{
+			Offset: r.Off,
+			Size:   r.N,
+			Src:    sSrc.SourceAt(r.Off-req.Offset, r.N),
+			Dst:    storage.NewOffsetWriter(f, r.Off),
+		})
+	}
+	return true
 }
 
 // Advertisement consolidates resource and data availability into the

@@ -65,6 +65,21 @@ func (d *Dispatcher) initObs() {
 		_, p := transfer.DataPathStats()
 		return p
 	})
+	// Striped-transfer counters: how many transfers fanned out across
+	// parallel stripe pumps, the width of the most recent one, and how
+	// many are in flight right now (process-wide, like the data-path
+	// counters).
+	d.reg.Func("nest_striped_transfers_total", func() int64 {
+		total, _ := transfer.StripedStats()
+		return total
+	})
+	d.reg.Func("nest_striped_last_width", func() int64 {
+		_, width := transfer.StripedStats()
+		return width
+	})
+	d.reg.Func("nest_striped_active", func() int64 {
+		return int64(len(transfer.ActiveStriped()))
+	})
 	d.reg.Func("nest_trace_drops_total", func() int64 { return d.ring.Drops() + d.slowRing.Drops() })
 
 	// Per-protocol × per-op request counts, errors and bytes: a labeled
@@ -188,7 +203,22 @@ func (d *Dispatcher) statusz() string {
 	fmt.Fprintf(&b, "transfer queue depth: %d   submits: %d   admissions: %d   preemptions: %d\n",
 		ts.QueueDepth, ts.Submits, ts.Admissions, ts.Preemptions)
 	handoff, pooled := transfer.DataPathStats()
-	fmt.Fprintf(&b, "data path chunks: zero-copy handoff: %d   pooled pump: %d\n\n", handoff, pooled)
+	fmt.Fprintf(&b, "data path chunks: zero-copy handoff: %d   pooled pump: %d\n", handoff, pooled)
+	stripedTotal, stripedWidth := transfer.StripedStats()
+	fmt.Fprintf(&b, "striped transfers: %d total   last width: %d\n\n", stripedTotal, stripedWidth)
+
+	if active := transfer.ActiveStriped(); len(active) > 0 {
+		b.WriteString("active striped transfers\n")
+		for _, st := range active {
+			fmt.Fprintf(&b, "  %-8s %-12s %s  width=%d  %d/%d bytes\n",
+				st.Class, st.User, st.Path, len(st.Stripes), st.Moved, st.Size)
+			for i, sp := range st.Stripes {
+				fmt.Fprintf(&b, "    stripe %d [%d,%d)  %d/%d bytes\n",
+					i, sp.Offset, sp.Offset+sp.Size, sp.Moved, sp.Size)
+			}
+		}
+		b.WriteString("\n")
+	}
 
 	b.WriteString("dispatch latency (ns)\n")
 	fmt.Fprintf(&b, "  %-10s %10s %12s %12s %12s\n", "path", "count", "p50", "p95", "p99")

@@ -73,12 +73,56 @@ func (c *Client) SetMode(mode byte) error {
 	return err
 }
 
-// SetParallelism asks for n parallel data streams (MODE E).
+// SetParallelism asks for n parallel data streams. Parallelism only
+// takes effect in MODE E, where blocks carry offsets and can ride any
+// stream; in MODE S the data connection is a single unframed byte
+// stream, so transfers ignore the setting and use one connection. The
+// width is still recorded while in MODE S and applies once MODE E is
+// selected. n < 1 is rejected locally without touching the wire.
 func (c *Client) SetParallelism(n int) error {
+	if n < 1 {
+		return fmt.Errorf("ftp: parallelism %d out of range (want >= 1)", n)
+	}
 	_, _, err := c.cmd(200, "OPTS RETR Parallelism=%d,%d,%d;", n, n, n)
 	if err == nil {
 		c.par = n
 	}
+	return err
+}
+
+// Allo announces the size of the next STOR. A striped MODE E STOR
+// needs the size before data arrives so the server can partition the
+// file into stripe ranges; plain stream-mode uploads may skip it.
+func (c *Client) Allo(size int64) error {
+	_, _, err := c.cmd(200, "ALLO %d", size)
+	return err
+}
+
+// Spas arms striped-passive mode and returns the server's data address;
+// the peer may open any number of parallel connections to it (third-
+// party orchestration: the destination listens, the source dials its
+// stripe connections in).
+func (c *Client) Spas() (string, error) {
+	_, msg, err := c.cmd(227, "SPAS")
+	if err != nil {
+		return "", err
+	}
+	open := strings.IndexByte(msg, '(')
+	closeP := strings.IndexByte(msg, ')')
+	if open < 0 || closeP <= open {
+		return "", fmt.Errorf("ftp: malformed SPAS reply %q", msg)
+	}
+	return parseHostPort(msg[open+1 : closeP])
+}
+
+// Spor points the server's next striped data connections at addr
+// (host:port) — the address another server returned from Spas.
+func (c *Client) Spor(addr string) error {
+	hp, err := addrToHostPort(addr)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.cmd(200, "SPOR %s", hp)
 	return err
 }
 

@@ -12,6 +12,7 @@ import (
 	"nest/internal/ftp"
 	"nest/internal/gsi"
 	"nest/internal/nesttest"
+	"nest/internal/transfer"
 )
 
 func start(t *testing.T) (*nesttest.Fixture, *ftp.Client) {
@@ -416,5 +417,117 @@ func TestSporStripedStorAndRetr(t *testing.T) {
 	// SPOR with a bad address errors cleanly.
 	if got := send("SPOR 1,2,3"); !strings.HasPrefix(got, "501") {
 		t.Errorf("malformed SPOR: %q", got)
+	}
+}
+
+// TestSetParallelismValidation covers satellite guarantees of the
+// parallelism knob: widths below 1 are rejected client-side without
+// touching the wire, and a width set while in MODE S is simply ignored
+// by stream-mode transfers (one connection, unframed bytes) until MODE
+// E is selected.
+func TestSetParallelismValidation(t *testing.T) {
+	f := nesttest.Start(t, ftp.NewHandler(ftp.Options{
+		AllowAnon:   true,
+		EnableModeE: true,
+	}), nesttest.Options{})
+	f.GrantLot(t, gsi.Anonymous, 100*nesttest.MB)
+	c, err := ftp.Dial(f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if err := c.LoginAnonymous(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -1, -100} {
+		if err := c.SetParallelism(n); err == nil {
+			t.Errorf("SetParallelism(%d) accepted, want error", n)
+		}
+	}
+	// Width recorded while still in MODE S: stream-mode transfers ignore
+	// it and round-trip over a single connection.
+	if err := c.SetParallelism(3); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("mode-s-ignores-width"), 5000)
+	if n, err := c.Stor("/s.bin", bytes.NewReader(payload)); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Stor in mode S = %d, %v", n, err)
+	}
+	var buf bytes.Buffer
+	if n, err := c.Retr("/s.bin", &buf); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Retr in mode S = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("mode S round trip corrupted data")
+	}
+}
+
+// TestStripedRetrStor drives intra-file parallelism over the loopback
+// wire: with MODE E, width 4 and a multi-extent file, a RETR fans the
+// file across four stripe pumps server-side (counted by the striped
+// metrics), and a STOR preceded by ALLO stripes the receive path too.
+func TestStripedRetrStor(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	f := nesttest.Start(t, ftp.NewHandler(ftp.Options{
+		ProtoName:   "gridftp",
+		Verifier:    gsi.NewVerifier(ca),
+		RequireGSI:  true,
+		EnableModeE: true,
+	}), nesttest.Options{})
+	f.GrantLot(t, "john", 100*nesttest.MB)
+	c, err := ftp.Dial(f.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if err := c.LoginGSI(cred); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMode('E'); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 5*64*1024+1234) // 5 extents + a tail
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	// Striped STOR: ALLO announces the size so the server can partition
+	// the file before data arrives.
+	before, _ := transfer.StripedStats()
+	if err := c.Allo(int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Stor("/big.bin", bytes.NewReader(payload)); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Stor = %d, %v", n, err)
+	}
+	afterStor, width := transfer.StripedStats()
+	if afterStor != before+1 {
+		t.Errorf("striped transfers after ALLO+STOR = %d, want %d", afterStor, before+1)
+	}
+	if width != 4 {
+		t.Errorf("stripe width = %d, want 4", width)
+	}
+
+	// Striped RETR: the server knows the size, no ALLO needed.
+	var buf bytes.Buffer
+	if n, err := c.Retr("/big.bin", &buf); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Retr = %d, %v", n, err)
+	}
+	if afterRetr, _ := transfer.StripedStats(); afterRetr != afterStor+1 {
+		t.Errorf("striped transfers after RETR = %d, want %d", afterRetr, afterStor+1)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("striped round trip corrupted data")
+	}
+
+	// A STOR without ALLO (unknown size) must still work, sequentially.
+	if n, err := c.Stor("/seq.bin", bytes.NewReader(payload)); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Stor without ALLO = %d, %v", n, err)
+	}
+	if afterSeq, _ := transfer.StripedStats(); afterSeq != afterStor+1 {
+		t.Errorf("striped transfers after plain STOR = %d, want unchanged %d", afterSeq, afterStor+1)
 	}
 }

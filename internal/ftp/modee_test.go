@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -114,5 +115,179 @@ func TestHostPortRoundTrip(t *testing.T) {
 		if _, err := parseHostPort(bad); err == nil {
 			t.Errorf("parseHostPort(%q) succeeded", bad)
 		}
+	}
+}
+
+// TestModeEOutOfOrderReassembly delivers one payload's blocks shuffled
+// across three streams, including one block transmitted twice at the
+// same offset: the receiver must reassemble the exact byte stream,
+// replacing (not duplicating) the retransmitted block. All blocks are
+// ingested before the first Read so the duplicate deterministically
+// lands on a still-pending offset.
+func TestModeEOutOfOrderReassembly(t *testing.T) {
+	payload := make([]byte, 10*1024)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	recv := newModeEReceiver()
+	conns := make([]net.Conn, 3)
+	for i := range conns {
+		a, b := net.Pipe()
+		conns[i] = a
+		recv.attach(b)
+	}
+	type blk struct {
+		off  int
+		data []byte
+	}
+	var blocks []blk
+	for off := 0; off < len(payload); off += 1024 {
+		blocks = append(blocks, blk{off, payload[off : off+1024]})
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	for i, bl := range blocks {
+		conn := conns[i%len(conns)]
+		reps := 1
+		if i == 4 {
+			reps = 2 // duplicate offset from a "retransmitting" sender
+		}
+		for r := 0; r < reps; r++ {
+			if err := writeBlockHeader(conn, blockHeader{Count: uint64(len(bl.data)), Offset: uint64(bl.off)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(bl.data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, conn := range conns {
+		h := blockHeader{Desc: DescEOD}
+		if i == 0 {
+			h.Desc |= DescEOF
+			h.Offset = uint64(len(conns))
+		}
+		if err := writeBlockHeader(conn, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := io.ReadAll(recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("out-of-order reassembly: got %d bytes, want %d (equal=%v)",
+			len(got), len(payload), bytes.Equal(got, payload))
+	}
+}
+
+// TestModeEStripedSinkSource exercises the striped wire path end to
+// end: two stripe writers (SinkAt) framing disjoint ranges concurrently
+// over two connections, two range readers (SourceAt) consuming them
+// concurrently on the receiving side.
+func TestModeEStripedSinkSource(t *testing.T) {
+	const half = 8192
+	payload := make([]byte, 2*half)
+	rng := rand.New(rand.NewSource(9))
+	rng.Read(payload)
+	sender, recv := pipeFanout(2)
+	recv.SetStripeBounds([]int64{half})
+
+	var writers sync.WaitGroup
+	for i, wsize := range []int{1000, 777} {
+		w := sender.SinkAt(int64(i * half))
+		part := payload[i*half : (i+1)*half]
+		writers.Add(1)
+		go func(w io.Writer, part []byte, wsize int) {
+			defer writers.Done()
+			for len(part) > 0 {
+				n := wsize
+				if n > len(part) {
+					n = len(part)
+				}
+				if _, err := w.Write(part[:n]); err != nil {
+					t.Error(err)
+					return
+				}
+				part = part[n:]
+			}
+		}(w, part, wsize)
+	}
+	go func() {
+		writers.Wait()
+		sender.Close()
+	}()
+
+	got := make([]byte, 2*half)
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		r := recv.SourceAt(int64(i*half), half)
+		dst := got[i*half : (i+1)*half]
+		readers.Add(1)
+		go func(r io.Reader, dst []byte) {
+			defer readers.Done()
+			if _, err := io.ReadFull(r, dst); err != nil {
+				t.Error(err)
+				return
+			}
+			// The range reader must EOF exactly at the range end.
+			if n, err := r.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+				t.Errorf("read past range end: n=%d err=%v", n, err)
+			}
+		}(r, dst)
+	}
+	readers.Wait()
+	recv.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("striped sink/source round trip corrupted data")
+	}
+}
+
+// TestModeEBoundSplitting feeds a *sequential* MODE E sender (blocks
+// straddle stripe boundaries) into a receiver with stripe bounds set:
+// ingest must split straddling blocks so each range reader sees exactly
+// its bytes.
+func TestModeEBoundSplitting(t *testing.T) {
+	const bound = 4096
+	payload := make([]byte, 3*bound)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sender, recv := pipeFanout(1)
+	recv.SetStripeBounds([]int64{bound, 2 * bound})
+	go func() {
+		// 3000-byte writes never align with the 4096-byte bounds, so
+		// most blocks straddle one (the last straddles none).
+		rest := payload
+		for len(rest) > 0 {
+			n := 3000
+			if n > len(rest) {
+				n = len(rest)
+			}
+			if _, err := sender.Write(rest[:n]); err != nil {
+				t.Error(err)
+				return
+			}
+			rest = rest[n:]
+		}
+		sender.Close()
+	}()
+	got := make([]byte, len(payload))
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		r := recv.SourceAt(int64(i*bound), bound)
+		dst := got[i*bound : (i+1)*bound]
+		readers.Add(1)
+		go func(r io.Reader, dst []byte) {
+			defer readers.Done()
+			if _, err := io.ReadFull(r, dst); err != nil {
+				t.Error(err)
+			}
+		}(r, dst)
+	}
+	readers.Wait()
+	recv.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bound splitting corrupted data")
 	}
 }

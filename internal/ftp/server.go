@@ -59,6 +59,7 @@ func (h *Handler) NewSession(conn net.Conn) (protocol.Session, error) {
 		cwd:  "/",
 		mode: 'S',
 		par:  1,
+		allo: -1,
 	}
 	if err := s.reply(220, "NeST FTP server (%s) ready", h.opts.ProtoName); err != nil {
 		return nil, err
@@ -78,8 +79,9 @@ type session struct {
 
 	user string
 	cwd  string
-	mode byte // 'S' stream, 'E' extended block
-	par  int  // parallel data streams (MODE E)
+	mode byte  // 'S' stream, 'E' extended block
+	par  int   // parallel data streams (MODE E)
+	allo int64 // size announced by ALLO for the next STOR; -1 when unset
 
 	pasv   net.Listener // armed by PASV, consumed by the next transfer
 	port   string       // armed by PORT, consumed by the next transfer
@@ -293,14 +295,33 @@ func (s *session) Next() (*protocol.Request, error) {
 			err = s.reply(200, "SPOR command successful")
 		case "SPAS":
 			err = s.handlePasv() // single listener accepting stripes
+		case "ALLO":
+			// ALLO announces the size of the next STOR. Stream-mode FTP
+			// frames the end of data by closing the connection, so the
+			// size is advisory there — but a striped MODE E STOR needs it
+			// up front to partition the file before data arrives.
+			n, perr := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+			if perr != nil || n < 0 {
+				err = s.reply(501, "bad ALLO size %q", arg)
+				break
+			}
+			s.allo = n
+			err = s.reply(200, "ALLO %d ok", n)
 		case "RETR":
 			req.Op = protocol.OpGet
 			req.Path = s.resolve(arg)
+			if s.mode == 'E' {
+				req.Stripes = s.par
+			}
 			return req, nil
 		case "STOR":
 			req.Op = protocol.OpPut
 			req.Path = s.resolve(arg)
-			req.Size = -1
+			req.Size = s.allo
+			s.allo = -1
+			if s.mode == 'E' {
+				req.Stripes = s.par
+			}
 			return req, nil
 		case "LIST", "NLST":
 			req.Op = protocol.OpList
@@ -481,7 +502,7 @@ func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
 				}
 			}()
 		} else {
-			conns, err := s.openDataConns(1)
+			conns, err := s.openDataConns(s.par)
 			if err != nil {
 				s.reply(425, "cannot open data connection: %v", err)
 				return nil, err

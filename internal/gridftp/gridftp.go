@@ -73,6 +73,57 @@ func ThirdParty(src *ftp.Client, srcPath string, dst *ftp.Client, dstPath string
 	return nil
 }
 
+// ThirdPartyStriped is ThirdParty with intra-file parallelism: both
+// servers are put into MODE E at the given stripe width, the
+// destination learns the file size up front (ALLO) so it can partition
+// the file into stripe ranges, and SPAS/SPOR arrange the striped data
+// channel — dst listens, src dials width connections and fans the
+// file's byte ranges across them as offset-addressed blocks. Each side
+// runs the transfer as W concurrent stripe pumps billed as one
+// scheduler unit.
+func ThirdPartyStriped(src *ftp.Client, srcPath string, dst *ftp.Client, dstPath string, width int) error {
+	if width < 1 {
+		return fmt.Errorf("gridftp: stripe width %d out of range (want >= 1)", width)
+	}
+	size, err := src.Size(srcPath)
+	if err != nil {
+		return fmt.Errorf("gridftp: src SIZE: %w", err)
+	}
+	for _, c := range []*ftp.Client{src, dst} {
+		if err := c.SetMode('E'); err != nil {
+			return fmt.Errorf("gridftp: MODE E: %w", err)
+		}
+		if err := c.SetParallelism(width); err != nil {
+			return fmt.Errorf("gridftp: parallelism: %w", err)
+		}
+	}
+	if err := dst.Allo(size); err != nil {
+		return fmt.Errorf("gridftp: dst ALLO: %w", err)
+	}
+	addr, err := dst.Spas()
+	if err != nil {
+		return fmt.Errorf("gridftp: dst SPAS: %w", err)
+	}
+	if err := dst.BeginStor(dstPath); err != nil {
+		return fmt.Errorf("gridftp: dst STOR: %w", err)
+	}
+	if err := src.Spor(addr); err != nil {
+		abortReceiver(dst, addr)
+		return fmt.Errorf("gridftp: src SPOR: %w", err)
+	}
+	if err := src.BeginRetr(srcPath); err != nil {
+		abortReceiver(dst, addr)
+		return fmt.Errorf("gridftp: src RETR: %w", err)
+	}
+	if err := src.AwaitComplete(); err != nil {
+		return fmt.Errorf("gridftp: src transfer: %w", err)
+	}
+	if err := dst.AwaitComplete(); err != nil {
+		return fmt.Errorf("gridftp: dst transfer: %w", err)
+	}
+	return nil
+}
+
 // abortReceiver unblocks a receiver waiting on its passive data port
 // after the sender side failed: an immediately-closed data connection
 // delivers EOF, completing the STOR with zero bytes so the control

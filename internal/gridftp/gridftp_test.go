@@ -111,3 +111,53 @@ func TestParallelStreamsViaWrapper(t *testing.T) {
 	}
 	var _ *ftp.Client = c
 }
+
+// TestThirdPartyStriped stages a multi-extent file and moves it between
+// two servers with intra-file parallelism: the destination listens
+// (SPAS), the source dials four stripe connections in (SPOR) and fans
+// the file's byte ranges across them. Data never touches the
+// orchestrating client, and both appliances run the transfer as striped
+// pumps billed as one scheduler unit each.
+func TestThirdPartyStriped(t *testing.T) {
+	ca, cred := nesttest.NewCA("john")
+	madison := startServer(t, ca)
+	argonne := startServer(t, ca)
+	madison.GrantLot(t, "john", 100*nesttest.MB)
+	argonne.GrantLot(t, "john", 100*nesttest.MB)
+
+	src, err := gridftp.Dial(madison.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Quit()
+	payload := make([]byte, 7*64*1024+99) // 7 extents + a ragged tail
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if _, err := src.Stor("/input.dat", bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := gridftp.Dial(argonne.Addr, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Quit()
+	if err := gridftp.ThirdPartyStriped(src, "/input.dat", dst, "/staged.dat", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := dst.Retr("/staged.dat", &buf)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("Retr = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("striped third-party transfer corrupted data")
+	}
+
+	// Width 0 is rejected before any wire traffic.
+	if err := gridftp.ThirdPartyStriped(src, "/input.dat", dst, "/x", 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}

@@ -2,6 +2,7 @@ package nesttest_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"testing"
@@ -82,33 +83,39 @@ func BenchmarkProtocolThroughput(b *testing.B) {
 		}
 	})
 
-	b.Run("ftp-modee", func(b *testing.B) {
-		f := nesttest.Start(b, ftp.NewHandler(ftp.Options{AllowAnon: true, EnableModeE: true}), nesttest.Options{NoLots: true})
-		c, err := ftp.Dial(f.Addr)
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer c.Quit()
-		if err := c.LoginAnonymous(); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := c.Stor("/bench", bytes.NewReader(payload())); err != nil {
-			b.Fatal(err)
-		}
-		if err := c.SetMode('E'); err != nil {
-			b.Fatal(err)
-		}
-		if err := c.SetParallelism(2); err != nil {
-			b.Fatal(err)
-		}
-		b.SetBytes(benchPayload)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if n, err := c.Retr("/bench", io.Discard); err != nil || n != benchPayload {
-				b.Fatalf("Retr = (%d, %v)", n, err)
+	// ftp-modee scales the stripe width: width 1 is one sequential pump
+	// on one data connection; wider runs fan the GET across that many
+	// stripe pumps and data connections end to end (server stripes the
+	// file, client reassembles by block offset).
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ftp-modee/par-%d", par), func(b *testing.B) {
+			f := nesttest.Start(b, ftp.NewHandler(ftp.Options{AllowAnon: true, EnableModeE: true}), nesttest.Options{NoLots: true})
+			c, err := ftp.Dial(f.Addr)
+			if err != nil {
+				b.Fatal(err)
 			}
-		}
-	})
+			defer c.Quit()
+			if err := c.LoginAnonymous(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Stor("/bench", bytes.NewReader(payload())); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.SetMode('E'); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.SetParallelism(par); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(benchPayload)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n, err := c.Retr("/bench", io.Discard); err != nil || n != benchPayload {
+					b.Fatalf("Retr = (%d, %v)", n, err)
+				}
+			}
+		})
+	}
 
 	b.Run("gridftp", func(b *testing.B) {
 		ca, cred := nesttest.NewCA("john")

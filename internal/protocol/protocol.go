@@ -146,6 +146,12 @@ type Request struct {
 	Size   int64
 	Offset int64
 	Length int64
+	// Stripes is the protocol handler's requested stripe width for the
+	// data phase (FTP MODE E parallelism). Zero or one means a single
+	// sequential stream; the dispatcher stripes only when the data
+	// endpoints support it (StripeSink/StripeSource) and the size is
+	// known.
+	Stripes int
 
 	// Lot management.
 	LotID       string
@@ -246,6 +252,28 @@ type Handler interface {
 	Proto() string
 	// NewSession authenticates conn and returns its Session.
 	NewSession(conn net.Conn) (Session, error)
+}
+
+// StripeSink is the striped-get capability a SendData sink may expose
+// (the FTP MODE E sender does): SinkAt returns an independent writer
+// that frames its bytes at the given offset within the transfer
+// payload, so concurrent stripe pumps can fan one file over parallel
+// data connections. Writers for disjoint offsets are safe to use
+// concurrently; Close on the parent sink still completes the framing
+// after all stripe writers are done.
+type StripeSink interface {
+	SinkAt(off int64) io.Writer
+}
+
+// StripeSource is the striped-put capability a RecvData source may
+// expose (the FTP MODE E receiver does): SetStripeBounds announces the
+// payload offsets at which the transfer will be partitioned (incoming
+// blocks straddling a bound are split on ingest), and SourceAt returns
+// an independent reader over one payload range [off, off+n). Readers
+// for disjoint ranges are safe to use concurrently.
+type StripeSource interface {
+	SetStripeBounds(bounds []int64)
+	SourceAt(off, n int64) io.Reader
 }
 
 // NopWriteCloser wraps w with a no-op Close.

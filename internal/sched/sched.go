@@ -27,7 +27,11 @@ import (
 // unexported intrusive fields, so a unit may be queued under at most
 // one policy at a time. Units are reusable: after admission the
 // submitter may update Bytes and Seq and Add the same unit again
-// (byte-quantum preemption re-queues transfers this way).
+// (byte-quantum preemption re-queues transfers this way). A striped
+// transfer's W concurrent stripes share its single unit: every quantum
+// re-queue updates this one unit with the aggregate remainder, so
+// policies price a striped transfer exactly like an unstriped one and
+// intra-file parallelism is invisible to scheduling.
 type Unit struct {
 	Class  string // protocol class ("chirp", "nfs", ...)
 	Bytes  int64  // bytes this unit will move

@@ -1,0 +1,50 @@
+package storage
+
+// Range describes one stripe of a striped transfer: the byte span
+// [Off, Off+N) of the file it moves.
+type Range struct {
+	Off int64
+	N   int64
+}
+
+// PartitionStripes splits the n-byte span starting at off into at most
+// w contiguous ranges for a striped transfer. Every internal boundary
+// falls on an ExtentSize multiple relative to off, so no stripe
+// straddles an extent and — with the pump's default chunk size equal to
+// ExtentSize — every stripe moves whole chunks except the final
+// stripe's tail. That alignment is what lets a striped transfer charge
+// the scheduler byte-identically to a single-pump transfer (package
+// transfer's equivalence suite).
+//
+// Spans smaller than two extents, and w < 2, yield a single range:
+// striping cannot help when there is less than one extent per stripe.
+func PartitionStripes(off, n int64, w int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	extents := n / ExtentSize // whole extents in the span
+	if int64(w) > extents {
+		w = int(extents)
+	}
+	if w < 2 {
+		return []Range{{Off: off, N: n}}
+	}
+	base := extents / int64(w)
+	extra := extents % int64(w)
+	out := make([]Range, 0, w)
+	cur := off
+	for i := 0; i < w; i++ {
+		ext := base
+		if int64(i) < extra {
+			ext++
+		}
+		length := ext * ExtentSize
+		if i == w-1 {
+			// The last stripe absorbs the sub-extent tail.
+			length = off + n - cur
+		}
+		out = append(out, Range{Off: cur, N: length})
+		cur += length
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package storage
+
+import "testing"
+
+func TestPartitionStripes(t *testing.T) {
+	const E = ExtentSize
+	cases := []struct {
+		name string
+		off  int64
+		n    int64
+		w    int
+		want []Range
+	}{
+		{"zero", 0, 0, 4, nil},
+		{"single-width", 0, 10 * E, 1, []Range{{0, 10 * E}}},
+		{"sub-extent", 0, E - 1, 4, []Range{{0, E - 1}}},
+		{"one-extent", 0, E, 4, []Range{{0, E}}},
+		{"even", 0, 8 * E, 4, []Range{{0, 2 * E}, {2 * E, 2 * E}, {4 * E, 2 * E}, {6 * E, 2 * E}}},
+		{"uneven", 0, 10 * E, 4, []Range{{0, 3 * E}, {3 * E, 3 * E}, {6 * E, 2 * E}, {8 * E, 2 * E}}},
+		{"tail", 0, 10*E + 13, 4, []Range{{0, 3 * E}, {3 * E, 3 * E}, {6 * E, 2 * E}, {8 * E, 2*E + 13}}},
+		{"width-exceeds-extents", 0, 3*E + 5, 8, []Range{{0, E}, {E, E}, {2 * E, E + 5}}},
+		{"offset", 5 * E, 4 * E, 2, []Range{{5 * E, 2 * E}, {7 * E, 2 * E}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := PartitionStripes(c.off, c.n, c.w)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("range %d: got %v, want %v", i, got, c.want)
+				}
+			}
+			// Invariants: ranges tile [off, off+n) exactly, and every
+			// internal boundary is extent-aligned relative to off.
+			cur := c.off
+			for i, r := range got {
+				if r.Off != cur {
+					t.Fatalf("range %d not contiguous: off %d, want %d", i, r.Off, cur)
+				}
+				if i < len(got)-1 && (r.Off+r.N-c.off)%ExtentSize != 0 {
+					t.Fatalf("range %d boundary %d not extent-aligned", i, r.Off+r.N)
+				}
+				cur += r.N
+			}
+			if len(got) > 0 && cur != c.off+c.n {
+				t.Fatalf("ranges end at %d, want %d", cur, c.off+c.n)
+			}
+		})
+	}
+}

@@ -188,7 +188,7 @@ func TestEquivalenceSparsePut(t *testing.T) {
 // holds); both paths must deliver the same prefix, charge the same
 // bytes, and fail with io.ErrUnexpectedEOF.
 func TestEquivalenceTruncatedSource(t *testing.T) {
-	const fileSize = 4 * 64 * 1024  // chunk-aligned resident data
+	const fileSize = 4 * 64 * 1024 // chunk-aligned resident data
 	const promised = 8 * 64 * 1024 // transfer claims more
 
 	run := func(pooled bool) ([]byte, ClassStats, Result) {

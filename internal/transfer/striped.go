@@ -1,0 +1,316 @@
+package transfer
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nest/internal/sim"
+)
+
+// Striped transfers: one Transfer fans a single file across W
+// concurrent chunk-limited sub-pumps, each an independent endpoint pair
+// over a disjoint byte range, while presenting exactly one unit of
+// scheduler accounting. The parent pump owns the sub-pumps; the
+// manager, the policy, and the metrics never see more than the one
+// Transfer and its one sched.Unit.
+//
+// The accounting contract — gated by the striped equivalence suite —
+// is that admissions, preemptions, and byte charges stay byte-identical
+// in aggregate to a single-pump transfer of the same size and quantum:
+//
+//   - A scheduling segment grants ceil(quantum/chunk) whole-chunk moves
+//     from a shared budget, the same greedy chunk count a single pump's
+//     "step until moved >= quantum" loop performs.
+//   - Each stripe's final partial chunk (the sub-chunk tail an
+//     extent-aligned partition leaves only on the last stripe) is
+//     deferred until every full chunk of every stripe has moved, so the
+//     transfer's chunk-size sequence ends with the partial exactly as a
+//     single pump's does — segment boundaries land on the same bytes.
+//   - Per-stripe pumps inherit the PR 5 charging rules unchanged: a
+//     chunk that fails mid-delivery is uncharged, a short source is
+//     io.ErrUnexpectedEOF with the partial dropped.
+
+// StripeRange is one stripe of a striped Transfer: an independent
+// endpoint pair over the byte range [Offset, Offset+Size) of the file.
+// Sources and sinks of different stripes run concurrently; each must be
+// independently usable (its own SectionReader/OffsetWriter, MODE E
+// stripe writer, ...), but none needs to be safe for sharing.
+type StripeRange struct {
+	// Offset is the absolute file offset of the stripe (reporting and
+	// cache prediction; the endpoints are already positioned).
+	Offset int64
+	// Size is the stripe's byte length. The parent Transfer's Size must
+	// equal the sum over all stripes.
+	Size int64
+	Src  io.Reader
+	Dst  io.Writer
+}
+
+// Striped-transfer observability: cumulative count and last width are
+// package-wide atomics (like the data-path chunk counters); the live
+// registry backs /statusz per-stripe progress.
+var (
+	statStripedTransfers atomic.Int64
+	statStripedWidth     atomic.Int64
+
+	stripedMu   sync.Mutex
+	stripedLive = make(map[*pump]struct{})
+)
+
+// StripedStats reports the cumulative striped-transfer count and the
+// width of the most recently started one (the stripe width gauge).
+func StripedStats() (total int64, lastWidth int64) {
+	return statStripedTransfers.Load(), statStripedWidth.Load()
+}
+
+// StripeProgress is a point-in-time view of one stripe.
+type StripeProgress struct {
+	Offset int64
+	Size   int64
+	Moved  int64
+}
+
+// StripedStatus describes one in-flight striped transfer.
+type StripedStatus struct {
+	Class   string
+	User    string
+	Path    string
+	Size    int64
+	Moved   int64
+	Stripes []StripeProgress
+}
+
+// ActiveStriped snapshots every in-flight striped transfer (pumps
+// created but not yet released), sorted by path for stable display.
+func ActiveStriped() []StripedStatus {
+	stripedMu.Lock()
+	defer stripedMu.Unlock()
+	out := make([]StripedStatus, 0, len(stripedLive))
+	for p := range stripedLive {
+		st := StripedStatus{
+			Class:   p.t.Class,
+			User:    p.t.User,
+			Path:    p.t.Path,
+			Size:    p.t.Size,
+			Stripes: make([]StripeProgress, len(p.sub)),
+		}
+		for i, s := range p.sub {
+			moved := p.subMoved[i].Load()
+			st.Stripes[i] = StripeProgress{Offset: s.t.Offset, Size: s.t.Size, Moved: moved}
+			st.Moved += moved
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// newStripedPump builds the parent pump for a Transfer with two or more
+// Ranges. Each stripe gets a full pump of its own over a shell Transfer
+// sized to its range, so the zero-copy handoff detection and the
+// per-chunk charging rules apply per stripe unchanged.
+func newStripedPump(t *Transfer, chunk int64) *pump {
+	p := &pump{t: t, chunk: chunk}
+	p.sub = make([]*pump, len(t.Ranges))
+	p.subMoved = make([]atomic.Int64, len(t.Ranges))
+	for i, r := range t.Ranges {
+		shell := &Transfer{
+			Class:     t.Class,
+			User:      t.User,
+			Path:      t.Path,
+			Offset:    r.Offset,
+			Size:      r.Size,
+			Src:       r.Src,
+			Dst:       r.Dst,
+			ChunkSize: int(chunk),
+		}
+		p.sub[i] = newPump(shell)
+	}
+	statStripedTransfers.Add(1)
+	statStripedWidth.Store(int64(len(t.Ranges)))
+	stripedMu.Lock()
+	stripedLive[p] = struct{}{}
+	stripedMu.Unlock()
+	return p
+}
+
+// releaseStriped releases the sub-pumps and drops the parent from the
+// live registry.
+func (p *pump) releaseStriped() {
+	for _, s := range p.sub {
+		s.release()
+	}
+	stripedMu.Lock()
+	delete(stripedLive, p)
+	stripedMu.Unlock()
+}
+
+// aggregateStriped recomputes the parent's progress from its sub-pumps.
+// Callers must have exclusive access to the sub-pumps: the
+// single-threaded step loop, or the segment runner after its workers
+// joined. The parent's error is the first failing stripe's by index,
+// for deterministic reporting.
+func (p *pump) aggregateStriped() {
+	var moved int64
+	done := true
+	var firstErr error
+	for _, s := range p.sub {
+		moved += s.moved
+		if !s.done {
+			done = false
+		}
+		if firstErr == nil && s.err != nil {
+			firstErr = s.err
+		}
+	}
+	p.moved = moved
+	p.err = firstErr
+	p.done = done || firstErr != nil
+}
+
+// stripeReady reports whether sub-pump i may move its next chunk:
+// finished stripes never, and a stripe down to its final partial chunk
+// waits until no stripe anywhere has a full chunk left, so the partial
+// lands last in the transfer's chunk sequence (see the package comment
+// on segmentation equivalence). Single-threaded callers only.
+func (p *pump) stripeReady(i int) bool {
+	s := p.sub[i]
+	if s.done {
+		return false
+	}
+	if s.t.Size-s.moved < p.chunk {
+		for j, o := range p.sub {
+			if j != i && !o.done && o.t.Size-o.moved >= p.chunk {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stripedStep moves one chunk of one stripe, round-robin across the
+// stripes with work left. It is the striped analogue of step() for the
+// single-threaded architectures (events, seda): intra-file parallelism
+// degrades gracefully to interleaving when the model has no concurrency
+// to offer. Reports true when the whole transfer is finished.
+func (p *pump) stripedStep() bool {
+	if p.done {
+		return true
+	}
+	n := len(p.sub)
+	for k := 0; k < n; k++ {
+		i := (p.subNext + k) % n
+		if !p.stripeReady(i) {
+			continue
+		}
+		s := p.sub[i]
+		before := s.moved
+		s.step()
+		p.subMoved[i].Add(s.moved - before)
+		p.subNext = i + 1
+		p.aggregateStriped()
+		return p.done
+	}
+	// Nothing ready: every stripe is finished.
+	p.aggregateStriped()
+	return true
+}
+
+// takeGrant atomically claims one whole-chunk grant from the segment
+// budget.
+func takeGrant(b *atomic.Int64) bool {
+	for {
+		v := b.Load()
+		if v <= 0 {
+			return false
+		}
+		if b.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// runStripedSegment drives all stripes concurrently until the transfer
+// completes or the segment's grant budget is spent. Each worker owns
+// one stripe (so sub-pump state stays single-writer) and draws
+// whole-chunk grants from the shared budget; per-stripe progress is
+// published through the parent's atomic counters for /statusz. Workers
+// stop before their stripe's final partial chunk; the in-order tail
+// pass below moves those after every full chunk, preserving single-pump
+// segmentation. The first stripe error aborts the others at their next
+// chunk boundary.
+func (p *pump) runStripedSegment(clock sim.Clock, perChunk time.Duration, quantum int64) int64 {
+	if p.done {
+		return 0
+	}
+	start := p.moved
+	unbounded := quantum <= 0
+	var budget atomic.Int64
+	if !unbounded {
+		budget.Store((quantum + p.chunk - 1) / p.chunk)
+	}
+	var abort atomic.Bool
+	wg := sim.NewWaitGroup(clock)
+	for i := range p.sub {
+		s := p.sub[i]
+		if s.done {
+			continue
+		}
+		idx := i
+		wg.Add(1)
+		clock.Go(func() {
+			defer wg.Done()
+			for !abort.Load() {
+				rem := s.t.Size - s.moved
+				if rem <= 0 || s.done {
+					return
+				}
+				if rem < p.chunk {
+					// Final partial chunk: deferred to the tail pass.
+					return
+				}
+				if !unbounded && !takeGrant(&budget) {
+					return
+				}
+				if perChunk > 0 {
+					clock.Sleep(perChunk)
+				}
+				before := s.moved
+				s.step()
+				p.subMoved[idx].Add(s.moved - before)
+				if s.err != nil {
+					abort.Store(true)
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	if !abort.Load() {
+		// Tail pass: budget permitting, finish the sub-chunk tails in
+		// stripe order. An extent-aligned partition leaves at most one,
+		// on the last stripe.
+		for i, s := range p.sub {
+			if s.done {
+				continue
+			}
+			if !unbounded && !takeGrant(&budget) {
+				break
+			}
+			if perChunk > 0 {
+				clock.Sleep(perChunk)
+			}
+			before := s.moved
+			s.step()
+			p.subMoved[i].Add(s.moved - before)
+			if s.err != nil {
+				break
+			}
+		}
+	}
+	p.aggregateStriped()
+	return p.moved - start
+}

@@ -1,0 +1,439 @@
+package transfer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nest/internal/sched"
+	"nest/internal/sim"
+	"nest/internal/storage"
+)
+
+// The striped equivalence suite is the accounting gate for intra-file
+// parallelism: a striped transfer must produce byte-identical output
+// and identical scheduler/obs byte charges — admissions, preemptions,
+// class bytes, result bytes — as a single-pump transfer of the same
+// file and quantum. It mirrors the PR 5 handoff-vs-pooled suite one
+// level up: there the two data paths had to be interchangeable, here
+// the two concurrency shapes must be.
+
+// sliceWriter writes sequentially into its own region of a shared
+// output buffer; disjoint stripe regions need no locking.
+type sliceWriter struct {
+	buf []byte
+	n   int
+}
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	n := copy(w.buf[w.n:], p)
+	w.n += n
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// runManagedModel is runManaged with a selectable concurrency model.
+func runManagedModel(t testing.TB, tr *Transfer, quantum int64, model ModelKind) (ManagerStats, ClassStats, Result) {
+	t.Helper()
+	clock := sim.NewRealClock()
+	m := NewManager(Options{
+		Clock:   clock,
+		Model:   model,
+		Slots:   1,
+		Quantum: quantum,
+		Policy:  sched.NewStride(map[string]int{tr.Class: 100}),
+	})
+	var res Result
+	done := make(chan struct{})
+	tr.OnDone = func(r Result) { res = r; close(done) }
+	m.Submit(tr)
+	<-done
+	m.Wait()
+	stats := m.Stats()
+	cls := m.Metrics().Class(tr.Class)
+	m.Close()
+	return stats, cls, res
+}
+
+// stripeTransfer builds a striped GET over f using an extent-aligned
+// partition, writing each stripe into its region of out.
+func stripeTransfer(f storage.File, size int64, width int, out []byte) *Transfer {
+	tr := &Transfer{Class: "eq", Path: "/striped", Size: size}
+	for _, r := range storage.PartitionStripes(0, size, width) {
+		tr.Ranges = append(tr.Ranges, StripeRange{
+			Offset: r.Off,
+			Size:   r.N,
+			Src:    storage.NewSectionReader(f, r.Off, r.N),
+			Dst:    &sliceWriter{buf: out[r.Off : r.Off+r.N]},
+		})
+	}
+	return tr
+}
+
+func TestStripedEquivalenceGet(t *testing.T) {
+	const size = 10*64*1024 + 13 // ten full chunks plus a sub-chunk tail
+	fs := storage.NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/striped", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(11)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quanta chosen to hit chunk-aligned, unaligned, and unbounded
+	// segmentation; widths cover even and uneven partitions.
+	for _, quantum := range []int64{0, 192 * 1024, 100_000} {
+		single := &Transfer{
+			Class: "eq", Path: "/striped", Size: size,
+			Src: storage.NewSectionReader(f, 0, size),
+			Dst: &collectWriter{},
+		}
+		sStats, sCls, sRes := runManaged(t, single, quantum)
+		if sRes.Err != nil {
+			t.Fatalf("quantum %d: single-pump error %v", quantum, sRes.Err)
+		}
+		sOut := single.Dst.(*collectWriter).bytes()
+
+		for _, width := range []int{2, 4} {
+			out := make([]byte, size)
+			tr := stripeTransfer(f, size, width, out)
+			stats, cls, res := runManaged(t, tr, quantum)
+			if res.Err != nil {
+				t.Fatalf("quantum %d width %d: striped error %v", quantum, width, res.Err)
+			}
+			if !bytes.Equal(out, sOut) {
+				t.Fatalf("quantum %d width %d: output differs from single pump", quantum, width)
+			}
+			if res.Bytes != sRes.Bytes {
+				t.Fatalf("quantum %d width %d: result bytes %d, single %d", quantum, width, res.Bytes, sRes.Bytes)
+			}
+			if cls.Bytes != sCls.Bytes {
+				t.Fatalf("quantum %d width %d: obs bytes %d, single %d", quantum, width, cls.Bytes, sCls.Bytes)
+			}
+			if stats.Admissions != sStats.Admissions || stats.Preemptions != sStats.Preemptions {
+				t.Fatalf("quantum %d width %d: scheduler charges adm=%d pre=%d, single adm=%d pre=%d",
+					quantum, width, stats.Admissions, stats.Preemptions, sStats.Admissions, sStats.Preemptions)
+			}
+		}
+	}
+}
+
+func TestStripedEquivalencePut(t *testing.T) {
+	const size = 10*64*1024 + 13
+	data := make([]byte, size)
+	rand.New(rand.NewSource(13)).Read(data)
+
+	run := func(width int, quantum int64) ([]byte, ManagerStats, ClassStats, Result) {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/out", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		tr := &Transfer{Class: "eq", Path: "/out", Size: size}
+		if width <= 1 {
+			tr.Src = bytes.NewReader(data)
+			tr.Dst = storage.NewOffsetWriter(f, 0)
+		} else {
+			for _, r := range storage.PartitionStripes(0, size, width) {
+				tr.Ranges = append(tr.Ranges, StripeRange{
+					Offset: r.Off,
+					Size:   r.N,
+					Src:    bytes.NewReader(data[r.Off : r.Off+r.N]),
+					Dst:    storage.NewOffsetWriter(f, r.Off),
+				})
+			}
+		}
+		stats, cls, res := runManaged(t, tr, quantum)
+		out := make([]byte, f.Size())
+		if _, err := f.ReadAt(out, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		return out, stats, cls, res
+	}
+
+	for _, quantum := range []int64{0, 192 * 1024} {
+		sOut, sStats, sCls, sRes := run(1, quantum)
+		if sRes.Err != nil {
+			t.Fatalf("quantum %d: single-pump error %v", quantum, sRes.Err)
+		}
+		out, stats, cls, res := run(4, quantum)
+		if res.Err != nil {
+			t.Fatalf("quantum %d: striped error %v", quantum, res.Err)
+		}
+		if !bytes.Equal(out, sOut) || !bytes.Equal(out, data) {
+			t.Fatalf("quantum %d: stored contents differ", quantum)
+		}
+		if res.Bytes != sRes.Bytes || cls.Bytes != sCls.Bytes {
+			t.Fatalf("quantum %d: byte charges differ: result %d/%d obs %d/%d",
+				quantum, res.Bytes, sRes.Bytes, cls.Bytes, sCls.Bytes)
+		}
+		if stats.Admissions != sStats.Admissions || stats.Preemptions != sStats.Preemptions {
+			t.Fatalf("quantum %d: scheduler charges differ: adm=%d/%d pre=%d/%d",
+				quantum, stats.Admissions, sStats.Admissions, stats.Preemptions, sStats.Preemptions)
+		}
+	}
+}
+
+// TestStripedAcrossModels drives a striped transfer through every
+// concurrency architecture: threads and processes take the concurrent
+// segment runner, events and seda interleave stripes chunk-by-chunk on
+// their single-threaded loops, adaptive composes them.
+func TestStripedAcrossModels(t *testing.T) {
+	const size = 20 * 64 * 1024
+	fs := storage.NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/striped", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(17)).Read(data)
+	f.WriteAt(data, 0)
+
+	for _, model := range []ModelKind{Threads, Processes, Events, Seda, Adaptive} {
+		for _, quantum := range []int64{0, 192 * 1024} {
+			out := make([]byte, size)
+			tr := stripeTransfer(f, size, 4, out)
+			_, _, res := runManagedModel(t, tr, quantum, model)
+			if res.Err != nil {
+				t.Fatalf("%s quantum %d: %v", model, quantum, res.Err)
+			}
+			if res.Bytes != size || !bytes.Equal(out, data) {
+				t.Fatalf("%s quantum %d: moved %d bytes, output match=%v",
+					model, quantum, res.Bytes, bytes.Equal(out, data))
+			}
+		}
+	}
+}
+
+// TestStripedTruncatedSource: the file is shorter than the promised
+// size, so the stripes past EOF observe a short read. The transfer must
+// fail with io.ErrUnexpectedEOF (the first failing stripe's error),
+// charge only whole delivered chunks, and never charge more than the
+// resident bytes — the PR 5 rules applied per stripe.
+func TestStripedTruncatedSource(t *testing.T) {
+	const fileSize = 4 * 64 * 1024
+	const promised = 8 * 64 * 1024
+
+	fs := storage.NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/t", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.WriteAt(make([]byte, fileSize), 0)
+
+	out := make([]byte, promised)
+	tr := stripeTransfer(f, promised, 2, out)
+	_, cls, res := runManaged(t, tr, 0)
+
+	if !errors.Is(res.Err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", res.Err)
+	}
+	if res.Bytes > fileSize {
+		t.Fatalf("charged %d > resident %d", res.Bytes, fileSize)
+	}
+	if res.Bytes%(64*1024) != 0 {
+		t.Fatalf("charged %d not chunk-aligned: partial chunks must be uncharged", res.Bytes)
+	}
+	if cls.Bytes != res.Bytes {
+		t.Fatalf("obs bytes %d != result bytes %d", cls.Bytes, res.Bytes)
+	}
+}
+
+// TestStripedTruncationRace races a striped GET against a writer that
+// truncates and regrows the file. Each stripe must observe a consistent
+// short read: the transfer ends cleanly or with ErrUnexpectedEOF, and
+// charged bytes never exceed bytes delivered to the stripe sinks.
+func TestStripedTruncationRace(t *testing.T) {
+	const size = 32 * 64 * 1024
+	for _, width := range []int{2, 4} {
+		fs := storage.NewMemFS(nil, 1<<30)
+		f, err := fs.Create("/r", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, size)
+		f.WriteAt(data, 0)
+
+		w, err := fs.OpenRW("/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Truncate(int64(size / 2))
+				w.WriteAt(data[:4096], int64(size/2)-2048)
+				w.Truncate(size)
+			}
+		}()
+
+		tr := &Transfer{Class: "eq", Path: "/r", Size: size}
+		sinks := make([]*collectWriter, 0, width)
+		for _, r := range storage.PartitionStripes(0, size, width) {
+			sink := &collectWriter{}
+			sinks = append(sinks, sink)
+			tr.Ranges = append(tr.Ranges, StripeRange{
+				Offset: r.Off,
+				Size:   r.N,
+				Src:    storage.NewSectionReader(f, r.Off, r.N),
+				Dst:    sink,
+			})
+		}
+		_, _, res := runManaged(t, tr, 64*1024)
+		close(stop)
+		wg.Wait()
+		w.Close()
+		f.Close()
+
+		if res.Err != nil && !errors.Is(res.Err, io.ErrUnexpectedEOF) {
+			t.Fatalf("width %d: unexpected error %v", width, res.Err)
+		}
+		var delivered int64
+		for _, s := range sinks {
+			delivered += int64(len(s.bytes()))
+		}
+		if res.Bytes > delivered {
+			t.Fatalf("width %d: charged %d > delivered %d", width, res.Bytes, delivered)
+		}
+	}
+}
+
+// TestStripedObservability checks the striped counters and the live
+// registry: an in-flight striped pump is visible with its width and
+// per-stripe progress, and release removes it.
+func TestStripedObservability(t *testing.T) {
+	const size = 8 * 64 * 1024
+	fs := storage.NewMemFS(nil, 1<<30)
+	f, err := fs.Create("/obs", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.WriteAt(make([]byte, size), 0)
+
+	total0, _ := StripedStats()
+	out := make([]byte, size)
+	tr := stripeTransfer(f, size, 4, out)
+	tr.Class, tr.User = "gridftp", "alice"
+	p := tr.ensurePump()
+
+	total1, width := StripedStats()
+	if total1 != total0+1 || width != 4 {
+		t.Fatalf("StripedStats = (%d,%d), want (%d,4)", total1, width, total0+1)
+	}
+	found := false
+	for _, st := range ActiveStriped() {
+		if st.Path == "/striped" && st.Class == "gridftp" {
+			found = true
+			if len(st.Stripes) != 4 || st.Size != size || st.Moved != 0 {
+				t.Fatalf("unexpected status %+v", st)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("in-flight striped transfer not in ActiveStriped")
+	}
+
+	clock := sim.NewRealClock()
+	p.runSegment(clock, 0, 0)
+	if p.err != nil || p.moved != size {
+		t.Fatalf("run: moved=%d err=%v", p.moved, p.err)
+	}
+	for _, st := range ActiveStriped() {
+		if st.Path == "/striped" && st.Moved != size {
+			t.Fatalf("completed transfer reports moved=%d, want %d", st.Moved, size)
+		}
+	}
+	p.release()
+	for _, st := range ActiveStriped() {
+		if st.Path == "/striped" && st.Class == "gridftp" {
+			t.Fatal("released striped transfer still in ActiveStriped")
+		}
+	}
+}
+
+// TestStripedSimFSPathIndependent runs the same warmed GET over SimFS
+// single-pump and striped under virtual time: the charging model is
+// per-byte, so both must deliver identical bytes, and the striped run's
+// virtual completion time must not exceed the single pump's (its
+// memory-copy charges overlap across the stripe workers).
+func TestStripedSimFSPathIndependent(t *testing.T) {
+	const size = 16 * 64 * 1024
+	run := func(width int) (int64, time.Duration) {
+		clock := sim.NewVirtualClock()
+		var moved int64
+		var elapsed time.Duration
+		clock.Run(func() {
+			host := sim.NewHost(clock, sim.LinuxGbE())
+			fs := storage.NewSimFS(host, 1<<30, nil)
+			f, err := fs.Create("/s", "u")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			f.WriteAt(make([]byte, size), 0)
+			if err := fs.Warm("/s"); err != nil {
+				t.Error(err)
+				return
+			}
+			tr := &Transfer{Class: "sim", Path: "/s", Size: size}
+			if width <= 1 {
+				tr.Src = storage.NewSectionReader(f, 0, size)
+				tr.Dst = io.Discard
+			} else {
+				for _, r := range storage.PartitionStripes(0, size, width) {
+					tr.Ranges = append(tr.Ranges, StripeRange{
+						Offset: r.Off,
+						Size:   r.N,
+						Src:    storage.NewSectionReader(f, r.Off, r.N),
+						Dst:    io.Discard,
+					})
+				}
+			}
+			p := tr.ensurePump()
+			start := clock.Now()
+			p.runSegment(clock, 0, 0)
+			elapsed = clock.Now() - start
+			moved = p.moved
+			if p.err != nil {
+				t.Errorf("width %d: %v", width, p.err)
+			}
+			p.release()
+		})
+		return moved, elapsed
+	}
+
+	singleMoved, singleTime := run(1)
+	stripedMoved, stripedTime := run(4)
+	if singleMoved != size || stripedMoved != size {
+		t.Fatalf("moved: single=%d striped=%d, want %d", singleMoved, stripedMoved, size)
+	}
+	if singleTime <= 0 {
+		t.Fatalf("single-pump run charged no virtual time")
+	}
+	if stripedTime > singleTime {
+		t.Fatalf("striped virtual time %v exceeds single-pump %v", stripedTime, singleTime)
+	}
+}

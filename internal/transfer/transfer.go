@@ -38,6 +38,15 @@ type Transfer struct {
 	// ChunkSize pieces.
 	Src io.Reader
 	Dst io.Writer
+	// Ranges, when it holds two or more entries, stripes the transfer:
+	// each range is pumped concurrently over its own endpoints (Src and
+	// Dst above are then ignored) while the transfer keeps exactly one
+	// scheduling unit and one set of byte charges — see striped.go. Size
+	// must equal the sum of the range sizes, and range boundaries should
+	// be multiples of the chunk size (storage.PartitionStripes aligns
+	// them to the extent size) so scheduler accounting stays
+	// byte-identical to an unstriped transfer.
+	Ranges []StripeRange
 	// ChunkSize overrides the pump granularity (0 = protocol.ChunkSize).
 	ChunkSize int
 	// OnDone, if set, receives the result. It runs on the manager's
@@ -368,7 +377,7 @@ func (c *countWriter) Write(p []byte) (int, error) {
 type pump struct {
 	t     *Transfer
 	buf   []byte
-	bufp  *[]byte // pooled backing of buf, nil after release
+	bufp  *[]byte         // pooled backing of buf, nil after release
 	src   chunkWriterTo   // non-nil: zero-copy read handoff
 	dst   chunkReaderFrom // non-nil: zero-copy write handoff
 	cw    countWriter     // reused accounting sink for src handoffs
@@ -376,12 +385,23 @@ type pump struct {
 	moved int64
 	err   error
 	done  bool
+
+	// Striped parent state (nil/unused on ordinary pumps): the
+	// sub-pumps, their atomically published progress (for live status
+	// snapshots while segment workers run), and the single-threaded
+	// round-robin cursor. See striped.go.
+	sub      []*pump
+	subMoved []atomic.Int64
+	subNext  int
 }
 
 func newPump(t *Transfer) *pump {
 	size := t.ChunkSize
 	if size <= 0 {
 		size = protocol.ChunkSize
+	}
+	if len(t.Ranges) > 1 {
+		return newStripedPump(t, int64(size))
 	}
 	p := &pump{t: t, chunk: int64(size)}
 	if src, ok := t.Src.(chunkWriterTo); ok && src.Handoff() {
@@ -459,6 +479,10 @@ func (p *pump) handoffStep() {
 // once the transfer fully completes (never on quantum preemption: the
 // buffer persists across scheduling segments).
 func (p *pump) release() {
+	if p.sub != nil {
+		p.releaseStriped()
+		return
+	}
 	if p.bufp == nil {
 		return
 	}
@@ -477,6 +501,12 @@ func (p *pump) release() {
 // returns 0, leaving writeChunk a no-op.
 func (p *pump) readChunk() int {
 	if p.done {
+		return 0
+	}
+	if p.sub != nil {
+		// Striped parent: one round-robin stripe chunk per read-stage
+		// visit, like the handoff pump's whole-move-in-read.
+		p.stripedStep()
 		return 0
 	}
 	if p.handoff() {
@@ -530,6 +560,9 @@ func (p *pump) step() bool {
 	if p.done {
 		return true
 	}
+	if p.sub != nil {
+		return p.stripedStep()
+	}
 	if p.handoff() {
 		p.handoffStep()
 		return p.done
@@ -552,6 +585,9 @@ func (p *pump) run(clock sim.Clock, perChunk time.Duration) {
 // have moved (quantum <= 0 means no bound). It returns the bytes moved
 // by this segment.
 func (p *pump) runSegment(clock sim.Clock, perChunk time.Duration, quantum int64) int64 {
+	if p.sub != nil {
+		return p.runStripedSegment(clock, perChunk, quantum)
+	}
 	start := p.moved
 	for {
 		if p.done || (quantum > 0 && p.moved-start >= quantum) {
