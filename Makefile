@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -45,6 +45,14 @@ bench-datapath:
 bench-stripe:
 	$(GO) test -run '^$$' -bench 'BenchmarkStripedThroughput' -benchmem -benchtime=2s ./internal/transfer/
 	$(GO) test -run '^$$' -bench 'BenchmarkProtocolThroughput/ftp-modee' -benchtime=2s ./internal/nesttest/
+
+# Disk-backend benchmarks: extent-path LocalFS vs the seed baseline
+# over the pump endpoints, plus the O(1) Free counter vs the tree
+# walk; numbers recorded in docs/storage_bench.md and DESIGN.md §13.
+# TMPDIR points at tmpfs so the numbers isolate the data path, not the
+# disk underneath.
+bench-localfs:
+	TMPDIR=/dev/shm $(GO) test -run '^$$' -bench 'BenchmarkLocal' -benchmem -benchtime=2s ./internal/storage/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

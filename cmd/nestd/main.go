@@ -38,6 +38,7 @@ func main() {
 		name      = flag.String("name", "nest", "appliance name published in ClassAds")
 		dataDir   = flag.String("data", "", "data directory (empty: in-memory)")
 		capacity  = flag.Int64("capacity", 1<<30, "storage capacity in bytes")
+		fsync     = flag.Bool("fsync", false, "fsync data files on close (durability over close latency)")
 		chirpAddr = flag.String("chirp", "127.0.0.1:9094", "Chirp listen address (empty disables)")
 		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP listen address (empty disables)")
 		ftpAddr   = flag.String("ftp", "127.0.0.1:2121", "FTP listen address (empty disables)")
@@ -61,6 +62,7 @@ func main() {
 		Name:         *name,
 		DataDir:      *dataDir,
 		Capacity:     *capacity,
+		SyncOnClose:  *fsync,
 		Scheduler:    core.SchedulerKind(*schedName),
 		Model:        transfer.ModelKind(*model),
 		Slots:        *slots,

@@ -57,6 +57,9 @@ type Config struct {
 	DataDir string
 	// Capacity is the advertised storage capacity (default 1 GB).
 	Capacity int64
+	// SyncOnClose fsyncs files on close when serving a DataDir, trading
+	// close latency for durability of completed PUTs.
+	SyncOnClose bool
 
 	// Anonymous root ACL rights (default: read+lookup for anyuser,
 	// everything for authenticated users).
@@ -143,6 +146,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: data dir: %w", err)
 		}
+		local.SetSyncOnClose(cfg.SyncOnClose)
 		fs = local
 	} else {
 		fs = storage.NewMemFS(cfg.Clock, cfg.Capacity)
@@ -203,6 +207,14 @@ func New(cfg Config) (*Server, error) {
 	reg.Func("nest_storage_free_bytes", fs.Free)
 	reg.Func("nest_storage_extent_allocs_total", func() int64 { a, _ := storage.ExtentStats(); return a })
 	reg.Func("nest_storage_extent_recycles_total", func() int64 { _, r := storage.ExtentStats(); return r })
+	reg.Func("nest_localfs_fd_cache_hits_total", func() int64 { return storage.LocalFSStats().FDCacheHits })
+	reg.Func("nest_localfs_fd_cache_misses_total", func() int64 { return storage.LocalFSStats().FDCacheMisses })
+	reg.Func("nest_localfs_fd_cache_evictions_total", func() int64 { return storage.LocalFSStats().FDCacheEvictions })
+	reg.Func("nest_localfs_preads_total", func() int64 { return storage.LocalFSStats().Preads })
+	reg.Func("nest_localfs_pwrites_total", func() int64 { return storage.LocalFSStats().Pwrites })
+	reg.Func("nest_localfs_fsyncs_total", func() int64 { return storage.LocalFSStats().Fsyncs })
+	reg.Func("nest_localfs_handoff_chunks_total", func() int64 { return storage.LocalFSStats().HandoffChunks })
+	reg.Func("nest_localfs_pooled_chunks_total", func() int64 { return storage.LocalFSStats().PooledChunks })
 	reg.Func("nest_cache_hits_total", func() int64 { h, _ := s.Cache.Stats(); return h })
 	reg.Func("nest_cache_misses_total", func() int64 { _, m := s.Cache.Stats(); return m })
 	reg.Func("nest_bufpool_gets_total", func() int64 { return bufpool.Stats().Gets })

@@ -259,4 +259,41 @@ func TestLocalFSBackend(t *testing.T) {
 	if err != nil || string(got) != "on real disk" {
 		t.Errorf("Get = %q, %v", got, err)
 	}
+
+	// An HTTP GET drives the dispatcher's capability-detected transfer
+	// endpoints against the disk file end to end.
+	resp, err := http.Get("http://" + s.Addr("http") + "/diskfile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "on real disk" {
+		t.Errorf("HTTP GET from disk = %q", body)
+	}
+
+	// The LocalFS data-path counters are published on /metrics and on
+	// /statusz (which appends the registry text).
+	for _, ep := range []string{"/metrics", "/statusz"} {
+		resp, err := http.Get("http://" + s.Addr("http") + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, metric := range []string{
+			"nest_localfs_fd_cache_hits_total",
+			"nest_localfs_fd_cache_misses_total",
+			"nest_localfs_fd_cache_evictions_total",
+			"nest_localfs_preads_total",
+			"nest_localfs_pwrites_total",
+			"nest_localfs_fsyncs_total",
+			"nest_localfs_handoff_chunks_total",
+			"nest_localfs_pooled_chunks_total",
+		} {
+			if !bytes.Contains(page, []byte(metric)) {
+				t.Errorf("%s missing %s", ep, metric)
+			}
+		}
+	}
 }

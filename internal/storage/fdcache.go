@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"container/list"
+	"os"
+	"sync"
+)
+
+// fdCache is a bounded LRU of read-only descriptors for recently
+// closed files. Repeated GETs of a hot file re-use the descriptor
+// instead of paying an open/close syscall pair per request. Entries
+// are invalidated on Remove/Create so a cached descriptor never
+// outlives the file it named.
+//
+// The cache has its own lock but is only ever called under LocalFS.mu
+// (lock order: namespace, then cache) so take/put/invalidate serialize
+// with the namespace operations that decide descriptor validity.
+type fdCache struct {
+	mu      sync.Mutex
+	limit   int
+	order   *list.List               // front = most recent; values are *fdEntry
+	entries map[string]*list.Element // keyed by cleaned virtual path
+}
+
+type fdEntry struct {
+	path string
+	f    *os.File
+}
+
+func (c *fdCache) init(limit int) {
+	c.limit = limit
+	c.order = list.New()
+	c.entries = make(map[string]*list.Element)
+}
+
+// setLimit re-bounds the cache, evicting down to the new limit.
+func (c *fdCache) setLimit(limit int) {
+	c.mu.Lock()
+	c.limit = limit
+	evicted := c.evictOverLocked()
+	c.mu.Unlock()
+	closeAll(evicted)
+}
+
+// take removes and returns the cached descriptor for path, or nil.
+func (c *fdCache) take(path string) *os.File {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return nil
+	}
+	delete(c.entries, path)
+	c.order.Remove(el)
+	return el.Value.(*fdEntry).f
+}
+
+// put offers a read-only descriptor to the cache. It reports whether
+// the cache took ownership; when false the caller must close f.
+// A second descriptor for the same path replaces the first.
+func (c *fdCache) put(path string, f *os.File) bool {
+	c.mu.Lock()
+	if c.limit <= 0 {
+		c.mu.Unlock()
+		return false
+	}
+	var displaced []*os.File
+	if el, ok := c.entries[path]; ok {
+		displaced = append(displaced, el.Value.(*fdEntry).f)
+		c.order.Remove(el)
+	}
+	c.entries[path] = c.order.PushFront(&fdEntry{path: path, f: f})
+	displaced = append(displaced, c.evictOverLocked()...)
+	c.mu.Unlock()
+	closeAll(displaced)
+	return true
+}
+
+// invalidate drops any cached descriptor for path.
+func (c *fdCache) invalidate(path string) {
+	c.mu.Lock()
+	el, ok := c.entries[path]
+	if ok {
+		delete(c.entries, path)
+		c.order.Remove(el)
+	}
+	c.mu.Unlock()
+	if ok {
+		el.Value.(*fdEntry).f.Close()
+	}
+}
+
+// evictOverLocked trims LRU entries beyond the limit, returning the
+// displaced descriptors for the caller to close outside the lock.
+func (c *fdCache) evictOverLocked() []*os.File {
+	var out []*os.File
+	for c.order.Len() > c.limit {
+		el := c.order.Back()
+		entry := el.Value.(*fdEntry)
+		delete(c.entries, entry.path)
+		c.order.Remove(el)
+		out = append(out, entry.f)
+		statLocalFDEvictions.Add(1)
+	}
+	return out
+}
+
+func closeAll(fs []*os.File) {
+	for _, f := range fs {
+		f.Close()
+	}
+}

@@ -483,7 +483,15 @@ func TestQuotaReserveRollback(t *testing.T) {
 // pumps on disjoint files, readers and writers sharing one file, a
 // truncator, and a control-plane stat/list loop all run concurrently.
 func TestConcurrentFileStress(t *testing.T) {
-	fs := NewMemFS(nil, 1<<30)
+	for name, fs := range backends(t) {
+		t.Run(name, func(t *testing.T) { runConcurrentFileStress(t, fs) })
+	}
+}
+
+// runConcurrentFileStress hammers one backend with disjoint-file
+// pumps, shared-file writers/readers/truncators, and a control-plane
+// loop — the two-tier locking contract both backends share.
+func runConcurrentFileStress(t *testing.T, fs FS) {
 	const iters = 300
 	var wg sync.WaitGroup
 

@@ -1,0 +1,118 @@
+//go:build linux
+
+package storage
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// On Linux the LocalFS handoff path maps the file MAP_SHARED and moves
+// bytes through the mapping: the kernel page cache *is* the extent
+// store, reads hand resident page slices straight to the sink, and
+// writes land source bytes directly in the pages the kernel will write
+// back. Compared to the staged path this removes one memcpy and one
+// syscall per 64 KiB chunk — the same two costs the MemFS extent
+// handoff removed from the wire path in PR 5.
+//
+// MAP_SHARED is coherent with pread/pwrite on the same file, so the
+// mapped and staged paths can interleave freely (a handle whose
+// mapping failed stages through pooled buffers against the same
+// bytes). SIGBUS is impossible by construction: every access through
+// the mapping is clamped to the node's logical size under the file
+// lock, and the write path ftruncate-extends the file before touching
+// new pages.
+
+// maxMapBytes caps a single file mapping; files larger than this fall
+// back to the staged path rather than exhausting address space.
+const maxMapBytes = int64(1) << 40
+
+// ensureMapped makes sure the node's mapping covers [0, end) if it
+// can, taking the file lock only when the mapping must grow. Called
+// lockless from the read path; mapLen mirrors len(mapped) atomically
+// for the fast check.
+func (n *localNode) ensureMapped(f *os.File, writable bool, end int64) {
+	if n.mapLen.Load() >= end || n.mapBroken.Load() {
+		return
+	}
+	n.mu.Lock()
+	n.remapLocked(f, writable, end)
+	n.mu.Unlock()
+}
+
+// remapLocked (re)establishes the mapping to cover [0, end). Caller
+// holds n.mu exclusively. Growth is geometric and extent-rounded so a
+// streaming transfer remaps O(log size) times, and the whole current
+// file is mapped eagerly so readahead hints can run ahead of the
+// transfer. A writable caller gets PROT_WRITE; a read-only caller
+// growing an existing RW mapping cannot (the descriptor lacks write
+// permission), so the mapping downgrades and the next write op remaps
+// RW through its own read-write descriptor. mmap failure (e.g. ENOMEM,
+// or a filesystem without shared mappings) marks the node broken and
+// the handle falls back to staged I/O permanently.
+func (n *localNode) remapLocked(f *os.File, writable bool, end int64) {
+	if n.mapBroken.Load() || end <= 0 {
+		return
+	}
+	cur := int64(len(n.mapped))
+	if cur >= end && (n.mapRW || !writable) {
+		return
+	}
+	target := end
+	if s := n.size.Load(); target < s {
+		target = s
+	}
+	if target < 2*cur {
+		target = 2 * cur
+	}
+	target = (target + ExtentSize - 1) / ExtentSize * ExtentSize
+	if target < cur {
+		target = cur
+	}
+	if target > maxMapBytes || target > int64(math.MaxInt) {
+		n.mapBroken.Store(true)
+		return
+	}
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(target), prot, syscall.MAP_SHARED)
+	if err != nil {
+		n.mapBroken.Store(true)
+		return
+	}
+	if n.mapped != nil {
+		syscall.Munmap(n.mapped)
+	}
+	n.mapped = m
+	n.mapRW = writable
+	n.mapLen.Store(int64(len(m)))
+}
+
+// munmapLocked tears down the mapping. Caller holds n.mu exclusively,
+// so in-flight range operations have drained.
+func (n *localNode) munmapLocked() {
+	if n.mapped == nil {
+		return
+	}
+	syscall.Munmap(n.mapped)
+	n.mapped = nil
+	n.mapRW = false
+	n.mapLen.Store(0)
+}
+
+// pageMask caches the VM page size for aligning madvise ranges.
+var pageMask = func() int64 { return int64(os.Getpagesize() - 1) }()
+
+// adviseWillNeed hints the kernel to stage m[lo:hi) — the readahead
+// window for a streaming GET. Best-effort: alignment is fixed up and
+// errors ignored.
+func adviseWillNeed(m []byte, lo, hi int64) {
+	lo &^= pageMask
+	if lo < 0 || hi <= lo || hi > int64(len(m)) {
+		return
+	}
+	syscall.Madvise(m[lo:hi], syscall.MADV_WILLNEED)
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// Portable stubs: without a shared page mapping the LocalFS range
+// operations stage every fragment through pooled chunk buffers —
+// still zero allocations per chunk, just one extra copy and syscall.
+
+func (n *localNode) ensureMapped(f *os.File, writable bool, end int64) {}
+
+func (n *localNode) remapLocked(f *os.File, writable bool, end int64) {}
+
+func (n *localNode) munmapLocked() {}
+
+func adviseWillNeed(m []byte, lo, hi int64) {}

@@ -29,39 +29,58 @@ func readBack(t *testing.T, f File) []byte {
 	return out
 }
 
-func TestWriteRangeToBasic(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, err := fs.Create("/f", "u")
+// zcBackends returns each backend whose range-handoff data path is
+// under test, built with the given capacity. Every contract pinned
+// here must hold identically for the in-memory extent store and the
+// disk-backed LocalFS.
+func zcBackends(t *testing.T, capacity int64) map[string]FS {
+	t.Helper()
+	local, err := NewLocalFS(t.TempDir(), capacity)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Span several extents with a non-aligned length.
-	data := patternData(3*ExtentSize+777, 1)
-	if _, err := f.WriteAt(data, 0); err != nil {
-		t.Fatal(err)
+	return map[string]FS{
+		"memfs":   NewMemFS(nil, capacity),
+		"localfs": local,
 	}
+}
 
-	rt := File(f).(RangeWriterTo)
-	var sink bytes.Buffer
-	// Walk in odd-sized chunks that straddle extent boundaries.
-	var off int64
-	for {
-		n, err := rt.WriteRangeTo(&sink, off, 100_000)
-		off += n
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			t.Fatalf("WriteRangeTo: %v", err)
-		}
-	}
-	if !bytes.Equal(sink.Bytes(), data) {
-		t.Fatalf("handoff read mismatch: got %d bytes, want %d", sink.Len(), len(data))
-	}
+func TestWriteRangeToBasic(t *testing.T) {
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fsys.Create("/f", "u")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Span several extents with a non-aligned length.
+			data := patternData(3*ExtentSize+777, 1)
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
 
-	// Past EOF reports io.EOF with nothing delivered.
-	if n, err := rt.WriteRangeTo(&sink, int64(len(data)), 10); n != 0 || err != io.EOF {
-		t.Fatalf("WriteRangeTo past EOF = (%d, %v), want (0, EOF)", n, err)
+			rt := f.(RangeWriterTo)
+			var sink bytes.Buffer
+			// Walk in odd-sized chunks that straddle extent boundaries.
+			var off int64
+			for {
+				n, err := rt.WriteRangeTo(&sink, off, 100_000)
+				off += n
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("WriteRangeTo: %v", err)
+				}
+			}
+			if !bytes.Equal(sink.Bytes(), data) {
+				t.Fatalf("handoff read mismatch: got %d bytes, want %d", sink.Len(), len(data))
+			}
+
+			// Past EOF reports io.EOF with nothing delivered.
+			if n, err := rt.WriteRangeTo(&sink, int64(len(data)), 10); n != 0 || err != io.EOF {
+				t.Fatalf("WriteRangeTo past EOF = (%d, %v), want (0, EOF)", n, err)
+			}
+		})
 	}
 }
 
@@ -81,74 +100,84 @@ func (s *shortSink) Write(p []byte) (int, error) {
 }
 
 func TestWriteRangeToSinkError(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(2*ExtentSize, 2)
-	f.WriteAt(data, 0)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(2*ExtentSize, 2)
+			f.WriteAt(data, 0)
 
-	boom := errors.New("boom")
-	sink := &shortSink{budget: ExtentSize, err: boom}
-	n, err := File(f).(RangeWriterTo).WriteRangeTo(sink, 0, int64(len(data)))
-	if err != boom {
-		t.Fatalf("err = %v, want boom", err)
-	}
-	if n != ExtentSize {
-		t.Fatalf("delivered %d bytes before sink error, want %d", n, ExtentSize)
+			boom := errors.New("boom")
+			sink := &shortSink{budget: ExtentSize, err: boom}
+			n, err := f.(RangeWriterTo).WriteRangeTo(sink, 0, int64(len(data)))
+			if err != boom {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			if n != ExtentSize {
+				t.Fatalf("delivered %d bytes before sink error, want %d", n, ExtentSize)
+			}
+		})
 	}
 }
 
 func TestReadRangeFromBasic(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(2*ExtentSize+4096, 3)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(2*ExtentSize+4096, 3)
 
-	rf := File(f).(RangeReaderFrom)
-	src := bytes.NewReader(data)
-	var off int64
-	for {
-		n, err := rf.ReadRangeFrom(src, off, 100_000)
-		off += n
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			t.Fatalf("ReadRangeFrom: %v", err)
-		}
-	}
-	if off != int64(len(data)) {
-		t.Fatalf("moved %d bytes, want %d", off, len(data))
-	}
-	if got := readBack(t, f); !bytes.Equal(got, data) {
-		t.Fatal("handoff write mismatch")
-	}
-	if used := fs.total - fs.Free(); used != int64(len(data)) {
-		t.Fatalf("used = %d, want %d", used, len(data))
+			rf := f.(RangeReaderFrom)
+			src := bytes.NewReader(data)
+			var off int64
+			for {
+				n, err := rf.ReadRangeFrom(src, off, 100_000)
+				off += n
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("ReadRangeFrom: %v", err)
+				}
+			}
+			if off != int64(len(data)) {
+				t.Fatalf("moved %d bytes, want %d", off, len(data))
+			}
+			if got := readBack(t, f); !bytes.Equal(got, data) {
+				t.Fatal("handoff write mismatch")
+			}
+			if used := fsys.Total() - fsys.Free(); used != int64(len(data)) {
+				t.Fatalf("used = %d, want %d", used, len(data))
+			}
+		})
 	}
 }
 
 func TestReadRangeFromSparseOffset(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(ExtentSize+100, 4)
-	off := int64(ExtentSize + ExtentSize/2) // hole below, unaligned start
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(ExtentSize+100, 4)
+			off := int64(ExtentSize + ExtentSize/2) // hole below, unaligned start
 
-	n, err := File(f).(RangeReaderFrom).ReadRangeFrom(bytes.NewReader(data), off, int64(len(data)))
-	if err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	if n != int64(len(data)) {
-		t.Fatalf("moved %d, want %d", n, len(data))
-	}
-	got := readBack(t, f)
-	// The hole must read as zeros (zero-beyond-size invariant held for
-	// extents drawn dirty from the pool).
-	for i := int64(0); i < off; i++ {
-		if got[i] != 0 {
-			t.Fatalf("hole byte %d = %d, want 0", i, got[i])
-		}
-	}
-	if !bytes.Equal(got[off:], data) {
-		t.Fatal("payload mismatch after sparse handoff write")
+			n, err := f.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader(data), off, int64(len(data)))
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if n != int64(len(data)) {
+				t.Fatalf("moved %d, want %d", n, len(data))
+			}
+			got := readBack(t, f)
+			// The hole must read as zeros (zero-beyond-size invariant
+			// held for extents drawn dirty from the pool; sparse file
+			// holes on disk).
+			for i := int64(0); i < off; i++ {
+				if got[i] != 0 {
+					t.Fatalf("hole byte %d = %d, want 0", i, got[i])
+				}
+			}
+			if !bytes.Equal(got[off:], data) {
+				t.Fatal("payload mismatch after sparse handoff write")
+			}
+		})
 	}
 }
 
@@ -176,151 +205,173 @@ func (d *dribbleReader) Read(p []byte) (int, error) {
 }
 
 func TestReadRangeFromShortReads(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(ExtentSize*2+123, 5)
-	src := &dribbleReader{data: append([]byte(nil), data...), step: 1000}
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(ExtentSize*2+123, 5)
+			src := &dribbleReader{data: append([]byte(nil), data...), step: 1000}
 
-	rf := File(f).(RangeReaderFrom)
-	var off int64
-	for {
-		n, err := rf.ReadRangeFrom(src, off, ExtentSize)
-		off += n
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	if off != int64(len(data)) {
-		t.Fatalf("moved %d, want %d", off, len(data))
-	}
-	if got := readBack(t, f); !bytes.Equal(got, data) {
-		t.Fatal("short-read handoff write mismatch")
-	}
-	// Short reads left dirty pool extents partially filled: the tail
-	// beyond size must still be zero so a later Truncate-up sees zeros.
-	if err := f.Truncate(int64(len(data)) + 500); err != nil {
-		t.Fatal(err)
-	}
-	tail := make([]byte, 500)
-	if _, err := f.ReadAt(tail, int64(len(data))); err != nil && err != io.EOF {
-		t.Fatal(err)
-	}
-	for i, b := range tail {
-		if b != 0 {
-			t.Fatalf("tail byte %d = %d after truncate-up, want 0", i, b)
-		}
+			rf := f.(RangeReaderFrom)
+			var off int64
+			for {
+				n, err := rf.ReadRangeFrom(src, off, ExtentSize)
+				off += n
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if off != int64(len(data)) {
+				t.Fatalf("moved %d, want %d", off, len(data))
+			}
+			if got := readBack(t, f); !bytes.Equal(got, data) {
+				t.Fatal("short-read handoff write mismatch")
+			}
+			// Short reads must not leak stale bytes past the published
+			// size: a later Truncate-up sees zeros (dirty pool extents
+			// zeroed on MemFS, ftruncate-shrink on LocalFS).
+			if err := f.Truncate(int64(len(data)) + 500); err != nil {
+				t.Fatal(err)
+			}
+			tail := make([]byte, 500)
+			if _, err := f.ReadAt(tail, int64(len(data))); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			for i, b := range tail {
+				if b != 0 {
+					t.Fatalf("tail byte %d = %d after truncate-up, want 0", i, b)
+				}
+			}
+		})
 	}
 }
 
 func TestReadRangeFromQuota(t *testing.T) {
-	fs := NewMemFS(nil, ExtentSize) // capacity: exactly one extent
-	f, _ := fs.Create("/f", "u")
-	data := patternData(3*ExtentSize, 6)
+	for name, fsys := range zcBackends(t, ExtentSize) { // capacity: exactly one extent
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(3*ExtentSize, 6)
 
-	n, err := File(f).(RangeReaderFrom).ReadRangeFrom(bytes.NewReader(data), 0, int64(len(data)))
-	if !errors.Is(err, ErrNoSpace) {
-		t.Fatalf("err = %v, want ErrNoSpace", err)
-	}
-	if n != ExtentSize {
-		t.Fatalf("moved %d before quota stop, want %d", n, ExtentSize)
-	}
-	// The failed fragment's reservation must have been rolled back.
-	if free := fs.Free(); free != 0 {
-		t.Fatalf("free = %d after rollback, want 0", free)
-	}
-	if got := readBack(t, f); !bytes.Equal(got, data[:ExtentSize]) {
-		t.Fatal("prefix mismatch after quota stop")
+			n, err := f.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader(data), 0, int64(len(data)))
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("err = %v, want ErrNoSpace", err)
+			}
+			if n != ExtentSize {
+				t.Fatalf("moved %d before quota stop, want %d", n, ExtentSize)
+			}
+			// The failed fragment's reservation must have been rolled back.
+			if free := fsys.Free(); free != 0 {
+				t.Fatalf("free = %d after rollback, want 0", free)
+			}
+			if got := readBack(t, f); !bytes.Equal(got, data[:ExtentSize]) {
+				t.Fatal("prefix mismatch after quota stop")
+			}
+		})
 	}
 }
 
 func TestRangeHandoffClosedAndReadOnly(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	f.WriteAt([]byte("hello"), 0)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			f.WriteAt([]byte("hello"), 0)
 
-	ro, _ := fs.Open("/f")
-	if _, err := ro.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader([]byte("x")), 0, 1); err != ErrReadOnly {
-		t.Fatalf("read-only handoff write err = %v, want ErrReadOnly", err)
-	}
+			ro, _ := fsys.Open("/f")
+			if _, err := ro.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader([]byte("x")), 0, 1); err != ErrReadOnly {
+				t.Fatalf("read-only handoff write err = %v, want ErrReadOnly", err)
+			}
 
-	f.Close()
-	if _, err := f.(RangeWriterTo).WriteRangeTo(io.Discard, 0, 5); err != ErrClosed {
-		t.Fatalf("closed handoff read err = %v, want ErrClosed", err)
-	}
-	if _, err := f.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader([]byte("x")), 0, 1); err != ErrClosed {
-		t.Fatalf("closed handoff write err = %v, want ErrClosed", err)
+			f.Close()
+			if _, err := f.(RangeWriterTo).WriteRangeTo(io.Discard, 0, 5); err != ErrClosed {
+				t.Fatalf("closed handoff read err = %v, want ErrClosed", err)
+			}
+			if _, err := f.(RangeReaderFrom).ReadRangeFrom(bytes.NewReader([]byte("x")), 0, 1); err != ErrClosed {
+				t.Fatalf("closed handoff write err = %v, want ErrClosed", err)
+			}
+		})
 	}
 }
 
 func TestSectionReaderHandoffAndFallback(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(ExtentSize+999, 7)
-	f.WriteAt(data, 0)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(ExtentSize+999, 7)
+			f.WriteAt(data, 0)
 
-	sr := NewSectionReader(f, 100, int64(len(data))-100)
-	if !sr.Handoff() {
-		t.Fatal("memFile section should support handoff")
-	}
-	var sink bytes.Buffer
-	n, err := sr.WriteTo(&sink)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != int64(len(data)-100) || !bytes.Equal(sink.Bytes(), data[100:]) {
-		t.Fatalf("WriteTo moved %d bytes, mismatch", n)
-	}
+			sr := NewSectionReader(f, 100, int64(len(data))-100)
+			if !sr.Handoff() {
+				t.Fatal("file section should support handoff")
+			}
+			var sink bytes.Buffer
+			n, err := sr.WriteTo(&sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(data)-100) || !bytes.Equal(sink.Bytes(), data[100:]) {
+				t.Fatalf("WriteTo moved %d bytes, mismatch", n)
+			}
 
-	// Section longer than the file ends cleanly, like io.SectionReader
-	// under io.Copy.
-	sr = NewSectionReader(f, 0, int64(len(data))+5000)
-	sink.Reset()
-	if n, err := sr.WriteTo(&sink); err != nil || n != int64(len(data)) {
-		t.Fatalf("over-long section WriteTo = (%d, %v)", n, err)
+			// Section longer than the file ends cleanly, like
+			// io.SectionReader under io.Copy.
+			sr = NewSectionReader(f, 0, int64(len(data))+5000)
+			sink.Reset()
+			if n, err := sr.WriteTo(&sink); err != nil || n != int64(len(data)) {
+				t.Fatalf("over-long section WriteTo = (%d, %v)", n, err)
+			}
+		})
 	}
 }
 
 func TestOffsetWriterHandoff(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	data := patternData(2*ExtentSize+50, 8)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			data := patternData(2*ExtentSize+50, 8)
 
-	ow := NewOffsetWriter(f, 10)
-	if !ow.Handoff() {
-		t.Fatal("memFile offset writer should support handoff")
-	}
-	n, err := io.Copy(ow, bytes.NewReader(data)) // hits ReadFrom
-	if err != nil || n != int64(len(data)) {
-		t.Fatalf("io.Copy via ReadFrom = (%d, %v)", n, err)
-	}
-	got := readBack(t, f)
-	if !bytes.Equal(got[10:], data) {
-		t.Fatal("offset handoff write mismatch")
+			ow := NewOffsetWriter(f, 10)
+			if !ow.Handoff() {
+				t.Fatal("file offset writer should support handoff")
+			}
+			n, err := io.Copy(ow, bytes.NewReader(data)) // hits ReadFrom
+			if err != nil || n != int64(len(data)) {
+				t.Fatalf("io.Copy via ReadFrom = (%d, %v)", n, err)
+			}
+			got := readBack(t, f)
+			if !bytes.Equal(got[10:], data) {
+				t.Fatal("offset handoff write mismatch")
+			}
+		})
 	}
 }
 
-// TestWriteRangeToZeroAlloc pins the steady-state claim: handing
-// resident extents to a sink allocates nothing.
+// TestWriteRangeToZeroAlloc pins the steady-state claim on both
+// backends: handing resident extents (pool extents on MemFS, mapped
+// page-cache slices on LocalFS) to a sink allocates nothing.
 func TestWriteRangeToZeroAlloc(t *testing.T) {
-	fs := NewMemFS(nil, 1<<24)
-	f, _ := fs.Create("/f", "u")
-	f.WriteAt(patternData(4*ExtentSize, 9), 0)
-	rt := File(f).(RangeWriterTo)
+	for name, fsys := range zcBackends(t, 1<<24) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("/f", "u")
+			f.WriteAt(patternData(4*ExtentSize, 9), 0)
+			rt := f.(RangeWriterTo)
 
-	allocs := testing.AllocsPerRun(50, func() {
-		var off int64
-		for off < 4*ExtentSize {
-			n, err := rt.WriteRangeTo(io.Discard, off, ExtentSize)
-			if err != nil {
-				t.Fatal(err)
+			sweep := func() {
+				var off int64
+				for off < 4*ExtentSize {
+					n, err := rt.WriteRangeTo(io.Discard, off, ExtentSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					off += n
+				}
 			}
-			off += n
-		}
-	})
-	if allocs >= 1 {
-		t.Errorf("WriteRangeTo allocates %v per 4-extent sweep, want 0", allocs)
+			sweep() // warm: mapping established, readahead frontier advanced
+			allocs := testing.AllocsPerRun(50, sweep)
+			if allocs >= 1 {
+				t.Errorf("WriteRangeTo allocates %v per 4-extent sweep, want 0", allocs)
+			}
+		})
 	}
 }

@@ -51,9 +51,9 @@ func (c *collectWriter) bytes() []byte {
 	return append([]byte(nil), c.buf.Bytes()...)
 }
 
-// sparseFile builds a MemFS file with data at scattered offsets and
-// holes between them.
-func sparseFile(t testing.TB, fs *storage.MemFS, path string, seed int64) (storage.File, int64) {
+// sparseFile builds a file with data at scattered offsets and holes
+// between them on any backend.
+func sparseFile(t testing.TB, fs storage.FS, path string, seed int64) (storage.File, int64) {
 	t.Helper()
 	f, err := fs.Create(path, "u")
 	if err != nil {
