@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs bench-federation figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -53,6 +53,14 @@ bench-stripe:
 # disk underneath.
 bench-localfs:
 	TMPDIR=/dev/shm $(GO) test -run '^$$' -bench 'BenchmarkLocal' -benchmem -benchtime=2s ./internal/storage/
+
+# Federation scaling sweep: aggregate GET throughput of 1/2/4-replica
+# fleets behind health-ranked selection, plus the single-iteration
+# BenchmarkFederatedGets figure; numbers recorded in
+# docs/federation_bench.md and DESIGN.md §14.
+bench-federation:
+	$(GO) run ./cmd/nestbench -experiment federation
+	$(GO) test -run '^$$' -bench 'BenchmarkFederatedGets' -benchtime=1x ./internal/bench/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

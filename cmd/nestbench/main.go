@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nestbench -experiment fig3|fig4|fig5|fig6|ablations|all
+//	nestbench -experiment fig3|fig4|fig5|fig6|ablations|federation|all
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, or all")
+	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, federation, or all")
 	flag.Parse()
 
 	// The fig3 mixed-workload measurement doubles as the run's final
@@ -35,10 +35,11 @@ func main() {
 			readOff, readOn := bench.RunFig6Reads()
 			fmt.Println(bench.FormatFig6(bench.RunFig6(), readOff, readOn))
 		},
-		"ablations": func() { fmt.Println(bench.FormatAblations()) },
+		"ablations":  func() { fmt.Println(bench.FormatAblations()) },
+		"federation": func() { fmt.Println(bench.FormatFederation(bench.FederationSweep())) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations", "federation"} {
 			run[name]()
 		}
 		printTelemetry(fig3Rows)

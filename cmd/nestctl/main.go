@@ -24,6 +24,10 @@
 //	                             fetch the appliance's observability
 //	                             page over its HTTP endpoint (-http)
 //
+//	replicas <path>              ask the collector (-collector) which
+//	                             appliances hold a file, ranked by
+//	                             advertised health
+//
 //	issue -ca-key FILE -ca-name DN -subject DN -out cred.tok
 //	                             mint a GSI credential (admin)
 package main
@@ -41,14 +45,17 @@ import (
 	"time"
 
 	"nest/internal/chirp"
+	"nest/internal/classad"
 	"nest/internal/gsi"
+	"nest/internal/replica"
 )
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:9094", "Chirp address of the NeST")
-		httpAddr = flag.String("http", "127.0.0.1:8080", "HTTP address of the NeST (status command)")
-		credF    = flag.String("cred", "", "GSI credential token file (empty: anonymous)")
+		server     = flag.String("server", "127.0.0.1:9094", "Chirp address of the NeST")
+		httpAddr   = flag.String("http", "127.0.0.1:8080", "HTTP address of the NeST (status command)")
+		credF      = flag.String("cred", "", "GSI credential token file (empty: anonymous)")
+		collectorF = flag.String("collector", "127.0.0.1:9618", "discovery collector address (replicas command)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -58,6 +65,13 @@ func main() {
 	}
 	if args[0] == "issue" {
 		issue(args[1:])
+		return
+	}
+	if args[0] == "replicas" {
+		if len(args) < 2 {
+			log.Fatalf("nestctl: usage: replicas <path> (with -collector)")
+		}
+		replicas(*collectorF, args[1])
 		return
 	}
 	if args[0] == "status" {
@@ -297,4 +311,39 @@ func issue(args []string) {
 	if err := os.WriteFile(*out, []byte(tok), 0o600); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// replicas prints the fresh holders of one logical path, best replica
+// first, with the health attributes the ranking used.
+func replicas(collector, path string) {
+	cat := replica.NewRemoteCatalog(collector)
+	defer cat.Close()
+	ads, err := cat.Replicas(path)
+	if err != nil {
+		log.Fatalf("nestctl: replicas: %v", err)
+	}
+	if len(ads) == 0 {
+		fmt.Printf("no fresh appliance holds %s\n", path)
+		os.Exit(1)
+	}
+	ranked := replica.Rank(ads, nil)
+	fmt.Printf("%-16s %8s %10s %10s %6s  %s\n", "APPLIANCE", "SCORE", "BW(MB/s)", "P99(ms)", "QUEUE", "CHIRP")
+	for _, ad := range ranked {
+		bw := adReal(ad, "RecentBandwidthMBps")
+		lat := adReal(ad, "P99LatencyMs")
+		q := adReal(ad, "QueueDepth")
+		fmt.Printf("%-16s %8.3f %10.2f %10.2f %6.0f  %s\n",
+			replica.Name(ad), replica.Score(ad), bw, lat, q, replica.Addr(ad, "chirp"))
+	}
+}
+
+func adReal(ad *classad.Ad, attr string) float64 {
+	v := ad.EvalAttr(attr, nil)
+	if r, ok := v.RealVal(); ok {
+		return r
+	}
+	if i, ok := v.IntVal(); ok {
+		return float64(i)
+	}
+	return 0
 }

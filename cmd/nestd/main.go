@@ -28,8 +28,8 @@ import (
 	"nest/internal/acl"
 	"nest/internal/classad"
 	"nest/internal/core"
-	"nest/internal/discovery"
 	"nest/internal/gsi"
+	"nest/internal/replica"
 	"nest/internal/transfer"
 )
 
@@ -55,6 +55,9 @@ func main() {
 		anonAll   = flag.Bool("open", false, "grant system:anyuser full rights at / (testing)")
 		collector = flag.String("collector", "", "discovery collector address to publish into")
 		interval  = flag.Duration("publish-every", 30*time.Second, "advertisement period")
+		replicate = flag.Int("replicate", 0, "keep hot files on this many appliances (0 disables; needs -collector and gridftp)")
+		replEvery = flag.Duration("replicate-every", 0, "replication demand-evaluation period (default 2s)")
+		replWidth = flag.Int("replicate-stripes", 1, "stripe width for replication transfers (>1: MODE E)")
 	)
 	flag.Parse()
 
@@ -103,13 +106,13 @@ func main() {
 		cfg.CA = gsi.NewCA(*caName, key)
 	}
 
-	var pub *discovery.Client
+	// The collector connection is shared by the publisher loop and the
+	// replication manager; it serializes calls and redials after a
+	// failure, so a collector restart costs one advertisement period
+	// instead of silencing the appliance until its own restart.
+	var pub *replica.RemoteCatalog
 	if *collector != "" {
-		var err error
-		pub, err = discovery.DialClient(*collector)
-		if err != nil {
-			log.Fatalf("nestd: collector: %v", err)
-		}
+		pub = replica.NewRemoteCatalog(*collector)
 		cfg.Publish = func(ad *classad.Ad) {
 			if err := pub.Publish(ad); err != nil {
 				log.Printf("nestd: publish failed: %v", err)
@@ -127,10 +130,41 @@ func main() {
 		fmt.Printf("  %-8s %s\n", proto, srv.Addr(proto))
 	}
 
+	var repl *replica.Manager
+	if *replicate > 1 {
+		if pub == nil {
+			log.Fatalf("nestd: -replicate needs -collector")
+		}
+		if srv.Addr("gridftp") == "" {
+			log.Fatalf("nestd: -replicate needs the gridftp protocol enabled")
+		}
+		cred := srv.CA().Issue("/O=NeST/OU=service/CN=replicator-"+srv.Name(), 24*time.Hour, true)
+		repl, err = replica.NewManager(replica.Config{
+			Name:        srv.Name(),
+			Factor:      *replicate,
+			Catalog:     pub,
+			Hot:         srv.Disp.HotPaths,
+			SelfGridFTP: srv.Addr("gridftp"),
+			Cred:        cred,
+			Interval:    *replEvery,
+			StripeWidth: *replWidth,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("nestd: %v", err)
+		}
+		repl.Register(srv.Obs())
+		go repl.Run()
+		fmt.Printf("  replicating hot files to %d appliances\n", *replicate)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("nestd: shutting down")
+	if repl != nil {
+		repl.Close()
+	}
 	srv.Close()
 	if pub != nil {
 		pub.Close()

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/discovery"
+	"nest/internal/replica"
+	"nest/internal/sim"
+	"nest/internal/storage"
+	"nest/internal/transfer"
+)
+
+// The federation scenario: a fleet of appliances all holding the same
+// file set, advertising health into one collector, serving a
+// Zipf-skewed GET workload whose clients resolve every logical name
+// through the replica catalog and rank the holders by advertised
+// bandwidth, tail latency and queue depth (random tie-break). The
+// question the experiment answers is whether health-ranked selection
+// turns N replicas into ~N appliances' worth of aggregate throughput,
+// and whether it routes traffic away from a degraded replica — the
+// manageability claim behind the paper's Grid-storage positioning.
+const (
+	fedFileSize  = 4 * sim.MB
+	fedFileCount = 24
+	fedChunk     = 32 * 1024
+	// fedAdPeriod is the advertisement refresh: the staleness of the
+	// health signal selection works from.
+	fedAdPeriod = 100 * time.Millisecond
+	// fedZipfS is the GET popularity skew (s > 1: hot files dominate).
+	fedZipfS = 1.2
+)
+
+// FederationOptions parameterizes one federation run.
+type FederationOptions struct {
+	// Replicas is the fleet size; every appliance holds every file.
+	Replicas int
+	// Clients is the closed-loop client count (default 16) — held
+	// constant across fleet sizes so offered concurrency is fixed and
+	// only capacity grows.
+	Clients int
+	// Degraded, when >= 0, throttles that node's link to DegradedMBps
+	// (the traffic-shift experiment).
+	Degraded     int
+	DegradedMBps float64
+	// Warmup and Duration bound the virtual measurement window.
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// FederationResult is one fleet size's measurement.
+type FederationResult struct {
+	Replicas      int
+	AggregateMBps float64
+	PerNode       map[string]float64 // MB/s served by each appliance
+	Gets          int64
+}
+
+// fedNode is one simulated appliance: its own host (link, CPU, disk),
+// filesystem and transfer manager on the shared virtual clock.
+type fedNode struct {
+	name  string
+	host  *sim.Host
+	fs    *storage.SimFS
+	mgr   *transfer.Manager
+	bytes atomic.Int64 // payload bytes served
+
+	mu       sync.Mutex
+	inflight map[int64]time.Duration // GET id -> virtual start time
+	nextID   int64
+}
+
+func (n *fedNode) begin(now time.Duration) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	n.inflight[n.nextID] = now
+	return n.nextID
+}
+
+func (n *fedNode) end(id int64) {
+	n.mu.Lock()
+	delete(n.inflight, id)
+	n.mu.Unlock()
+}
+
+// health reports the in-flight GET count and the age of the oldest
+// outstanding GET. The completed-transfer P99 is blind on a node whose
+// link is so slow nothing ever finishes — the age of its stuck requests
+// is the honest floor under the tail latency it advertises.
+func (n *fedNode) health(now time.Duration) (depth int, oldest time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.inflight {
+		if age := now - s; age > oldest {
+			oldest = age
+		}
+	}
+	return len(n.inflight), oldest
+}
+
+// RunFederation measures aggregate GET throughput of a fleet behind
+// catalog-driven, health-ranked replica selection.
+func RunFederation(o FederationOptions) FederationResult {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Duration <= 0 {
+		o.Duration = 8 * time.Second
+	}
+
+	clock := sim.NewVirtualClock()
+	collector := discovery.NewCollector(clock, time.Minute)
+	nodes := make([]*fedNode, o.Replicas)
+	files := make([]string, fedFileCount)
+	for j := range files {
+		files[j] = fmt.Sprintf("/fed%03d", j)
+	}
+
+	clock.Run(func() {
+		for i := range nodes {
+			prof := sim.LinuxGbE()
+			if i == o.Degraded && o.DegradedMBps > 0 {
+				prof.LinkMBps = o.DegradedMBps
+			}
+			host := sim.NewHost(clock, prof)
+			fs := storage.NewSimFS(host, 1<<40, nil)
+			mgr := transfer.NewManager(transfer.Options{
+				Clock: clock, Profile: prof, Model: transfer.Threads, Slots: 16,
+			})
+			n := &fedNode{
+				name: fmt.Sprintf("nest-%d", i), host: host, fs: fs, mgr: mgr,
+				inflight: make(map[int64]time.Duration),
+			}
+			for _, p := range files {
+				f, err := fs.Create(p, "bench")
+				if err != nil {
+					panic(err)
+				}
+				if err := f.Truncate(fedFileSize); err != nil {
+					panic(err)
+				}
+				f.Close()
+			}
+			// The experiment measures network scaling, not disk: serve
+			// from cache.
+			fs.Cache().Clear()
+			for _, p := range files {
+				fs.Warm(p)
+			}
+			nodes[i] = n
+		}
+	})
+
+	byName := make(map[string]*fedNode, len(nodes))
+	for _, n := range nodes {
+		byName[n.name] = n
+	}
+
+	var stop atomic.Bool
+	var gets atomic.Int64
+	res := FederationResult{Replicas: o.Replicas, PerNode: map[string]float64{}}
+
+	clock.Run(func() {
+		wg := sim.NewWaitGroup(clock)
+
+		// Per-appliance advertiser: every fedAdPeriod, publish a fresh
+		// ad carrying the node's measured bandwidth over the window,
+		// its live queue depth and tail latency, plus its replica list
+		// — the same consolidation a live dispatcher performs.
+		for _, n := range nodes {
+			n := n
+			wg.Add(1)
+			clock.Go(func() {
+				defer wg.Done()
+				var prev int64
+				var ewma float64
+				for {
+					cur := n.bytes.Load()
+					// A single 100ms window is bursty (whole files
+					// complete at once); smooth it so the ranking sees
+					// sustained rate, not sampling noise.
+					win := float64(cur-prev) / fedAdPeriod.Seconds() / float64(sim.MB)
+					ewma = 0.6*ewma + 0.4*win
+					ad := classad.NewAd()
+					ad.SetString("Name", n.name)
+					ad.SetReal("RecentBandwidthMBps", ewma)
+					// Queue depth is GETs in flight, not just transfers
+					// waiting for a slot: in-service work on a slow link
+					// is exactly the congestion selection must see.
+					depth, oldest := n.health(clock.Now())
+					p99 := float64(n.mgr.Metrics().Class("fed").P99) / 1e6
+					if age := float64(oldest) / float64(time.Millisecond); age > p99 {
+						p99 = age
+					}
+					ad.SetInt("QueueDepth", int64(depth))
+					ad.SetReal("P99LatencyMs", p99)
+					discovery.SetReplicas(ad, files)
+					collector.Advertise(ad)
+					prev = cur
+					if stop.Load() {
+						return
+					}
+					clock.Sleep(fedAdPeriod)
+				}
+			})
+		}
+
+		// Closed-loop clients: draw a file from the Zipf popularity
+		// curve, resolve it through the catalog, and fetch from a
+		// holder drawn score-weighted from the ranking.
+		for c := 0; c < o.Clients; c++ {
+			c := c
+			wg.Add(1)
+			clock.Go(func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + c)))
+				zipf := rand.NewZipf(rng, fedZipfS, 1, uint64(len(files)-1))
+				// Stagger arrival: a simultaneous cold start would place
+				// every client on score ties before the first load-bearing
+				// advertisement exists.
+				clock.Sleep(time.Duration(rng.Intn(400)) * time.Millisecond)
+				for !stop.Load() {
+					path := files[zipf.Uint64()]
+					ad := replica.Pick(collector.ReplicaAds(path), rng)
+					if ad == nil {
+						clock.Sleep(10 * time.Millisecond)
+						continue
+					}
+					fedGet(clock, byName[replica.Name(ad)], path)
+					gets.Add(1)
+				}
+			})
+		}
+
+		clock.Sleep(o.Warmup)
+		start := make([]int64, len(nodes))
+		for i, n := range nodes {
+			start[i] = n.bytes.Load()
+		}
+		startGets := gets.Load()
+		clock.Sleep(o.Duration)
+		for i, n := range nodes {
+			mbps := float64(n.bytes.Load()-start[i]) / o.Duration.Seconds() / float64(sim.MB)
+			res.PerNode[n.name] = mbps
+			res.AggregateMBps += mbps
+		}
+		res.Gets = gets.Load() - startGets
+		stop.Store(true)
+		wg.Wait()
+	})
+	return res
+}
+
+// fedGet serves one whole-file GET from node n: request RTT, server
+// per-request CPU, then the transfer pumped through n's scheduler onto
+// n's link.
+func fedGet(clock *sim.VirtualClock, n *fedNode, path string) {
+	id := n.begin(clock.Now())
+	defer n.end(id)
+	clock.Sleep(n.host.Link.RTT() / 2)
+	n.host.CPU.Work(SpecChirp.PerRequestCPU)
+	f, err := n.fs.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	size := f.Size()
+	done := make(chan transfer.Result, 1)
+	n.mgr.Submit(&transfer.Transfer{
+		Class:     "fed",
+		Path:      path,
+		Size:      size,
+		ChunkSize: fedChunk,
+		Src:       io.NewSectionReader(f, 0, size),
+		Dst:       linkWriter{link: n.host.Link, gran: fedChunk},
+		OnDone: func(res transfer.Result) {
+			clock.Unpark()
+			done <- res
+		},
+	})
+	clock.Park()
+	<-done
+	f.Close()
+	clock.Sleep(n.host.Link.RTT() / 2)
+	n.bytes.Add(size)
+}
+
+// FederationSweep runs the standard 1/2/4-replica scaling experiment.
+func FederationSweep() []FederationResult {
+	var rows []FederationResult
+	for _, r := range []int{1, 2, 4} {
+		rows = append(rows, RunFederation(FederationOptions{Replicas: r, Degraded: -1}))
+	}
+	return rows
+}
+
+// FormatFederation renders the sweep as the nestbench table.
+func FormatFederation(rows []FederationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Federation: aggregate GET throughput vs replica count\n")
+	sb.WriteString("Zipf-skewed clients resolving names through the replica catalog,\n")
+	sb.WriteString("ranking holders by advertised bandwidth/latency/queue depth.\n\n")
+	fmt.Fprintf(&sb, "%-10s %14s %10s %8s  %s\n",
+		"replicas", "aggregate MB/s", "speedup", "GETs", "per-appliance MB/s")
+	base := 0.0
+	if len(rows) > 0 {
+		base = rows[0].AggregateMBps
+	}
+	for _, r := range rows {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.AggregateMBps / base
+		}
+		names := make([]string, 0, len(r.PerNode))
+		for n := range r.PerNode {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%.1f", r.PerNode[n])
+		}
+		fmt.Fprintf(&sb, "%-10d %14.1f %9.2fx %8d  %s\n",
+			r.Replicas, r.AggregateMBps, speedup, r.Gets, strings.Join(parts, " "))
+	}
+	return sb.String()
+}

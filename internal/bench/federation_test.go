@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// TestFederationScaling: four replicas behind health-ranked selection
+// must deliver at least 2.5x the single-appliance aggregate GET
+// throughput (perfect scaling would be 4x; ranking staleness and
+// tie-break herding cost some of it).
+func TestFederationScaling(t *testing.T) {
+	rows := FederationSweep()
+	base, quad := rows[0], rows[len(rows)-1]
+	if base.AggregateMBps < 25 {
+		t.Errorf("1-replica aggregate = %.1f MB/s, want near wire speed (~35)", base.AggregateMBps)
+	}
+	if quad.AggregateMBps < 2.5*base.AggregateMBps {
+		t.Errorf("4-replica aggregate = %.1f MB/s, want >= 2.5x the 1-replica %.1f",
+			quad.AggregateMBps, base.AggregateMBps)
+	}
+	if mid := rows[1]; mid.AggregateMBps <= base.AggregateMBps {
+		t.Errorf("2-replica aggregate = %.1f MB/s did not beat 1-replica %.1f",
+			mid.AggregateMBps, base.AggregateMBps)
+	}
+}
+
+// TestSelectionShiftsOffDegraded: with one of two replicas' links
+// throttled to a tenth, live health ranking must route the clear
+// majority of traffic to the healthy appliance — the advertised
+// bandwidth/queue attributes, not static configuration, drive
+// selection.
+func TestSelectionShiftsOffDegraded(t *testing.T) {
+	res := RunFederation(FederationOptions{Replicas: 2, Degraded: 1, DegradedMBps: 3.5})
+	healthy, degraded := res.PerNode["nest-0"], res.PerNode["nest-1"]
+	if healthy < 2*degraded {
+		t.Errorf("traffic did not shift off the degraded replica: healthy %.1f MB/s vs degraded %.1f",
+			healthy, degraded)
+	}
+	// The healthy appliance keeps delivering near wire speed — the
+	// degraded peer throttles its own clients, not the fleet.
+	if healthy < 25 {
+		t.Errorf("healthy replica = %.1f MB/s, want near wire speed (~35)", healthy)
+	}
+}
+
+// BenchmarkFederatedGets reports the 4-replica fleet's aggregate
+// simulated GET throughput per iteration.
+func BenchmarkFederatedGets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunFederation(FederationOptions{Replicas: 4, Degraded: -1})
+		b.ReportMetric(res.AggregateMBps, "simMB/s")
+		b.ReportMetric(float64(res.Gets), "gets")
+	}
+}

@@ -109,6 +109,7 @@ type Server struct {
 	Quota *quota.Manager
 	Cache *cache.Model
 
+	ca    *gsi.CA
 	addrs map[string]string
 }
 
@@ -237,6 +238,7 @@ func New(cfg Config) (*Server, error) {
 	if ca == nil {
 		ca = gsi.NewCA("/O=NeST/CN=ephemeral-ca", []byte(cfg.Name+"-ephemeral"))
 	}
+	s.ca = ca
 	verifier := gsi.NewVerifier(ca)
 
 	// The HTTP handler doubles as the appliance's observability
@@ -302,6 +304,12 @@ func (s *Server) Protocols() []string {
 
 // Name returns the appliance name.
 func (s *Server) Name() string { return s.cfg.Name }
+
+// CA returns the trust anchor the appliance's GSI protocols accept —
+// the configured CA, or the ephemeral one created in its absence. The
+// appliance mints service credentials (replication, health probes)
+// from it.
+func (s *Server) CA() *gsi.CA { return s.ca }
 
 // GrantDefaultLot creates an administrator-granted lot for a user
 // (paper §5: admins "can simultaneously make a set of default lots for

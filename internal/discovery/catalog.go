@@ -1,0 +1,139 @@
+// The replica catalog: the collector-side mapping of logical file
+// names to the set of appliances currently holding a copy. It is not a
+// separate service — each appliance's periodic ClassAd carries a
+// Replicas attribute listing the files it serves, the collector
+// maintains an inverted index over the fresh ads, and entries expire
+// with the advertisement that produced them (an appliance that stops
+// advertising — crash, partition, restart with an empty disk — drops
+// out of every file's holder set within one ClassAd lifetime). This is
+// the replica-catalog half of the EU DataGrid data-management split;
+// the replication-manager half lives in internal/replica.
+package discovery
+
+import (
+	"sort"
+
+	"nest/internal/classad"
+)
+
+// ReplicasAttr is the ClassAd attribute through which an appliance
+// advertises the logical files it holds: a list of path strings.
+const ReplicasAttr = "Replicas"
+
+// SetReplicas stores paths as the ad's replica list.
+func SetReplicas(ad *classad.Ad, paths []string) {
+	vals := make([]classad.Value, len(paths))
+	for i, p := range paths {
+		vals[i] = classad.Str(p)
+	}
+	ad.SetValue(ReplicasAttr, classad.List(vals...))
+}
+
+// ReplicaList extracts the advertised replica paths from an ad.
+func ReplicaList(ad *classad.Ad) []string {
+	vs, ok := ad.EvalAttr(ReplicasAttr, nil).ListVal()
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if s, ok := v.StringVal(); ok && s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// indexReplicasLocked folds one appliance's advertised replica list
+// into the inverted index, removing paths the previous ad listed but
+// the new one does not (a deleted or evicted file stops being a
+// replica on the next advertisement, not after the TTL).
+func (c *Collector) indexReplicasLocked(name string, ad *classad.Ad) {
+	paths := ReplicaList(ad)
+	next := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		next[p] = true
+	}
+	for _, p := range c.held[name] {
+		if !next[p] {
+			c.dropHolderLocked(p, name)
+		}
+	}
+	for _, p := range paths {
+		hs := c.holders[p]
+		if hs == nil {
+			hs = make(map[string]struct{})
+			c.holders[p] = hs
+		}
+		hs[name] = struct{}{}
+	}
+	if len(paths) == 0 {
+		delete(c.held, name)
+	} else {
+		c.held[name] = paths
+	}
+}
+
+// dropReplicasLocked removes every catalog entry contributed by one
+// appliance (its ad expired or was removed).
+func (c *Collector) dropReplicasLocked(name string) {
+	for _, p := range c.held[name] {
+		c.dropHolderLocked(p, name)
+	}
+	delete(c.held, name)
+}
+
+func (c *Collector) dropHolderLocked(path, name string) {
+	if hs := c.holders[path]; hs != nil {
+		delete(hs, name)
+		if len(hs) == 0 {
+			delete(c.holders, path)
+		}
+	}
+}
+
+// ReplicaHolders returns the names of the fresh appliances holding
+// path, sorted.
+func (c *Collector) ReplicaHolders(path string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	hs := c.holders[path]
+	out := make([]string, 0, len(hs))
+	for name := range hs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReplicaAds returns the full fresh ads of the appliances holding
+// path (sorted by name), so callers can rank candidate replicas by the
+// advertised health attributes.
+func (c *Collector) ReplicaAds(path string) []*classad.Ad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	hs := c.holders[path]
+	names := make([]string, 0, len(hs))
+	for name := range hs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*classad.Ad, 0, len(names))
+	for _, name := range names {
+		if e, ok := c.ads[name]; ok {
+			out = append(out, e.ad.Copy())
+		}
+	}
+	return out
+}
+
+// CatalogSize reports the number of logical paths with at least one
+// fresh holder.
+func (c *Collector) CatalogSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	return len(c.holders)
+}

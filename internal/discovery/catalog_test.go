@@ -1,0 +1,149 @@
+package discovery
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/sim"
+)
+
+func replicaAd(name string, paths ...string) *classad.Ad {
+	ad := storageAd(name, 1000, "chirp", "gridftp")
+	SetReplicas(ad, paths)
+	return ad
+}
+
+func TestCatalogIndexAndDiff(t *testing.T) {
+	c := NewCollector(nil, 0)
+	c.Advertise(replicaAd("a", "/x", "/y"))
+	c.Advertise(replicaAd("b", "/x"))
+
+	if got := c.ReplicaHolders("/x"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("holders(/x) = %v", got)
+	}
+	if got := c.ReplicaHolders("/y"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("holders(/y) = %v", got)
+	}
+	if c.CatalogSize() != 2 {
+		t.Fatalf("CatalogSize = %d", c.CatalogSize())
+	}
+
+	// A refreshed ad that drops a path removes the holder immediately
+	// (not after the TTL).
+	c.Advertise(replicaAd("a", "/y"))
+	if got := c.ReplicaHolders("/x"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("holders(/x) after diff = %v", got)
+	}
+
+	ads := c.ReplicaAds("/y")
+	if len(ads) != 1 {
+		t.Fatalf("ReplicaAds(/y) = %d ads", len(ads))
+	}
+	if name, _ := ads[0].EvalAttr("Name", nil).StringVal(); name != "a" {
+		t.Errorf("ReplicaAds(/y)[0] = %q", name)
+	}
+
+	c.Remove("b")
+	if got := c.ReplicaHolders("/x"); len(got) != 0 {
+		t.Errorf("holders(/x) after Remove = %v", got)
+	}
+	if c.CatalogSize() != 1 {
+		t.Errorf("CatalogSize = %d after removals", c.CatalogSize())
+	}
+}
+
+// TestCatalogExpiry is the federation liveness property: an appliance
+// that stops advertising (crash, partition, restart) drops out of
+// every file's holder set within one ClassAd lifetime, so replica
+// selection stops routing clients at it.
+func TestCatalogExpiry(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	clock.Run(func() {
+		c := NewCollector(clock, time.Minute)
+		c.Advertise(replicaAd("dead", "/shared", "/only-dead"))
+		clock.Sleep(30 * time.Second)
+		c.Advertise(replicaAd("alive", "/shared"))
+
+		if got := c.ReplicaHolders("/shared"); len(got) != 2 {
+			t.Fatalf("holders(/shared) = %v before expiry", got)
+		}
+
+		clock.Sleep(45 * time.Second) // dead: 75s > TTL; alive: 45s
+
+		if got := c.ReplicaHolders("/shared"); len(got) != 1 || got[0] != "alive" {
+			t.Errorf("holders(/shared) after expiry = %v", got)
+		}
+		if got := c.ReplicaHolders("/only-dead"); len(got) != 0 {
+			t.Errorf("holders(/only-dead) after expiry = %v", got)
+		}
+		if c.CatalogSize() != 1 {
+			t.Errorf("CatalogSize = %d after expiry", c.CatalogSize())
+		}
+	})
+}
+
+func TestReplicasWireCommand(t *testing.T) {
+	_, client := startServer(t)
+	if err := client.Publish(replicaAd("s1", "/data/a", "/data/b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(replicaAd("s2", "/data/a")); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := client.Replicas("/data/a")
+	if err != nil || len(ads) != 2 {
+		t.Fatalf("Replicas(/data/a) = %d ads, %v", len(ads), err)
+	}
+	for i, want := range []string{"s1", "s2"} {
+		if name, _ := ads[i].EvalAttr("Name", nil).StringVal(); name != want {
+			t.Errorf("ads[%d] = %q, want %q", i, name, want)
+		}
+	}
+	ads, err = client.Replicas("/nope")
+	if err != nil || len(ads) != 0 {
+		t.Errorf("Replicas(/nope) = %d ads, %v", len(ads), err)
+	}
+	// The connection survives and other verbs still work.
+	if _, err := client.Query(""); err != nil {
+		t.Errorf("Query after REPLICAS: %v", err)
+	}
+}
+
+// TestServerIdleTimeout: a connection that goes quiet is dropped after
+// the idle deadline, so abandoned clients cannot pin collector
+// goroutines forever.
+func TestServerIdleTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewCollector(nil, 0), ln)
+	t.Cleanup(srv.Close)
+	srv.SetIdleTimeout(50 * time.Millisecond)
+
+	client, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	// Active use within the deadline works...
+	if err := client.Publish(storageAd("busy", 1, "chirp")); err != nil {
+		t.Fatal(err)
+	}
+	// ...then the client goes idle past the deadline and the server
+	// hangs up: the next request fails.
+	time.Sleep(200 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := client.Publish(storageAd("busy", 2, "chirp")); err != nil {
+			break // connection severed, as intended
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection never dropped")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ package discovery
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nest/internal/classad"
@@ -24,12 +26,17 @@ import (
 // DefaultTTL is how long an advertisement stays fresh without renewal.
 const DefaultTTL = 5 * time.Minute
 
-// Collector stores advertisements keyed by their Name attribute.
+// Collector stores advertisements keyed by their Name attribute, plus
+// the replica catalog derived from them (catalog.go): an inverted
+// index from logical path to the appliances whose fresh ads list it.
 type Collector struct {
 	clock sim.Clock
 	ttl   time.Duration
 	mu    sync.Mutex
 	ads   map[string]entry
+
+	held    map[string][]string            // appliance -> advertised replica paths
+	holders map[string]map[string]struct{} // path -> holding appliances
 }
 
 type entry struct {
@@ -45,7 +52,13 @@ func NewCollector(clock sim.Clock, ttl time.Duration) *Collector {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &Collector{clock: clock, ttl: ttl, ads: make(map[string]entry)}
+	return &Collector{
+		clock:   clock,
+		ttl:     ttl,
+		ads:     make(map[string]entry),
+		held:    make(map[string][]string),
+		holders: make(map[string]map[string]struct{}),
+	}
 }
 
 // Advertise inserts or refreshes an ad. Ads without a Name attribute
@@ -58,6 +71,7 @@ func (c *Collector) Advertise(ad *classad.Ad) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ads[name] = entry{ad: ad.Copy(), updated: c.clock.Now()}
+	c.indexReplicasLocked(name, ad)
 	return nil
 }
 
@@ -67,6 +81,7 @@ func (c *Collector) sweepLocked() {
 	for name, e := range c.ads {
 		if now-e.updated > c.ttl {
 			delete(c.ads, name)
+			c.dropReplicasLocked(name)
 		}
 	}
 }
@@ -120,6 +135,7 @@ func (c *Collector) Remove(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.ads, name)
+	c.dropReplicasLocked(name)
 }
 
 // Len reports the number of fresh ads.
@@ -130,29 +146,50 @@ func (c *Collector) Len() int {
 	return len(c.ads)
 }
 
+// DefaultIdleTimeout is how long a collector connection may sit
+// between requests before the server drops it. It defaults to the ad
+// TTL so a publisher on the default advertisement period is never
+// cut off mid-cadence, while a stalled or dead client cannot pin a
+// connection (and its goroutine) forever.
+const DefaultIdleTimeout = DefaultTTL
+
 // Server exposes a collector over a line-oriented TCP protocol:
 //
 //	ADVERTISE <len>\n<ad bytes>          -> +OK
 //	QUERY <len>\n<constraint bytes>      -> +OK <n>, then n of: <len>\n<ad>
 //	MATCH <len>\n<request-ad bytes>      -> +OK <len>\n<ad> | -ERR no match
+//	REPLICAS <len>\n<path bytes>         -> +OK <n>, then n of: <len>\n<ad>
 type Server struct {
 	collector *Collector
 	ln        net.Listener
 	wg        sync.WaitGroup
 	closed    sync.Once
+	idleNs    atomic.Int64
 }
 
 // NewServer serves collector on ln.
 func NewServer(collector *Collector, ln net.Listener) *Server {
 	s := &Server{collector: collector, ln: ln}
+	s.idleNs.Store(int64(DefaultIdleTimeout))
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		var backoff time.Duration
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
+				// Transient accept failures (ECONNABORTED, fd
+				// exhaustion) must not kill the collector; back off and
+				// retry, returning only when the listener is closed.
+				var ne net.Error
+				if !errors.Is(err, net.ErrClosed) && errors.As(err, &ne) {
+					backoff = nextBackoff(backoff)
+					time.Sleep(backoff)
+					continue
+				}
 				return
 			}
+			backoff = 0
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -163,6 +200,21 @@ func NewServer(collector *Collector, ln net.Listener) *Server {
 	}()
 	return s
 }
+
+// nextBackoff doubles an accept-retry delay up to a 1s cap.
+func nextBackoff(cur time.Duration) time.Duration {
+	if cur <= 0 {
+		return 5 * time.Millisecond
+	}
+	if cur >= time.Second/2 {
+		return time.Second
+	}
+	return cur * 2
+}
+
+// SetIdleTimeout adjusts how long a connection may idle between
+// requests; zero or negative disables the deadline.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleNs.Store(int64(d)) }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -177,6 +229,12 @@ func (s *Server) serve(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		// The deadline covers the whole request (command line plus
+		// length-prefixed body) so a client that stalls mid-request
+		// cannot pin the connection either.
+		if idle := time.Duration(s.idleNs.Load()); idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		line, err := br.ReadString('\n')
 		if err != nil {
 			return
@@ -214,11 +272,9 @@ func (s *Server) serve(conn net.Conn) {
 				fmt.Fprintf(bw, "-ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 				break
 			}
-			fmt.Fprintf(bw, "+OK %d\n", len(ads))
-			for _, ad := range ads {
-				text := ad.String()
-				fmt.Fprintf(bw, "%d\n%s", len(text), text)
-			}
+			writeAds(bw, ads)
+		case "REPLICAS":
+			writeAds(bw, s.collector.ReplicaAds(string(body)))
 		case "MATCH":
 			request, err := classad.Parse(string(body))
 			if err != nil {
@@ -238,6 +294,15 @@ func (s *Server) serve(conn net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// writeAds emits a "+OK <n>" count followed by n length-prefixed ads.
+func writeAds(bw *bufio.Writer, ads []*classad.Ad) {
+	fmt.Fprintf(bw, "+OK %d\n", len(ads))
+	for _, ad := range ads {
+		text := ad.String()
+		fmt.Fprintf(bw, "%d\n%s", len(text), text)
 	}
 }
 
@@ -300,12 +365,7 @@ func (c *Client) readAd() (*classad.Ad, error) {
 	return classad.Parse(string(body))
 }
 
-// Query fetches ads satisfying a constraint expression.
-func (c *Client) Query(constraint string) ([]*classad.Ad, error) {
-	rest, err := c.send("QUERY", constraint)
-	if err != nil {
-		return nil, err
-	}
+func (c *Client) readAds(rest string) ([]*classad.Ad, error) {
 	n, err := strconv.Atoi(rest)
 	if err != nil {
 		return nil, fmt.Errorf("discovery: bad count %q", rest)
@@ -319,6 +379,25 @@ func (c *Client) Query(constraint string) ([]*classad.Ad, error) {
 		ads = append(ads, ad)
 	}
 	return ads, nil
+}
+
+// Query fetches ads satisfying a constraint expression.
+func (c *Client) Query(constraint string) ([]*classad.Ad, error) {
+	rest, err := c.send("QUERY", constraint)
+	if err != nil {
+		return nil, err
+	}
+	return c.readAds(rest)
+}
+
+// Replicas asks the collector's replica catalog for the ads of the
+// appliances currently holding the logical file path.
+func (c *Client) Replicas(path string) ([]*classad.Ad, error) {
+	rest, err := c.send("REPLICAS", path)
+	if err != nil {
+		return nil, err
+	}
+	return c.readAds(rest)
 }
 
 // Match asks the matchmaker for the best ad for a request.

@@ -8,6 +8,7 @@
 package dispatch
 
 import (
+	"errors"
 	"io"
 	"log"
 	"net"
@@ -16,12 +17,31 @@ import (
 	"time"
 
 	"nest/internal/classad"
+	"nest/internal/discovery"
 	"nest/internal/obs"
 	"nest/internal/protocol"
 	"nest/internal/sim"
 	"nest/internal/storage"
 	"nest/internal/transfer"
 )
+
+// MaxAdvertisedReplicas caps the number of file paths an appliance
+// lists in its ClassAd's Replicas attribute. The advertisement is a
+// periodic full-state refresh, so the cap bounds ad size (and collector
+// memory) on appliances holding very many files; the replica catalog is
+// best-effort beyond it.
+const MaxAdvertisedReplicas = 4096
+
+// nextAcceptBackoff doubles an accept-retry delay up to a 1s cap.
+func nextAcceptBackoff(cur time.Duration) time.Duration {
+	if cur <= 0 {
+		return 5 * time.Millisecond
+	}
+	if cur >= time.Second/2 {
+		return time.Second
+	}
+	return cur * 2
+}
 
 // Dispatcher routes requests between the protocol layer, the storage
 // manager and the transfer manager.
@@ -62,6 +82,7 @@ type Dispatcher struct {
 	ring     *obs.Ring      // sampled recent requests
 	slowRing *obs.Ring      // requests over the slow threshold
 	slowNs   atomic.Int64
+	heat     *obs.HeatMap   // per-file GET demand, feeds replication
 
 	// Advertisement bandwidth window: per-protocol byte counts at the
 	// previous Advertisement call (under mu).
@@ -147,11 +168,24 @@ func (d *Dispatcher) Serve(ln net.Listener, h protocol.Handler) {
 }
 
 func (d *Dispatcher) serve(ln net.Listener, h protocol.Handler) {
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// A transient accept failure (connection aborted in the
+			// backlog, descriptor exhaustion) must not take the whole
+			// protocol endpoint down: back off and retry, returning
+			// only when the listener itself is closed.
+			var ne net.Error
+			if !errors.Is(err, net.ErrClosed) && errors.As(err, &ne) {
+				backoff = nextAcceptBackoff(backoff)
+				d.logf("dispatch: %s accept: %v (retrying in %v)", h.Proto(), err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
 			return
 		}
+		backoff = 0
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
@@ -323,6 +357,10 @@ func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) (int64
 	rep.Size = res.Bytes
 	if res.Err != nil {
 		rep = protocol.ErrReply(protocol.CodeInternal, "transfer failed: %v", res.Err)
+	} else {
+		// Per-file GET heat feeds the replication manager's choice of
+		// which files are worth mirroring across the fleet.
+		d.heat.Touch(tr.Path, res.Bytes)
 	}
 	s.Reply(req, rep)
 	return res.Bytes, rep.Code, res.Queue
@@ -433,8 +471,15 @@ func (d *Dispatcher) Advertisement(name string) *classad.Ad {
 	stats := *d.stats.Load()
 	d.mu.Lock()
 	vals := make([]classad.Value, len(d.protocols))
+	addrs := make(map[string]string, len(d.protocols))
 	for i, p := range d.protocols {
 		vals[i] = classad.Str(p)
+		// First listener per protocol wins; the Addr_<proto> attributes
+		// make the ad a self-contained endpoint directory for replica
+		// selection and peer-to-peer replication.
+		if _, ok := addrs[p]; !ok {
+			addrs[p] = d.listeners[i].Addr().String()
+		}
 	}
 	elapsed := (now - d.pubAt).Seconds()
 	d.pubAt = now
@@ -453,6 +498,12 @@ func (d *Dispatcher) Advertisement(name string) *classad.Ad {
 	}
 	d.mu.Unlock()
 	ad.SetValue("Protocols", classad.List(vals...))
+	for p, addr := range addrs {
+		ad.SetString("Addr_"+p, addr)
+	}
+	// The advertised file list feeds the collector's replica catalog:
+	// logical name -> set of appliances holding a copy.
+	discovery.SetReplicas(ad, d.store.Files(MaxAdvertisedReplicas))
 	ad.SetString("Schedule", d.xfer.Policy().Name())
 	ad.SetString("ConcurrencyModel", d.xfer.ModelName())
 	for p, mbps := range perProto {

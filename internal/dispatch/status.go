@@ -49,6 +49,9 @@ func (d *Dispatcher) initObs() {
 	d.ring = obs.NewRing(traceRingSize)
 	d.slowRing = obs.NewRing(traceRingSize)
 	d.slowNs.Store(int64(DefaultSlowThreshold))
+	d.heat = obs.NewHeatMap()
+
+	d.reg.Func("nest_dispatch_hot_paths", func() int64 { return d.heat.Len() })
 
 	d.reg.Func("nest_transfer_queue_depth", func() int64 { return d.xfer.Stats().QueueDepth })
 	d.reg.Func("nest_transfer_submits_total", func() int64 { return d.xfer.Stats().Submits })
@@ -104,6 +107,10 @@ func (d *Dispatcher) initObs() {
 		}
 	})
 }
+
+// HotPaths returns the k most-requested file paths by GET count — the
+// demand signal the replication manager mirrors against.
+func (d *Dispatcher) HotPaths(k int) []obs.HeatEntry { return d.heat.Top(k) }
 
 // Obs returns the dispatcher's metrics registry so the appliance can
 // register component gauges (storage, cache, bufpool, lots, quota)
@@ -262,6 +269,13 @@ func (d *Dispatcher) statusz() string {
 				t.ID, t.Proto, t.Op, t.Code, t.Bytes, t.Wait, t.Total, t.Path)
 		}
 	}
+	if hot := d.HotPaths(8); len(hot) > 0 {
+		b.WriteString("\nhot files (GET demand)\n")
+		for _, e := range hot {
+			fmt.Fprintf(&b, "  %8d gets %12d bytes  %s\n", e.Count, e.Bytes, e.Key)
+		}
+	}
+
 	writeTraces("recent traces (sampled)", d.Traces())
 	writeTraces("slow traces", d.SlowTraces())
 

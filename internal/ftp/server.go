@@ -2,6 +2,7 @@ package ftp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -490,14 +491,31 @@ func (s *session) RecvData(req *protocol.Request) (io.ReadCloser, error) {
 			s.pasv = nil
 			go func() {
 				defer ln.Close()
+				var backoff time.Duration
 				for {
 					if tl, ok := ln.(*net.TCPListener); ok {
 						tl.SetDeadline(time.Now().Add(acceptTimeout))
 					}
 					conn, err := ln.Accept()
 					if err != nil {
+						// A transient accept failure (aborted handshake in
+						// the backlog, descriptor exhaustion) must not
+						// strand the stripes still dialing in: back off
+						// and retry. The deadline timeout and listener
+						// close remain the loop's exits.
+						var ne net.Error
+						if !errors.Is(err, net.ErrClosed) && errors.As(err, &ne) && !ne.Timeout() {
+							if backoff <= 0 {
+								backoff = 5 * time.Millisecond
+							} else if backoff < time.Second {
+								backoff *= 2
+							}
+							time.Sleep(backoff)
+							continue
+						}
 						return
 					}
+					backoff = 0
 					recv.attach(conn)
 				}
 			}()

@@ -10,9 +10,11 @@ import (
 	"nest/internal/chirp"
 	"nest/internal/classad"
 	"nest/internal/discovery"
+	"nest/internal/ftp"
 	"nest/internal/gridftp"
 	"nest/internal/gsi"
 	"nest/internal/nfs"
+	"nest/internal/replica"
 )
 
 // Site names one NeST's protocol endpoints as the manager needs them.
@@ -59,6 +61,9 @@ type Report struct {
 	StagedIn   int64
 	StagedOut  int64
 	JobResults map[string]Result
+	// StageSources records which appliance each input was staged from
+	// (replica selection may pick a healthier holder than home).
+	StageSources map[string]string
 }
 
 // Manager is the global execution manager of the Section 6 walkthrough.
@@ -105,6 +110,35 @@ func (m *Manager) selectSite(p *Plan) (Site, error) {
 	return site, nil
 }
 
+// stageSource picks the appliance to stage one input from: the
+// best-health-ranked fresh holder in the collector's replica catalog
+// that is not the execution site itself (staging from the destination
+// would be a no-op copy), falling back to home. It returns the chosen
+// appliance's name and GridFTP endpoint, resolved from the ad's
+// Addr_gridftp attribute or the manager's site directory.
+func (m *Manager) stageSource(input string, home Site, execSite string) (string, string) {
+	ads := m.collector.ReplicaAds(input)
+	for _, ad := range replica.Rank(ads, nil) {
+		name := replica.Name(ad)
+		if name == "" || name == execSite {
+			continue
+		}
+		if name == home.Name {
+			return home.Name, home.GridFTP
+		}
+		addr := replica.Addr(ad, "gridftp")
+		if addr == "" {
+			if site, ok := m.sites[name]; ok {
+				addr = site.GridFTP
+			}
+		}
+		if addr != "" {
+			return name, addr
+		}
+	}
+	return home.Name, home.GridFTP
+}
+
 // Execute runs the full six-step scenario as a DAG: (1) the jobs were
 // submitted to us, (2) create a lot at the chosen site via Chirp,
 // (3) GridFTP third-party stage-in, (4) run jobs over NFS, (5) GridFTP
@@ -139,7 +173,12 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 
 	dag := NewDAG()
 
-	// Step 3: stage inputs (parallel third-party transfers).
+	// Step 3: stage inputs (parallel third-party transfers). Each input
+	// is pulled from the healthiest advertised holder in the replica
+	// catalog; home is the fallback when the catalog knows no better
+	// (or no) source, and when a chosen replica fails the transfer is
+	// retried from home.
+	report.StageSources = make(map[string]string, len(p.InputFiles))
 	home, err := gridftp.Dial(p.Home.GridFTP, p.Cred)
 	if err != nil {
 		return nil, fmt.Errorf("gridmgr: gridftp home: %w", err)
@@ -151,21 +190,52 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 	}
 	defer remote.Quit()
 	var xferMu sync.Mutex // GridFTP control connections are serial
+	srcConns := map[string]*ftp.Client{p.Home.GridFTP: home}
+	defer func() {
+		for addr, c := range srcConns {
+			if addr != p.Home.GridFTP {
+				c.Quit()
+			}
+		}
+	}()
+	// srcFor resolves (and caches a control connection to) the best
+	// stage-in source for one input. Caller holds xferMu.
+	srcFor := func(input string) (*ftp.Client, string) {
+		name, addr := m.stageSource(input, p.Home, site.Name)
+		if c, ok := srcConns[addr]; ok {
+			return c, name
+		}
+		c, err := gridftp.Dial(addr, p.Cred)
+		if err != nil {
+			return home, p.Home.Name
+		}
+		srcConns[addr] = c
+		return c, name
+	}
 	for _, input := range p.InputFiles {
 		input := input
 		name := "stage-in:" + input
 		dag.AddFunc(name, func() error {
 			xferMu.Lock()
 			defer xferMu.Unlock()
-			size, err := home.Size(input)
-			if err != nil {
-				return err
+			src, srcName := srcFor(input)
+			size, err := src.Size(input)
+			if err == nil {
+				err = gridftp.ThirdParty(src, input, remote, input)
 			}
-			if err := gridftp.ThirdParty(home, input, remote, input); err != nil {
+			if err != nil && src != home {
+				// Replica failed mid-stage: fall back to home.
+				src, srcName = home, p.Home.Name
+				if size, err = src.Size(input); err == nil {
+					err = gridftp.ThirdParty(src, input, remote, input)
+				}
+			}
+			if err != nil {
 				return err
 			}
 			m.mu.Lock()
 			report.StagedIn += size
+			report.StageSources[input] = srcName
 			m.mu.Unlock()
 			return nil
 		})

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// HeatEntry is one key's accumulated activity in a HeatMap.
+type HeatEntry struct {
+	Key   string
+	Count int64
+	Bytes int64
+}
+
+// HeatMap accumulates per-key event and byte counts — the dispatcher
+// uses one to track per-file GET demand ("heat") that the replication
+// manager turns into mirroring decisions. The record path is a
+// sync.Map hit plus two atomic adds; ranking pays at read time.
+type HeatMap struct {
+	m sync.Map // string -> *heatCell
+}
+
+type heatCell struct{ count, bytes Counter }
+
+// NewHeatMap returns an empty heat map.
+func NewHeatMap() *HeatMap { return &HeatMap{} }
+
+// Touch records one event of n bytes against key.
+func (h *HeatMap) Touch(key string, n int64) {
+	v, ok := h.m.Load(key)
+	if !ok {
+		v, _ = h.m.LoadOrStore(key, &heatCell{})
+	}
+	c := v.(*heatCell)
+	c.count.Inc()
+	c.bytes.Add(n)
+}
+
+// Get returns the entry for one key.
+func (h *HeatMap) Get(key string) (HeatEntry, bool) {
+	v, ok := h.m.Load(key)
+	if !ok {
+		return HeatEntry{}, false
+	}
+	c := v.(*heatCell)
+	return HeatEntry{Key: key, Count: c.count.Value(), Bytes: c.bytes.Value()}, true
+}
+
+// Len reports the number of tracked keys.
+func (h *HeatMap) Len() int64 {
+	var n int64
+	h.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// Top returns the k hottest entries, ordered by event count (bytes,
+// then key, as tie-breaks for determinism).
+func (h *HeatMap) Top(k int) []HeatEntry {
+	if k <= 0 {
+		return nil
+	}
+	var all []HeatEntry
+	h.m.Range(func(key, v any) bool {
+		c := v.(*heatCell)
+		all = append(all, HeatEntry{Key: key.(string), Count: c.count.Value(), Bytes: c.bytes.Value()})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		if all[i].Bytes != all[j].Bytes {
+			return all[i].Bytes > all[j].Bytes
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -110,6 +110,27 @@ func (r *Registry) Func(name string, fn func() int64) {
 	r.addLocked(metric{name: name, kind: 2, fn: fn})
 }
 
+// Value reads the current value of a named counter, gauge or func
+// metric (0 for unknown names and histograms/collectors, which have no
+// single value). Exposition-by-name for tests and CLIs.
+func (r *Registry) Value(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.byName[name]
+	if !ok {
+		return 0
+	}
+	switch m := r.metrics[i]; m.kind {
+	case 0:
+		return m.c.Value()
+	case 1:
+		return m.g.Value()
+	case 2:
+		return m.fn()
+	}
+	return 0
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()

@@ -1,0 +1,370 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"nest/internal/classad"
+	"nest/internal/gridftp"
+	"nest/internal/gsi"
+	"nest/internal/obs"
+	"nest/internal/sim"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultInterval      = 2 * time.Second
+	DefaultHotK          = 32
+	DefaultMinHeat       = 2
+	DefaultMaxConcurrent = 2
+	DefaultMaxRetries    = 4
+	DefaultBackoff       = 250 * time.Millisecond
+	DefaultSuccessGrace  = 30 * time.Second
+)
+
+// maxBackoff caps the exponential retry backoff per path×peer.
+const maxBackoff = 30 * time.Second
+
+// Config parameterizes a replication manager.
+type Config struct {
+	// Name is this appliance's advertised ClassAd name; the manager
+	// never mirrors to itself and counts itself as a holder of every
+	// file it is asked to replicate (its own heat proves possession
+	// before the next advertisement lists the file).
+	Name string
+	// Factor is the desired number of appliances holding each hot file
+	// (including this one). <= 1 disables replication.
+	Factor int
+	// Catalog locates current holders and candidate peers.
+	Catalog Catalog
+	// Hot returns the k most-demanded local files (the dispatcher's
+	// HotPaths method).
+	Hot func(k int) []obs.HeatEntry
+	// SelfGridFTP is this appliance's own GridFTP endpoint — the source
+	// side of every mirror it orchestrates.
+	SelfGridFTP string
+	// Cred authenticates the control connections to both endpoints.
+	Cred *gsi.Credential
+	// Clock schedules ticks, backoff and mirror goroutines (virtual in
+	// simulation). Defaults to a real clock.
+	Clock sim.Clock
+	// Interval is the demand-evaluation period.
+	Interval time.Duration
+	// HotK bounds how many hot files each tick considers.
+	HotK int
+	// MinHeat is the GET count below which a file is not worth
+	// mirroring.
+	MinHeat int64
+	// MaxConcurrent bounds simultaneous mirror transfers.
+	MaxConcurrent int
+	// MaxRetries bounds attempts per path×peer before the pair is
+	// parked at the maximum backoff.
+	MaxRetries int
+	// Backoff is the base retry delay after a failed mirror; it doubles
+	// per consecutive failure up to maxBackoff.
+	Backoff time.Duration
+	// SuccessGrace suppresses re-mirroring a path×peer after success
+	// until the peer's own advertisement lists the copy.
+	SuccessGrace time.Duration
+	// StripeWidth > 1 moves replicas with striped MODE E transfers.
+	StripeWidth int
+	// Seed feeds peer-ranking tie-breaks.
+	Seed int64
+	// Logf receives diagnostics; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Manager watches local GET heat and keeps hot files replicated across
+// the fleet. One runs inside each appliance (nestd -replicate N); the
+// fleet needs no coordinator beyond the collector, because every
+// manager works from the same catalog and the catalog is self-healing
+// (entries expire with the advertisement that produced them, so an
+// appliance restart or crash re-opens the replication decision within
+// one ClassAd lifetime — that is the whole reconciliation story).
+type Manager struct {
+	cfg Config
+
+	sem chan struct{} // bounds concurrent mirror transfers
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	inflight  map[string]bool          // path|peer with a mirror running
+	fails     map[string]int           // consecutive failures per path|peer
+	coolUntil map[string]time.Duration // clock time before which path|peer is not retried
+	closed    bool
+
+	wg sync.WaitGroup
+
+	attempts  obs.Counter // mirror transfers started
+	successes obs.Counter // mirror transfers completed
+	failures  obs.Counter // mirror transfers failed
+	retries   obs.Counter // failed pairs re-attempted after backoff
+	skips     obs.Counter // considerations suppressed (inflight or cooling)
+}
+
+// NewManager builds a replication manager; Run starts it.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("replica: Config.Name required")
+	}
+	if cfg.Catalog == nil || cfg.Hot == nil {
+		return nil, fmt.Errorf("replica: Config.Catalog and Config.Hot required")
+	}
+	if cfg.SelfGridFTP == "" {
+		return nil, fmt.Errorf("replica: Config.SelfGridFTP required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewRealClock()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.HotK <= 0 {
+		cfg.HotK = DefaultHotK
+	}
+	if cfg.MinHeat <= 0 {
+		cfg.MinHeat = DefaultMinHeat
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.SuccessGrace <= 0 {
+		cfg.SuccessGrace = DefaultSuccessGrace
+	}
+	return &Manager{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		inflight:  make(map[string]bool),
+		fails:     make(map[string]int),
+		coolUntil: make(map[string]time.Duration),
+	}, nil
+}
+
+// Register exposes the manager's counters on a metrics registry.
+func (m *Manager) Register(reg *obs.Registry) {
+	reg.Func("nest_replica_attempts_total", m.attempts.Value)
+	reg.Func("nest_replica_success_total", m.successes.Value)
+	reg.Func("nest_replica_failures_total", m.failures.Value)
+	reg.Func("nest_replica_retries_total", m.retries.Value)
+	reg.Func("nest_replica_skips_total", m.skips.Value)
+	reg.Func("nest_replica_inflight", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.inflight))
+	})
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Run evaluates demand every Interval until Close. It blocks; start it
+// with cfg.Clock.Go (or a plain goroutine under a real clock).
+func (m *Manager) Run() {
+	for {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return
+		}
+		m.Tick()
+		m.cfg.Clock.Sleep(m.cfg.Interval)
+	}
+}
+
+// Close stops Run at its next iteration and waits for in-flight
+// mirrors to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Reconcile clears all retry and cooldown state and re-evaluates
+// demand immediately — called after a topology change the caller knows
+// about (a peer restarted, an operator changed the factor) rather than
+// waiting out backoffs that no longer describe the world.
+func (m *Manager) Reconcile() {
+	m.mu.Lock()
+	m.fails = make(map[string]int)
+	m.coolUntil = make(map[string]time.Duration)
+	m.mu.Unlock()
+	m.Tick()
+}
+
+// Tick runs one demand evaluation: for each locally hot file, count
+// fresh holders in the catalog and start mirrors toward the
+// healthiest non-holding peers until the replication factor is met.
+func (m *Manager) Tick() {
+	if m.cfg.Factor <= 1 {
+		return
+	}
+	for _, e := range m.cfg.Hot(m.cfg.HotK) {
+		if e.Count < m.cfg.MinHeat {
+			continue // Hot is sorted by count; everything after is colder
+		}
+		m.consider(e.Key)
+	}
+}
+
+func (m *Manager) consider(file string) {
+	holderAds, err := m.cfg.Catalog.Replicas(file)
+	if err != nil {
+		m.logf("replica: catalog lookup %s: %v", file, err)
+		return
+	}
+	holders := make(map[string]bool, len(holderAds)+1)
+	for _, ad := range holderAds {
+		holders[Name(ad)] = true
+	}
+	// The local heat map proves we hold the file even before our next
+	// advertisement lists it.
+	holders[m.cfg.Name] = true
+	need := m.cfg.Factor - len(holders)
+	if need <= 0 {
+		return
+	}
+	all, err := m.cfg.Catalog.Query("")
+	if err != nil {
+		m.logf("replica: fleet query: %v", err)
+		return
+	}
+	var peers []*classad.Ad
+	for _, ad := range all {
+		name := Name(ad)
+		if name == "" || holders[name] || Addr(ad, "gridftp") == "" {
+			continue
+		}
+		peers = append(peers, ad)
+	}
+	m.mu.Lock()
+	ranked := Rank(peers, m.rng)
+	m.mu.Unlock()
+	for _, peer := range ranked {
+		if need == 0 {
+			return
+		}
+		if m.startMirror(file, peer) {
+			need--
+		}
+	}
+}
+
+// startMirror launches one asynchronous mirror of file toward peer,
+// unless that pair is already in flight or cooling down after a
+// failure. It reports whether a transfer was started.
+func (m *Manager) startMirror(file string, peer *classad.Ad) bool {
+	peerName := Name(peer)
+	addr := Addr(peer, "gridftp")
+	key := file + "|" + peerName
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	if m.closed || m.inflight[key] || now < m.coolUntil[key] {
+		m.mu.Unlock()
+		m.skips.Inc()
+		return false
+	}
+	if m.fails[key] > 0 {
+		m.retries.Inc()
+	}
+	m.inflight[key] = true
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	m.cfg.Clock.Go(func() {
+		defer m.wg.Done()
+		m.sem <- struct{}{}
+		defer func() { <-m.sem }()
+		m.attempts.Inc()
+		err := m.mirrorOnce(file, addr)
+		m.finishMirror(key, file, peerName, err)
+	})
+	return true
+}
+
+func (m *Manager) finishMirror(key, file, peerName string, err error) {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.inflight, key)
+	if err == nil {
+		m.successes.Inc()
+		delete(m.fails, key)
+		// Until the peer's own advertisement lists the copy, the catalog
+		// still reports it as a non-holder; the grace period keeps the
+		// next ticks from mirroring the same file again.
+		m.coolUntil[key] = now + m.cfg.SuccessGrace
+		m.logf("replica: mirrored %s -> %s", file, peerName)
+		return
+	}
+	m.failures.Inc()
+	n := m.fails[key] + 1
+	m.fails[key] = n
+	backoff := m.cfg.Backoff << (n - 1)
+	if backoff > maxBackoff || backoff <= 0 || n > m.cfg.MaxRetries {
+		backoff = maxBackoff
+	}
+	m.coolUntil[key] = now + backoff
+	m.logf("replica: mirror %s -> %s failed (attempt %d, next in %v): %v",
+		file, peerName, n, backoff, err)
+}
+
+// mirrorOnce copies file from this appliance to the peer at addr with
+// a third-party GridFTP transfer: the manager holds both control
+// connections while the peer's data channel pulls the bytes straight
+// from the source — the payload never passes through the manager.
+func (m *Manager) mirrorOnce(file, addr string) error {
+	src, err := gridftp.Dial(m.cfg.SelfGridFTP, m.cfg.Cred)
+	if err != nil {
+		return fmt.Errorf("dial src: %w", err)
+	}
+	defer src.Quit()
+	dst, err := gridftp.Dial(addr, m.cfg.Cred)
+	if err != nil {
+		return fmt.Errorf("dial dst: %w", err)
+	}
+	defer dst.Quit()
+	mkdirAll(dst, path.Dir(file))
+	if m.cfg.StripeWidth > 1 {
+		err = gridftp.ThirdPartyStriped(src, file, dst, file, m.cfg.StripeWidth)
+	} else {
+		err = gridftp.ThirdParty(src, file, dst, file)
+	}
+	if err != nil {
+		// A failed STOR can leave a truncated file behind, and the peer
+		// would advertise that stub as a replica — masking the deficit
+		// while serving corrupt bytes. Remove it so the catalog stays
+		// honest and the next tick retries.
+		_ = dst.Dele(file)
+	}
+	return err
+}
+
+// mkdirAll best-effort creates dir and its parents on an FTP peer;
+// errors (typically "already exists") surface later as STOR failures
+// if they matter.
+func mkdirAll(c interface{ Mkd(string) error }, dir string) {
+	if dir == "" || dir == "/" || dir == "." {
+		return
+	}
+	var prefix string
+	for _, seg := range strings.Split(strings.Trim(dir, "/"), "/") {
+		prefix += "/" + seg
+		_ = c.Mkd(prefix)
+	}
+}

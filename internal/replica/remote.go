@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"sync"
+
+	"nest/internal/classad"
+	"nest/internal/discovery"
+)
+
+// RemoteCatalog is a Catalog over the collector wire protocol that an
+// appliance process can share between its publisher loop and its
+// replication manager: calls are serialized (the underlying client is
+// a single framed connection) and a failed call redials once before
+// giving up, so a collector restart costs one advertisement period
+// instead of wedging the appliance's federation machinery forever.
+type RemoteCatalog struct {
+	addr string
+
+	mu sync.Mutex
+	c  *discovery.Client
+}
+
+// NewRemoteCatalog returns a lazy-dialing collector connection; no
+// network traffic happens until the first call.
+func NewRemoteCatalog(addr string) *RemoteCatalog {
+	return &RemoteCatalog{addr: addr}
+}
+
+// do runs fn against a live client, dialing (or redialing after a
+// failure) as needed. One retry on a fresh connection distinguishes a
+// dead collector from a connection the collector's idle deadline
+// already reaped.
+func (r *RemoteCatalog) do(fn func(*discovery.Client) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if r.c == nil {
+			c, err := discovery.DialClient(r.addr)
+			if err != nil {
+				return err
+			}
+			r.c = c
+		}
+		err := fn(r.c)
+		if err == nil {
+			return nil
+		}
+		r.c.Close()
+		r.c = nil
+		if attempt > 0 {
+			return err
+		}
+	}
+}
+
+// Replicas implements Catalog.
+func (r *RemoteCatalog) Replicas(path string) (ads []*classad.Ad, err error) {
+	err = r.do(func(c *discovery.Client) error {
+		ads, err = c.Replicas(path)
+		return err
+	})
+	return ads, err
+}
+
+// Query implements Catalog.
+func (r *RemoteCatalog) Query(constraint string) (ads []*classad.Ad, err error) {
+	err = r.do(func(c *discovery.Client) error {
+		ads, err = c.Query(constraint)
+		return err
+	})
+	return ads, err
+}
+
+// Publish advertises an ad, redialing like every other call — the
+// publisher side of an appliance's collector connection.
+func (r *RemoteCatalog) Publish(ad *classad.Ad) error {
+	return r.do(func(c *discovery.Client) error { return c.Publish(ad) })
+}
+
+// Close drops the connection; a later call redials.
+func (r *RemoteCatalog) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}

@@ -1,0 +1,420 @@
+package replica_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	pathpkg "path"
+	"testing"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/core"
+	"nest/internal/discovery"
+	"nest/internal/gsi"
+	"nest/internal/obs"
+	"nest/internal/replica"
+)
+
+func healthAd(name string, bw, lat float64, queue int64) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Name", name)
+	ad.SetReal("RecentBandwidthMBps", bw)
+	ad.SetReal("P99LatencyMs", lat)
+	ad.SetInt("QueueDepth", queue)
+	return ad
+}
+
+func TestScoreOrdering(t *testing.T) {
+	fast := healthAd("fast", 100, 5, 0)
+	slow := healthAd("slow", 10, 5, 0)
+	busy := healthAd("busy", 100, 5, 8)
+	laggy := healthAd("laggy", 100, 500, 0)
+	if replica.Score(fast) <= replica.Score(slow) {
+		t.Error("bandwidth not rewarded")
+	}
+	if replica.Score(fast) <= replica.Score(busy) {
+		t.Error("queue depth not penalized")
+	}
+	if replica.Score(fast) <= replica.Score(laggy) {
+		t.Error("tail latency not penalized")
+	}
+	// An idle appliance with no samples still scores above zero.
+	if replica.Score(classad.NewAd()) <= 0 {
+		t.Error("attribute-free ad scored <= 0")
+	}
+}
+
+func TestRankTieBreakSpreads(t *testing.T) {
+	ads := []*classad.Ad{healthAd("a", 1, 1, 0), healthAd("b", 1, 1, 0), healthAd("c", 1, 1, 0)}
+	// Deterministic without an rng.
+	first := replica.Name(replica.Rank(ads, nil)[0])
+	if first != "a" {
+		t.Errorf("nil-rng Rank first = %q", first)
+	}
+	// With an rng, equal-score replicas rotate across selections.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		seen[replica.Name(replica.Rank(ads, rng)[0])] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("tie-break never varied: %v", seen)
+	}
+	// A strictly better replica still wins every time.
+	ads = append(ads, healthAd("best", 50, 1, 0))
+	for i := 0; i < 16; i++ {
+		if got := replica.Name(replica.Rank(ads, rng)[0]); got != "best" {
+			t.Fatalf("Rank ignored score: first = %q", got)
+		}
+	}
+}
+
+// TestPickWeighted: score-proportional selection spreads load across
+// healthy holders but starves one whose advertised health collapsed.
+func TestPickWeighted(t *testing.T) {
+	if replica.Pick(nil, nil) != nil {
+		t.Fatal("Pick of no ads should be nil")
+	}
+	ads := []*classad.Ad{
+		healthAd("good-1", 30, 1, 0),
+		healthAd("good-2", 30, 1, 0),
+		healthAd("sick", 0, 5000, 40), // collapsed: tiny score
+	}
+	// nil rng degenerates to the deterministic best.
+	if got := replica.Name(replica.Pick(ads, nil)); got != "good-1" && got != "good-2" {
+		t.Errorf("nil-rng Pick = %q, want a healthy holder", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	picks := map[string]int{}
+	for i := 0; i < 400; i++ {
+		picks[replica.Name(replica.Pick(ads, rng))]++
+	}
+	if picks["good-1"] == 0 || picks["good-2"] == 0 {
+		t.Errorf("weighted pick never spread: %v", picks)
+	}
+	if picks["sick"] > 20 { // ~0.2%% expected; 5%% is already generous
+		t.Errorf("collapsed holder drew %d/400 picks: %v", picks["sick"], picks)
+	}
+}
+
+// fleet starts n live loopback appliances sharing one CA, all
+// publishing into one in-process collector.
+func fleet(t *testing.T, n int, names ...string) (*discovery.Collector, []*core.Server, *gsi.Credential) {
+	t.Helper()
+	ca := gsi.NewCA("/CN=replica-test-ca", []byte("replica-secret"))
+	cred := ca.Issue("/O=Grid/CN=mover", time.Hour, true)
+	collector := discovery.NewCollector(nil, 0)
+	servers := make([]*core.Server, n)
+	for i := range servers {
+		s, err := core.New(core.Config{
+			Name:        names[i],
+			CA:          ca,
+			DisableLots: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		servers[i] = s
+	}
+	return collector, servers, cred
+}
+
+func advertise(t *testing.T, collector *discovery.Collector, servers ...*core.Server) {
+	t.Helper()
+	for _, s := range servers {
+		if err := collector.Advertise(s.Advertisement()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func putFile(t *testing.T, s *core.Server, cred *gsi.Credential, path string, data []byte) {
+	t.Helper()
+	c, err := chirp.Dial(s.Addr("chirp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if dir := pathpkg.Dir(path); dir != "/" && dir != "." {
+		_ = c.Mkdir(dir) // best-effort: may already exist
+	}
+	if err := c.PutBytes(path, data, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getFile(s *core.Server, cred *gsi.Credential, path string) ([]byte, error) {
+	c, err := chirp.Dial(s.Addr("chirp"), cred)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Get(path)
+}
+
+// TestReplicationMirrorsHotFiles: a file that gets hot on one
+// appliance is mirrored to the healthiest peers until the replication
+// factor is met, and a met factor starts no further transfers.
+func TestReplicationMirrorsHotFiles(t *testing.T) {
+	collector, servers, cred := fleet(t, 3, "alpha", "beta", "gamma")
+	a, b, c := servers[0], servers[1], servers[2]
+
+	data := bytes.Repeat([]byte("hot-data\n"), 4096)
+	putFile(t, a, cred, "/pub/hot.dat", data)
+	putFile(t, a, cred, "/pub/cold.dat", []byte("cold"))
+
+	// Heat /pub/hot.dat with repeated GETs; /pub/cold.dat stays cold.
+	for i := 0; i < 4; i++ {
+		if _, err := getFile(a, cred, "/pub/hot.dat"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := getFile(a, cred, "/pub/cold.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	advertise(t, collector, a, b, c)
+
+	mgr, err := replica.NewManager(replica.Config{
+		Name:        "alpha",
+		Factor:      3,
+		Catalog:     replica.CollectorCatalog{C: collector},
+		Hot:         a.Disp.HotPaths,
+		SelfGridFTP: a.Addr("gridftp"),
+		Cred:        cred,
+		MinHeat:     2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mgr.Register(reg)
+
+	mgr.Tick()
+	mgr.Close() // waits for in-flight mirrors
+
+	for _, peer := range []*core.Server{b, c} {
+		got, err := getFile(peer, cred, "/pub/hot.dat")
+		if err != nil {
+			t.Fatalf("hot file missing on %s: %v", peer.Name(), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("mirrored copy on %s differs (%d bytes, want %d)", peer.Name(), len(got), len(data))
+		}
+		if _, err := getFile(peer, cred, "/pub/cold.dat"); err == nil {
+			t.Errorf("cold file mirrored to %s", peer.Name())
+		}
+	}
+
+	// The peers' refreshed ads now list the copy; a met factor is idle.
+	advertise(t, collector, a, b, c)
+	if got := collector.ReplicaHolders("/pub/hot.dat"); len(got) != 3 {
+		t.Fatalf("holders after mirroring = %v", got)
+	}
+	mgr2, err := replica.NewManager(replica.Config{
+		Name:        "alpha",
+		Factor:      3,
+		Catalog:     replica.CollectorCatalog{C: collector},
+		Hot:         a.Disp.HotPaths,
+		SelfGridFTP: a.Addr("gridftp"),
+		Cred:        cred,
+		MinHeat:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	mgr2.Register(reg2)
+	mgr2.Tick()
+	mgr2.Close()
+	if v := reg2.Value("nest_replica_attempts_total"); v != 0 {
+		t.Errorf("met factor still started %d mirrors", v)
+	}
+}
+
+// TestFailedMirrorLeavesNoStub: a mirror whose STOR dies mid-transfer
+// (here: the destination enforces lots and the mover holds none) must
+// not leave a truncated file behind — the peer would advertise the
+// stub as a replica, masking the deficit while serving corrupt bytes.
+func TestFailedMirrorLeavesNoStub(t *testing.T) {
+	ca := gsi.NewCA("/CN=replica-test-ca", []byte("replica-secret"))
+	cred := ca.Issue("/O=Grid/CN=mover", time.Hour, true)
+	collector := discovery.NewCollector(nil, 0)
+	src, err := core.New(core.Config{Name: "src", CA: ca, DisableLots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(src.Close)
+	dst, err := core.New(core.Config{Name: "dst", CA: ca}) // lots enforced
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dst.Close)
+
+	data := bytes.Repeat([]byte("stub-check\n"), 1024)
+	putFile(t, src, cred, "/hot.dat", data)
+	for i := 0; i < 3; i++ {
+		if _, err := getFile(src, cred, "/hot.dat"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advertise(t, collector, src, dst)
+
+	mgr, err := replica.NewManager(replica.Config{
+		Name:        "src",
+		Factor:      2,
+		Catalog:     replica.CollectorCatalog{C: collector},
+		Hot:         src.Disp.HotPaths,
+		SelfGridFTP: src.Addr("gridftp"),
+		Cred:        cred,
+		MinHeat:     2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mgr.Register(reg)
+	mgr.Tick()
+	mgr.Close()
+
+	if v := reg.Value("nest_replica_failures_total"); v != 1 {
+		t.Fatalf("failures_total = %d, want 1 (lot-less STOR must fail)", v)
+	}
+	if got, err := getFile(dst, cred, "/hot.dat"); err == nil {
+		t.Fatalf("failed mirror left a %d-byte stub on the destination", len(got))
+	}
+	// The destination's refreshed ad must not claim the file either.
+	advertise(t, collector, src, dst)
+	if holders := collector.ReplicaHolders("/hot.dat"); len(holders) != 1 || holders[0] != "src" {
+		t.Fatalf("holders after failed mirror = %v, want [src]", holders)
+	}
+}
+
+// TestFailoverZeroFailedGets: with two live replicas, killing one
+// mid-workload must not fail a single client GET — the selector falls
+// through the ranking to the survivor.
+func TestFailoverZeroFailedGets(t *testing.T) {
+	collector, servers, cred := fleet(t, 2, "east", "west")
+	data := []byte("replicated payload")
+	for _, s := range servers {
+		putFile(t, s, cred, "/f.dat", data)
+	}
+	advertise(t, collector, servers...)
+
+	sel := replica.NewSelector(replica.CollectorCatalog{C: collector}, cred, 7)
+	reg := obs.NewRegistry()
+	sel.Register(reg)
+
+	served := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		if i == 5 {
+			servers[1].Close() // kill "west" mid-workload; its ad is still fresh
+		}
+		got, name, err := sel.Fetch("/f.dat")
+		if err != nil {
+			t.Fatalf("GET %d failed during failover: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("GET %d returned %d bytes", i, len(got))
+		}
+		served[name] = true
+	}
+	if !served["east"] {
+		t.Errorf("surviving replica never served: %v", served)
+	}
+	if v := reg.Value("nest_replica_selects_total"); v != 20 {
+		t.Errorf("selects_total = %d, want 20", v)
+	}
+}
+
+// TestSelectorMiss: a path no fresh appliance holds is a catalog miss.
+func TestSelectorMiss(t *testing.T) {
+	collector := discovery.NewCollector(nil, 0)
+	sel := replica.NewSelector(replica.CollectorCatalog{C: collector}, nil, 1)
+	if _, _, err := sel.Fetch("/nowhere"); err == nil {
+		t.Fatal("fetch of unknown path succeeded")
+	}
+}
+
+// TestRetryBackoff: a mirror toward a dead peer fails, is not retried
+// inside the backoff window, is retried after it, and Reconcile
+// forgets the cooldown entirely.
+func TestRetryBackoff(t *testing.T) {
+	collector, servers, cred := fleet(t, 1, "solo")
+	a := servers[0]
+	putFile(t, a, cred, "/h.dat", []byte("x"))
+	for i := 0; i < 3; i++ {
+		if _, err := getFile(a, cred, "/h.dat"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advertise(t, collector, a)
+
+	// A peer ad whose GridFTP endpoint is a dead address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	ghost := classad.NewAd()
+	ghost.SetString("Name", "ghost")
+	ghost.SetString("Addr_gridftp", deadAddr)
+	if err := collector.Advertise(ghost); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr, err := replica.NewManager(replica.Config{
+		Name:        "solo",
+		Factor:      2,
+		Catalog:     replica.CollectorCatalog{C: collector},
+		Hot:         a.Disp.HotPaths,
+		SelfGridFTP: a.Addr("gridftp"),
+		Cred:        cred,
+		MinHeat:     2,
+		Backoff:     100 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mgr.Register(reg)
+	defer mgr.Close()
+
+	waitFor := func(metric string, want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for reg.Value(metric) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d, want >= %d", metric, reg.Value(metric), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	mgr.Tick()
+	waitFor("nest_replica_failures_total", 1)
+
+	// Inside the backoff window: the pair is skipped, not re-dialed.
+	mgr.Tick()
+	waitFor("nest_replica_skips_total", 1)
+	if v := reg.Value("nest_replica_attempts_total"); v != 1 {
+		t.Fatalf("attempts inside backoff = %d, want 1", v)
+	}
+
+	// Past the backoff window: retried.
+	time.Sleep(250 * time.Millisecond)
+	mgr.Tick()
+	waitFor("nest_replica_retries_total", 1)
+	waitFor("nest_replica_failures_total", 2)
+
+	// Reconcile wipes the (now longer) cooldown and retries at once.
+	mgr.Reconcile()
+	waitFor("nest_replica_failures_total", 3)
+}

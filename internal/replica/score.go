@@ -1,0 +1,140 @@
+// Package replica implements the replication-manager half of NeST's
+// federation story (the EU DataGrid data-management split the paper
+// anticipates in §5): each appliance watches the per-file GET demand
+// its dispatcher records, decides which hot files are under-replicated
+// against the collector's replica catalog, and mirrors them to healthy
+// peers with pull-based third-party GridFTP transfers. The same
+// health-ranking drives client-side replica selection: given the set
+// of appliances holding a file, prefer the one advertising the most
+// spare capacity right now.
+package replica
+
+import (
+	"math/rand"
+	"sort"
+
+	"nest/internal/classad"
+	"nest/internal/discovery"
+)
+
+// Catalog is the replica-location lookup shared by the selector and
+// the manager: which appliances hold a logical path, and what does the
+// fleet look like overall. *discovery.Client implements it over the
+// collector wire protocol; CollectorCatalog adapts an in-process
+// collector.
+type Catalog interface {
+	// Replicas returns the fresh ads of the appliances holding path.
+	Replicas(path string) ([]*classad.Ad, error)
+	// Query returns the fresh ads matching constraint ("" for all).
+	Query(constraint string) ([]*classad.Ad, error)
+}
+
+// CollectorCatalog adapts an in-process *discovery.Collector to the
+// Catalog interface (tests and single-process federations).
+type CollectorCatalog struct{ C *discovery.Collector }
+
+func (cc CollectorCatalog) Replicas(path string) ([]*classad.Ad, error) {
+	return cc.C.ReplicaAds(path), nil
+}
+
+func (cc CollectorCatalog) Query(constraint string) ([]*classad.Ad, error) {
+	return cc.C.Query(constraint)
+}
+
+// Name returns the appliance name an ad advertises.
+func Name(ad *classad.Ad) string {
+	s, _ := ad.EvalAttr("Name", nil).StringVal()
+	return s
+}
+
+// Addr returns the endpoint an ad advertises for one protocol (the
+// Addr_<proto> attribute the dispatcher stamps), or "" when the
+// appliance does not serve that protocol.
+func Addr(ad *classad.Ad, proto string) string {
+	s, _ := ad.EvalAttr("Addr_"+proto, nil).StringVal()
+	return s
+}
+
+func realAttr(ad *classad.Ad, attr string) float64 {
+	v := ad.EvalAttr(attr, nil)
+	if r, ok := v.RealVal(); ok {
+		return r
+	}
+	if i, ok := v.IntVal(); ok {
+		return float64(i)
+	}
+	return 0
+}
+
+// Score reduces an appliance's advertised health to a single figure of
+// merit for replica ranking: recently observed bandwidth rewarded,
+// queue depth and tail latency penalized. The +1 terms keep idle
+// appliances (no traffic yet, so no bandwidth sample) comparable
+// instead of collapsing to zero, and make the score monotone in each
+// input.
+func Score(ad *classad.Ad) float64 {
+	bw := realAttr(ad, "RecentBandwidthMBps")
+	lat := realAttr(ad, "P99LatencyMs")
+	queue := realAttr(ad, "QueueDepth")
+	if bw < 0 {
+		bw = 0
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return (1 + bw) / ((1 + queue) * (1 + lat/100))
+}
+
+// Rank orders ads best-replica-first by Score. Ties — the common case
+// in a fresh fleet, where every appliance advertises identical health —
+// break randomly via a pre-shuffle under a stable sort, so repeated
+// selections spread load instead of dog-piling the lexicographically
+// first appliance. A nil rng skips the shuffle (deterministic order
+// for tests). The input slice is not modified.
+func Rank(ads []*classad.Ad, rng *rand.Rand) []*classad.Ad {
+	out := make([]*classad.Ad, len(ads))
+	copy(out, ads)
+	if rng != nil {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	sort.SliceStable(out, func(i, j int) bool { return Score(out[i]) > Score(out[j]) })
+	return out
+}
+
+// Pick selects one holder at random with probability proportional to
+// its health score. Strict argmax routing herds every concurrent
+// client onto the same momentarily-best appliance for a full
+// advertisement period (the health signal is stale between ads);
+// score-weighted spreading keeps a whole fleet busy while still
+// starving appliances whose advertised health has collapsed. A nil rng
+// degenerates to the deterministic best, as does an all-zero score
+// set. Returns nil for an empty slice.
+func Pick(ads []*classad.Ad, rng *rand.Rand) *classad.Ad {
+	if len(ads) == 0 {
+		return nil
+	}
+	if rng == nil {
+		return Rank(ads, nil)[0]
+	}
+	scores := make([]float64, len(ads))
+	total := 0.0
+	for i, ad := range ads {
+		if s := Score(ad); s > 0 {
+			scores[i] = s
+			total += s
+		}
+	}
+	if total <= 0 {
+		return ads[rng.Intn(len(ads))]
+	}
+	x := rng.Float64() * total
+	for i, s := range scores {
+		if x -= s; x <= 0 && s > 0 {
+			return ads[i]
+		}
+	}
+	return ads[len(ads)-1]
+}

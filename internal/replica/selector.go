@@ -1,0 +1,96 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/gsi"
+	"nest/internal/obs"
+)
+
+// Selector resolves logical file names through the replica catalog and
+// fetches from the healthiest advertised holder, failing over down the
+// ranking when a replica does not answer. It is the client-side half
+// of federation: a reader names a file, not an appliance.
+type Selector struct {
+	cat  Catalog
+	cred *gsi.Credential
+
+	mu  sync.Mutex // guards rng (rand.Rand is not concurrency-safe)
+	rng *rand.Rand
+
+	selects   obs.Counter // successful selections
+	failovers obs.Counter // replicas skipped after a fetch failure
+	misses    obs.Counter // paths with no fresh holder
+}
+
+// NewSelector builds a selector over a catalog. seed feeds the
+// tie-break shuffle; any value works, fixed seeds make tests
+// deterministic.
+func NewSelector(cat Catalog, cred *gsi.Credential, seed int64) *Selector {
+	return &Selector{cat: cat, cred: cred, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Register exposes the selector's counters on a metrics registry.
+func (s *Selector) Register(reg *obs.Registry) {
+	reg.Func("nest_replica_selects_total", s.selects.Value)
+	reg.Func("nest_replica_failovers_total", s.failovers.Value)
+	reg.Func("nest_replica_select_misses_total", s.misses.Value)
+}
+
+// Candidates returns the fresh holders of path, best replica first.
+func (s *Selector) Candidates(path string) ([]*classad.Ad, error) {
+	ads, err := s.cat.Replicas(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Rank(ads, s.rng), nil
+}
+
+// Fetch resolves path through the catalog and reads it from the
+// best-ranked replica, falling through the ranking on per-replica
+// failure. It returns the file contents and the name of the appliance
+// that served them.
+func (s *Selector) Fetch(path string) ([]byte, string, error) {
+	cands, err := s.Candidates(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(cands) == 0 {
+		s.misses.Inc()
+		return nil, "", fmt.Errorf("replica: no fresh holder for %s", path)
+	}
+	var lastErr error
+	for i, ad := range cands {
+		addr := Addr(ad, "chirp")
+		if addr == "" {
+			continue
+		}
+		data, err := s.fetchFrom(addr, path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.selects.Inc()
+		s.failovers.Add(int64(i))
+		return data, Name(ad), nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("replica: no holder of %s advertises a chirp endpoint", path)
+	}
+	return nil, "", fmt.Errorf("replica: all %d holders of %s failed: %w", len(cands), path, lastErr)
+}
+
+func (s *Selector) fetchFrom(addr, path string) ([]byte, error) {
+	c, err := chirp.Dial(addr, s.cred)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Get(path)
+}

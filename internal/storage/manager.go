@@ -424,6 +424,39 @@ func (m *Manager) FinishPut(t *PutTicket, written int64, transferErr error) *pro
 	return rep
 }
 
+// Files returns up to max logical file paths (directories excluded),
+// walking the namespace depth-first in sorted order. The dispatcher
+// advertises this list as the appliance's replica catalog
+// contribution; max bounds the advertisement size.
+func (m *Manager) Files(max int) []string {
+	if max <= 0 {
+		return nil
+	}
+	var out []string
+	var walk func(dir string) bool
+	walk = func(dir string) bool {
+		infos, err := m.fs.List(dir)
+		if err != nil {
+			return true
+		}
+		for _, info := range infos {
+			if info.IsDir {
+				if !walk(info.Path) {
+					return false
+				}
+				continue
+			}
+			out = append(out, info.Path)
+			if len(out) >= max {
+				return false
+			}
+		}
+		return true
+	}
+	walk("/")
+	return out
+}
+
 // String describes the manager for logs.
 func (m *Manager) String() string {
 	return fmt.Sprintf("storage{total=%d free=%d}", m.fs.Total(), m.fs.Free())
