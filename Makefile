@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs bench-federation figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs bench-federation bench-trace figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -61,6 +61,14 @@ bench-localfs:
 bench-federation:
 	$(GO) run ./cmd/nestbench -experiment federation
 	$(GO) test -run '^$$' -bench 'BenchmarkFederatedGets' -benchtime=1x ./internal/bench/
+
+# Distributed-tracing overhead check: the federation workload with
+# span recording off vs on (must stay within 5%), a sample
+# cross-appliance fed.get tree, and the span-record 0-alloc guard
+# (DESIGN.md §15, docs/OBSERVABILITY.md).
+bench-trace:
+	$(GO) run ./cmd/nestbench -experiment trace
+	$(GO) test -run 'TestSpanRecordZeroAlloc' -bench 'BenchmarkSpanRecord' -benchmem -benchtime=2s ./internal/obs/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

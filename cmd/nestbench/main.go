@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nestbench -experiment fig3|fig4|fig5|fig6|ablations|federation|all
+//	nestbench -experiment fig3|fig4|fig5|fig6|ablations|federation|trace|all
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, federation, or all")
+	exp := flag.String("experiment", "all", "fig3, fig4, fig5, fig6, ablations, federation, trace, or all")
 	flag.Parse()
 
 	// The fig3 mixed-workload measurement doubles as the run's final
@@ -37,9 +37,13 @@ func main() {
 		},
 		"ablations":  func() { fmt.Println(bench.FormatAblations()) },
 		"federation": func() { fmt.Println(bench.FormatFederation(bench.FederationSweep())) },
+		"trace": func() {
+			off, on := bench.TraceOverhead()
+			fmt.Println(bench.FormatTraceOverhead(off, on))
+		},
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations", "federation"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "ablations", "federation", "trace"} {
 			run[name]()
 		}
 		printTelemetry(fig3Rows)

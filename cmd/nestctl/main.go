@@ -24,6 +24,13 @@
 //	                             fetch the appliance's observability
 //	                             page over its HTTP endpoint (-http)
 //
+//	trace <hex id>               fetch one distributed trace's spans
+//	                             from every appliance listed in -http
+//	                             (comma separated), merge them, and
+//	                             print the assembled span tree
+//	traces [-slow]               print the appliance's recent (or slow)
+//	                             trace trees
+//
 //	replicas <path>              ask the collector (-collector) which
 //	                             appliances hold a file, ranked by
 //	                             advertised health
@@ -34,6 +41,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +55,7 @@ import (
 	"nest/internal/chirp"
 	"nest/internal/classad"
 	"nest/internal/gsi"
+	"nest/internal/obs"
 	"nest/internal/replica"
 )
 
@@ -80,6 +89,21 @@ func main() {
 			page = strings.TrimPrefix(args[1], "/")
 		}
 		status(*httpAddr, page)
+		return
+	}
+	if args[0] == "trace" {
+		if len(args) < 2 {
+			log.Fatalf("nestctl: usage: trace <hex id> (with -http addr1,addr2,...)")
+		}
+		trace(*httpAddr, args[1])
+		return
+	}
+	if args[0] == "traces" {
+		page := "traces"
+		if len(args) > 1 && args[1] == "-slow" {
+			page = "traces/slow"
+		}
+		status(firstAddr(*httpAddr), page)
 		return
 	}
 
@@ -251,39 +275,98 @@ func printLot(lot chirp.Lot) {
 
 // status fetches one observability page ("/statusz", "/metrics",
 // "/healthz") from the appliance's HTTP endpoint and prints the body.
-// The request is a hand-rolled HTTP/1.0 GET, matching the appliance's
-// hand-rolled server: no net/http dependency on either side.
 func status(addr, page string) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	body, err := fetchPage(addr, page)
 	if err != nil {
 		log.Fatalf("nestctl: status: %v", err)
+	}
+	os.Stdout.WriteString(body)
+}
+
+// fetchPage retrieves one observability page body over a hand-rolled
+// HTTP/1.0 GET, matching the appliance's hand-rolled server: no
+// net/http dependency on either side.
+func fetchPage(addr, page string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	if _, err := fmt.Fprintf(conn, "GET /%s HTTP/1.0\r\n\r\n", page); err != nil {
-		log.Fatalf("nestctl: status: %v", err)
+		return "", err
 	}
 	br := bufio.NewReader(conn)
 	statusLine, err := br.ReadString('\n')
 	if err != nil {
-		log.Fatalf("nestctl: status: %v", err)
+		return "", err
 	}
 	parts := strings.Fields(statusLine)
 	if len(parts) < 2 || parts[1] != "200" {
-		log.Fatalf("nestctl: status: server said %q", strings.TrimSpace(statusLine))
+		return "", fmt.Errorf("server said %q", strings.TrimSpace(statusLine))
 	}
 	for { // skip headers
 		line, err := br.ReadString('\n')
 		if err != nil {
-			log.Fatalf("nestctl: status: %v", err)
+			return "", err
 		}
 		if strings.TrimRight(line, "\r\n") == "" {
 			break
 		}
 	}
-	if _, err := io.Copy(os.Stdout, br); err != nil {
-		log.Fatalf("nestctl: status: %v", err)
+	var b strings.Builder
+	if _, err := io.Copy(&b, br); err != nil {
+		return "", err
 	}
+	return b.String(), nil
+}
+
+func firstAddr(addrs string) string {
+	if i := strings.IndexByte(addrs, ','); i >= 0 {
+		return addrs[:i]
+	}
+	return addrs
+}
+
+// trace fetches one trace's spans from every appliance in the
+// comma-separated addr list, merges them, and prints the assembled
+// tree. Each appliance records only the spans it executed, so the
+// federated view of a cross-appliance request exists exactly here, at
+// merge time.
+func trace(addrs, hexID string) {
+	id, err := strconv.ParseUint(hexID, 16, 64)
+	if err != nil {
+		log.Fatalf("nestctl: trace: bad id %q (want hex)", hexID)
+	}
+	var spans []obs.Span
+	var reached int
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := fetchPage(addr, fmt.Sprintf("traces/%x", id))
+		if err != nil {
+			log.Printf("nestctl: trace: %s: %v", addr, err)
+			continue
+		}
+		var part []obs.Span
+		if err := json.Unmarshal([]byte(body), &part); err != nil {
+			log.Printf("nestctl: trace: %s: %v", addr, err)
+			continue
+		}
+		reached++
+		spans = append(spans, part...)
+	}
+	if reached == 0 {
+		log.Fatalf("nestctl: trace: no appliance reachable")
+	}
+	if len(spans) == 0 {
+		fmt.Printf("trace %x: no spans found on %d appliance(s)\n", id, reached)
+		os.Exit(1)
+	}
+	fmt.Printf("trace %x (%d spans from %d appliance(s))\n", id, len(spans), reached)
+	os.Stdout.WriteString(obs.RenderTrace(spans))
 }
 
 // issue mints a GSI credential; run it wherever the CA key lives.

@@ -58,6 +58,7 @@ func main() {
 		replicate = flag.Int("replicate", 0, "keep hot files on this many appliances (0 disables; needs -collector and gridftp)")
 		replEvery = flag.Duration("replicate-every", 0, "replication demand-evaluation period (default 2s)")
 		replWidth = flag.Int("replicate-stripes", 1, "stripe width for replication transfers (>1: MODE E)")
+		slowTrace = flag.Duration("slow-trace", 0, "index root spans slower than this in the slow-trace ring (0: default 100ms)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		Slots:        *slots,
 		QuotaEnabled: *quotaOn,
 		Protocols:    map[string]string{},
+		SlowTrace:    *slowTrace,
 	}
 	cfg.QuotaBackedLots = !*nestLots
 	if *anonAll {
@@ -153,6 +155,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("nestd: %v", err)
 		}
+		repl.SetTracer(srv.Disp.Tracer())
 		repl.Register(srv.Obs())
 		go repl.Run()
 		fmt.Printf("  replicating hot files to %d appliances\n", *replicate)

@@ -12,6 +12,7 @@ import (
 
 	"nest/internal/classad"
 	"nest/internal/discovery"
+	"nest/internal/obs"
 	"nest/internal/replica"
 	"nest/internal/sim"
 	"nest/internal/storage"
@@ -53,6 +54,11 @@ type FederationOptions struct {
 	// Warmup and Duration bound the virtual measurement window.
 	Warmup   time.Duration
 	Duration time.Duration
+	// Tracing turns on distributed span recording: each client GET
+	// mints a trace, the serving node's request and transfer stages
+	// record into that node's own span ring, and the result carries a
+	// sample cross-appliance tree assembled at merge time.
+	Tracing bool
 }
 
 // FederationResult is one fleet size's measurement.
@@ -61,16 +67,22 @@ type FederationResult struct {
 	AggregateMBps float64
 	PerNode       map[string]float64 // MB/s served by each appliance
 	Gets          int64
+	// SampleTrace is one GET's rendered cross-appliance span tree
+	// (Tracing runs only); SpanDrops counts spans lost to ring
+	// contention across the fleet.
+	SampleTrace string
+	SpanDrops   int64
 }
 
 // fedNode is one simulated appliance: its own host (link, CPU, disk),
 // filesystem and transfer manager on the shared virtual clock.
 type fedNode struct {
-	name  string
-	host  *sim.Host
-	fs    *storage.SimFS
-	mgr   *transfer.Manager
-	bytes atomic.Int64 // payload bytes served
+	name   string
+	host   *sim.Host
+	fs     *storage.SimFS
+	mgr    *transfer.Manager
+	tracer *obs.Tracer  // per-appliance span ring (Tracing runs only)
+	bytes  atomic.Int64 // payload bytes served
 
 	mu       sync.Mutex
 	inflight map[int64]time.Duration // GET id -> virtual start time
@@ -145,6 +157,10 @@ func RunFederation(o FederationOptions) FederationResult {
 				name: fmt.Sprintf("nest-%d", i), host: host, fs: fs, mgr: mgr,
 				inflight: make(map[int64]time.Duration),
 			}
+			if o.Tracing {
+				n.tracer = obs.NewTracer(n.name, 4096)
+				mgr.SetTracer(n.tracer)
+			}
 			for _, p := range files {
 				f, err := fs.Create(p, "bench")
 				if err != nil {
@@ -173,6 +189,10 @@ func RunFederation(o FederationOptions) FederationResult {
 	var stop atomic.Bool
 	var gets atomic.Int64
 	res := FederationResult{Replicas: o.Replicas, PerNode: map[string]float64{}}
+	var clientTracer *obs.Tracer
+	if o.Tracing {
+		clientTracer = obs.NewTracer("client", 4096)
+	}
 
 	clock.Run(func() {
 		wg := sim.NewWaitGroup(clock)
@@ -240,7 +260,7 @@ func RunFederation(o FederationOptions) FederationResult {
 						clock.Sleep(10 * time.Millisecond)
 						continue
 					}
-					fedGet(clock, byName[replica.Name(ad)], path)
+					fedGet(clock, byName[replica.Name(ad)], path, clientTracer)
 					gets.Add(1)
 				}
 			})
@@ -262,17 +282,59 @@ func RunFederation(o FederationOptions) FederationResult {
 		stop.Store(true)
 		wg.Wait()
 	})
+	if o.Tracing {
+		res.SpanDrops = clientTracer.Drops()
+		for _, n := range nodes {
+			res.SpanDrops += n.tracer.Drops()
+		}
+		res.SampleTrace = sampleFedTrace(clientTracer, nodes)
+	}
 	return res
+}
+
+// sampleFedTrace picks the newest completed client GET and merges its
+// spans across the client's and every appliance's rings — the same
+// merge nestctl trace performs over /traces/<id>.
+func sampleFedTrace(client *obs.Tracer, nodes []*fedNode) string {
+	snap := client.Snapshot()
+	for i := len(snap) - 1; i >= 0; i-- {
+		if snap[i].Stage != "fed.get" || snap[i].Code != 0 {
+			continue
+		}
+		trace := snap[i].Trace
+		spans := client.Spans(trace)
+		for _, n := range nodes {
+			spans = append(spans, n.tracer.Spans(trace)...)
+		}
+		if len(spans) < 2 {
+			continue // server-side spans already overwritten; try older
+		}
+		return fmt.Sprintf("trace %x (%d spans)\n%s", trace, len(spans), obs.RenderTrace(spans))
+	}
+	return "no complete sample trace retained\n"
 }
 
 // fedGet serves one whole-file GET from node n: request RTT, server
 // per-request CPU, then the transfer pumped through n's scheduler onto
-// n's link.
-func fedGet(clock *sim.VirtualClock, n *fedNode, path string) {
+// n's link. With ct non-nil the GET is traced end to end: a client-side
+// fed.get root, the serving appliance's request span, and the transfer
+// stages the node's manager records under it.
+func fedGet(clock *sim.VirtualClock, n *fedNode, path string, ct *obs.Tracer) {
 	id := n.begin(clock.Now())
 	defer n.end(id)
+	var trace, root, reqID uint64
+	var begin time.Duration
+	if ct != nil {
+		trace, root = ct.NewTraceID(), ct.NewSpanID()
+		begin = clock.Now()
+	}
 	clock.Sleep(n.host.Link.RTT() / 2)
 	n.host.CPU.Work(SpecChirp.PerRequestCPU)
+	var reqBegin time.Duration
+	if ct != nil {
+		reqID = n.tracer.NewSpanID()
+		reqBegin = clock.Now()
+	}
 	f, err := n.fs.Open(path)
 	if err != nil {
 		panic(err)
@@ -284,6 +346,8 @@ func fedGet(clock *sim.VirtualClock, n *fedNode, path string) {
 		Path:      path,
 		Size:      size,
 		ChunkSize: fedChunk,
+		TraceID:   trace,
+		Span:      reqID,
 		Src:       io.NewSectionReader(f, 0, size),
 		Dst:       linkWriter{link: n.host.Link, gran: fedChunk},
 		OnDone: func(res transfer.Result) {
@@ -294,8 +358,54 @@ func fedGet(clock *sim.VirtualClock, n *fedNode, path string) {
 	clock.Park()
 	<-done
 	f.Close()
+	if ct != nil {
+		n.tracer.Record(&obs.Span{
+			Trace: trace, ID: reqID, Parent: root,
+			Stage: "request", Proto: "chirp", Op: "get", Path: path,
+			Bytes: size, Start: reqBegin, Dur: clock.Now() - reqBegin,
+		})
+	}
 	clock.Sleep(n.host.Link.RTT() / 2)
 	n.bytes.Add(size)
+	if ct != nil {
+		ct.Record(&obs.Span{
+			Trace: trace, ID: root,
+			Stage: "fed.get", Proto: "chirp", Op: "get", Path: path,
+			Bytes: size, Start: begin, Dur: clock.Now() - begin,
+			Notes: [2]obs.SpanNote{{Key: "holder", Str: n.name}},
+		})
+	}
+}
+
+// TraceOverhead runs the same 2-replica federation workload with
+// tracing off and on: the acceptance check that span recording does
+// not tax the data path, plus one GET's cross-appliance tree as the
+// demo artifact.
+func TraceOverhead() (off, on FederationResult) {
+	base := FederationOptions{Replicas: 2, Degraded: -1}
+	off = RunFederation(base)
+	base.Tracing = true
+	on = RunFederation(base)
+	return off, on
+}
+
+// FormatTraceOverhead renders the tracing on/off comparison and the
+// sample federated span tree.
+func FormatTraceOverhead(off, on FederationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Distributed tracing: overhead and a federated span tree\n")
+	sb.WriteString("Same 2-replica Zipf GET workload, span recording off vs on.\n\n")
+	fmt.Fprintf(&sb, "%-12s %14s %8s %12s\n", "tracing", "aggregate MB/s", "GETs", "span drops")
+	fmt.Fprintf(&sb, "%-12s %14.1f %8d %12s\n", "off", off.AggregateMBps, off.Gets, "-")
+	fmt.Fprintf(&sb, "%-12s %14.1f %8d %12d\n", "on", on.AggregateMBps, on.Gets, on.SpanDrops)
+	overhead := 0.0
+	if off.AggregateMBps > 0 {
+		overhead = (off.AggregateMBps - on.AggregateMBps) / off.AggregateMBps * 100
+	}
+	fmt.Fprintf(&sb, "\nthroughput overhead: %.2f%%\n", overhead)
+	sb.WriteString("\nsample trace (one Zipf GET, merged across client + appliances)\n")
+	sb.WriteString(on.SampleTrace)
+	return sb.String()
 }
 
 // FederationSweep runs the standard 1/2/4-replica scaling experiment.

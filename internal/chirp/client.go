@@ -36,6 +36,10 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	user string
+	// noTrcx marks a server that rejected the trcx trace-context
+	// extension (a seed-protocol peer); further contexts are skipped
+	// silently rather than re-probed.
+	noTrcx bool
 }
 
 // Dial connects and authenticates. A nil credential requests anonymous
@@ -147,6 +151,28 @@ func (c *Client) simple(cmd string) error {
 
 // Ping checks liveness.
 func (c *Client) Ping() error { return c.simple("ping") }
+
+// SetTraceContext propagates a distributed-tracing context: subsequent
+// requests on this connection join the given trace as children of the
+// parent span (sticky until replaced; zeros clear it). A server that
+// predates the extension answers -ERR; the client notes it and skips
+// quietly from then on, so tracing degrades to a local tree instead of
+// failing the request. It reports whether the peer accepted the
+// context.
+func (c *Client) SetTraceContext(trace, parent uint64) (bool, error) {
+	if c.noTrcx {
+		return false, nil
+	}
+	err := c.simple(fmt.Sprintf("trcx %x %x", trace, parent))
+	if err == nil {
+		return true, nil
+	}
+	if _, ok := err.(*Error); ok {
+		c.noTrcx = true
+		return false, nil
+	}
+	return false, err
+}
 
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string) error { return c.simple("mkdir " + escape(path)) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -84,6 +85,14 @@ type session struct {
 	// inData marks a get whose success framing was already sent by
 	// SendData, so the dispatcher's final Reply is suppressed.
 	inData *protocol.Request
+	// Sticky trace context set by the "trcx" extension command: every
+	// subsequent request joins the caller's trace (until replaced or
+	// cleared with "trcx 0 0"). Old clients never send trcx; old
+	// servers answer it "-ERR 5 unknown command", which clients treat
+	// as "peer doesn't trace" — the wire format stays compatible both
+	// ways.
+	trcTrace  uint64
+	trcParent uint64
 }
 
 func (s *session) readLine() (string, error) {
@@ -121,6 +130,21 @@ func (s *session) Next() (*protocol.Request, error) {
 		if len(toks) == 0 {
 			continue
 		}
+		// The trace-context extension is consumed inside the session: it
+		// carries identity for later requests, not work for the
+		// dispatcher.
+		if strings.ToLower(toks[0]) == "trcx" {
+			var werr error
+			if err := s.setTraceContext(toks); err != nil {
+				werr = s.writeLine("-ERR 5 " + escape(err.Error()))
+			} else {
+				werr = s.writeLine("+OK")
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			continue
+		}
 		req, err := s.parse(toks)
 		if err != nil {
 			if werr := s.writeLine("-ERR 5 " + escape(err.Error())); werr != nil {
@@ -128,8 +152,27 @@ func (s *session) Next() (*protocol.Request, error) {
 			}
 			continue
 		}
+		req.TraceID = s.trcTrace
+		req.ParentSpan = s.trcParent
 		return req, nil
 	}
+}
+
+// setTraceContext parses "trcx <trace-hex> <parent-span-hex>".
+func (s *session) setTraceContext(toks []string) error {
+	if len(toks) != 3 {
+		return fmt.Errorf("trcx: want trace and parent span ids")
+	}
+	trace, err := strconv.ParseUint(toks[1], 16, 64)
+	if err != nil {
+		return fmt.Errorf("trcx: bad trace id")
+	}
+	parent, err := strconv.ParseUint(toks[2], 16, 64)
+	if err != nil {
+		return fmt.Errorf("trcx: bad parent span id")
+	}
+	s.trcTrace, s.trcParent = trace, parent
+	return nil
 }
 
 func (s *session) parse(toks []string) (*protocol.Request, error) {

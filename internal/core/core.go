@@ -96,6 +96,11 @@ type Config struct {
 	// periodically consolidates a ClassAd and hands it over.
 	Publish       func(*classad.Ad)
 	PublishPeriod time.Duration
+
+	// SlowTrace overrides the duration above which a completed root
+	// span is also indexed in the slow-trace ring (/traces, nestctl
+	// traces -slow). Zero keeps the default.
+	SlowTrace time.Duration
 }
 
 // Server is a running NeST appliance.
@@ -199,6 +204,11 @@ func New(cfg Config) (*Server, error) {
 	s.Xfer = transfer.NewManager(xferOpts)
 
 	s.Disp = dispatch.New(cfg.Clock, s.Store, s.Xfer)
+	// Span appliance stamps make cross-appliance trees attributable.
+	s.Disp.SetName(cfg.Name)
+	if cfg.SlowTrace > 0 {
+		s.Disp.SetSlowThreshold(cfg.SlowTrace)
+	}
 
 	// Fold component health into the dispatcher's registry as pull-time
 	// gauges: each component keeps its own atomic counters and pays

@@ -1,0 +1,342 @@
+package core_test
+
+// End-to-end distributed-tracing tests: a client-minted trace context
+// propagated over the real wire protocols must come back as ONE
+// assembled tree spanning every appliance the request touched. These
+// are the acceptance tests for DESIGN.md §15.
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/core"
+	"nest/internal/gridftp"
+	"nest/internal/gsi"
+	"nest/internal/obs"
+	"nest/internal/replica"
+)
+
+// traceFleet starts n lot-free appliances sharing one CA, named so the
+// merged tree shows which appliance recorded which span.
+func traceFleet(t *testing.T, names ...string) ([]*core.Server, *gsi.Credential) {
+	t.Helper()
+	ca := gsi.NewCA("/CN=trace-test-ca", []byte("trace-secret"))
+	cred := ca.Issue("/O=Grid/CN=mover", time.Hour, true)
+	servers := make([]*core.Server, len(names))
+	for i, name := range names {
+		s, err := core.New(core.Config{Name: name, CA: ca, DisableLots: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		servers[i] = s
+	}
+	return servers, cred
+}
+
+// gatherTrace merges the client tracer's spans with every server's
+// until pred accepts the merged set. Transfer-stage spans are recorded
+// on the scheduling goroutine after the protocol reply is sent, so the
+// merge has to poll briefly.
+func gatherTrace(t *testing.T, trace uint64, ct *obs.Tracer, servers []*core.Server, pred func([]obs.Span) bool) []obs.Span {
+	t.Helper()
+	var spans []obs.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans = spans[:0]
+		if ct != nil {
+			spans = append(spans, ct.Spans(trace)...)
+		}
+		for _, s := range servers {
+			spans = append(spans, s.Disp.Tracer().Spans(trace)...)
+		}
+		if pred(spans) {
+			return spans
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %x never satisfied predicate; have %d spans:\n%s",
+				trace, len(spans), obs.RenderTrace(spans))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func countStage(spans []obs.Span, stage string) int {
+	n := 0
+	for _, s := range spans {
+		if s.Stage == stage {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTraceChirpToGridFTPThirdParty drives the paper's canonical
+// multi-protocol job under one trace: a Chirp read at the home
+// appliance followed by a GridFTP third-party push to a second
+// appliance. The client merges both appliances' span rings with its
+// own and must see a single tree — every request span, on either
+// appliance, parented under the client's root span.
+func TestTraceChirpToGridFTPThirdParty(t *testing.T) {
+	servers, cred := traceFleet(t, "madison", "argonne")
+	madison, argonne := servers[0], servers[1]
+
+	payload := bytes.Repeat([]byte("dataset-"), 8192)
+	putFileCore(t, madison, cred, "/input.dat", payload)
+
+	ct := obs.NewTracer("mgr", 64)
+	trace := ct.NewTraceID()
+	root := ct.NewSpanID()
+
+	// Traced Chirp read at the home site.
+	cc, err := chirp.Dial(madison.Addr("chirp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if ok, err := cc.SetTraceContext(trace, root); err != nil || !ok {
+		t.Fatalf("chirp SetTraceContext = %v, %v", ok, err)
+	}
+	if _, err := cc.Get("/input.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Traced third-party transfer madison -> argonne.
+	src, err := gridftp.Dial(madison.Addr("gridftp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Quit()
+	dst, err := gridftp.Dial(argonne.Addr("gridftp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Quit()
+	if ok, err := src.SetTraceContext(trace, root); err != nil || !ok {
+		t.Fatalf("src SetTraceContext = %v, %v", ok, err)
+	}
+	if ok, err := dst.SetTraceContext(trace, root); err != nil || !ok {
+		t.Fatalf("dst SetTraceContext = %v, %v", ok, err)
+	}
+	if err := gridftp.ThirdParty(src, "/input.dat", dst, "/staged.dat"); err != nil {
+		t.Fatal(err)
+	}
+	ct.Record(&obs.Span{Trace: trace, ID: root, Stage: "mgr.op", Op: "stage", Path: "/input.dat"})
+
+	// The job produced three request spans: chirp get + gridftp get at
+	// madison, gridftp put at argonne.
+	spans := gatherTrace(t, trace, ct, servers, func(spans []obs.Span) bool {
+		return countStage(spans, "request") >= 3
+	})
+
+	roots := obs.AssembleTrace(spans)
+	if len(roots) != 1 {
+		t.Fatalf("merged trace has %d roots, want 1:\n%s", len(roots), obs.RenderTrace(spans))
+	}
+	if roots[0].Span.Stage != "mgr.op" || roots[0].Span.Appliance != "mgr" {
+		t.Fatalf("root is %s@%s, want mgr.op@mgr", roots[0].Span.Stage, roots[0].Span.Appliance)
+	}
+	want := map[string]bool{ // proto/op/appliance -> seen
+		"chirp/get/madison":   false,
+		"gridftp/get/madison": false,
+		"gridftp/put/argonne": false,
+	}
+	for _, s := range spans {
+		if s.Stage != "request" {
+			continue
+		}
+		key := s.Proto + "/" + s.Op + "/" + s.Appliance
+		if _, tracked := want[key]; tracked {
+			want[key] = true
+		}
+		if s.Parent != root {
+			t.Errorf("request span %s parented under %x, want client root %x", key, s.Parent, root)
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("no request span for %s in merged tree:\n%s", key, obs.RenderTrace(spans))
+		}
+	}
+}
+
+// TestTraceStripedGetSubPumps reads a multi-extent file over GridFTP
+// MODE E with parallelism 4 under a trace: the server-side tree must
+// show the data stage fanned into four stripe sub-pump spans, and the
+// 226 reply must echo the trace id back to the trace-speaking client.
+func TestTraceStripedGetSubPumps(t *testing.T) {
+	servers, cred := traceFleet(t, "solo")
+	solo := servers[0]
+
+	payload := make([]byte, 7*64*1024+99)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	putFileCore(t, solo, cred, "/wide.dat", payload)
+
+	ct := obs.NewTracer("mgr", 64)
+	trace := ct.NewTraceID()
+	root := ct.NewSpanID()
+
+	c, err := gridftp.Dial(solo.Addr("gridftp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if err := c.SetMode('E'); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.SetTraceContext(trace, root); err != nil || !ok {
+		t.Fatalf("SetTraceContext = %v, %v", ok, err)
+	}
+	var buf bytes.Buffer
+	if n, err := c.Retr("/wide.dat", &buf); err != nil || n != int64(len(payload)) {
+		t.Fatalf("Retr = %d, %v", n, err)
+	}
+	if got := c.LastTrace(); got != trace {
+		t.Fatalf("226 echoed trace %x, want %x", got, trace)
+	}
+
+	spans := gatherTrace(t, trace, nil, servers, func(spans []obs.Span) bool {
+		return countStage(spans, "stripe") >= 4
+	})
+	var dataID uint64
+	for _, s := range spans {
+		if s.Stage == "data" {
+			dataID = s.ID
+		}
+	}
+	if dataID == 0 {
+		t.Fatalf("no data span:\n%s", obs.RenderTrace(spans))
+	}
+	stripes := 0
+	for _, s := range spans {
+		if s.Stage != "stripe" {
+			continue
+		}
+		stripes++
+		if s.Parent != dataID {
+			t.Errorf("stripe span parented under %x, want data span %x", s.Parent, dataID)
+		}
+	}
+	if stripes != 4 {
+		t.Errorf("trace has %d stripe spans, want 4:\n%s", stripes, obs.RenderTrace(spans))
+	}
+	if countStage(spans, "sched.wait") == 0 {
+		t.Errorf("no sched.wait span:\n%s", obs.RenderTrace(spans))
+	}
+}
+
+// stubCatalog serves a fixed ranking, letting the failover test pin a
+// dead replica to the top without racing advertisement freshness.
+type stubCatalog struct{ ads []*classad.Ad }
+
+func (c stubCatalog) Replicas(string) ([]*classad.Ad, error) { return c.ads, nil }
+func (c stubCatalog) Query(string) ([]*classad.Ad, error)    { return c.ads, nil }
+
+// TestTraceFailoverFailedAttempt forces a replica fetch through a dead
+// top-ranked holder: the assembled tree must keep the failed
+// replica.attempt as a non-zero-code child next to the successful one,
+// with the surviving appliance's request span nested under the attempt
+// that reached it.
+func TestTraceFailoverFailedAttempt(t *testing.T) {
+	servers, cred := traceFleet(t, "east")
+	east := servers[0]
+	putFileCore(t, east, cred, "/rep/f.dat", []byte("replicated-bytes"))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	ghost := classad.NewAd() // advertises top health, answers nothing
+	ghost.SetString("Name", "ghost")
+	ghost.SetString("Addr_chirp", deadAddr)
+	ghost.SetReal("RecentBandwidthMBps", 500)
+	ghost.SetReal("P99LatencyMs", 1)
+	liveAd := classad.NewAd()
+	liveAd.SetString("Name", "east")
+	liveAd.SetString("Addr_chirp", east.Addr("chirp"))
+	liveAd.SetReal("RecentBandwidthMBps", 1)
+	liveAd.SetReal("P99LatencyMs", 200)
+
+	sel := replica.NewSelector(stubCatalog{ads: []*classad.Ad{ghost, liveAd}}, cred, 7)
+	ct := obs.NewTracer("client", 64)
+	sel.SetTracer(ct)
+
+	data, name, trace, err := sel.FetchTraced("/rep/f.dat", 0, 0)
+	if err != nil || name != "east" {
+		t.Fatalf("FetchTraced = %q from %q, %v", data, name, err)
+	}
+	if trace == 0 {
+		t.Fatal("FetchTraced returned zero trace id")
+	}
+
+	spans := gatherTrace(t, trace, ct, servers, func(spans []obs.Span) bool {
+		return countStage(spans, "request") >= 1 && countStage(spans, "replica.attempt") >= 2
+	})
+
+	roots := obs.AssembleTrace(spans)
+	if len(roots) != 1 || roots[0].Span.Stage != "replica.fetch" {
+		t.Fatalf("want single replica.fetch root:\n%s", obs.RenderTrace(spans))
+	}
+	fetch := roots[0].Span
+	if fetch.Code != 0 {
+		t.Fatalf("fetch span code = %d, want 0 (the fetch succeeded)", fetch.Code)
+	}
+	var failed, okAttempt *obs.Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Stage != "replica.attempt" {
+			continue
+		}
+		if s.Parent != fetch.ID {
+			t.Errorf("attempt span parented under %x, want fetch span %x", s.Parent, fetch.ID)
+		}
+		if s.Code != 0 {
+			failed = s
+		} else {
+			okAttempt = s
+		}
+	}
+	if failed == nil {
+		t.Fatalf("failed attempt missing from tree:\n%s", obs.RenderTrace(spans))
+	}
+	if !strings.Contains(failed.Notes[0].Str, deadAddr) {
+		t.Errorf("failed attempt notes %q do not name dead holder %s", failed.Notes[0].Str, deadAddr)
+	}
+	if okAttempt == nil {
+		t.Fatalf("successful attempt missing from tree:\n%s", obs.RenderTrace(spans))
+	}
+	for _, s := range spans {
+		if s.Stage == "request" && s.Parent != okAttempt.ID {
+			t.Errorf("east request span parented under %x, want surviving attempt %x", s.Parent, okAttempt.ID)
+		}
+	}
+}
+
+// putFileCore writes path over an untraced Chirp session.
+func putFileCore(t *testing.T, s *core.Server, cred *gsi.Credential, path string, data []byte) {
+	t.Helper()
+	c, err := chirp.Dial(s.Addr("chirp"), cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		_ = c.Mkdir(path[:i]) // best-effort: may already exist
+	}
+	if err := c.PutBytes(path, data, ""); err != nil {
+		t.Fatal(err)
+	}
+}

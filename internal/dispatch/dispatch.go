@@ -83,6 +83,7 @@ type Dispatcher struct {
 	slowRing *obs.Ring      // requests over the slow threshold
 	slowNs   atomic.Int64
 	heat     *obs.HeatMap   // per-file GET demand, feeds replication
+	tracer   *obs.Tracer    // distributed span recording
 
 	// Advertisement bandwidth window: per-protocol byte counts at the
 	// previous Advertisement call (under mu).
@@ -101,8 +102,22 @@ func New(clock sim.Clock, store *storage.Manager, xfer *transfer.Manager) *Dispa
 		pubAt:    clock.Now(),
 	}
 	d.initObs()
+	// The transfer manager records its stage spans (queue wait, data
+	// phase, stripes) into the same tracer, so a transfer's tree is
+	// complete without extra wiring.
+	xfer.SetTracer(d.tracer)
 	return d
 }
+
+// SetName stamps the appliance's advertised name onto every span the
+// dispatcher records (and seeds the fleet-unique ID space). Call at
+// wiring time, before serving.
+func (d *Dispatcher) SetName(name string) { d.tracer.SetAppliance(name) }
+
+// Tracer returns the dispatcher's span tracer, for components outside
+// the request path (replica selection, gridmgr) that contribute spans
+// to the same rings.
+func (d *Dispatcher) Tracer() *obs.Tracer { return d.tracer }
 
 // SetLogger installs (or clears, with nil) the diagnostics logger.
 // Safe to call at any time, including while sessions are being served.
@@ -235,12 +250,16 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 		req.Arrived = arrived
 		nreq++
 		sampled := nreq%traceSampleEvery == 0
-		// Trace IDs are minted only for requests that can reach a ring
-		// (sampled ones, and every transfer — handled below): the
-		// unsampled control-plane fast path skips the shared counter.
-		if sampled {
-			req.TraceID = d.ring.NextID()
+		// Every request gets a trace identity: the protocol handler's
+		// propagated context wins (the request is then a child in a
+		// remote caller's tree), a fresh fleet-unique ID is minted
+		// otherwise. Sampled-out control ops keep their identity too —
+		// their spans record with zero duration, no extra clock reads —
+		// so no request ever vanishes from a trace tree.
+		if req.TraceID == 0 {
+			req.TraceID = d.tracer.NewTraceID()
 		}
+		req.SpanID = d.tracer.NewSpanID()
 		if req.Op < protocol.OpCount {
 			ps.ops[req.Op].Inc()
 		}
@@ -249,17 +268,15 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 			s.Reply(req, protocol.OKReply())
 			return
 		case req.Op.IsTransfer():
-			if !sampled {
-				req.TraceID = d.ring.NextID()
-			}
 			bytes, code, queued := d.handleTransfer(s, req)
 			total := d.clock.Now() - arrived
 			d.latXfer.Observe(int64(total))
 			ps.bytes.Add(bytes)
 			if code != protocol.CodeOK {
-				ps.errors.Inc()
+				ps.countError(req.Op, code)
 			}
 			d.maybeTrace(sampled, req, code, bytes, arrived, queued, total)
+			d.recordSpan(req, code, bytes, arrived, total)
 		case req.Op.IsReadOnly():
 			var lockAt time.Duration
 			d.storageMu.RLock()
@@ -269,12 +286,15 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 			rep := d.store.Execute(req)
 			d.storageMu.RUnlock()
 			if rep.Code != protocol.CodeOK {
-				ps.errors.Inc()
+				ps.countError(req.Op, rep.Code)
 			}
 			if sampled {
 				total := d.clock.Now() - arrived
 				d.latRead.Observe(int64(total))
 				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+				d.recordSpan(req, rep.Code, 0, arrived, total)
+			} else {
+				d.recordSpan(req, rep.Code, 0, arrived, 0)
 			}
 			if err := s.Reply(req, rep); err != nil {
 				return
@@ -288,12 +308,15 @@ func (d *Dispatcher) ServeSession(s protocol.Session) {
 			rep := d.store.Execute(req)
 			d.storageMu.Unlock()
 			if rep.Code != protocol.CodeOK {
-				ps.errors.Inc()
+				ps.countError(req.Op, rep.Code)
 			}
 			if sampled {
 				total := d.clock.Now() - arrived
 				d.latWrite.Observe(int64(total))
 				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+				d.recordSpan(req, rep.Code, 0, arrived, total)
+			} else {
+				d.recordSpan(req, rep.Code, 0, arrived, 0)
 			}
 			if err := s.Reply(req, rep); err != nil {
 				return
@@ -346,6 +369,7 @@ func (d *Dispatcher) handleGet(s protocol.Session, req *protocol.Request) (int64
 		Offset:  req.Offset,
 		Size:    size,
 		TraceID: req.TraceID,
+		Span:    req.SpanID,
 	}
 	if !stripeGet(tr, req, f, size, sink) {
 		tr.Src = storage.NewSectionReader(f, req.Offset, size)
@@ -384,6 +408,7 @@ func (d *Dispatcher) handlePut(s protocol.Session, req *protocol.Request) (int64
 		Offset:  req.Offset,
 		Size:    req.Size,
 		TraceID: req.TraceID,
+		Span:    req.SpanID,
 	}
 	if !stripePut(tr, req, ticket.File, src) {
 		tr.Src = src

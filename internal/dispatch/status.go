@@ -1,8 +1,10 @@
 package dispatch
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,16 +27,32 @@ const DefaultSlowThreshold = 100 * time.Millisecond
 // traceRingSize bounds both trace rings (entries, fixed memory).
 const traceRingSize = 256
 
+// spanRingSize bounds the distributed-tracing span ring. Spans are
+// recorded for every request plus every transfer stage, so the ring is
+// wider than the sampled trace rings.
+const spanRingSize = 1024
+
 // protoStats is one protocol's instrument block: a fixed-width per-op
 // counter array (indexed by protocol.Op, sized by protocol.OpCount so
 // recording is an array index plus an atomic add — no map, no lock),
-// an error counter, and the transfer payload bytes moved for the
-// protocol (both directions; feeds the advertisement's recent
-// bandwidth window).
+// error counters (total plus a per-op × per-reply-code grid, so
+// /metrics distinguishes failure modes), and the transfer payload
+// bytes moved for the protocol (both directions; feeds the
+// advertisement's recent bandwidth window).
 type protoStats struct {
-	ops    [protocol.OpCount]obs.Counter
-	errors obs.Counter
-	bytes  obs.Counter
+	ops      [protocol.OpCount]obs.Counter
+	errors   obs.Counter
+	errCodes [protocol.OpCount][protocol.CodeCount]obs.Counter
+	bytes    obs.Counter
+}
+
+// countError charges one failed request to the aggregate and the
+// per-op × per-code counters.
+func (ps *protoStats) countError(op protocol.Op, code int) {
+	ps.errors.Inc()
+	if op > 0 && op < protocol.OpCount && code > 0 && code < protocol.CodeCount {
+		ps.errCodes[op][code].Inc()
+	}
 }
 
 // initObs builds the dispatcher's registry, rings and histograms and
@@ -50,6 +68,8 @@ func (d *Dispatcher) initObs() {
 	d.slowRing = obs.NewRing(traceRingSize)
 	d.slowNs.Store(int64(DefaultSlowThreshold))
 	d.heat = obs.NewHeatMap()
+	d.tracer = obs.NewTracer("nest", spanRingSize)
+	d.tracer.SetSlowThreshold(DefaultSlowThreshold)
 
 	d.reg.Func("nest_dispatch_hot_paths", func() int64 { return d.heat.Len() })
 
@@ -84,6 +104,7 @@ func (d *Dispatcher) initObs() {
 		return int64(len(transfer.ActiveStriped()))
 	})
 	d.reg.Func("nest_trace_drops_total", func() int64 { return d.ring.Drops() + d.slowRing.Drops() })
+	d.reg.Func("nest_span_drops_total", func() int64 { return d.tracer.Drops() })
 
 	// Per-protocol × per-op request counts, errors and bytes: a labeled
 	// family whose members appear as protocols connect, emitted from
@@ -103,6 +124,14 @@ func (d *Dispatcher) initObs() {
 				}
 			}
 			emit(fmt.Sprintf("nest_dispatch_errors_total{proto=%q}", p), float64(ps.errors.Value()))
+			for op := protocol.Op(1); op < protocol.OpCount; op++ {
+				for code := 1; code < protocol.CodeCount; code++ {
+					if n := ps.errCodes[op][code].Value(); n > 0 {
+						emit(fmt.Sprintf("nest_dispatch_errors_total{proto=%q,op=%q,code=%q}",
+							p, op, protocol.CodeLabel(code)), float64(n))
+					}
+				}
+			}
 			emit(fmt.Sprintf("nest_dispatch_bytes_total{proto=%q}", p), float64(ps.bytes.Value()))
 		}
 	})
@@ -125,8 +154,25 @@ func (d *Dispatcher) Traces() []obs.Trace { return d.ring.Snapshot() }
 func (d *Dispatcher) SlowTraces() []obs.Trace { return d.slowRing.Snapshot() }
 
 // SetSlowThreshold adjusts the latency above which every request is
-// traced. Zero or negative disables slow tracing.
-func (d *Dispatcher) SetSlowThreshold(t time.Duration) { d.slowNs.Store(int64(t)) }
+// traced (flat trace ring and slow span index alike). Zero or negative
+// disables slow tracing.
+func (d *Dispatcher) SetSlowThreshold(t time.Duration) {
+	d.slowNs.Store(int64(t))
+	d.tracer.SetSlowThreshold(t)
+}
+
+// recordSpan records the request's own span: its trace identity,
+// causal parent (propagated from the peer, if any), reply code and
+// latency. Sampled-out control ops pass total=0 — identity without
+// timing, at the cost of one ring write and no clock reads.
+func (d *Dispatcher) recordSpan(req *protocol.Request, code int, bytes int64, arrived, total time.Duration) {
+	d.tracer.Record(&obs.Span{
+		Trace: req.TraceID, ID: req.SpanID, Parent: req.ParentSpan,
+		Stage: "request", Proto: req.Proto, Op: req.Op.String(),
+		User: req.User, Path: req.Path, Code: code, Bytes: bytes,
+		Start: arrived, Dur: total,
+	})
+}
 
 // protoStatsFor resolves (or creates) the instrument block for one
 // protocol. Sessions call it once; the map is copy-on-write so the
@@ -187,8 +233,11 @@ func (d *Dispatcher) maybeTrace(sampled bool, req *protocol.Request, code int, b
 // StatusPage serves the observability endpoints from whatever HTTP
 // surface the appliance exposes: "/metrics" is the machine-readable
 // registry text, "/statusz" a human summary with recent and slow
-// traces, "/healthz" a liveness probe. It reports false for paths it
-// does not own, so protocol handlers fall through to normal file ops.
+// traces, "/healthz" a liveness probe, "/traces" the rendered span
+// trees ("/traces.json" the raw spans, "/traces/<hex id>" one trace's
+// spans as JSON — the unit nestctl merges across appliances). It
+// reports false for paths it does not own, so protocol handlers fall
+// through to normal file ops.
 func (d *Dispatcher) StatusPage(path string) (string, bool) {
 	switch path {
 	case "/metrics":
@@ -197,8 +246,95 @@ func (d *Dispatcher) StatusPage(path string) (string, bool) {
 		return "ok\n", true
 	case "/statusz":
 		return d.statusz(), true
+	case "/traces":
+		return d.tracesPage(), true
+	case "/traces.json":
+		return spanJSON(d.tracer.Snapshot()), true
+	case "/traces/slow":
+		return d.slowTracesPage(), true
+	}
+	if strings.HasPrefix(path, "/traces/") {
+		id, err := strconv.ParseUint(strings.TrimPrefix(path, "/traces/"), 16, 64)
+		if err != nil {
+			return "bad trace id (want hex)\n", true
+		}
+		return spanJSON(d.tracer.Spans(id)), true
 	}
 	return "", false
+}
+
+// spanJSON renders spans as a JSON array (always an array, never
+// null, so clients can merge without nil checks).
+func spanJSON(spans []obs.Span) string {
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	b, err := json.Marshal(spans)
+	if err != nil {
+		return "[]\n"
+	}
+	return string(b) + "\n"
+}
+
+// tracesPage renders the recent and slow trace trees.
+func (d *Dispatcher) tracesPage() string {
+	var b strings.Builder
+	b.WriteString("NeST traces\n===========\n\n")
+	fmt.Fprintf(&b, "appliance: %s   span ring: %d entries   drops: %d   slow threshold: %v\n",
+		d.tracer.Appliance(), spanRingSize, d.tracer.Drops(), d.tracer.SlowThreshold())
+	b.WriteString("(spans recorded here only; merge /traces/<id> across appliances for federated trees)\n")
+
+	spans := d.tracer.Snapshot()
+	byTrace := make(map[uint64][]obs.Span, len(spans))
+	order := make([]uint64, 0, len(spans))
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	const maxTrees = 8
+	fmt.Fprintf(&b, "\nrecent traces (%d, newest first)\n", len(order))
+	shown := 0
+	for i := len(order) - 1; i >= 0 && shown < maxTrees; i-- {
+		id := order[i]
+		fmt.Fprintf(&b, "\ntrace %x (%d spans)\n", id, len(byTrace[id]))
+		obs.WriteTree(&b, obs.AssembleTrace(byTrace[id]))
+		shown++
+	}
+
+	b.WriteString("\n")
+	d.writeSlowTraces(&b, maxTrees)
+	return b.String()
+}
+
+// slowTracesPage renders only the slow-trace trees ("/traces/slow",
+// nestctl traces -slow).
+func (d *Dispatcher) slowTracesPage() string {
+	var b strings.Builder
+	b.WriteString("NeST slow traces\n================\n\n")
+	fmt.Fprintf(&b, "appliance: %s   slow threshold: %v\n",
+		d.tracer.Appliance(), d.tracer.SlowThreshold())
+	d.writeSlowTraces(&b, 16)
+	return b.String()
+}
+
+// writeSlowTraces appends up to max slow-trace trees, newest first.
+func (d *Dispatcher) writeSlowTraces(b *strings.Builder, max int) {
+	slow := d.tracer.SlowRoots()
+	fmt.Fprintf(b, "\nslow traces (%d, newest first)\n", len(slow))
+	shown := 0
+	seen := make(map[uint64]bool)
+	for i := len(slow) - 1; i >= 0 && shown < max; i-- {
+		id := slow[i].Trace
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		fmt.Fprintf(b, "\ntrace %x\n", id)
+		obs.WriteTree(b, obs.AssembleTrace(d.tracer.Spans(id)))
+		shown++
+	}
 }
 
 func (d *Dispatcher) statusz() string {
@@ -212,7 +348,9 @@ func (d *Dispatcher) statusz() string {
 	handoff, pooled := transfer.DataPathStats()
 	fmt.Fprintf(&b, "data path chunks: zero-copy handoff: %d   pooled pump: %d\n", handoff, pooled)
 	stripedTotal, stripedWidth := transfer.StripedStats()
-	fmt.Fprintf(&b, "striped transfers: %d total   last width: %d\n\n", stripedTotal, stripedWidth)
+	fmt.Fprintf(&b, "striped transfers: %d total   last width: %d\n", stripedTotal, stripedWidth)
+	fmt.Fprintf(&b, "trace rings: trace drops: %d   span drops: %d\n\n",
+		d.ring.Drops()+d.slowRing.Drops(), d.tracer.Drops())
 
 	if active := transfer.ActiveStriped(); len(active) > 0 {
 		b.WriteString("active striped transfers\n")

@@ -1,10 +1,12 @@
 package ftp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/textproto"
+	"strconv"
 	"strings"
 
 	"nest/internal/bufpool"
@@ -21,6 +23,12 @@ type Client struct {
 	text *textproto.Conn
 	mode byte
 	par  int
+	// noTrcx marks a server that rejected SITE TRCX; further trace
+	// context is skipped silently (old peers keep working untraced).
+	noTrcx bool
+	// lastTrace is the trace id echoed in the most recent 226 reply's
+	// trcx= tail, or 0 when the server sent none.
+	lastTrace uint64
 }
 
 // Dial connects to an FTP server and consumes the greeting.
@@ -126,6 +134,48 @@ func (c *Client) Spor(addr string) error {
 	return err
 }
 
+// SetTraceContext propagates distributed-trace context via SITE TRCX.
+// The context is sticky on the server until replaced. Returns whether
+// the peer accepted it: servers predating the extension answer 502 (or
+// 501/504), which is remembered and the call becomes a silent no-op —
+// tracing never breaks interop with old appliances. Only transport
+// errors are returned.
+func (c *Client) SetTraceContext(trace, parent uint64) (bool, error) {
+	if c.noTrcx {
+		return false, nil
+	}
+	_, _, err := c.cmd(200, "SITE TRCX %x %x", trace, parent)
+	if err == nil {
+		return true, nil
+	}
+	var te *textproto.Error
+	if errors.As(err, &te) {
+		c.noTrcx = true
+		return false, nil
+	}
+	return false, err
+}
+
+// LastTrace returns the trace id the server echoed in its most recent
+// 226 transfer-complete reply (the trcx= tail), or 0.
+func (c *Client) LastTrace() uint64 { return c.lastTrace }
+
+// readComplete consumes a 226 transfer-complete reply and captures the
+// optional trcx= trace-id tail.
+func (c *Client) readComplete() error {
+	_, msg, err := c.text.ReadResponse(226)
+	if err != nil {
+		return err
+	}
+	c.lastTrace = 0
+	if i := strings.LastIndex(msg, "trcx="); i >= 0 {
+		if id, perr := strconv.ParseUint(strings.TrimSpace(msg[i+len("trcx="):]), 16, 64); perr == nil {
+			c.lastTrace = id
+		}
+	}
+	return nil
+}
+
 // Quit closes the session politely.
 func (c *Client) Quit() error {
 	c.cmd(221, "QUIT")
@@ -215,8 +265,7 @@ func (c *Client) Retr(path string, w io.Writer) (int64, error) {
 	if err != nil {
 		return moved, err
 	}
-	_, _, err = c.text.ReadResponse(226)
-	return moved, err
+	return moved, c.readComplete()
 }
 
 // Stor uploads r to path, returning the byte count.
@@ -251,8 +300,7 @@ func (c *Client) Stor(path string, r io.Reader) (int64, error) {
 	if err != nil {
 		return moved, err
 	}
-	_, _, err = c.text.ReadResponse(226)
-	return moved, err
+	return moved, c.readComplete()
 }
 
 // copyChunked feeds the MODE E sender in bounded writes so blocks stay
@@ -295,7 +343,7 @@ func (c *Client) Nlst(path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := c.text.ReadResponse(226); err != nil {
+	if err := c.readComplete(); err != nil {
 		return nil, err
 	}
 	var names []string
@@ -363,6 +411,5 @@ func (c *Client) BeginRetr(path string) error {
 
 // AwaitComplete consumes the pending 226 transfer-complete reply.
 func (c *Client) AwaitComplete() error {
-	_, _, err := c.text.ReadResponse(226)
-	return err
+	return c.readComplete()
 }

@@ -88,6 +88,13 @@ type session struct {
 	port   string       // armed by PORT, consumed by the next transfer
 	dataLn net.Listener // listener a transfer is actively accepting on
 
+	// Sticky trace context set by SITE TRCX: stamped on every request
+	// until replaced. Sticky rather than one-shot because third-party
+	// orchestration interleaves commands (SIZE between TRCX and RETR).
+	trcTrace  uint64
+	trcParent uint64
+	sawTrcx   bool // peer speaks TRCX: safe to append trcx= reply tails
+
 	inData *protocol.Request
 	// dataErrReply overrides the post-transfer reply code on failures
 	// detected while opening the data channel.
@@ -234,14 +241,19 @@ func (s *session) Next() (*protocol.Request, error) {
 		if err != nil {
 			return nil, err
 		}
-		req := &protocol.Request{Proto: s.opts.ProtoName, User: s.user}
+		req := &protocol.Request{
+			Proto:      s.opts.ProtoName,
+			User:       s.user,
+			TraceID:    s.trcTrace,
+			ParentSpan: s.trcParent,
+		}
 		switch cmd {
 		case "NOOP":
 			err = s.reply(200, "ok")
 		case "SYST":
 			err = s.reply(215, "UNIX Type: L8 (NeST)")
 		case "FEAT":
-			feats := "211-SIZE\r\n211-PASV\r\n"
+			feats := "211-SIZE\r\n211-PASV\r\n211-SITE TRCX\r\n"
 			if s.opts.EnableModeE {
 				feats += "211-MODE E\r\n211-PARALLEL\r\n"
 			}
@@ -264,6 +276,11 @@ func (s *session) Next() (*protocol.Request, error) {
 			}
 		case "OPTS":
 			err = s.handleOpts(arg)
+		case "SITE":
+			// SITE TRCX <trace-hex> <parent-span-hex> carries distributed
+			// trace context. Servers without the extension answer any SITE
+			// with 502, which clients treat as "peer does not trace".
+			err = s.handleSite(arg)
 		case "PWD":
 			err = s.reply(257, "%q is the current directory", s.cwd)
 		case "CWD":
@@ -372,6 +389,27 @@ const (
 	tagLIST
 	tagNLST
 )
+
+// handleSite dispatches SITE subcommands. Only TRCX (trace-context
+// propagation) is understood; anything else gets the same 502 an
+// extension-free server would send for SITE itself.
+func (s *session) handleSite(arg string) error {
+	toks := strings.Fields(arg)
+	if len(toks) == 0 || !strings.EqualFold(toks[0], "TRCX") {
+		return s.reply(502, "SITE subcommand not implemented")
+	}
+	if len(toks) != 3 {
+		return s.reply(501, "usage: SITE TRCX <trace-hex> <parent-span-hex>")
+	}
+	trace, err1 := strconv.ParseUint(toks[1], 16, 64)
+	parent, err2 := strconv.ParseUint(toks[2], 16, 64)
+	if err1 != nil || err2 != nil {
+		return s.reply(501, "bad trace context (want hex ids)")
+	}
+	s.trcTrace, s.trcParent = trace, parent
+	s.sawTrcx = true
+	return s.reply(200, "trace context set")
+}
 
 func (s *session) handleOpts(arg string) error {
 	// "OPTS RETR Parallelism=n,n,n;" per the GridFTP draft.
@@ -546,6 +584,13 @@ func (s *session) Reply(req *protocol.Request, rep *protocol.Reply) error {
 	if s.inData == req {
 		s.inData = nil
 		if rep.OK() {
+			if s.sawTrcx && req.TraceID != 0 {
+				// Echo the trace identity so orchestrators that did not
+				// mint the trace themselves can still link this leg. Only
+				// emitted once the peer has spoken TRCX, so sessions with
+				// seed-era clients see byte-identical replies.
+				return s.reply(226, "transfer complete (%d bytes) trcx=%x", rep.Size, req.TraceID)
+			}
 			return s.reply(226, "transfer complete (%d bytes)", rep.Size)
 		}
 		return s.reply(451, "transfer failed: %s", rep.Message)

@@ -14,6 +14,7 @@ import (
 	"nest/internal/gridftp"
 	"nest/internal/gsi"
 	"nest/internal/nfs"
+	"nest/internal/obs"
 	"nest/internal/replica"
 )
 
@@ -71,6 +72,12 @@ type Manager struct {
 	collector *discovery.Collector
 	sites     map[string]Site // name -> endpoints
 	mu        sync.Mutex
+
+	// tracer, when set, mints one trace per Execute and records
+	// stage.in/stage.out spans, propagating context to every appliance
+	// touched so the whole scenario assembles as one tree.
+	tracer *obs.Tracer
+	epoch  time.Time
 }
 
 // NewManager builds a manager over a discovery collector plus the
@@ -81,6 +88,20 @@ func NewManager(collector *discovery.Collector, sites []Site) *Manager {
 		m.sites[s.Name] = s
 	}
 	return m
+}
+
+// SetTracer enables span recording for scenario runs. Call before
+// Execute.
+func (m *Manager) SetTracer(t *obs.Tracer) {
+	m.tracer = t
+	m.epoch = time.Now()
+}
+
+// span records one manager-side span when tracing is on.
+func (m *Manager) span(s *obs.Span) {
+	if m.tracer != nil {
+		m.tracer.Record(s)
+	}
 }
 
 // selectSite matches the plan's storage requirements against published
@@ -143,12 +164,33 @@ func (m *Manager) stageSource(input string, home Site, execSite string) (string,
 // submitted to us, (2) create a lot at the chosen site via Chirp,
 // (3) GridFTP third-party stage-in, (4) run jobs over NFS, (5) GridFTP
 // third-party stage-out, (6) terminate the lot.
-func (m *Manager) Execute(p *Plan) (*Report, error) {
+func (m *Manager) Execute(p *Plan) (rep *Report, err error) {
 	site, err := m.selectSite(p)
 	if err != nil {
 		return nil, err
 	}
 	report := &Report{Site: site.Name}
+
+	// One trace spans the whole scenario: the execute root, a stage
+	// span per transfer, and — via context propagation — the request
+	// spans recorded inside every appliance touched.
+	var trace, execID uint64
+	if t := m.tracer; t != nil {
+		trace, execID = t.NewTraceID(), t.NewSpanID()
+		begin := time.Since(m.epoch)
+		defer func() {
+			code := 0
+			if err != nil {
+				code = 1
+			}
+			t.Record(&obs.Span{
+				Trace: trace, ID: execID,
+				Stage: "gridmgr.execute", Code: code,
+				Start: begin, Dur: time.Since(m.epoch) - begin,
+				Notes: [2]obs.SpanNote{{Key: "site", Str: site.Name}},
+			})
+		}()
+	}
 
 	// Step 2: guarantee space with a Chirp lot.
 	cc, err := chirp.Dial(site.Chirp, p.Cred)
@@ -156,6 +198,11 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 		return nil, fmt.Errorf("gridmgr: chirp to %s: %w", site.Name, err)
 	}
 	defer cc.Close()
+	if trace != 0 {
+		if _, err := cc.SetTraceContext(trace, execID); err != nil {
+			return nil, fmt.Errorf("gridmgr: trace context to %s: %w", site.Name, err)
+		}
+	}
 	lot, err := cc.LotCreate(p.NeedBytes, p.LotDuration)
 	if err != nil {
 		return nil, fmt.Errorf("gridmgr: lot creation: %w", err)
@@ -212,13 +259,30 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 		srcConns[addr] = c
 		return c, name
 	}
+	// setCtx re-points an endpoint's sticky trace context at one stage
+	// span; best-effort, so peers without the extension run untraced.
+	setCtx := func(parent uint64, conns ...*ftp.Client) {
+		if trace == 0 {
+			return
+		}
+		for _, c := range conns {
+			_, _ = c.SetTraceContext(trace, parent)
+		}
+	}
 	for _, input := range p.InputFiles {
 		input := input
 		name := "stage-in:" + input
 		dag.AddFunc(name, func() error {
 			xferMu.Lock()
 			defer xferMu.Unlock()
+			var stageID uint64
+			var begin time.Duration
+			if m.tracer != nil {
+				stageID = m.tracer.NewSpanID()
+				begin = time.Since(m.epoch)
+			}
 			src, srcName := srcFor(input)
+			setCtx(stageID, src, remote)
 			size, err := src.Size(input)
 			if err == nil {
 				err = gridftp.ThirdParty(src, input, remote, input)
@@ -226,9 +290,23 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 			if err != nil && src != home {
 				// Replica failed mid-stage: fall back to home.
 				src, srcName = home, p.Home.Name
+				setCtx(stageID, src)
 				if size, err = src.Size(input); err == nil {
 					err = gridftp.ThirdParty(src, input, remote, input)
 				}
+			}
+			if m.tracer != nil {
+				code := 0
+				if err != nil {
+					code = 1
+				}
+				m.span(&obs.Span{
+					Trace: trace, ID: stageID, Parent: execID,
+					Stage: "stage.in", Proto: "gridftp", Op: "put", Path: input,
+					Code: code, Bytes: size,
+					Start: begin, Dur: time.Since(m.epoch) - begin,
+					Notes: [2]obs.SpanNote{{Key: "src", Str: srcName}, {Key: "dst", Str: site.Name}},
+				})
 			}
 			if err != nil {
 				return err
@@ -300,11 +378,32 @@ func (m *Manager) Execute(p *Plan) (*Report, error) {
 		dag.AddFunc(name, func() error {
 			xferMu.Lock()
 			defer xferMu.Unlock()
-			dst := p.OutputDir + "/" + baseName(job.Output)
-			if err := gridftp.ThirdParty(remote, job.Output, home, dst); err != nil {
-				return err
+			var stageID uint64
+			var begin time.Duration
+			if m.tracer != nil {
+				stageID = m.tracer.NewSpanID()
+				begin = time.Since(m.epoch)
 			}
-			size, err := home.Size(dst)
+			setCtx(stageID, remote, home)
+			dst := p.OutputDir + "/" + baseName(job.Output)
+			err := gridftp.ThirdParty(remote, job.Output, home, dst)
+			var size int64
+			if err == nil {
+				size, err = home.Size(dst)
+			}
+			if m.tracer != nil {
+				code := 0
+				if err != nil {
+					code = 1
+				}
+				m.span(&obs.Span{
+					Trace: trace, ID: stageID, Parent: execID,
+					Stage: "stage.out", Proto: "gridftp", Op: "put", Path: job.Output,
+					Code: code, Bytes: size,
+					Start: begin, Dur: time.Since(m.epoch) - begin,
+					Notes: [2]obs.SpanNote{{Key: "src", Str: site.Name}, {Key: "dst", Str: p.Home.Name}},
+				})
+			}
 			if err != nil {
 				return err
 			}

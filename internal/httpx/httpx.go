@@ -157,6 +157,18 @@ func (s *session) next1() (req *protocol.Request, served bool, err error) {
 		}
 	}
 	req = &protocol.Request{Proto: Proto, User: gsi.Anonymous, Path: u.Path}
+	// Trace-Context is the distributed-tracing extension header:
+	// "<trace-hex>.<parent-span-hex>". Unknown headers were always
+	// ignored, so old clients and servers interoperate unchanged.
+	if tc := headers["trace-context"]; tc != "" {
+		if dot := strings.IndexByte(tc, '.'); dot > 0 {
+			trace, err1 := strconv.ParseUint(tc[:dot], 16, 64)
+			parent, err2 := strconv.ParseUint(tc[dot+1:], 16, 64)
+			if err1 == nil && err2 == nil {
+				req.TraceID, req.ParentSpan = trace, parent
+			}
+		}
+	}
 	s.head = false
 	switch method {
 	case "GET":

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Distributed tracing: where Trace is a flat, single-appliance record
+// of one request, a Span is one *stage* of one logical request — a
+// dispatcher decode, a scheduler queue wait, a data phase, one stripe
+// of a striped transfer, one replica-failover attempt, a gridmgr
+// stage-in — identified by (trace ID, span ID, parent span ID) so the
+// stages stitch into a causal tree at export time, even when they were
+// recorded on different appliances. The recording discipline matches
+// the trace ring exactly: fixed-size records, a lock-free bounded
+// ring, zero allocation on the record path (string fields are header
+// copies of static names or request-backed memory).
+
+// SpanNote is one fixed annotation slot on a Span: a static key with
+// either a string value (a header copy — peer address, model name) or
+// a numeric one (stripe index, attempt number), rendered at export
+// time so recording never formats.
+type SpanNote struct {
+	Key string
+	Str string
+	Num int64
+}
+
+// Span is one stage of one distributed request.
+type Span struct {
+	// Trace identifies the logical request; every span of the request,
+	// on every appliance it touches, carries the same value.
+	Trace uint64
+	// ID is this span's fleet-unique identity; Parent is the span this
+	// stage is causally nested under (0 for the root).
+	ID     uint64
+	Parent uint64
+	// Stage names what the span measures ("request", "sched.wait",
+	// "data", "stripe", "replica.fetch", "replica.attempt",
+	// "stage.in"). Always a static string.
+	Stage string
+	// Appliance is the advertised name of the appliance that recorded
+	// the span — the field that makes merged cross-appliance trees
+	// readable.
+	Appliance string
+	// Request identity (root request spans; empty on interior spans).
+	Proto string
+	Op    string
+	User  string
+	Path  string
+	// Code is the protocol reply code the stage resolved to (0 = ok);
+	// Bytes is the payload moved, where the stage moves any.
+	Code  int
+	Bytes int64
+	// Start is the recording appliance's clock at stage begin; Dur is
+	// the stage latency (0 when the stage was not individually timed —
+	// sampled-out control ops still record their identity).
+	Start time.Duration
+	Dur   time.Duration
+	// Notes are the span's fixed annotation slots.
+	Notes [2]SpanNote
+}
+
+// spanSlot is one SpanRing entry; see traceSlot for the claim-flag
+// discipline.
+type spanSlot struct {
+	state atomic.Int32
+	s     Span
+}
+
+// SpanRing is a fixed-size lock-free buffer of recent spans, with the
+// same slot-claim discipline as Ring: writers claim round-robin via an
+// atomic cursor, spin briefly against a concurrent snapshot, and drop
+// (counted) rather than block. The zero SpanRing is not usable — call
+// NewSpanRing.
+type SpanRing struct {
+	mask   uint64
+	cursor atomic.Uint64
+	drops  atomic.Int64
+	slots  []spanSlot
+}
+
+// NewSpanRing returns a ring holding the most recent n spans (rounded
+// up to a power of two, minimum 8).
+func NewSpanRing(n int) *SpanRing {
+	size := 8
+	for size < n {
+		size <<= 1
+	}
+	return &SpanRing{mask: uint64(size - 1), slots: make([]spanSlot, size)}
+}
+
+// Record stores a copy of s, overwriting the oldest entry. It never
+// blocks and never allocates; a slot held by a concurrent snapshot is
+// abandoned after a short spin and the span dropped (counted).
+func (r *SpanRing) Record(s *Span) {
+	slot := &r.slots[(r.cursor.Add(1)-1)&r.mask]
+	for try := 0; !slot.state.CompareAndSwap(0, 1); try++ {
+		if try == 16 {
+			r.drops.Add(1)
+			return
+		}
+	}
+	slot.s = *s
+	slot.state.Store(0)
+}
+
+// Drops reports spans discarded because their slot was contended.
+func (r *SpanRing) Drops() int64 { return r.drops.Load() }
+
+// Cap reports the ring capacity in entries.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Snapshot copies the ring's current entries ordered oldest-first by
+// start time (span IDs are minted across appliances, so time is the
+// only meaningful order). Slots held by a concurrent writer are
+// skipped rather than waited for.
+func (r *SpanRing) Snapshot() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		slot := &r.slots[i]
+		if !slot.state.CompareAndSwap(0, 1) {
+			continue
+		}
+		s := slot.s
+		slot.state.Store(0)
+		if s.ID != 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Tracer mints trace and span identities and records spans for one
+// appliance. IDs carry an appliance-derived tag in their high bits so
+// identities minted independently across a federation do not collide;
+// the low bits are a dense local counter.
+type Tracer struct {
+	appliance string // set at wiring time, before any recording
+	idBase    uint64
+	nextID    atomic.Uint64
+	slowNs    atomic.Int64
+	ring      *SpanRing
+	slow      *SpanRing // root spans over the slow threshold
+}
+
+// spanIDBits is the width of the dense per-appliance counter; the bits
+// above it hold the appliance tag.
+const spanIDBits = 40
+
+// NewTracer returns a tracer recording into a ring of n spans.
+func NewTracer(appliance string, n int) *Tracer {
+	t := &Tracer{
+		ring: NewSpanRing(n),
+		slow: NewSpanRing(n / 4),
+	}
+	t.SetAppliance(appliance)
+	return t
+}
+
+// SetAppliance renames the tracer's appliance tag. Call at wiring
+// time, before any goroutine records or mints — the fields are plain.
+func (t *Tracer) SetAppliance(name string) {
+	t.appliance = name
+	// FNV-1a over the name seeds the ID tag; the counter keeps running
+	// so a rename never reissues an ID.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h |= 1 << (64 - spanIDBits - 1) // never zero, even for the empty name
+	t.idBase = h << spanIDBits
+}
+
+// Appliance returns the tracer's appliance name.
+func (t *Tracer) Appliance() string { return t.appliance }
+
+// NewTraceID mints a fleet-unique trace identity.
+func (t *Tracer) NewTraceID() uint64 { return t.idBase | (t.nextID.Add(1) & (1<<spanIDBits - 1)) }
+
+// NewSpanID mints a fleet-unique span identity (same space as trace
+// IDs).
+func (t *Tracer) NewSpanID() uint64 { return t.NewTraceID() }
+
+// SetSlowThreshold sets the root-span duration above which a trace is
+// indexed in the slow ring. Zero or negative disables slow indexing.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-trace threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNs.Load()) }
+
+// Record stamps the appliance on s and stores it. Root spans (no
+// parent) whose duration meets the slow threshold are additionally
+// indexed in the slow ring. The record path performs no allocation.
+func (t *Tracer) Record(s *Span) {
+	s.Appliance = t.appliance
+	t.ring.Record(s)
+	if slow := t.slowNs.Load(); s.Parent == 0 && slow > 0 && int64(s.Dur) >= slow {
+		t.slow.Record(s)
+	}
+}
+
+// Drops reports spans discarded on ring contention.
+func (t *Tracer) Drops() int64 { return t.ring.Drops() + t.slow.Drops() }
+
+// Snapshot returns the ring's current spans, oldest first.
+func (t *Tracer) Snapshot() []Span { return t.ring.Snapshot() }
+
+// SlowRoots returns recent root spans that exceeded the slow
+// threshold, oldest first.
+func (t *Tracer) SlowRoots() []Span { return t.slow.Snapshot() }
+
+// Spans returns the recorded spans of one trace, oldest first.
+func (t *Tracer) Spans(trace uint64) []Span {
+	var out []Span
+	for _, s := range t.ring.Snapshot() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanNode is one node of an assembled trace tree.
+type SpanNode struct {
+	Span     Span
+	Children []*SpanNode
+}
+
+// AssembleTrace stitches spans (from any number of appliances) into
+// trees by parentage: children sort under their parent by start time,
+// spans whose parent is absent become roots (a partial view — one
+// appliance's ring rolled over — still renders). Duplicate span IDs
+// (the same appliance exported twice) collapse to one node.
+func AssembleTrace(spans []Span) []*SpanNode {
+	byID := make(map[uint64]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for i := range spans {
+		s := spans[i]
+		if byID[s.ID] != nil {
+			continue
+		}
+		n := &SpanNode{Span: s}
+		byID[s.ID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if p := byID[n.Span.Parent]; p != nil && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			if ns[i].Span.Start != ns[j].Span.Start {
+				return ns[i].Span.Start < ns[j].Span.Start
+			}
+			return ns[i].Span.ID < ns[j].Span.ID
+		})
+	}
+	for _, n := range order {
+		byStart(n.Children)
+	}
+	byStart(roots)
+	return roots
+}
+
+// WriteTree renders an assembled trace as indented text, one span per
+// line, depth showing parentage.
+func WriteTree(w io.Writer, roots []*SpanNode) {
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		s := n.Span
+		fmt.Fprintf(w, "%s[%s] %s", strings.Repeat("  ", depth), s.Appliance, s.Stage)
+		if s.Proto != "" || s.Op != "" {
+			fmt.Fprintf(w, " %s.%s", s.Proto, s.Op)
+		}
+		if s.Path != "" {
+			fmt.Fprintf(w, " %s", s.Path)
+		}
+		fmt.Fprintf(w, "  code=%d", s.Code)
+		if s.Bytes != 0 {
+			fmt.Fprintf(w, " bytes=%d", s.Bytes)
+		}
+		fmt.Fprintf(w, " start=%v dur=%v", s.Start, s.Dur)
+		for _, note := range s.Notes {
+			if note.Key == "" {
+				continue
+			}
+			if note.Str != "" {
+				fmt.Fprintf(w, " %s=%s", note.Key, note.Str)
+			} else {
+				fmt.Fprintf(w, " %s=%d", note.Key, note.Num)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// RenderTrace assembles and renders spans as an indented tree.
+func RenderTrace(spans []Span) string {
+	var sb strings.Builder
+	WriteTree(&sb, AssembleTrace(spans))
+	return sb.String()
+}

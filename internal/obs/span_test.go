@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRingRecordAndSnapshot(t *testing.T) {
+	r := NewSpanRing(8)
+	for i := 1; i <= 5; i++ {
+		r.Record(&Span{Trace: 1, ID: uint64(i), Start: time.Duration(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("snapshot len = %d, want 5", len(got))
+	}
+	for i, s := range got {
+		if s.ID != uint64(i+1) {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (oldest first)", i, s.ID, i+1)
+		}
+	}
+	// Overflow keeps only the newest Cap() entries.
+	for i := 6; i <= 20; i++ {
+		r.Record(&Span{Trace: 1, ID: uint64(i), Start: time.Duration(i)})
+	}
+	got = r.Snapshot()
+	if len(got) != r.Cap() {
+		t.Fatalf("after overflow: len = %d, want %d", len(got), r.Cap())
+	}
+	if got[len(got)-1].ID != 20 {
+		t.Fatalf("newest ID = %d, want 20", got[len(got)-1].ID)
+	}
+}
+
+func TestTracerIDsDistinctAcrossAppliances(t *testing.T) {
+	a := NewTracer("nest-a", 64)
+	b := NewTracer("nest-b", 64)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			id := tr.NewTraceID()
+			if id == 0 {
+				t.Fatal("minted zero ID")
+			}
+			if seen[id] {
+				t.Fatalf("duplicate ID %#x across appliances", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTracerSlowRoots(t *testing.T) {
+	tr := NewTracer("nest-0", 64)
+	tr.SetSlowThreshold(10 * time.Millisecond)
+	tr.Record(&Span{Trace: 1, ID: 1, Stage: "request", Dur: time.Millisecond})
+	tr.Record(&Span{Trace: 2, ID: 2, Stage: "request", Dur: 20 * time.Millisecond})
+	// Slow child spans do not index: only roots mark a trace slow.
+	tr.Record(&Span{Trace: 3, ID: 3, Parent: 9, Stage: "data", Dur: time.Second})
+	slow := tr.SlowRoots()
+	if len(slow) != 1 || slow[0].Trace != 2 {
+		t.Fatalf("slow roots = %+v, want exactly trace 2", slow)
+	}
+	if got := tr.Spans(2); len(got) != 1 || got[0].Appliance != "nest-0" {
+		t.Fatalf("Spans(2) = %+v, want one span stamped nest-0", got)
+	}
+}
+
+func TestAssembleTraceParentage(t *testing.T) {
+	spans := []Span{
+		{Trace: 7, ID: 1, Stage: "request", Start: 0, Appliance: "a"},
+		{Trace: 7, ID: 2, Parent: 1, Stage: "sched.wait", Start: 1, Appliance: "a"},
+		{Trace: 7, ID: 3, Parent: 1, Stage: "data", Start: 2, Appliance: "a"},
+		{Trace: 7, ID: 4, Parent: 3, Stage: "stripe", Start: 2, Appliance: "a"},
+		// A remote appliance's server-side span, parented under the
+		// client's data span; plus a duplicate export to collapse.
+		{Trace: 7, ID: 5, Parent: 3, Stage: "request", Start: 3, Appliance: "b"},
+		{Trace: 7, ID: 5, Parent: 3, Stage: "request", Start: 3, Appliance: "b"},
+		// An orphan (its parent fell out of a ring) surfaces as a root.
+		{Trace: 7, ID: 6, Parent: 99, Stage: "data", Start: 4, Appliance: "b"},
+	}
+	roots := AssembleTrace(spans)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (true root + orphan)", len(roots))
+	}
+	root := roots[0]
+	if root.Span.ID != 1 || len(root.Children) != 2 {
+		t.Fatalf("root = %+v with %d children, want ID 1 with 2", root.Span, len(root.Children))
+	}
+	data := root.Children[1]
+	if data.Span.ID != 3 || len(data.Children) != 2 {
+		t.Fatalf("data node = %+v with %d children, want ID 3 with 2 (stripe + remote)", data.Span, len(data.Children))
+	}
+	text := RenderTrace(spans)
+	if !strings.Contains(text, "[b] request") || !strings.Contains(text, "    ") {
+		t.Fatalf("rendered tree missing remote span or indentation:\n%s", text)
+	}
+}
+
+// TestSpanRecordZeroAlloc is the allocation guard on the record path:
+// a full Span record through the Tracer must not allocate.
+func TestSpanRecordZeroAlloc(t *testing.T) {
+	tr := NewTracer("nest-0", 256)
+	tr.SetSlowThreshold(time.Millisecond)
+	s := Span{
+		Trace: tr.NewTraceID(), ID: tr.NewSpanID(), Stage: "request",
+		Proto: "chirp", Op: "get", User: "alice", Path: "/f",
+		Bytes: 4096, Start: time.Second, Dur: 2 * time.Second,
+		Notes: [2]SpanNote{{Key: "stripe", Num: 3}},
+	}
+	if n := testing.AllocsPerRun(100, func() { tr.Record(&s) }); n != 0 {
+		t.Fatalf("Tracer.Record allocates %.1f times per op, want 0", n)
+	}
+}
+
+// BenchmarkSpanRecord is the CI bench-smoke guard for the span record
+// path: 0 allocs/op, a few nanoseconds.
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := NewTracer("nest-0", 1024)
+	s := Span{
+		Trace: 1, ID: 2, Parent: 3, Stage: "data",
+		Proto: "chirp", Op: "get", Path: "/bench", Bytes: 1 << 20,
+		Start: time.Second, Dur: time.Millisecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ID = uint64(i + 1)
+		tr.Record(&s)
+	}
+}

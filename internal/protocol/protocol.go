@@ -101,6 +101,11 @@ const (
 	CodeIsDir      = 8
 	CodeInternal   = 9
 	CodeNoLot      = 10
+
+	// CodeCount bounds the reply-code space; observability sizes
+	// fixed-width per-code counter arrays with it so recording never
+	// allocates.
+	CodeCount = 11
 )
 
 var codeNames = map[int]string{
@@ -117,6 +122,22 @@ func CodeString(code int) string {
 		return s
 	}
 	return fmt.Sprintf("code(%d)", code)
+}
+
+var codeLabels = map[int]string{
+	CodeOK: "ok", CodeNotFound: "not_found", CodeExists: "exists",
+	CodePermission: "permission", CodeNoSpace: "no_space",
+	CodeBadRequest: "bad_request", CodeNotEmpty: "not_empty",
+	CodeNotDir: "not_dir", CodeIsDir: "is_dir",
+	CodeInternal: "internal", CodeNoLot: "no_lot",
+}
+
+// CodeLabel names a reply code as a metrics label (no spaces).
+func CodeLabel(code int) string {
+	if s, ok := codeLabels[code]; ok {
+		return s
+	}
+	return fmt.Sprintf("code%d", code)
 }
 
 // Block and chunk sizes shared across the system.
@@ -165,10 +186,19 @@ type Request struct {
 	// Arrived is stamped by the dispatcher from the appliance clock.
 	Arrived time.Duration
 
-	// TraceID identifies the request in the observability trace ring.
-	// The dispatcher mints it; protocol handlers may carry it into
-	// replies or logs.
+	// TraceID identifies the logical request across the fleet: protocol
+	// handlers fill it when the peer propagated a trace context
+	// (Trace-Context header, trcx command, SITE TRCX); the dispatcher
+	// mints a fresh one otherwise, so every request has an identity.
 	TraceID uint64
+	// ParentSpan is the caller's span this request is causally nested
+	// under, carried with TraceID in the propagated trace context (0
+	// when the request is a trace root).
+	ParentSpan uint64
+	// SpanID is this request's own span identity, minted by the
+	// dispatcher; sub-stages (queue wait, data phase, stripes) parent
+	// under it.
+	SpanID uint64
 
 	// Handle carries protocol-private per-request state (e.g., the RPC
 	// transaction an NFS block request belongs to).

@@ -104,6 +104,11 @@ type Manager struct {
 	failures  obs.Counter // mirror transfers failed
 	retries   obs.Counter // failed pairs re-attempted after backoff
 	skips     obs.Counter // considerations suppressed (inflight or cooling)
+
+	// tracer, when set, mints one trace per mirror and propagates it to
+	// both endpoints so the source RETR and destination STOR request
+	// spans assemble under a single replica.mirror root.
+	tracer *obs.Tracer
 }
 
 // NewManager builds a replication manager; Run starts it.
@@ -150,6 +155,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		coolUntil: make(map[string]time.Duration),
 	}, nil
 }
+
+// SetTracer enables span recording for mirrors. Call before Run.
+func (m *Manager) SetTracer(t *obs.Tracer) { m.tracer = t }
 
 // Register exposes the manager's counters on a metrics registry.
 func (m *Manager) Register(reg *obs.Registry) {
@@ -328,7 +336,24 @@ func (m *Manager) finishMirror(key, file, peerName string, err error) {
 // a third-party GridFTP transfer: the manager holds both control
 // connections while the peer's data channel pulls the bytes straight
 // from the source — the payload never passes through the manager.
-func (m *Manager) mirrorOnce(file, addr string) error {
+func (m *Manager) mirrorOnce(file, addr string) (err error) {
+	var trace, mirrorID uint64
+	if t := m.tracer; t != nil {
+		trace, mirrorID = t.NewTraceID(), t.NewSpanID()
+		begin := m.cfg.Clock.Now()
+		defer func() {
+			code := 0
+			if err != nil {
+				code = 1
+			}
+			t.Record(&obs.Span{
+				Trace: trace, ID: mirrorID,
+				Stage: "replica.mirror", Proto: "gridftp", Op: "put", Path: file,
+				Code: code, Start: begin, Dur: m.cfg.Clock.Now() - begin,
+				Notes: [2]obs.SpanNote{{Key: "dst", Str: addr}},
+			})
+		}()
+	}
 	src, err := gridftp.Dial(m.cfg.SelfGridFTP, m.cfg.Cred)
 	if err != nil {
 		return fmt.Errorf("dial src: %w", err)
@@ -339,6 +364,17 @@ func (m *Manager) mirrorOnce(file, addr string) error {
 		return fmt.Errorf("dial dst: %w", err)
 	}
 	defer dst.Quit()
+	if mirrorID != 0 {
+		// Best-effort context hand-off: both endpoints' request spans
+		// join the mirror's tree; peers without the extension just run
+		// untraced.
+		if _, err := src.SetTraceContext(trace, mirrorID); err != nil {
+			return fmt.Errorf("src trace context: %w", err)
+		}
+		if _, err := dst.SetTraceContext(trace, mirrorID); err != nil {
+			return fmt.Errorf("dst trace context: %w", err)
+		}
+	}
 	mkdirAll(dst, path.Dir(file))
 	if m.cfg.StripeWidth > 1 {
 		err = gridftp.ThirdPartyStriped(src, file, dst, file, m.cfg.StripeWidth)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"nest/internal/chirp"
 	"nest/internal/classad"
@@ -25,14 +26,23 @@ type Selector struct {
 	selects   obs.Counter // successful selections
 	failovers obs.Counter // replicas skipped after a fetch failure
 	misses    obs.Counter // paths with no fresh holder
+
+	// tracer, when set, records a replica.fetch span per Fetch with one
+	// replica.attempt child per holder tried, and propagates the trace
+	// to each holder over chirp.
+	tracer *obs.Tracer
+	epoch  time.Time // span time base (matches Span.Start semantics)
 }
 
 // NewSelector builds a selector over a catalog. seed feeds the
 // tie-break shuffle; any value works, fixed seeds make tests
 // deterministic.
 func NewSelector(cat Catalog, cred *gsi.Credential, seed int64) *Selector {
-	return &Selector{cat: cat, cred: cred, rng: rand.New(rand.NewSource(seed))}
+	return &Selector{cat: cat, cred: cred, rng: rand.New(rand.NewSource(seed)), epoch: time.Now()}
 }
+
+// SetTracer enables span recording for fetches. Call before serving.
+func (s *Selector) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // Register exposes the selector's counters on a metrics registry.
 func (s *Selector) Register(reg *obs.Registry) {
@@ -57,13 +67,50 @@ func (s *Selector) Candidates(path string) ([]*classad.Ad, error) {
 // failure. It returns the file contents and the name of the appliance
 // that served them.
 func (s *Selector) Fetch(path string) ([]byte, string, error) {
+	data, name, _, err := s.FetchTraced(path, 0, 0)
+	return data, name, err
+}
+
+// FetchTraced is Fetch carrying explicit trace context: the fetch span
+// parents under (trace, parent) when given, or mints a fresh trace when
+// trace is zero and a tracer is installed. It additionally returns the
+// trace id (zero when untraced) so callers can render the tree.
+func (s *Selector) FetchTraced(path string, trace, parent uint64) (data []byte, name string, traceID uint64, err error) {
+	t := s.tracer
+	var fetchID uint64
+	var begin time.Duration
+	if t != nil {
+		if trace == 0 {
+			trace = t.NewTraceID()
+		}
+		fetchID = t.NewSpanID()
+		begin = time.Since(s.epoch)
+	}
+	data, name, code, tried, err := s.fetch(path, trace, fetchID)
+	if t != nil {
+		t.Record(&obs.Span{
+			Trace: trace, ID: fetchID, Parent: parent,
+			Stage: "replica.fetch", Proto: "chirp", Op: "get", Path: path,
+			Code: code, Bytes: int64(len(data)),
+			Start: begin, Dur: time.Since(s.epoch) - begin,
+			Notes: [2]obs.SpanNote{{Key: "holder", Str: name}, {Key: "tried", Num: int64(tried)}},
+		})
+		traceID = trace
+	}
+	return data, name, traceID, err
+}
+
+// fetch runs the failover loop, recording one replica.attempt child
+// span per holder tried when tracing is on. code is the fetch span's
+// outcome (0 success, 1 failure); tried counts holders contacted.
+func (s *Selector) fetch(path string, trace, fetchID uint64) (data []byte, name string, code, tried int, err error) {
 	cands, err := s.Candidates(path)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 1, 0, err
 	}
 	if len(cands) == 0 {
 		s.misses.Inc()
-		return nil, "", fmt.Errorf("replica: no fresh holder for %s", path)
+		return nil, "", 1, 0, fmt.Errorf("replica: no fresh holder for %s", path)
 	}
 	var lastErr error
 	for i, ad := range cands {
@@ -71,26 +118,56 @@ func (s *Selector) Fetch(path string) ([]byte, string, error) {
 		if addr == "" {
 			continue
 		}
-		data, err := s.fetchFrom(addr, path)
+		tried++
+		data, err := s.fetchFrom(addr, path, trace, fetchID)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		s.selects.Inc()
 		s.failovers.Add(int64(i))
-		return data, Name(ad), nil
+		return data, Name(ad), 0, tried, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("replica: no holder of %s advertises a chirp endpoint", path)
 	}
-	return nil, "", fmt.Errorf("replica: all %d holders of %s failed: %w", len(cands), path, lastErr)
+	return nil, "", 1, tried, fmt.Errorf("replica: all %d holders of %s failed: %w", len(cands), path, lastErr)
 }
 
-func (s *Selector) fetchFrom(addr, path string) ([]byte, error) {
+// fetchFrom reads path from one holder. With tracing on it records a
+// replica.attempt child span — failed attempts stay in the tree with a
+// non-zero code, which is how failover becomes visible — and propagates
+// the trace to the holder so the remote request span joins the tree.
+func (s *Selector) fetchFrom(addr, path string, trace, fetchID uint64) (data []byte, err error) {
+	t := s.tracer
+	if t != nil {
+		attemptID := t.NewSpanID()
+		parent := fetchID
+		begin := time.Since(s.epoch)
+		defer func() {
+			code := 0
+			if err != nil {
+				code = 1
+			}
+			t.Record(&obs.Span{
+				Trace: trace, ID: attemptID, Parent: parent,
+				Stage: "replica.attempt", Proto: "chirp", Op: "get", Path: path,
+				Code: code, Bytes: int64(len(data)),
+				Start: begin, Dur: time.Since(s.epoch) - begin,
+				Notes: [2]obs.SpanNote{{Key: "addr", Str: addr}},
+			})
+		}()
+		fetchID = attemptID // remote request span parents under the attempt
+	}
 	c, err := chirp.Dial(addr, s.cred)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
+	if t != nil {
+		if _, err := c.SetTraceContext(trace, fetchID); err != nil {
+			return nil, err
+		}
+	}
 	return c.Get(path)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nest/internal/obs"
 	"nest/internal/sched"
 	"nest/internal/sim"
 )
@@ -75,6 +76,11 @@ type Manager struct {
 	events    *sim.Queue[managerEvent]
 	inFlight  *sim.WaitGroup
 	closeOnce sync.Once
+
+	// tracer, when set, receives sched.wait / data / stripe spans for
+	// transfers carrying a trace identity. Atomic so SetTracer is safe
+	// after the scheduling loop has started.
+	tracer atomic.Pointer[obs.Tracer]
 
 	mu      sync.Mutex
 	nextSeq int64
@@ -160,6 +166,57 @@ func NewManager(o Options) *Manager {
 
 // Metrics returns the manager's statistics collector.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// SetTracer installs (or clears, with nil) the span tracer: completed
+// transfers that carry a trace identity then record their scheduler
+// queue wait, data phase, and per-stripe progress as spans parented
+// under the request's span.
+func (m *Manager) SetTracer(t *obs.Tracer) { m.tracer.Store(t) }
+
+// traceSpans records a finished transfer's stage spans. It runs on the
+// scheduling goroutine, after the final done event, so the pump state
+// it reads is quiescent.
+func (m *Manager) traceSpans(t *Transfer, res Result) {
+	tr := m.tracer.Load()
+	if tr == nil || t.TraceID == 0 {
+		return
+	}
+	code := 0
+	if res.Err != nil {
+		code = 1
+	}
+	tr.Record(&obs.Span{
+		Trace: t.TraceID, ID: tr.NewSpanID(), Parent: t.Span,
+		Stage: "sched.wait", Path: t.Path,
+		Start: t.submitted, Dur: res.Queue,
+	})
+	dataID := tr.NewSpanID()
+	tr.Record(&obs.Span{
+		Trace: t.TraceID, ID: dataID, Parent: t.Span,
+		Stage: "data", Path: t.Path, Code: code, Bytes: res.Bytes,
+		Start: t.started, Dur: res.Service,
+		Notes: [2]obs.SpanNote{{Key: "model", Str: res.Model}},
+	})
+	if t.p == nil || t.p.sub == nil {
+		return
+	}
+	for i, s := range t.p.sub {
+		scode := 0
+		if s.err != nil {
+			scode = 1
+		}
+		tr.Record(&obs.Span{
+			Trace: t.TraceID, ID: tr.NewSpanID(), Parent: dataID,
+			Stage: "stripe", Path: t.Path, Code: scode,
+			Bytes: t.p.subMoved[i].Load(),
+			Start: t.started, Dur: res.Service,
+			Notes: [2]obs.SpanNote{
+				{Key: "stripe", Num: int64(i)},
+				{Key: "offset", Num: s.t.Offset},
+			},
+		})
+	}
+}
 
 // Policy returns the active scheduling policy.
 func (m *Manager) Policy() sched.Policy { return m.policy }
@@ -295,6 +352,7 @@ func (m *Manager) loop() {
 			}
 			m.metrics.record(res, ev.bytes-t.counted)
 			t.counted = ev.bytes
+			m.traceSpans(t, res)
 			if t.p != nil {
 				// The transfer is finished for good: recycle its chunk
 				// buffer for the next pump.

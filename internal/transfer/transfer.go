@@ -56,6 +56,10 @@ type Transfer struct {
 	// decode, so the transfer's timings land in the same trace record
 	// as its dispatch (package obs).
 	TraceID uint64
+	// Span is the request span the transfer's stages nest under: when
+	// the manager has a tracer, the queue wait, the data phase, and
+	// each stripe record spans parented on it.
+	Span uint64
 
 	seq       int64
 	submitted time.Duration
