@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs bench-federation bench-trace figures examples clean status
+.PHONY: all build test race bench bench-storage bench-sched bench-datapath bench-stripe bench-localfs bench-federation bench-trace bench-c100k figures examples clean status
 
 # Observability endpoint of a running appliance (nestd -http).
 NEST_HTTP ?= 127.0.0.1:8080
@@ -69,6 +69,14 @@ bench-federation:
 bench-trace:
 	$(GO) run ./cmd/nestbench -experiment trace
 	$(GO) test -run 'TestSpanRecordZeroAlloc' -bench 'BenchmarkSpanRecord' -benchmem -benchtime=2s ./internal/obs/
+
+# Connection front-end scale: park 100k simulated connections and
+# report goroutines + bytes per connection, run the live epoll variant
+# (sized to ulimit -n), and pin the overload shedder's saturation
+# contract; numbers recorded in docs/c100k_bench.md and DESIGN.md §16.
+bench-c100k:
+	$(GO) test -run '^$$' -bench 'BenchmarkConnScale100kSim' -benchtime=3x ./internal/bench/
+	$(GO) test -run 'TestConnScaleLiveIdle|TestSaturationShed' -v -count=1 ./internal/bench/
 
 # Regenerate every figure of the paper's evaluation as tables.
 figures:

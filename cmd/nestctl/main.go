@@ -20,7 +20,7 @@
 //	statfs                       print the server's ClassAd
 //	ping
 //
-//	status [statusz|metrics|healthz]
+//	status [statusz|metrics|healthz|conns]
 //	                             fetch the appliance's observability
 //	                             page over its HTTP endpoint (-http)
 //
@@ -274,7 +274,9 @@ func printLot(lot chirp.Lot) {
 }
 
 // status fetches one observability page ("/statusz", "/metrics",
-// "/healthz") from the appliance's HTTP endpoint and prints the body.
+// "/healthz", "/conns" — the connection front end's per-protocol
+// active/parked/refused/shed table) from the appliance's HTTP endpoint
+// and prints the body.
 func status(addr, page string) {
 	body, err := fetchPage(addr, page)
 	if err != nil {

@@ -59,6 +59,13 @@ func main() {
 		replEvery = flag.Duration("replicate-every", 0, "replication demand-evaluation period (default 2s)")
 		replWidth = flag.Int("replicate-stripes", 1, "stripe width for replication transfers (>1: MODE E)")
 		slowTrace = flag.Duration("slow-trace", 0, "index root spans slower than this in the slow-trace ring (0: default 100ms)")
+		maxConns  = flag.Int("max-conns", 0, "per-protocol connection quota (0: unlimited)")
+		maxConnsU = flag.Int("max-conns-user", 0, "per-user connection quota (0: unlimited)")
+		connIdle  = flag.Duration("conn-idle", 2*time.Minute, "reap connections idle longer than this (0: never)")
+		shedQueue = flag.Int64("shed-queue", 0, "refuse new connections when transfer queue depth exceeds this (0: off)")
+		shedP99   = flag.Duration("shed-p99", 0, "refuse new connections when request p99 exceeds this (0: off)")
+		shedInFl  = flag.Int64("shed-inflight", 0, "refuse new connections when in-flight transfers exceed this (0: off)")
+		noFront   = flag.Bool("no-conn-front", false, "disable the connection front end (goroutine per connection, no quotas)")
 	)
 	flag.Parse()
 
@@ -73,6 +80,14 @@ func main() {
 		QuotaEnabled: *quotaOn,
 		Protocols:    map[string]string{},
 		SlowTrace:    *slowTrace,
+
+		MaxConnsPerProto: *maxConns,
+		MaxConnsPerUser:  *maxConnsU,
+		ConnIdleTimeout:  *connIdle,
+		ShedQueueDepth:   *shedQueue,
+		ShedP99:          *shedP99,
+		ShedInFlight:     *shedInFl,
+		DisableConnFront: *noFront,
 	}
 	cfg.QuotaBackedLots = !*nestLots
 	if *anonAll {

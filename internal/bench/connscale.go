@@ -1,0 +1,208 @@
+package bench
+
+// Connection-scale harness for the connmgr front end (paper §3: one
+// appliance serving a whole site's clients): how many idle connections
+// one process holds parked with O(workers) goroutines, and what the
+// overload shedder does to admitted latency and goodput past
+// saturation. docs/c100k_bench.md records the measured numbers.
+
+import (
+	"container/heap"
+	"net"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"nest/internal/connmgr"
+)
+
+// idleConn is an in-memory connection carrying the PollableConn
+// readiness capability, so 100k of them park through the probe poller
+// without descriptors.
+type idleConn struct {
+	pending atomic.Bool
+	hup     atomic.Bool
+}
+
+func (c *idleConn) Read(p []byte) (int, error)       { return 0, nil }
+func (c *idleConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *idleConn) Close() error                     { return nil }
+func (c *idleConn) LocalAddr() net.Addr              { return nil }
+func (c *idleConn) RemoteAddr() net.Addr             { return nil }
+func (c *idleConn) SetDeadline(time.Time) error      { return nil }
+func (c *idleConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *idleConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *idleConn) ReadReady() (ready, hungup bool)  { return c.pending.Load(), c.hup.Load() }
+
+// ParkScaleResult is the footprint of one manager holding Conns parked
+// connections.
+type ParkScaleResult struct {
+	Conns        int
+	Goroutines   int     // goroutines while all Conns are parked
+	BytesPerConn float64 // heap growth per parked connection
+	WakeSample   int
+	WakeLatency  time.Duration // wall time to resume the whole sample
+}
+
+// RunParkScale parks n idle connections in one manager, measures the
+// steady-state footprint, then wakes a sample through the poller to
+// show parked connections still respond.
+func RunParkScale(n, sample int) ParkScaleResult {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	// A long poll interval keeps the background sweeper out of the
+	// measurement; wakes are driven by explicit Poll calls.
+	m := connmgr.New(connmgr.Config{PollInterval: time.Second})
+	defer m.Close()
+	conns := make([]*idleConn, n)
+	var woke atomic.Int64
+	for i := range conns {
+		conns[i] = &idleConn{}
+		if !m.Park(conns[i], "chirp", func(connmgr.WakeReason) { woke.Add(1) }) {
+			panic("connscale: park refused for a pollable conn")
+		}
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	res := ParkScaleResult{
+		Conns:      n,
+		Goroutines: runtime.NumGoroutine(),
+		WakeSample: sample,
+	}
+	if grown := int64(after.HeapAlloc) - int64(before.HeapAlloc); grown > 0 {
+		res.BytesPerConn = float64(grown) / float64(n)
+	}
+
+	start := time.Now()
+	for i := 0; i < sample; i++ {
+		conns[i].pending.Store(true)
+	}
+	m.Poll()
+	for woke.Load() < int64(sample) {
+		time.Sleep(time.Millisecond)
+	}
+	res.WakeLatency = time.Since(start)
+	return res
+}
+
+// Saturation model: a deterministic G/D/K queue driven through the
+// real connmgr shedder. Arrivals come at `load` times service
+// capacity; connWorkers workers each take connService per request.
+// With shedding off the backlog grows without bound past load 1; with
+// the in-flight threshold on, refused arrivals fail fast and the
+// admitted p99 stays bounded near threshold/workers service times.
+const (
+	connWorkers = 4
+	connService = time.Millisecond
+	// connShedInFlight caps admitted-but-unfinished requests at the
+	// worker count: an admitted request waits at most one service time.
+	connShedInFlight = connWorkers
+	connSatRequests  = 20000
+)
+
+// ConnSatRow is one saturation sweep point.
+type ConnSatRow struct {
+	Load    float64 // offered load as a multiple of service capacity
+	Shed    bool
+	Offered int
+	Served  int
+	Refused int
+	Goodput float64       // served requests per second of simulated time
+	P99     time.Duration // admitted-request latency p99
+}
+
+type durHeap []time.Duration
+
+func (h durHeap) Len() int            { return len(h) }
+func (h durHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h durHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *durHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunConnSaturation simulates connSatRequests arrivals at the given
+// load multiple, admitting each through a real connmgr.Manager whose
+// in-flight signal reads the simulated backlog.
+func RunConnSaturation(load float64, shed bool) ConnSatRow {
+	var inFlight atomic.Int64
+	cfg := connmgr.Config{}
+	if shed {
+		cfg.ShedInFlight = connShedInFlight
+		cfg.Signals = connmgr.Signals{InFlight: inFlight.Load}
+		// Re-sample the signal on (almost) every admission: the cache
+		// is the production safety valve, not part of this model.
+		cfg.SignalPeriod = time.Nanosecond
+	}
+	m := connmgr.New(cfg)
+	defer m.Close()
+
+	interval := time.Duration(float64(connService) / (load * connWorkers))
+	free := make([]time.Duration, connWorkers) // per-worker next-free time
+	finish := &durHeap{}                       // admitted-but-unfinished completion times
+	lat := make([]time.Duration, 0, connSatRequests)
+	row := ConnSatRow{Load: load, Shed: shed, Offered: connSatRequests}
+	var now time.Duration
+	for i := 0; i < connSatRequests; i++ {
+		now = time.Duration(i) * interval
+		for finish.Len() > 0 && (*finish)[0] <= now {
+			heap.Pop(finish)
+			inFlight.Add(-1)
+		}
+		if m.Admit("http") != connmgr.Admitted {
+			row.Refused++
+			continue
+		}
+		w := 0
+		for j := 1; j < connWorkers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		start := now
+		if free[w] > start {
+			start = free[w]
+		}
+		end := start + connService
+		free[w] = end
+		heap.Push(finish, end)
+		inFlight.Add(1)
+		lat = append(lat, end-now)
+		row.Served++
+		m.Release("http", "")
+	}
+	total := now
+	for _, f := range free {
+		if f > total {
+			total = f
+		}
+	}
+	if total > 0 {
+		row.Goodput = float64(row.Served) / total.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		row.P99 = lat[(len(lat)-1)*99/100]
+	}
+	return row
+}
+
+// ConnSaturationSweep runs the documented sweep: offered load from
+// below capacity to 2x saturation, shedding off and on.
+func ConnSaturationSweep() []ConnSatRow {
+	var rows []ConnSatRow
+	for _, load := range []float64{0.8, 1.0, 1.5, 2.0} {
+		for _, shed := range []bool{false, true} {
+			rows = append(rows, RunConnSaturation(load, shed))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,89 @@
+//go:build linux
+
+package bench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nest/internal/core"
+)
+
+// TestConnScaleLiveIdle holds thousands of real idle TCP connections
+// parked in a full appliance's epoll poller: goroutine count must be
+// O(workers), not O(connections), and a parked session must still
+// answer. Sized to the process descriptor limit (a loopback connection
+// costs two descriptors in-process).
+func TestConnScaleLiveIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live connection-scale test skipped in -short")
+	}
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		t.Fatal(err)
+	}
+	n := int(rl.Cur)/2 - 1000
+	if n > 8000 {
+		n = 8000
+	}
+	if n < 500 {
+		t.Skipf("descriptor limit %d too low for a scale test", rl.Cur)
+	}
+
+	srv, err := core.New(core.Config{
+		Name:      "c100k",
+		Protocols: map[string]string{"http": "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr("http")
+
+	conns := make([]net.Conn, 0, n)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %d/%d: %v", i, n, err)
+		}
+		conns = append(conns, c)
+	}
+
+	cm := srv.Disp.ConnManager()
+	deadline := time.Now().Add(30 * time.Second)
+	for cm.Stats().ParkedNow < int64(n) {
+		if time.Now().After(deadline) {
+			st := cm.Stats()
+			t.Fatalf("only %d/%d parked (active %d, admitted %d)", st.ParkedNow, n, st.Active, st.Admitted)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	gor := runtime.NumGoroutine()
+	if gor >= n/10 {
+		t.Errorf("%d goroutines while %d conns idle; expected O(workers)", gor, n)
+	}
+
+	// A parked session must wake and answer.
+	probe := conns[len(conns)-1]
+	probe.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(probe, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+	buf := make([]byte, 512)
+	nr, err := probe.Read(buf)
+	if err != nil {
+		t.Fatalf("read from parked conn: %v", err)
+	}
+	if resp := string(buf[:nr]); !strings.HasPrefix(resp, "HTTP/1.1 200") {
+		t.Fatalf("parked conn answered %q", resp)
+	}
+	t.Logf("%d live conns parked with %d goroutines", n, gor)
+}

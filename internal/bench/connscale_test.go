@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConnScale100kSim parks 100k pollable connections in one manager:
+// goroutines must stay O(workers) — the whole point of parking — and
+// per-connection bookkeeping must stay small (the connection's cost is
+// its descriptor, not a stack).
+func TestConnScale100kSim(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 20_000
+	}
+	res := RunParkScale(n, 1000)
+	if res.Goroutines >= n/100 {
+		t.Errorf("%d goroutines for %d parked conns; parking is not releasing stacks", res.Goroutines, n)
+	}
+	if res.BytesPerConn > 4096 {
+		t.Errorf("%.0f bytes/conn of heap; bookkeeping no longer O(fds)", res.BytesPerConn)
+	}
+	if res.WakeLatency > 5*time.Second {
+		t.Errorf("waking %d of %d parked conns took %v", res.WakeSample, n, res.WakeLatency)
+	}
+	t.Logf("%d conns parked: %d goroutines, %.0f B/conn, %d wakes in %v",
+		res.Conns, res.Goroutines, res.BytesPerConn, res.WakeSample, res.WakeLatency)
+}
+
+// TestSaturationShedBoundsLatency pins the overload contract from
+// DESIGN.md §16: at 2x saturation the shedder keeps admitted p99
+// within 3x the unsaturated p99 and goodput at >=80% of peak, while
+// shedding off lets latency run away unbounded.
+func TestSaturationShedBoundsLatency(t *testing.T) {
+	base := RunConnSaturation(0.8, true)
+	peak := RunConnSaturation(1.0, true)
+	hot := RunConnSaturation(2.0, true)
+	off := RunConnSaturation(2.0, false)
+
+	if base.Refused != 0 {
+		t.Errorf("shedder refused %d below saturation", base.Refused)
+	}
+	if hot.P99 > 3*base.P99 {
+		t.Errorf("admitted p99 at 2x load = %v, want <= 3x unsaturated %v", hot.P99, base.P99)
+	}
+	if hot.Goodput < 0.8*peak.Goodput {
+		t.Errorf("goodput at 2x load = %.0f/s, want >= 80%% of peak %.0f/s", hot.Goodput, peak.Goodput)
+	}
+	if hot.Refused == 0 {
+		t.Error("no arrivals shed at 2x saturation")
+	}
+	// The contrast that justifies the shedder: without it the same
+	// offered load queues every request and p99 explodes.
+	if off.P99 < 10*hot.P99 {
+		t.Errorf("shed-off p99 %v vs shed-on %v: model shows no congestion to shed", off.P99, hot.P99)
+	}
+	t.Logf("p99: unsaturated %v, 2x shed-on %v, 2x shed-off %v; goodput %.0f/s of peak %.0f/s (refused %d/%d)",
+		base.P99, hot.P99, off.P99, hot.Goodput, peak.Goodput, hot.Refused, hot.Offered)
+}
+
+// BenchmarkConnScale100kSim is the c100k figure: park 100k connections,
+// wake a thousand, report footprint. Run via make bench-c100k.
+func BenchmarkConnScale100kSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunParkScale(100_000, 1000)
+		b.ReportMetric(res.BytesPerConn, "B/conn")
+		b.ReportMetric(float64(res.Goroutines), "goroutines")
+		b.ReportMetric(res.WakeLatency.Seconds()*1000, "wake-ms")
+	}
+}

@@ -2,9 +2,11 @@ package chirp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +44,11 @@ type Client struct {
 	noTrcx bool
 }
 
+// ErrBusy reports the appliance refused the connection to protect
+// itself: a connection quota is exhausted or the overload shedder is
+// active. Callers should back off and retry, or pick another replica.
+var ErrBusy = errors.New("chirp: server busy")
+
 // Dial connects and authenticates. A nil credential requests anonymous
 // access.
 func Dial(addr string, cred *gsi.Credential) (*Client, error) {
@@ -65,6 +72,9 @@ func NewClient(conn net.Conn, cred *gsi.Credential) (*Client, error) {
 		return nil, err
 	}
 	if !strings.HasPrefix(greeting, "+OK") {
+		if strings.HasPrefix(greeting, "-ERR "+strconv.Itoa(protocol.CodeBusy)+" ") {
+			return nil, ErrBusy
+		}
 		return nil, fmt.Errorf("chirp: unexpected greeting %q", greeting)
 	}
 	if cred != nil {

@@ -119,6 +119,13 @@ func (s *session) User() string { return s.user }
 // Close implements protocol.Session.
 func (s *session) Close() error { return s.conn.Close() }
 
+// Conn implements protocol.Parkable: Chirp is framed request/response
+// on one connection, so idle sessions may be parked between requests.
+func (s *session) Conn() net.Conn { return s.conn }
+
+// Buffered implements protocol.Parkable.
+func (s *session) Buffered() int { return s.br.Buffered() }
+
 // Next implements protocol.Session.
 func (s *session) Next() (*protocol.Request, error) {
 	for {

@@ -1,0 +1,617 @@
+// Package connmgr is NeST's connection front end: explicit admission
+// control, overload shedding, and event-driven parking of idle
+// protocol connections.
+//
+// The paper's transfer manager abstracts concurrency models for the
+// data plane (threads/processes/events, §4.1); this package extends
+// that discipline to the control plane. A goroutine-per-connection
+// accept loop collapses under heavy traffic twice over: every idle
+// client pins a goroutine stack forever, and past saturation new work
+// queues without bound instead of being refused. The manager here
+// makes both costs explicit:
+//
+//   - Admission: per-protocol and per-user connection quotas decided
+//     at accept/handshake time, so one protocol class or principal
+//     cannot exhaust the appliance's descriptors.
+//   - Shedding: a cached overload signal (transfer queue depth, merged
+//     request p99, in-flight transfers — the facts obs already
+//     exports) past whose thresholds new connections are fast-refused
+//     with protocol-correct busy replies instead of queued.
+//   - Parking: between requests an idle connection is registered with
+//     a readiness poller (epoll on Linux, a deadline-probe wheel
+//     elsewhere) and its serving goroutine is released; readiness
+//     re-dispatches the session onto a bounded worker pool. An idle
+//     parked connection costs a descriptor and this package's entry,
+//     not a goroutine stack.
+//
+// The manager is clock-aware: pollers, workers and the idle sweeper
+// run under sim.Clock, so connection-scale simulations drive the same
+// code the live appliance runs.
+package connmgr
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nest/internal/sim"
+)
+
+// Decision is the outcome of an admission check.
+type Decision int
+
+// Admission outcomes.
+const (
+	// Admitted grants the connection.
+	Admitted Decision = iota
+	// RefusedQuota denies it because a per-protocol or per-user
+	// connection quota is exhausted.
+	RefusedQuota
+	// Shed denies it because the appliance is past its overload
+	// thresholds (or shutting down) and is degrading predictably.
+	Shed
+)
+
+// WakeReason tells a resumed session why it was woken.
+type WakeReason int
+
+// Wake reasons.
+const (
+	// WakeReadable: the connection has bytes (or a pending EOF) to
+	// read; resume the request loop.
+	WakeReadable WakeReason = iota
+	// WakeHangup: the poller saw the peer close; resuming the read
+	// path will observe EOF.
+	WakeHangup
+	// WakeReaped: the connection sat idle past the idle timeout.
+	WakeReaped
+	// WakeShutdown: the manager is closing.
+	WakeShutdown
+)
+
+// Readable reports whether the wake should re-enter the request loop
+// (true) or tear the session down (false).
+func (r WakeReason) Readable() bool { return r == WakeReadable || r == WakeHangup }
+
+// Signals are the live overload facts the shedder samples. Nil fields
+// are ignored. They are polled at most once per SignalPeriod, so they
+// may be moderately expensive (a histogram merge, a stats snapshot).
+type Signals struct {
+	// QueueDepth is the transfer manager's pending-admission depth.
+	QueueDepth func() int64
+	// P99 is the merged request p99 latency across dispatch paths.
+	P99 func() time.Duration
+	// InFlight is the number of transfers currently executing.
+	InFlight func() int64
+}
+
+// Config parameterizes a Manager. The zero value (plus a clock)
+// admits everything, never sheds, parks with no idle reaping.
+type Config struct {
+	// Clock drives pollers, workers and the sweeper; nil uses a real
+	// clock.
+	Clock sim.Clock
+
+	// MaxPerProto caps concurrent connections per protocol class
+	// (0: unlimited).
+	MaxPerProto int
+	// MaxPerUser caps concurrent connections per authenticated
+	// principal (0: unlimited). The dispatcher exempts the anonymous
+	// principal — anonymous load is governed by MaxPerProto.
+	MaxPerUser int
+
+	// IdleTimeout reaps parked connections idle longer than this
+	// (0: never). It also bounds how long a resumed session may sit in
+	// a partial request before its read deadline fires.
+	IdleTimeout time.Duration
+
+	// Shed thresholds: when any configured (non-zero) threshold is
+	// exceeded by its signal, new connections are refused busy.
+	ShedQueueDepth int64
+	ShedP99        time.Duration
+	ShedInFlight   int64
+	// Signals supply the live values the thresholds are checked
+	// against.
+	Signals Signals
+	// SignalPeriod caches the shed decision between signal polls
+	// (default 100ms).
+	SignalPeriod time.Duration
+
+	// Workers bounds the resume pool: how many sessions woken from
+	// park may execute concurrently (default 64).
+	Workers int
+	// PollInterval is the deadline-probe poller's tick for connections
+	// the platform poller cannot watch (default 20ms).
+	PollInterval time.Duration
+
+	// Logf receives diagnostics; nil silences.
+	Logf func(format string, args ...interface{})
+}
+
+// ProtoConns is one protocol's connection accounting.
+type ProtoConns struct {
+	Active  int64 // admitted, currently running a goroutine
+	Parked  int64 // admitted, waiting in the poller
+	Refused int64 // cumulative quota refusals
+	Shed    int64 // cumulative overload refusals
+}
+
+// Stats is a snapshot of the manager's counters.
+type Stats struct {
+	Admitted int64 // cumulative admitted connections
+	Refused  int64 // cumulative quota refusals
+	Shed     int64 // cumulative overload refusals
+	Parked   int64 // cumulative park operations
+	Resumed  int64 // cumulative readiness resumes
+	Reaped   int64 // cumulative idle reaps
+
+	Active    int64 // connections currently running
+	ParkedNow int64 // connections currently parked
+}
+
+type protoCount struct {
+	active  atomic.Int64
+	parked  atomic.Int64
+	refused atomic.Int64
+	shed    atomic.Int64
+}
+
+// parked is one connection waiting in a poller.
+type parked struct {
+	m      *Manager
+	conn   net.Conn
+	tok    uint64
+	proto  string
+	at     time.Duration // clock time the conn was parked
+	reason WakeReason
+	resume func(WakeReason)
+	// claimed flips exactly once: whichever of readiness, reap or
+	// shutdown wins owns the wake.
+	claimed atomic.Bool
+}
+
+// Manager is the connection front end.
+type Manager struct {
+	cfg   Config
+	clock sim.Clock
+
+	// Admission accounting. The mutex covers the maps; the per-proto
+	// blocks are atomic so exposition reads them without it. The
+	// admission path is per-connection, not per-request, so a mutex is
+	// ample.
+	mu       sync.Mutex
+	perProto map[string]*protoCount
+	perUser  map[string]int
+	closed   bool
+
+	admitted atomic.Int64
+	refused  atomic.Int64
+	shed     atomic.Int64
+	parkedC  atomic.Int64
+	resumed  atomic.Int64
+	reaped   atomic.Int64
+
+	activeNow atomic.Int64
+	parkedNow atomic.Int64
+
+	// Cached shed decision, refreshed at most once per SignalPeriod.
+	sigAt       atomic.Int64
+	sigOverload atomic.Bool
+
+	// Parking plane, started lazily on first Park. closedParkPlane is
+	// guarded by pmu (Close and Park race on it).
+	start           sync.Once
+	pmu             sync.Mutex
+	closedParkPlane bool
+	parked          map[uint64]*parked
+	tok             atomic.Uint64
+	ready           *sim.Queue[*parked]
+	// plat is atomic: the epoll wait loop (spawned inside platOnce)
+	// claims wakes concurrently with the Park call that is still
+	// publishing the poller.
+	plat     atomic.Pointer[platformPoller]
+	platOnce sync.Once
+	probe    *probePoller
+	loopsWG  sync.WaitGroup
+}
+
+// New builds a manager. Pollers and workers start lazily on first
+// Park, so managers wired into dispatchers that never serve parkable
+// protocols cost nothing.
+func New(cfg Config) *Manager {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewRealClock()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	if cfg.SignalPeriod <= 0 {
+		cfg.SignalPeriod = 100 * time.Millisecond
+	}
+	m := &Manager{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		perProto: make(map[string]*protoCount),
+		perUser:  make(map[string]int),
+		parked:   make(map[uint64]*parked),
+	}
+	m.sigAt.Store(-1 << 62)
+	return m
+}
+
+func (m *Manager) logf(format string, args ...interface{}) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// IdleTimeout returns the configured idle deadline (0: none).
+func (m *Manager) IdleTimeout() time.Duration { return m.cfg.IdleTimeout }
+
+func (m *Manager) proto(p string) *protoCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.protoLocked(p)
+}
+
+func (m *Manager) protoLocked(p string) *protoCount {
+	c := m.perProto[p]
+	if c == nil {
+		c = &protoCount{}
+		m.perProto[p] = c
+	}
+	return c
+}
+
+// Overloaded evaluates (with SignalPeriod caching) whether any
+// configured shed threshold is exceeded.
+func (m *Manager) Overloaded() bool {
+	cfg := &m.cfg
+	if cfg.ShedQueueDepth <= 0 && cfg.ShedP99 <= 0 && cfg.ShedInFlight <= 0 {
+		return false
+	}
+	now := int64(m.clock.Now())
+	last := m.sigAt.Load()
+	if now-last >= int64(cfg.SignalPeriod) && m.sigAt.CompareAndSwap(last, now) {
+		over := false
+		if cfg.ShedQueueDepth > 0 && cfg.Signals.QueueDepth != nil &&
+			cfg.Signals.QueueDepth() > cfg.ShedQueueDepth {
+			over = true
+		}
+		if !over && cfg.ShedP99 > 0 && cfg.Signals.P99 != nil &&
+			cfg.Signals.P99() > cfg.ShedP99 {
+			over = true
+		}
+		if !over && cfg.ShedInFlight > 0 && cfg.Signals.InFlight != nil &&
+			cfg.Signals.InFlight() > cfg.ShedInFlight {
+			over = true
+		}
+		m.sigOverload.Store(over)
+	}
+	return m.sigOverload.Load()
+}
+
+// Admit decides whether a freshly accepted connection of one protocol
+// may proceed. Admitted connections count as active until Release.
+func (m *Manager) Admit(proto string) Decision {
+	if m.Overloaded() {
+		m.shed.Add(1)
+		m.proto(proto).shed.Add(1)
+		return Shed
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.shed.Add(1)
+		return Shed
+	}
+	c := m.protoLocked(proto)
+	if m.cfg.MaxPerProto > 0 &&
+		c.active.Load()+c.parked.Load() >= int64(m.cfg.MaxPerProto) {
+		m.mu.Unlock()
+		m.refused.Add(1)
+		c.refused.Add(1)
+		return RefusedQuota
+	}
+	c.active.Add(1)
+	m.mu.Unlock()
+	m.admitted.Add(1)
+	m.activeNow.Add(1)
+	return Admitted
+}
+
+// ShedOverflow records an overload refusal decided outside Admit: a
+// full per-listener accept queue refuses the connection before it ever
+// reaches admission.
+func (m *Manager) ShedOverflow(proto string) {
+	m.shed.Add(1)
+	m.proto(proto).shed.Add(1)
+}
+
+// BindUser charges an admitted connection against its authenticated
+// principal's quota, after the protocol handshake identifies it. A
+// false return means the per-user quota is exhausted; the caller must
+// refuse and Release with user "".
+func (m *Manager) BindUser(user string) bool {
+	if m.cfg.MaxPerUser <= 0 || user == "" {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.perUser[user] >= m.cfg.MaxPerUser {
+		m.refused.Add(1)
+		return false
+	}
+	m.perUser[user]++
+	return true
+}
+
+// Release returns an admitted connection's counts. user must be the
+// principal previously bound with BindUser ("" if none/refused).
+func (m *Manager) Release(proto, user string) {
+	m.activeNow.Add(-1)
+	m.proto(proto).active.Add(-1)
+	if user != "" && m.cfg.MaxPerUser > 0 {
+		m.mu.Lock()
+		if n := m.perUser[user]; n <= 1 {
+			delete(m.perUser, user)
+		} else {
+			m.perUser[user] = n - 1
+		}
+		m.mu.Unlock()
+	}
+}
+
+// startLoops launches the resume workers, the idle sweeper and (if
+// ever needed) the probe poller, exactly once.
+func (m *Manager) startLoops() {
+	m.start.Do(func() {
+		m.ready = sim.NewQueue[*parked](m.clock)
+		m.probe = newProbePoller(m)
+		for i := 0; i < m.cfg.Workers; i++ {
+			m.clock.Go(m.worker)
+		}
+		m.loopsWG.Add(1)
+		m.clock.Go(m.sweeper)
+	})
+}
+
+func (m *Manager) worker() {
+	for {
+		p, ok := m.ready.Pop()
+		if !ok {
+			return
+		}
+		p.resume(p.reason)
+	}
+}
+
+// sweeper reaps parked connections idle past IdleTimeout and drives
+// the probe poller's ticks.
+func (m *Manager) sweeper() {
+	defer m.loopsWG.Done()
+	for {
+		m.clock.Sleep(m.cfg.PollInterval)
+		if m.isClosed() {
+			return
+		}
+		m.Poll()
+	}
+}
+
+// Poll runs one poller round synchronously: probe fd-less parked
+// connections for readability and reap idle ones. The background
+// sweeper calls it every PollInterval; tests and simulations may call
+// it directly for deterministic stepping.
+func (m *Manager) Poll() {
+	if m.probe != nil {
+		m.probe.poll()
+	}
+	idle := m.cfg.IdleTimeout
+	if idle <= 0 {
+		return
+	}
+	now := m.clock.Now()
+	var expired []*parked
+	m.pmu.Lock()
+	for _, p := range m.parked {
+		if now-p.at >= idle {
+			expired = append(expired, p)
+		}
+	}
+	m.pmu.Unlock()
+	for _, p := range expired {
+		if m.claim(p, WakeReaped) {
+			m.reaped.Add(1)
+			m.ready.Push(p)
+		}
+	}
+}
+
+// Park registers an idle connection for readiness wake-up and lets
+// the calling goroutine return. resume is invoked from the worker
+// pool with the wake reason; WakeReadable/WakeHangup re-enter the
+// request loop, anything else tears the session down. A false return
+// means the connection cannot be parked (manager closing, or the conn
+// is neither platform-pollable nor manager-wrapped); the caller keeps
+// its goroutine.
+func (m *Manager) Park(conn net.Conn, proto string, resume func(WakeReason)) bool {
+	m.startLoops()
+	p := &parked{
+		m:      m,
+		conn:   conn,
+		tok:    m.tok.Add(1),
+		proto:  proto,
+		at:     m.clock.Now(),
+		resume: resume,
+	}
+	m.pmu.Lock()
+	if m.closedParkPlane {
+		m.pmu.Unlock()
+		return false
+	}
+	m.parked[p.tok] = p
+	m.pmu.Unlock()
+
+	// Count the park before poller registration: readiness can fire
+	// (and claim) the instant the fd is registered.
+	m.parkedC.Add(1)
+	m.parkedNow.Add(1)
+	m.activeNow.Add(-1)
+	pc := m.proto(proto)
+	pc.parked.Add(1)
+	pc.active.Add(-1)
+
+	if m.platAdd(p) {
+		return true
+	}
+	if m.probe.tryAdd(p) {
+		return true
+	}
+	// Not pollable: undo and let the caller keep its goroutine.
+	m.pmu.Lock()
+	delete(m.parked, p.tok)
+	m.pmu.Unlock()
+	m.parkedC.Add(-1)
+	m.parkedNow.Add(-1)
+	m.activeNow.Add(1)
+	pc.parked.Add(-1)
+	pc.active.Add(1)
+	return false
+}
+
+// platAdd tries the platform (epoll) poller; false means the conn is
+// not platform-pollable here.
+func (m *Manager) platAdd(p *parked) bool {
+	m.platOnce.Do(func() {
+		pl, err := newPlatformPoller(m)
+		if err != nil {
+			m.logf("connmgr: platform poller unavailable: %v", err)
+			return
+		}
+		m.plat.Store(&pl)
+	})
+	pl := m.plat.Load()
+	if pl == nil {
+		return false
+	}
+	return (*pl).add(p) == nil
+}
+
+// claim transitions a parked conn to woken exactly once and removes
+// it from the poller planes. It reports whether the caller won.
+func (m *Manager) claim(p *parked, reason WakeReason) bool {
+	if !p.claimed.CompareAndSwap(false, true) {
+		return false
+	}
+	m.pmu.Lock()
+	delete(m.parked, p.tok)
+	m.pmu.Unlock()
+	// The conn is registered with exactly one poller plane, but which
+	// one is not recorded (a flag would race with the epoll loop's
+	// claim): deregister from both, each a locked no-op for strangers.
+	if pl := m.plat.Load(); pl != nil {
+		(*pl).del(p)
+	}
+	if m.probe != nil {
+		m.probe.remove(p.tok)
+	}
+	p.reason = reason
+	m.parkedNow.Add(-1)
+	m.activeNow.Add(1)
+	pc := m.proto(p.proto)
+	pc.parked.Add(-1)
+	pc.active.Add(1)
+	return true
+}
+
+// wake is the poller callback: readiness (or hangup) re-dispatches the
+// session onto the worker pool.
+func (m *Manager) wake(tok uint64, reason WakeReason) {
+	m.pmu.Lock()
+	p := m.parked[tok]
+	m.pmu.Unlock()
+	if p == nil {
+		return
+	}
+	if m.claim(p, reason) {
+		m.resumed.Add(1)
+		m.ready.Push(p)
+	}
+}
+
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Admitted:  m.admitted.Load(),
+		Refused:   m.refused.Load(),
+		Shed:      m.shed.Load(),
+		Parked:    m.parkedC.Load(),
+		Resumed:   m.resumed.Load(),
+		Reaped:    m.reaped.Load(),
+		Active:    m.activeNow.Load(),
+		ParkedNow: m.parkedNow.Load(),
+	}
+}
+
+// PerProto snapshots per-protocol connection accounting.
+func (m *Manager) PerProto() map[string]ProtoConns {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]ProtoConns, len(m.perProto))
+	for p, c := range m.perProto {
+		out[p] = ProtoConns{
+			Active:  c.active.Load(),
+			Parked:  c.parked.Load(),
+			Refused: c.refused.Load(),
+			Shed:    c.shed.Load(),
+		}
+	}
+	return out
+}
+
+// Close stops admissions, wakes every parked connection with
+// WakeShutdown (their resume callbacks tear the sessions down
+// inline), and stops the pollers and workers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.pmu.Lock()
+	alreadyClosed := m.closedParkPlane
+	m.closedParkPlane = true
+	ps := make([]*parked, 0, len(m.parked))
+	for _, p := range m.parked {
+		ps = append(ps, p)
+	}
+	m.pmu.Unlock()
+	if alreadyClosed {
+		return
+	}
+	for _, p := range ps {
+		if m.claim(p, WakeShutdown) {
+			p.resume(WakeShutdown)
+		}
+	}
+	if m.ready != nil {
+		m.ready.Close()
+	}
+	if pl := m.plat.Load(); pl != nil {
+		(*pl).close()
+	}
+}

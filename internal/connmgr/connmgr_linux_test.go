@@ -1,0 +1,113 @@
+//go:build linux
+
+package connmgr
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected loopback TCP pair.
+func tcpPair(t *testing.T) (server, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { r.c.Close(); client.Close() })
+	return r.c, client
+}
+
+// TestEpollParkResume drives the platform (epoll) poller with a real
+// descriptor: a parked TCP conn must wake when the peer writes, with
+// no Poll() call — the epoll wait loop delivers the event.
+func TestEpollParkResume(t *testing.T) {
+	server, client := tcpPair(t)
+	m := New(Config{})
+	defer m.Close()
+	var woke atomic.Int32
+	var reason atomic.Int32
+	if !m.Park(server, "chirp", func(r WakeReason) {
+		reason.Store(int32(r))
+		woke.Add(1)
+	}) {
+		t.Fatal("park refused for a TCP conn on linux")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if woke.Load() != 0 {
+		t.Fatal("woken before any bytes arrived")
+	}
+	if _, err := client.Write([]byte("get /x\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "epoll wake", func() bool { return woke.Load() == 1 })
+	if r := WakeReason(reason.Load()); r != WakeReadable {
+		t.Fatalf("reason = %v", r)
+	}
+}
+
+// TestEpollParkHangup: closing the peer of a parked conn must deliver
+// a hangup wake (EPOLLRDHUP/HUP), so dead clients are torn down by the
+// poller rather than lingering until an idle reap.
+func TestEpollParkHangup(t *testing.T) {
+	server, client := tcpPair(t)
+	m := New(Config{})
+	defer m.Close()
+	var woke atomic.Int32
+	var reason atomic.Int32
+	if !m.Park(server, "chirp", func(r WakeReason) {
+		reason.Store(int32(r))
+		woke.Add(1)
+	}) {
+		t.Fatal("park refused")
+	}
+	client.Close()
+	waitFor(t, "hangup wake", func() bool { return woke.Load() == 1 })
+	if r := WakeReason(reason.Load()); r != WakeHangup {
+		t.Fatalf("reason = %v", r)
+	}
+}
+
+// TestEpollManyParked parks a few hundred real conns and wakes them
+// all, verifying tokens route each event to its own session.
+func TestEpollManyParked(t *testing.T) {
+	const n = 200
+	m := New(Config{})
+	defer m.Close()
+	var woke atomic.Int32
+	clients := make([]net.Conn, 0, n)
+	for i := 0; i < n; i++ {
+		server, client := tcpPair(t)
+		if !m.Park(server, "chirp", func(WakeReason) { woke.Add(1) }) {
+			t.Fatalf("park %d refused", i)
+		}
+		clients = append(clients, client)
+	}
+	if st := m.Stats(); st.ParkedNow != n {
+		t.Fatalf("parked now = %d", st.ParkedNow)
+	}
+	for _, c := range clients {
+		c.Write([]byte("x"))
+	}
+	waitFor(t, "all wakes", func() bool { return woke.Load() == n })
+}

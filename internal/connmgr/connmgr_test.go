@@ -1,0 +1,283 @@
+package connmgr
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nest/internal/sim"
+)
+
+// fakeConn is an in-memory connection carrying the PollableConn
+// readiness capability, so parking runs through the probe poller on
+// any platform (and at any scale — the 100k bench uses the same
+// shape).
+type fakeConn struct {
+	pending atomic.Int32
+	hup     atomic.Bool
+	closed  atomic.Bool
+}
+
+func (c *fakeConn) Read(p []byte) (int, error)       { return 0, nil }
+func (c *fakeConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *fakeConn) Close() error                     { c.closed.Store(true); return nil }
+func (c *fakeConn) LocalAddr() net.Addr              { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr             { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+func (c *fakeConn) ReadReady() (ready, hungup bool)  { return c.pending.Load() > 0, c.hup.Load() }
+
+// bareConn has no readiness capability and no descriptor: it cannot
+// be parked.
+type bareConn struct{}
+
+func (c *bareConn) Read(p []byte) (int, error)       { return 0, nil }
+func (c *bareConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *bareConn) Close() error                     { return nil }
+func (c *bareConn) LocalAddr() net.Addr              { return nil }
+func (c *bareConn) RemoteAddr() net.Addr             { return nil }
+func (c *bareConn) SetDeadline(time.Time) error      { return nil }
+func (c *bareConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *bareConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestPerProtoQuota(t *testing.T) {
+	m := New(Config{MaxPerProto: 2})
+	defer m.Close()
+	if d := m.Admit("chirp"); d != Admitted {
+		t.Fatalf("first admit = %v", d)
+	}
+	if d := m.Admit("chirp"); d != Admitted {
+		t.Fatalf("second admit = %v", d)
+	}
+	if d := m.Admit("chirp"); d != RefusedQuota {
+		t.Fatalf("third admit = %v, want RefusedQuota", d)
+	}
+	// Quotas are per protocol class: another protocol is unaffected.
+	if d := m.Admit("http"); d != Admitted {
+		t.Fatalf("other-proto admit = %v", d)
+	}
+	m.Release("chirp", "")
+	if d := m.Admit("chirp"); d != Admitted {
+		t.Fatalf("admit after release = %v", d)
+	}
+	st := m.Stats()
+	if st.Admitted != 4 || st.Refused != 1 {
+		t.Fatalf("stats = %+v, want 4 admitted / 1 refused", st)
+	}
+	pc := m.PerProto()["chirp"]
+	if pc.Active != 2 || pc.Refused != 1 {
+		t.Fatalf("chirp counts = %+v", pc)
+	}
+}
+
+func TestPerUserQuota(t *testing.T) {
+	m := New(Config{MaxPerUser: 1})
+	defer m.Close()
+	if !m.BindUser("alice") {
+		t.Fatal("first bind refused")
+	}
+	if m.BindUser("alice") {
+		t.Fatal("second bind admitted past quota")
+	}
+	if !m.BindUser("bob") {
+		t.Fatal("other principal refused")
+	}
+	m.Admit("chirp")
+	m.Release("chirp", "alice")
+	if !m.BindUser("alice") {
+		t.Fatal("bind after release refused")
+	}
+}
+
+func TestShedThresholdAndCaching(t *testing.T) {
+	depth := atomic.Int64{}
+	m := New(Config{
+		ShedQueueDepth: 5,
+		Signals:        Signals{QueueDepth: depth.Load},
+		SignalPeriod:   time.Hour, // decision must be cached after the first sample
+	})
+	defer m.Close()
+	if d := m.Admit("chirp"); d != Admitted {
+		t.Fatalf("unloaded admit = %v", d)
+	}
+	// Signal now reads over threshold, but the cached sample says
+	// healthy: admission must not re-poll within SignalPeriod.
+	depth.Store(100)
+	if d := m.Admit("chirp"); d != Admitted {
+		t.Fatalf("cached admit = %v, want Admitted (stale healthy sample)", d)
+	}
+
+	m2 := New(Config{
+		ShedQueueDepth: 5,
+		Signals:        Signals{QueueDepth: depth.Load},
+		SignalPeriod:   time.Nanosecond,
+	})
+	defer m2.Close()
+	if d := m2.Admit("chirp"); d != Shed {
+		t.Fatalf("overloaded admit = %v, want Shed", d)
+	}
+	depth.Store(0)
+	time.Sleep(time.Millisecond) // let the 1ns period lapse
+	if d := m2.Admit("chirp"); d != Admitted {
+		t.Fatalf("recovered admit = %v", d)
+	}
+	if st := m2.Stats(); st.Shed != 1 {
+		t.Fatalf("shed count = %d", st.Shed)
+	}
+}
+
+func TestShedOverflow(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.ShedOverflow("http")
+	if st := m.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d", st.Shed)
+	}
+	if pc := m.PerProto()["http"]; pc.Shed != 1 {
+		t.Fatalf("http shed = %d", pc.Shed)
+	}
+}
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestParkResumeOnReadiness(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.Admit("chirp")
+	conn := &fakeConn{}
+	var woke atomic.Int32
+	var reason atomic.Int32
+	if !m.Park(conn, "chirp", func(r WakeReason) {
+		reason.Store(int32(r))
+		woke.Add(1)
+	}) {
+		t.Fatal("park refused")
+	}
+	if st := m.Stats(); st.ParkedNow != 1 || st.Active != 0 {
+		t.Fatalf("after park: %+v", st)
+	}
+	// Idle polls must not wake it.
+	m.Poll()
+	if woke.Load() != 0 {
+		t.Fatal("woken without readiness")
+	}
+	conn.pending.Store(1)
+	m.Poll()
+	waitFor(t, "resume", func() bool { return woke.Load() == 1 })
+	if WakeReason(reason.Load()) != WakeReadable {
+		t.Fatalf("reason = %v", WakeReason(reason.Load()))
+	}
+	st := m.Stats()
+	if st.Parked != 1 || st.Resumed != 1 || st.ParkedNow != 0 || st.Active != 1 {
+		t.Fatalf("after resume: %+v", st)
+	}
+}
+
+func TestParkHangup(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	conn := &fakeConn{}
+	var reason atomic.Int32
+	var woke atomic.Int32
+	m.Park(conn, "chirp", func(r WakeReason) { reason.Store(int32(r)); woke.Add(1) })
+	conn.hup.Store(true)
+	m.Poll()
+	waitFor(t, "hangup wake", func() bool { return woke.Load() == 1 })
+	if r := WakeReason(reason.Load()); r != WakeHangup {
+		t.Fatalf("reason = %v", r)
+	}
+	if !WakeHangup.Readable() {
+		t.Fatal("hangup must re-enter the read path to observe the EOF")
+	}
+}
+
+func TestIdleReap(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	var reason atomic.Int32
+	var woke atomic.Int32
+	clock.Run(func() {
+		m := New(Config{Clock: clock, IdleTimeout: time.Second, PollInterval: 100 * time.Millisecond})
+		conn := &fakeConn{}
+		if !m.Park(conn, "chirp", func(r WakeReason) { reason.Store(int32(r)); woke.Add(1) }) {
+			t.Error("park refused")
+			return
+		}
+		// The sweeper ticks under the virtual clock; past the idle
+		// timeout it must claim and reap the connection.
+		clock.Sleep(2 * time.Second)
+		m.Close()
+	})
+	if woke.Load() != 1 {
+		t.Fatalf("wake count = %d", woke.Load())
+	}
+	if r := WakeReason(reason.Load()); r != WakeReaped {
+		t.Fatalf("reason = %v, want WakeReaped", r)
+	}
+}
+
+func TestCloseWakesParkedWithShutdown(t *testing.T) {
+	m := New(Config{})
+	conn := &fakeConn{}
+	var reason atomic.Int32
+	var woke atomic.Int32
+	m.Park(conn, "chirp", func(r WakeReason) { reason.Store(int32(r)); woke.Add(1) })
+	m.Close()
+	if woke.Load() != 1 {
+		t.Fatalf("wake count = %d", woke.Load())
+	}
+	if r := WakeReason(reason.Load()); r != WakeShutdown {
+		t.Fatalf("reason = %v, want WakeShutdown", r)
+	}
+	if m.Park(&fakeConn{}, "chirp", func(WakeReason) {}) {
+		t.Fatal("park admitted after close")
+	}
+}
+
+func TestParkRefusesUnpollableConn(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	m.Admit("chirp")
+	if m.Park(&bareConn{}, "chirp", func(WakeReason) {}) {
+		t.Fatal("parked a connection with no readiness facility")
+	}
+	st := m.Stats()
+	if st.ParkedNow != 0 || st.Active != 1 {
+		t.Fatalf("counts not restored after failed park: %+v", st)
+	}
+	if pc := m.PerProto()["chirp"]; pc.Active != 1 || pc.Parked != 0 {
+		t.Fatalf("proto counts not restored: %+v", pc)
+	}
+}
+
+func TestWakeRace(t *testing.T) {
+	// Readiness, reap and shutdown may race on one parked conn: the
+	// claim CAS must hand the wake to exactly one of them.
+	m := New(Config{IdleTimeout: time.Nanosecond})
+	conn := &fakeConn{}
+	conn.pending.Store(1)
+	var woke atomic.Int32
+	m.Park(conn, "chirp", func(WakeReason) { woke.Add(1) })
+	done := make(chan struct{})
+	go func() { m.Poll(); close(done) }()
+	m.Poll()
+	<-done
+	m.Close()
+	waitFor(t, "single wake", func() bool { return woke.Load() >= 1 })
+	time.Sleep(10 * time.Millisecond)
+	if n := woke.Load(); n != 1 {
+		t.Fatalf("woke %d times, want exactly 1", n)
+	}
+}

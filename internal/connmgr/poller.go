@@ -1,0 +1,87 @@
+package connmgr
+
+import "sync"
+
+// platformPoller is the OS readiness facility (epoll on Linux). A nil
+// platform poller means parked connections must carry the PollableConn
+// capability or keep their goroutines.
+type platformPoller interface {
+	// add registers a parked connection for one readiness wake-up.
+	add(p *parked) error
+	// del undoes a registration whose wake was claimed by someone else
+	// (idle reap, shutdown).
+	del(p *parked)
+	// close releases the poller.
+	close()
+}
+
+// PollableConn is the readiness capability a connection without an OS
+// descriptor (simulated connections in the connection-scale benches,
+// in-memory test conns) implements so the probe poller can watch it.
+// ReadReady must report, without blocking or consuming input, whether
+// a Read would return promptly; hungup reports the peer is gone.
+type PollableConn interface {
+	ReadReady() (ready, hungup bool)
+}
+
+// probePoller is the portable fallback: a coarse timer wheel (the
+// manager's sweeper tick) that polls each parked PollableConn for
+// readiness. It exists so the parking architecture — and the 100k-
+// connection simulation built on it — runs identically on every
+// platform; real descriptors go through the platform poller instead.
+type probePoller struct {
+	m       *Manager
+	mu      sync.Mutex
+	entries map[uint64]probeEntry
+}
+
+type probeEntry struct {
+	p  *parked
+	rc PollableConn
+}
+
+func newProbePoller(m *Manager) *probePoller {
+	return &probePoller{m: m, entries: make(map[uint64]probeEntry)}
+}
+
+// tryAdd registers p if its conn is pollable, reporting success.
+func (pp *probePoller) tryAdd(p *parked) bool {
+	rc, ok := p.conn.(PollableConn)
+	if !ok {
+		return false
+	}
+	pp.mu.Lock()
+	pp.entries[p.tok] = probeEntry{p: p, rc: rc}
+	pp.mu.Unlock()
+	return true
+}
+
+func (pp *probePoller) remove(tok uint64) {
+	pp.mu.Lock()
+	delete(pp.entries, tok)
+	pp.mu.Unlock()
+}
+
+// poll probes every watched connection once. Wakes go through the
+// manager's claim path, which removes the entry.
+func (pp *probePoller) poll() {
+	pp.mu.Lock()
+	if len(pp.entries) == 0 {
+		pp.mu.Unlock()
+		return
+	}
+	snap := make([]probeEntry, 0, len(pp.entries))
+	for _, e := range pp.entries {
+		snap = append(snap, e)
+	}
+	pp.mu.Unlock()
+	for _, e := range snap {
+		ready, hungup := e.rc.ReadReady()
+		switch {
+		case hungup:
+			pp.m.wake(e.p.tok, WakeHangup)
+		case ready:
+			pp.m.wake(e.p.tok, WakeReadable)
+		}
+	}
+}

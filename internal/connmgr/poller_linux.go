@@ -1,0 +1,167 @@
+//go:build linux
+
+package connmgr
+
+import (
+	"sync"
+	"syscall"
+)
+
+// epollPoller watches parked connections' descriptors with epoll: one
+// descriptor table and one waiting goroutine for any number of parked
+// connections, the whole point of the event-driven front end. Conns
+// register level-triggered one-shot for readability; readability,
+// peer hangup and socket errors all wake the session (the resumed
+// read path observes the data or the EOF/err).
+type epollPoller struct {
+	m    *Manager
+	epfd int
+	// Self-pipe: closing epfd does not unblock a thread inside
+	// epoll_wait, so close() writes a byte here instead (the read end
+	// is registered with the sentinel token 0; real tokens start at 1).
+	wakeR, wakeW int
+
+	mu     sync.Mutex
+	fds    map[uint64]int // token -> fd, for deregistration
+	closed bool
+}
+
+func newPlatformPoller(m *Manager) (platformPoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pfds [2]int
+	if err := syscall.Pipe2(pfds[:], syscall.O_CLOEXEC|syscall.O_NONBLOCK); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	ep := &epollPoller{m: m, epfd: epfd, wakeR: pfds[0], wakeW: pfds[1], fds: make(map[uint64]int)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN}
+	putToken(&ev, 0)
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, ep.wakeR, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pfds[0])
+		syscall.Close(pfds[1])
+		return nil, err
+	}
+	// The wait loop blocks in the kernel, not on clock primitives: a
+	// plain goroutine, since epoll only ever watches real descriptors
+	// (simulated connections go through the probe poller).
+	go ep.loop()
+	return ep, nil
+}
+
+// add registers p's descriptor. An error means the conn exposes no
+// descriptor (or is already dead) and the caller should fall back.
+func (ep *epollPoller) add(p *parked) error {
+	sc, ok := p.conn.(syscall.Conn)
+	if !ok {
+		return syscall.ENOTSUP
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var ctlErr error
+	var regFD int
+	err = raw.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{
+			Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT,
+		}
+		putToken(&ev, p.tok)
+		ctlErr = syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+		regFD = int(fd)
+	})
+	if err == nil {
+		err = ctlErr
+	}
+	if err != nil {
+		return err
+	}
+	ep.mu.Lock()
+	ep.fds[p.tok] = regFD
+	ep.mu.Unlock()
+	return nil
+}
+
+// del removes a registration whose wake was claimed elsewhere (idle
+// reap, shutdown). Best-effort: a concurrently closed fd has already
+// left the epoll set.
+func (ep *epollPoller) del(p *parked) {
+	ep.mu.Lock()
+	fd, ok := ep.fds[p.tok]
+	delete(ep.fds, p.tok)
+	ep.mu.Unlock()
+	if !ok {
+		return
+	}
+	if sc, isSC := p.conn.(syscall.Conn); isSC {
+		if raw, err := sc.SyscallConn(); err == nil {
+			raw.Control(func(uintptr) {
+				syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+			})
+			return
+		}
+	}
+	syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+func (ep *epollPoller) loop() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(ep.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			tok := getToken(&events[i])
+			if tok == 0 { // close() wake-up
+				ep.mu.Lock()
+				closed := ep.closed
+				ep.mu.Unlock()
+				if closed {
+					syscall.Close(ep.epfd)
+					syscall.Close(ep.wakeR)
+					return
+				}
+				continue
+			}
+			ep.mu.Lock()
+			delete(ep.fds, tok)
+			ep.mu.Unlock()
+			reason := WakeReadable
+			if events[i].Events&(syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+				reason = WakeHangup
+			}
+			ep.m.wake(tok, reason)
+		}
+	}
+}
+
+func (ep *epollPoller) close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	var one = [1]byte{1}
+	syscall.Write(ep.wakeW, one[:]) // unblocks the wait loop
+	syscall.Close(ep.wakeW)
+}
+
+// putToken/getToken pack the parked token into the event's 64 bits of
+// user data (Fd + Pad on linux/amd64 and arm64).
+func putToken(ev *syscall.EpollEvent, tok uint64) {
+	ev.Fd = int32(tok)
+	ev.Pad = int32(tok >> 32)
+}
+
+func getToken(ev *syscall.EpollEvent) uint64 {
+	return uint64(uint32(ev.Fd)) | uint64(uint32(ev.Pad))<<32
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package connmgr
+
+import "errors"
+
+// newPlatformPoller reports no OS readiness facility on this platform:
+// connections carrying the PollableConn capability park through the
+// probe poller's timer wheel; plain descriptors keep their goroutines
+// (today's behavior, just with admission control in front).
+func newPlatformPoller(m *Manager) (platformPoller, error) {
+	return nil, errors.New("connmgr: no platform poller on this OS")
+}

@@ -14,6 +14,7 @@ import (
 	"nest/internal/cache"
 	"nest/internal/chirp"
 	"nest/internal/classad"
+	"nest/internal/connmgr"
 	"nest/internal/dispatch"
 	"nest/internal/ftp"
 	"nest/internal/gridftp"
@@ -101,6 +102,20 @@ type Config struct {
 	// span is also indexed in the slow-trace ring (/traces, nestctl
 	// traces -slow). Zero keeps the default.
 	SlowTrace time.Duration
+
+	// Connection front end (admission control, overload shedding, idle
+	// parking — package connmgr). Zero values admit everything, never
+	// shed and never reap; parking of idle Chirp/HTTP sessions is
+	// always on unless the whole front end is disabled.
+	MaxConnsPerProto int           // per-protocol connection quota (0: unlimited)
+	MaxConnsPerUser  int           // per-principal connection quota (0: unlimited)
+	ConnIdleTimeout  time.Duration // reap idle connections after this (0: never)
+	ShedQueueDepth   int64         // shed when transfer queue depth exceeds this
+	ShedP99          time.Duration // shed when merged request p99 exceeds this
+	ShedInFlight     int64         // shed when in-flight transfers exceed this
+	// DisableConnFront keeps the seed's goroutine-per-connection accept
+	// path: no quotas, no shedding, no parking.
+	DisableConnFront bool
 }
 
 // Server is a running NeST appliance.
@@ -208,6 +223,26 @@ func New(cfg Config) (*Server, error) {
 	s.Disp.SetName(cfg.Name)
 	if cfg.SlowTrace > 0 {
 		s.Disp.SetSlowThreshold(cfg.SlowTrace)
+	}
+	if !cfg.DisableConnFront {
+		// The shed signals are the dispatcher's own health facts — the
+		// same ones the advertisement publishes to the Grid, so an
+		// appliance refuses work by exactly the criteria the matchmaker
+		// would use to route around it.
+		s.Disp.SetConnManager(connmgr.New(connmgr.Config{
+			Clock:          cfg.Clock,
+			MaxPerProto:    cfg.MaxConnsPerProto,
+			MaxPerUser:     cfg.MaxConnsPerUser,
+			IdleTimeout:    cfg.ConnIdleTimeout,
+			ShedQueueDepth: cfg.ShedQueueDepth,
+			ShedP99:        cfg.ShedP99,
+			ShedInFlight:   cfg.ShedInFlight,
+			Signals: connmgr.Signals{
+				QueueDepth: s.Xfer.QueueDepth,
+				P99:        s.Disp.MergedP99,
+				InFlight:   s.Xfer.Active,
+			},
+		}))
 	}
 
 	// Fold component health into the dispatcher's registry as pull-time

@@ -1,0 +1,31 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNextAcceptBackoff pins the accept-retry schedule: 5ms doubling
+// to a 1s cap, and the cap is absorbing. The reset to zero lives in
+// serve()'s accept loop (after any successful accept) — together they
+// bound how long a closing dispatcher can sit in a retry sleep.
+func TestNextAcceptBackoff(t *testing.T) {
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond,
+		320 * time.Millisecond, 640 * time.Millisecond, time.Second, time.Second,
+	}
+	var cur time.Duration
+	for i, w := range want {
+		cur = nextAcceptBackoff(cur)
+		if cur != w {
+			t.Fatalf("step %d: backoff = %v, want %v", i, cur, w)
+		}
+	}
+	if d := nextAcceptBackoff(0); d != 5*time.Millisecond {
+		t.Fatalf("reset restart = %v, want 5ms", d)
+	}
+	if d := nextAcceptBackoff(2 * time.Second); d != time.Second {
+		t.Fatalf("over-cap input = %v, want clamped 1s", d)
+	}
+}

@@ -1,0 +1,440 @@
+// Connection front end: the dispatcher side of package connmgr.
+//
+// With a connection manager installed (SetConnManager), the accept
+// path becomes accept → admit → handshake → serve, with three
+// departures from the goroutine-per-connection seed behavior:
+//
+//   - Admission: freshly accepted connections pass per-protocol quota
+//     and overload-shed checks before a handshake is attempted, and a
+//     bounded per-listener accept queue feeds a small pool of
+//     handshake workers so a flood of new connections cannot spawn
+//     unbounded goroutines. Refused connections get a protocol-correct
+//     busy reply (HTTP 503 + Retry-After, Chirp -ERR busy, FTP 421).
+//   - Parking: sessions whose protocol is framed request/response
+//     (protocol.Parkable) release their goroutine between requests;
+//     the connection waits in the manager's poller and readiness
+//     re-dispatches the session onto the manager's worker pool.
+//   - Idle reaping: parked connections idle past the manager's
+//     IdleTimeout are closed by the manager's sweeper; running
+//     sessions get a read deadline so a dead client cannot pin a
+//     goroutine in Next forever.
+//
+// Without a manager the dispatcher behaves exactly as before: one
+// goroutine per connection for its whole life, no quotas, no shedding.
+package dispatch
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nest/internal/connmgr"
+	"nest/internal/gsi"
+	"nest/internal/obs"
+	"nest/internal/protocol"
+)
+
+const (
+	// acceptQueueDepth bounds each listener's accept queue: connections
+	// accepted but not yet through admission + handshake. A full queue
+	// sheds (the handshake workers are saturated, so the appliance is
+	// past the point where queueing helps).
+	acceptQueueDepth = 128
+	// handshakeWorkers is the per-listener pool draining that queue.
+	handshakeWorkers = 4
+	// handshakeTimeout bounds the whole protocol handshake so a stalled
+	// client cannot pin a handshake worker.
+	handshakeTimeout = 5 * time.Second
+	// busyWriteTimeout bounds the courtesy busy reply to a refused
+	// connection.
+	busyWriteTimeout = 2 * time.Second
+)
+
+// SetConnManager installs the connection front end and registers its
+// metrics. Call at wiring time, before serving. The dispatcher owns
+// the manager from here on: Dispatcher.Close closes it.
+func (d *Dispatcher) SetConnManager(cm *connmgr.Manager) {
+	d.cm = cm
+	d.reg.Func("nest_connmgr_admitted_total", func() int64 { return cm.Stats().Admitted })
+	d.reg.Func("nest_connmgr_refused_total", func() int64 { return cm.Stats().Refused })
+	d.reg.Func("nest_connmgr_shed_total", func() int64 { return cm.Stats().Shed })
+	d.reg.Func("nest_connmgr_parked_total", func() int64 { return cm.Stats().Parked })
+	d.reg.Func("nest_connmgr_resumed_total", func() int64 { return cm.Stats().Resumed })
+	d.reg.Func("nest_connmgr_reaped_total", func() int64 { return cm.Stats().Reaped })
+	d.reg.Func("nest_connmgr_active", func() int64 { return cm.Stats().Active })
+	d.reg.Func("nest_connmgr_parked", func() int64 { return cm.Stats().ParkedNow })
+	d.reg.Collect(func(emit obs.Emit) {
+		for proto, pc := range cm.PerProto() {
+			emit(fmt.Sprintf("nest_connmgr_conns{proto=%q,state=%q}", proto, "active"), float64(pc.Active))
+			emit(fmt.Sprintf("nest_connmgr_conns{proto=%q,state=%q}", proto, "parked"), float64(pc.Parked))
+			emit(fmt.Sprintf("nest_connmgr_refused_total{proto=%q}", proto), float64(pc.Refused))
+			emit(fmt.Sprintf("nest_connmgr_shed_total{proto=%q}", proto), float64(pc.Shed))
+		}
+	})
+}
+
+// ConnManager returns the installed connection front end (nil if
+// none).
+func (d *Dispatcher) ConnManager() *connmgr.Manager { return d.cm }
+
+// MergedP99 merges the three dispatch-path latency histograms into the
+// single p99 the advertisement publishes — and the overload shedder
+// samples.
+func (d *Dispatcher) MergedP99() time.Duration {
+	lat := d.latRead.Snapshot()
+	lat.Merge(d.latWrite.Snapshot())
+	lat.Merge(d.latXfer.Snapshot())
+	return time.Duration(lat.Quantile(0.99))
+}
+
+// connsPage renders the /conns status page: manager totals plus the
+// per-protocol active/parked/refused/shed table nestctl status conns
+// shows.
+func (d *Dispatcher) connsPage() string {
+	var b strings.Builder
+	b.WriteString("NeST connections\n================\n\n")
+	cm := d.cm
+	if cm == nil {
+		b.WriteString("no connection manager installed (goroutine-per-connection mode)\n")
+		return b.String()
+	}
+	st := cm.Stats()
+	fmt.Fprintf(&b, "open: %d (active %d, parked %d)\n", st.Active+st.ParkedNow, st.Active, st.ParkedNow)
+	fmt.Fprintf(&b, "admitted: %d   refused (quota): %d   shed (overload): %d\n",
+		st.Admitted, st.Refused, st.Shed)
+	fmt.Fprintf(&b, "parks: %d   resumes: %d   idle reaps: %d\n", st.Parked, st.Resumed, st.Reaped)
+	fmt.Fprintf(&b, "overloaded now: %v   idle timeout: %v\n", cm.Overloaded(), cm.IdleTimeout())
+	fmt.Fprintf(&b, "log lines dropped (rate limit): %d\n", d.logDropped.Load())
+	b.WriteString("\nper-protocol connections\n")
+	fmt.Fprintf(&b, "  %-8s %8s %8s %10s %10s\n", "proto", "active", "parked", "refused", "shed")
+	pp := cm.PerProto()
+	protos := make([]string, 0, len(pp))
+	for p := range pp {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		pc := pp[p]
+		fmt.Fprintf(&b, "  %-8s %8d %8d %10d %10d\n", p, pc.Active, pc.Parked, pc.Refused, pc.Shed)
+	}
+	return b.String()
+}
+
+// logRated is d.logf behind a token bucket, for log lines an abusive
+// or flapping peer can mint at line rate (handshake failures, session
+// read errors, accept retries). Suppressed lines are counted in
+// nest_dispatch_log_dropped_total rather than written.
+func (d *Dispatcher) logRated(format string, args ...interface{}) {
+	if d.logger.Load() == nil {
+		return
+	}
+	now := d.clock.Now()
+	d.logLim.Lock()
+	d.logTokens += (now - d.logLast).Seconds() * logRefillPerSec
+	d.logLast = now
+	if d.logTokens > logBurst {
+		d.logTokens = logBurst
+	}
+	ok := d.logTokens >= 1
+	if ok {
+		d.logTokens--
+	}
+	d.logLim.Unlock()
+	if !ok {
+		d.logDropped.Add(1)
+		return
+	}
+	d.logf(format, args...)
+}
+
+const (
+	// logBurst and logRefillPerSec shape the diagnostics token bucket:
+	// bursts up to logBurst lines pass, sustained logging is clipped to
+	// logRefillPerSec lines/second.
+	logBurst        = 32
+	logRefillPerSec = 16
+)
+
+// admitConn runs on a handshake worker: admission, handshake under a
+// deadline, per-user quota binding, then the session's serve loop on
+// its own goroutine (which parks itself when the protocol allows).
+func (d *Dispatcher) admitConn(conn net.Conn, h protocol.Handler, proto string) {
+	switch d.cm.Admit(proto) {
+	case connmgr.Admitted:
+	default:
+		d.refuseBusy(conn, proto)
+		return
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	sess, err := h.NewSession(conn)
+	if err != nil {
+		d.cm.Release(proto, "")
+		d.logRated("dispatch: %s handshake from %s failed: %v", proto, connAddr(conn), err)
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	user := sess.User()
+	boundUser := ""
+	if user != "" && user != gsi.Anonymous {
+		if !d.cm.BindUser(user) {
+			// The handshake already succeeded, so the refusal rides the
+			// established connection: the client's next read sees the
+			// busy line (Chirp) or 503 (HTTP) and the close.
+			d.cm.Release(proto, "")
+			d.refuseBusy(conn, proto)
+			sess.Close()
+			return
+		}
+		boundUser = user
+	}
+	cs := &connState{
+		d: d, s: sess, conn: conn,
+		proto: proto, user: user, boundUser: boundUser,
+		managed: true,
+	}
+	if p, ok := sess.(protocol.Parkable); ok {
+		cs.park = p
+	}
+	if !d.track(sess) {
+		d.cm.Release(proto, boundUser)
+		sess.Close()
+		return
+	}
+	cs.ps = d.protoStatsFor(proto)
+	d.wg.Add(1)
+	cs.inWG = true
+	go cs.loop()
+}
+
+// refuseBusy writes the protocol's busy refusal and closes the
+// connection, under a short write deadline so a wedged peer cannot
+// stall the refusal path. The refusal is traced (a zero-duration span)
+// so shed connections show up in /traces alongside the load that
+// caused them.
+func (d *Dispatcher) refuseBusy(conn net.Conn, proto string) {
+	conn.SetWriteDeadline(time.Now().Add(busyWriteTimeout))
+	// Wire literals, not handler imports: the dispatcher must not
+	// depend on the protocol packages (they are wired above it).
+	switch proto {
+	case "chirp":
+		fmt.Fprintf(conn, "-ERR %d server busy\n", protocol.CodeBusy)
+	case "http":
+		io.WriteString(conn, "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 5\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+	case "ftp", "gridftp":
+		io.WriteString(conn, "421 Service not available, closing control connection.\r\n")
+	}
+	conn.Close()
+	d.tracer.Record(&obs.Span{
+		Trace: d.tracer.NewTraceID(), ID: d.tracer.NewSpanID(),
+		Stage: "refused", Proto: proto, Op: "connect",
+		Code: protocol.CodeBusy, Start: d.clock.Now(),
+	})
+}
+
+// connAddr names a peer for diagnostics; fake connections in tests may
+// have no address.
+func connAddr(conn net.Conn) string {
+	if a := conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// connState is one connection's serve state, factored out of the
+// per-connection goroutine's stack so the session survives parking:
+// when the goroutine is released the state waits with the connection
+// in the manager and the wake re-enters the loop on a pool worker.
+type connState struct {
+	d    *Dispatcher
+	s    protocol.Session
+	park protocol.Parkable // nil: session cannot park
+	conn net.Conn          // nil on the ServeSession compatibility path
+
+	proto     string
+	user      string
+	boundUser string // principal charged by BindUser ("" if none)
+	ps        *protoStats
+	nreq      uint64
+	managed   bool // admitted through the connection manager
+	inWG      bool
+	done      sync.Once
+}
+
+// loop drives requests until the session ends or parks. Parking is
+// tried before each blocking read — including the first, so an
+// idle-open connection costs no goroutine from the start.
+func (cs *connState) loop() {
+	for {
+		if cs.tryPark() {
+			return
+		}
+		if cs.step() {
+			cs.finish()
+			return
+		}
+	}
+}
+
+// tryPark releases the goroutine if the session is parkable and has no
+// buffered input (a buffered request must be served now — the poller
+// only sees the socket).
+func (cs *connState) tryPark() bool {
+	if !cs.managed || cs.park == nil || cs.d.cm == nil {
+		return false
+	}
+	if cs.park.Buffered() > 0 {
+		return false
+	}
+	return cs.d.cm.Park(cs.conn, cs.proto, cs.onWake)
+}
+
+// onWake re-enters the request loop on a manager worker. Readable (and
+// hangup — the read path must observe the EOF) wakes serve; reap and
+// shutdown wakes tear down.
+func (cs *connState) onWake(reason connmgr.WakeReason) {
+	if !reason.Readable() {
+		cs.finish()
+		return
+	}
+	for {
+		if cs.step() {
+			cs.finish()
+			return
+		}
+		if cs.tryPark() {
+			return
+		}
+	}
+}
+
+// finish tears the session down exactly once, whichever of the serve
+// loop, a reap, or shutdown gets there first.
+func (cs *connState) finish() {
+	cs.done.Do(func() {
+		cs.s.Close()
+		cs.d.untrack(cs.s)
+		if cs.managed {
+			cs.d.cm.Release(cs.proto, cs.boundUser)
+		}
+		if cs.inWG {
+			cs.d.wg.Done()
+		}
+	})
+}
+
+// next reads the session's next request, under the manager's idle
+// deadline when one is configured: a client that stalls mid-request
+// holds a goroutine (it cannot be parked), so the deadline is what
+// bounds it. The deadline is cleared before the request is served —
+// transfer bodies are paced by the data path, not the idle policy.
+func (cs *connState) next() (*protocol.Request, error) {
+	if cs.managed && cs.conn != nil {
+		if idle := cs.d.cm.IdleTimeout(); idle > 0 {
+			cs.conn.SetReadDeadline(time.Now().Add(idle))
+			req, err := cs.s.Next()
+			cs.conn.SetReadDeadline(time.Time{})
+			return req, err
+		}
+	}
+	return cs.s.Next()
+}
+
+// step serves one request; it reports whether the session is done.
+// The accounting is ServeSession's documented contract: per-proto × op
+// counts on every request, exact latency for transfers, sampled
+// latency (1 in traceSampleEvery) for control ops, spans for all.
+func (cs *connState) step() bool {
+	d, s := cs.d, cs.s
+	req, err := cs.next()
+	if err != nil {
+		if err != io.EOF {
+			d.logRated("dispatch: %s session: %v", cs.proto, err)
+		}
+		return true
+	}
+	req.Proto = cs.proto
+	req.User = cs.user
+	arrived := d.clock.Now()
+	req.Arrived = arrived
+	cs.nreq++
+	sampled := cs.nreq%traceSampleEvery == 0
+	// Every request gets a trace identity: the protocol handler's
+	// propagated context wins (the request is then a child in a
+	// remote caller's tree), a fresh fleet-unique ID is minted
+	// otherwise. Sampled-out control ops keep their identity too —
+	// their spans record with zero duration, no extra clock reads —
+	// so no request ever vanishes from a trace tree.
+	if req.TraceID == 0 {
+		req.TraceID = d.tracer.NewTraceID()
+	}
+	req.SpanID = d.tracer.NewSpanID()
+	ps := cs.ps
+	if req.Op < protocol.OpCount {
+		ps.ops[req.Op].Inc()
+	}
+	switch {
+	case req.Op == protocol.OpQuit:
+		s.Reply(req, protocol.OKReply())
+		return true
+	case req.Op.IsTransfer():
+		bytes, code, queued := d.handleTransfer(s, req)
+		total := d.clock.Now() - arrived
+		d.latXfer.Observe(int64(total))
+		ps.bytes.Add(bytes)
+		if code != protocol.CodeOK {
+			ps.countError(req.Op, code)
+		}
+		d.maybeTrace(sampled, req, code, bytes, arrived, queued, total)
+		d.recordSpan(req, code, bytes, arrived, total)
+	case req.Op.IsReadOnly():
+		var lockAt time.Duration
+		d.storageMu.RLock()
+		if sampled {
+			lockAt = d.clock.Now()
+		}
+		rep := d.store.Execute(req)
+		d.storageMu.RUnlock()
+		if rep.Code != protocol.CodeOK {
+			ps.countError(req.Op, rep.Code)
+		}
+		if sampled {
+			total := d.clock.Now() - arrived
+			d.latRead.Observe(int64(total))
+			d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+			d.recordSpan(req, rep.Code, 0, arrived, total)
+		} else {
+			d.recordSpan(req, rep.Code, 0, arrived, 0)
+		}
+		if err := s.Reply(req, rep); err != nil {
+			return true
+		}
+	default:
+		var lockAt time.Duration
+		d.storageMu.Lock()
+		if sampled {
+			lockAt = d.clock.Now()
+		}
+		rep := d.store.Execute(req)
+		d.storageMu.Unlock()
+		if rep.Code != protocol.CodeOK {
+			ps.countError(req.Op, rep.Code)
+		}
+		if sampled {
+			total := d.clock.Now() - arrived
+			d.latWrite.Observe(int64(total))
+			d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
+			d.recordSpan(req, rep.Code, 0, arrived, total)
+		} else {
+			d.recordSpan(req, rep.Code, 0, arrived, 0)
+		}
+		if err := s.Reply(req, rep); err != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,327 @@
+package dispatch_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nest/internal/chirp"
+	"nest/internal/classad"
+	"nest/internal/connmgr"
+	"nest/internal/dispatch"
+	"nest/internal/httpx"
+	"nest/internal/protocol"
+	"nest/internal/sim"
+)
+
+// serveProto wires one protocol listener into d and returns its
+// address.
+func serveProto(t *testing.T, d *dispatch.Dispatcher, h protocol.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Register(ln, h.Proto()) {
+		t.Fatal("register refused")
+	}
+	go d.Serve(ln, h)
+	return ln.Addr().String()
+}
+
+// serveHTTP wires an HTTP listener with the dispatcher's status pages
+// installed (so /healthz works over the wire).
+func serveHTTP(t *testing.T, d *dispatch.Dispatcher) string {
+	t.Helper()
+	h := httpx.NewHandler()
+	h.SetStatus(d.StatusPage)
+	return serveProto(t, d, h)
+}
+
+// waitCond polls cond for up to two seconds.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChirpQuotaBusy: past the per-protocol quota a new Chirp
+// connection is refused with the busy greeting the client library
+// surfaces as ErrBusy, and releasing the held connection re-opens
+// admission.
+func TestChirpQuotaBusy(t *testing.T) {
+	d, _ := newDispatcher(t)
+	cm := connmgr.New(connmgr.Config{MaxPerProto: 1})
+	d.SetConnManager(cm)
+	addr := serveProto(t, d, chirp.NewHandler(nil, true))
+
+	c1, err := chirp.Dial(addr, nil)
+	if err != nil {
+		t.Fatalf("first dial: %v", err)
+	}
+	waitCond(t, "admission", func() bool { return cm.Stats().Admitted == 1 })
+
+	if _, err := chirp.Dial(addr, nil); err != chirp.ErrBusy {
+		t.Fatalf("second dial error = %v, want ErrBusy", err)
+	}
+	if st := cm.Stats(); st.Refused != 1 {
+		t.Fatalf("refused = %d", st.Refused)
+	}
+
+	c1.Close()
+	waitCond(t, "release", func() bool {
+		st := cm.Stats()
+		return st.Active == 0 && st.ParkedNow == 0
+	})
+	c2, err := chirp.Dial(addr, nil)
+	if err != nil {
+		t.Fatalf("dial after release: %v", err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	c2.Close()
+}
+
+// TestHTTPShed503: with the overload shedder tripped, a new HTTP
+// connection gets a protocol-correct 503 with Retry-After and the shed
+// counter moves.
+func TestHTTPShed503(t *testing.T) {
+	d, _ := newDispatcher(t)
+	depth := atomic.Int64{}
+	depth.Store(1000)
+	cm := connmgr.New(connmgr.Config{
+		ShedQueueDepth: 1,
+		Signals:        connmgr.Signals{QueueDepth: depth.Load},
+		SignalPeriod:   time.Nanosecond,
+	})
+	d.SetConnManager(cm)
+	addr := serveHTTP(t, d)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /x HTTP/1.1\r\nHost: t\r\n\r\n")
+	body, _ := io.ReadAll(conn)
+	resp := string(body)
+	if !strings.HasPrefix(resp, "HTTP/1.1 503") {
+		t.Fatalf("response = %q, want 503", resp)
+	}
+	if !strings.Contains(resp, "Retry-After:") {
+		t.Fatalf("response lacks Retry-After: %q", resp)
+	}
+	waitCond(t, "shed count", func() bool { return cm.Stats().Shed >= 1 })
+
+	// Recovery: signal drops, the 1ns cache lapses, service resumes.
+	depth.Store(0)
+	waitCond(t, "recovery", func() bool {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return false
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "GET /healthz HTTP/1.0\r\n\r\n")
+		body, _ := io.ReadAll(conn)
+		return strings.HasPrefix(string(body), "HTTP/1.1 200")
+	})
+}
+
+// TestConnsPageAndMetrics: the front end's counters are visible on
+// /conns and /metrics, and an idle keep-alive session shows up parked
+// (goroutine released, connection in the poller).
+func TestConnsPageAndMetrics(t *testing.T) {
+	d, _ := newDispatcher(t)
+	cm := connmgr.New(connmgr.Config{})
+	d.SetConnManager(cm)
+	addr := serveHTTP(t, d)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A freshly admitted session with nothing to read parks before its
+	// first request.
+	waitCond(t, "parked session", func() bool { return cm.Stats().ParkedNow == 1 })
+
+	page, ok := d.StatusPage("/conns")
+	if !ok {
+		t.Fatal("/conns not served")
+	}
+	for _, want := range []string{"per-protocol connections", "http", "admitted: 1"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("/conns missing %q:\n%s", want, page)
+		}
+	}
+	metrics, _ := d.StatusPage("/metrics")
+	for _, want := range []string{
+		"nest_connmgr_admitted_total 1",
+		"nest_connmgr_parked_total 1",
+		"nest_connmgr_parked 1",
+		"nest_dispatch_log_dropped_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAdvertisementConnHealth: the ClassAd carries OpenConns and
+// ParkedConns, and a collector-style constraint over them evaluates.
+func TestAdvertisementConnHealth(t *testing.T) {
+	d, _ := newDispatcher(t)
+	cm := connmgr.New(connmgr.Config{})
+	d.SetConnManager(cm)
+	cm.Admit("chirp")
+	cm.Admit("chirp")
+
+	ad := d.Advertisement("n1")
+	open, ok := ad.EvalAttr("OpenConns", nil).IntVal()
+	if !ok || open != 2 {
+		t.Fatalf("OpenConns = %v %v", open, ok)
+	}
+	if _, ok := ad.EvalAttr("ParkedConns", nil).IntVal(); !ok {
+		t.Fatal("ParkedConns missing")
+	}
+	expr, err := classad.ParseExpr("OpenConns < 10 && ParkedConns == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.Eval(&classad.Env{Self: ad}).IsTrue() {
+		t.Fatal("healthy constraint did not match")
+	}
+	expr, _ = classad.ParseExpr("OpenConns < 2")
+	if expr.Eval(&classad.Env{Self: ad}).IsTrue() {
+		t.Fatal("saturation constraint matched a loaded appliance")
+	}
+}
+
+// errSession's Next always fails: every ServeSession emits exactly one
+// session-error diagnostic.
+type errSession struct{ fakeSession }
+
+func (s *errSession) Next() (*protocol.Request, error) {
+	return nil, fmt.Errorf("scripted failure")
+}
+
+// countWriter counts log lines written through it.
+type countWriter struct {
+	mu    sync.Mutex
+	lines int
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.lines++
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+// TestSessionLogRateLimit: session-error diagnostics are clipped by
+// the token bucket and the overflow is counted, not written.
+func TestSessionLogRateLimit(t *testing.T) {
+	d, _ := newDispatcher(t)
+	w := &countWriter{}
+	d.SetLogger(log.New(w, "", 0))
+	const n = 200
+	for i := 0; i < n; i++ {
+		d.ServeSession(&errSession{})
+	}
+	w.mu.Lock()
+	lines := w.lines
+	w.mu.Unlock()
+	if lines >= n {
+		t.Fatalf("all %d error lines written; rate limit inert", lines)
+	}
+	if lines == 0 {
+		t.Fatal("rate limit swallowed everything (burst must pass)")
+	}
+	metrics, _ := d.StatusPage("/metrics")
+	var dropped int64
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "nest_dispatch_log_dropped_total ") {
+			fmt.Sscanf(line, "nest_dispatch_log_dropped_total %d", &dropped)
+		}
+	}
+	if int(dropped)+lines != n {
+		t.Fatalf("written %d + dropped %d != %d", lines, dropped, n)
+	}
+}
+
+// TestConcurrentDialers floods the front end with 1000 concurrent
+// keep-alive HTTP dialers (run under -race in CI): every connection
+// must get either a 200 or a protocol-correct 503, parking must engage
+// for idle sessions, and the books must balance back to zero after the
+// storm.
+func TestConcurrentDialers(t *testing.T) {
+	d, _ := newDispatcher(t)
+	cm := connmgr.New(connmgr.Config{Clock: sim.NewRealClock()})
+	d.SetConnManager(cm)
+	addr := serveHTTP(t, d)
+
+	const dialers = 1000
+	var ok200, ok503, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < dialers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+			buf := make([]byte, 512)
+			n, err := conn.Read(buf)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			resp := string(buf[:n])
+			switch {
+			case strings.HasPrefix(resp, "HTTP/1.1 200"):
+				ok200.Add(1)
+			case strings.HasPrefix(resp, "HTTP/1.1 503"):
+				ok503.Add(1)
+			default:
+				failed.Add(1)
+				return
+			}
+			// Linger briefly so the idle session parks, then hang up.
+			time.Sleep(5 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if failed.Load() > 0 {
+		t.Fatalf("%d dialers failed (200: %d, 503: %d)", failed.Load(), ok200.Load(), ok503.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no dialer was served")
+	}
+	st := cm.Stats()
+	if st.Parked == 0 {
+		t.Error("no session ever parked during the storm")
+	}
+	waitCond(t, "books balanced", func() bool {
+		st := cm.Stats()
+		return st.Active == 0 && st.ParkedNow == 0
+	})
+	t.Logf("served=%d shed=%d parked=%d resumed=%d", ok200.Load(), ok503.Load(), st.Parked, st.Resumed)
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nest/internal/classad"
+	"nest/internal/connmgr"
 	"nest/internal/discovery"
 	"nest/internal/obs"
 	"nest/internal/protocol"
@@ -70,6 +71,18 @@ type Dispatcher struct {
 	// have started (the old bare exported field raced with logf).
 	logger atomic.Pointer[log.Logger]
 
+	// cm is the optional connection front end (admission, shedding,
+	// parking); nil keeps the goroutine-per-connection path. Set at
+	// wiring time via SetConnManager, before serving.
+	cm *connmgr.Manager
+
+	// Diagnostics token bucket (logRated): peers can mint handshake
+	// and session errors at line rate, so those paths are clipped.
+	logLim     sync.Mutex
+	logTokens  float64
+	logLast    time.Duration
+	logDropped atomic.Int64
+
 	// Observability (package obs). The registry and rings are created
 	// at New and live for the dispatcher; per-protocol instrument
 	// blocks are resolved once per session, so the per-request record
@@ -101,6 +114,8 @@ func New(clock sim.Clock, store *storage.Manager, xfer *transfer.Manager) *Dispa
 		pubBytes: make(map[string]int64),
 		pubAt:    clock.Now(),
 	}
+	d.logTokens = logBurst
+	d.logLast = clock.Now()
 	d.initObs()
 	// The transfer manager records its stage spans (queue wait, data
 	// phase, stripes) into the same tracer, so a transfer's tree is
@@ -183,36 +198,80 @@ func (d *Dispatcher) Serve(ln net.Listener, h protocol.Handler) {
 }
 
 func (d *Dispatcher) serve(ln net.Listener, h protocol.Handler) {
+	proto := h.Proto()
+	cm := d.cm
+	// With a connection manager, accepted conns feed a bounded queue
+	// drained by a fixed handshake-worker pool (accept → admit →
+	// handshake → serve); a full queue sheds instead of spawning.
+	var queue chan net.Conn
+	var hwg sync.WaitGroup
+	if cm != nil {
+		queue = make(chan net.Conn, acceptQueueDepth)
+		for i := 0; i < handshakeWorkers; i++ {
+			hwg.Add(1)
+			go func() {
+				defer hwg.Done()
+				for conn := range queue {
+					d.admitConn(conn, h, proto)
+				}
+			}()
+		}
+		defer func() {
+			close(queue)
+			hwg.Wait()
+		}()
+	}
 	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Shutdown must win over retry: a closing dispatcher's
+			// listener error returns immediately instead of sitting out
+			// a backoff the closer would have to wait for.
+			if errors.Is(err, net.ErrClosed) || d.isClosed() {
+				return
+			}
 			// A transient accept failure (connection aborted in the
 			// backlog, descriptor exhaustion) must not take the whole
 			// protocol endpoint down: back off and retry, returning
 			// only when the listener itself is closed.
 			var ne net.Error
-			if !errors.Is(err, net.ErrClosed) && errors.As(err, &ne) {
+			if errors.As(err, &ne) {
 				backoff = nextAcceptBackoff(backoff)
-				d.logf("dispatch: %s accept: %v (retrying in %v)", h.Proto(), err, backoff)
+				d.logRated("dispatch: %s accept: %v (retrying in %v)", proto, err, backoff)
 				time.Sleep(backoff)
 				continue
 			}
 			return
 		}
 		backoff = 0
-		d.wg.Add(1)
-		go func() {
-			defer d.wg.Done()
-			sess, err := h.NewSession(conn)
-			if err != nil {
-				d.logf("dispatch: %s handshake from %s failed: %v", h.Proto(), conn.RemoteAddr(), err)
-				conn.Close()
-				return
-			}
-			d.ServeSession(sess)
-		}()
+		if cm == nil {
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				sess, err := h.NewSession(conn)
+				if err != nil {
+					d.logRated("dispatch: %s handshake from %s failed: %v", proto, connAddr(conn), err)
+					conn.Close()
+					return
+				}
+				d.ServeSession(sess)
+			}()
+			continue
+		}
+		select {
+		case queue <- conn:
+		default:
+			cm.ShedOverflow(proto)
+			go d.refuseBusy(conn, proto)
+		}
 	}
+}
+
+func (d *Dispatcher) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
 }
 
 // ServeSession drives one virtual protocol connection to completion.
@@ -226,103 +285,20 @@ func (d *Dispatcher) serve(ln net.Listener, h protocol.Handler) {
 // per-request overhead inside the <5% benchmark budget. Sampled
 // requests also record full stage timing into the trace ring, and any
 // timed request over the slow threshold lands in the slow-trace ring.
+//
+// ServeSession never parks: it serves on the calling goroutine until
+// the session ends, whatever the front-end configuration — direct
+// callers (tests, embedders) rely on the blocking contract. Sessions
+// arriving through a listener with a connection manager installed take
+// the admitConn path instead, which parks idle parkable sessions.
 func (d *Dispatcher) ServeSession(s protocol.Session) {
-	defer s.Close()
+	cs := &connState{d: d, s: s, proto: s.Proto(), user: s.User()}
 	if !d.track(s) {
+		s.Close()
 		return
 	}
-	defer d.untrack(s)
-	proto := s.Proto()
-	user := s.User()
-	ps := d.protoStatsFor(proto)
-	var nreq uint64
-	for {
-		req, err := s.Next()
-		if err != nil {
-			if err != io.EOF {
-				d.logf("dispatch: %s session: %v", proto, err)
-			}
-			return
-		}
-		req.Proto = proto
-		req.User = user
-		arrived := d.clock.Now()
-		req.Arrived = arrived
-		nreq++
-		sampled := nreq%traceSampleEvery == 0
-		// Every request gets a trace identity: the protocol handler's
-		// propagated context wins (the request is then a child in a
-		// remote caller's tree), a fresh fleet-unique ID is minted
-		// otherwise. Sampled-out control ops keep their identity too —
-		// their spans record with zero duration, no extra clock reads —
-		// so no request ever vanishes from a trace tree.
-		if req.TraceID == 0 {
-			req.TraceID = d.tracer.NewTraceID()
-		}
-		req.SpanID = d.tracer.NewSpanID()
-		if req.Op < protocol.OpCount {
-			ps.ops[req.Op].Inc()
-		}
-		switch {
-		case req.Op == protocol.OpQuit:
-			s.Reply(req, protocol.OKReply())
-			return
-		case req.Op.IsTransfer():
-			bytes, code, queued := d.handleTransfer(s, req)
-			total := d.clock.Now() - arrived
-			d.latXfer.Observe(int64(total))
-			ps.bytes.Add(bytes)
-			if code != protocol.CodeOK {
-				ps.countError(req.Op, code)
-			}
-			d.maybeTrace(sampled, req, code, bytes, arrived, queued, total)
-			d.recordSpan(req, code, bytes, arrived, total)
-		case req.Op.IsReadOnly():
-			var lockAt time.Duration
-			d.storageMu.RLock()
-			if sampled {
-				lockAt = d.clock.Now()
-			}
-			rep := d.store.Execute(req)
-			d.storageMu.RUnlock()
-			if rep.Code != protocol.CodeOK {
-				ps.countError(req.Op, rep.Code)
-			}
-			if sampled {
-				total := d.clock.Now() - arrived
-				d.latRead.Observe(int64(total))
-				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
-				d.recordSpan(req, rep.Code, 0, arrived, total)
-			} else {
-				d.recordSpan(req, rep.Code, 0, arrived, 0)
-			}
-			if err := s.Reply(req, rep); err != nil {
-				return
-			}
-		default:
-			var lockAt time.Duration
-			d.storageMu.Lock()
-			if sampled {
-				lockAt = d.clock.Now()
-			}
-			rep := d.store.Execute(req)
-			d.storageMu.Unlock()
-			if rep.Code != protocol.CodeOK {
-				ps.countError(req.Op, rep.Code)
-			}
-			if sampled {
-				total := d.clock.Now() - arrived
-				d.latWrite.Observe(int64(total))
-				d.maybeTrace(true, req, rep.Code, 0, arrived, lockAt-arrived, total)
-				d.recordSpan(req, rep.Code, 0, arrived, total)
-			} else {
-				d.recordSpan(req, rep.Code, 0, arrived, 0)
-			}
-			if err := s.Reply(req, rep); err != nil {
-				return
-			}
-		}
-	}
+	cs.ps = d.protoStatsFor(cs.proto)
+	cs.loop()
 }
 
 // handleTransfer performs the synchronous approval at the storage
@@ -540,6 +516,14 @@ func (d *Dispatcher) Advertisement(name string) *classad.Ad {
 	lat.Merge(d.latXfer.Snapshot())
 	ad.SetReal("P99LatencyMs", float64(lat.Quantile(0.99))/1e6)
 	ad.SetInt("QueueDepth", d.xfer.QueueDepth())
+	// Connection health, when a front end is installed: collectors can
+	// constrain on OpenConns/ParkedConns to steer new clients away from
+	// connection-saturated appliances.
+	if cm := d.cm; cm != nil {
+		st := cm.Stats()
+		ad.SetInt("OpenConns", st.Active+st.ParkedNow)
+		ad.SetInt("ParkedConns", st.ParkedNow)
+	}
 	ad.SetInt("UpdatedAt", int64(now/time.Millisecond))
 	return ad
 }
@@ -581,6 +565,12 @@ func (d *Dispatcher) Close() {
 	}
 	for _, s := range sessions {
 		s.Close()
+	}
+	// Closing the manager wakes every parked session with WakeShutdown;
+	// each teardown runs inline here and releases its d.wg slot, so the
+	// Wait below covers parked connections too.
+	if d.cm != nil {
+		d.cm.Close()
 	}
 	d.wg.Wait()
 }

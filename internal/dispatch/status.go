@@ -103,6 +103,7 @@ func (d *Dispatcher) initObs() {
 	d.reg.Func("nest_striped_active", func() int64 {
 		return int64(len(transfer.ActiveStriped()))
 	})
+	d.reg.Func("nest_dispatch_log_dropped_total", func() int64 { return d.logDropped.Load() })
 	d.reg.Func("nest_trace_drops_total", func() int64 { return d.ring.Drops() + d.slowRing.Drops() })
 	d.reg.Func("nest_span_drops_total", func() int64 { return d.tracer.Drops() })
 
@@ -246,6 +247,8 @@ func (d *Dispatcher) StatusPage(path string) (string, bool) {
 		return "ok\n", true
 	case "/statusz":
 		return d.statusz(), true
+	case "/conns":
+		return d.connsPage(), true
 	case "/traces":
 		return d.tracesPage(), true
 	case "/traces.json":

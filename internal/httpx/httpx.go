@@ -90,6 +90,13 @@ func (s *session) User() string { return gsi.Anonymous }
 // Close implements protocol.Session.
 func (s *session) Close() error { return s.conn.Close() }
 
+// Conn implements protocol.Parkable: a keep-alive HTTP session is
+// framed request/response, so it may be parked between requests.
+func (s *session) Conn() net.Conn { return s.conn }
+
+// Buffered implements protocol.Parkable.
+func (s *session) Buffered() int { return s.br.Buffered() }
+
 // Next implements protocol.Session: parse one HTTP request head.
 // Observability paths are answered here directly (they are appliance
 // introspection, not file operations) and the session moves on to the
@@ -244,6 +251,8 @@ func statusText(code int) string {
 		return "Insufficient Storage"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	}
 	return "Error"
 }
@@ -262,6 +271,8 @@ func codeToStatus(code int) int {
 		return 409
 	case protocol.CodeBadRequest:
 		return 400
+	case protocol.CodeBusy:
+		return 503
 	}
 	return 500
 }

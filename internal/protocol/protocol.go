@@ -101,11 +101,16 @@ const (
 	CodeIsDir      = 8
 	CodeInternal   = 9
 	CodeNoLot      = 10
+	// CodeBusy: the appliance refused the work to protect itself —
+	// a connection quota is exhausted or the overload shedder is
+	// active. Clients should back off and retry (HTTP maps it to
+	// 503 + Retry-After, FTP to 421).
+	CodeBusy = 11
 
 	// CodeCount bounds the reply-code space; observability sizes
 	// fixed-width per-code counter arrays with it so recording never
 	// allocates.
-	CodeCount = 11
+	CodeCount = 12
 )
 
 var codeNames = map[int]string{
@@ -114,6 +119,7 @@ var codeNames = map[int]string{
 	CodeBadRequest: "bad request", CodeNotEmpty: "not empty",
 	CodeNotDir: "not a directory", CodeIsDir: "is a directory",
 	CodeInternal: "internal error", CodeNoLot: "no lot",
+	CodeBusy: "busy",
 }
 
 // CodeString names a reply code.
@@ -130,6 +136,7 @@ var codeLabels = map[int]string{
 	CodeBadRequest: "bad_request", CodeNotEmpty: "not_empty",
 	CodeNotDir: "not_dir", CodeIsDir: "is_dir",
 	CodeInternal: "internal", CodeNoLot: "no_lot",
+	CodeBusy: "busy",
 }
 
 // CodeLabel names a reply code as a metrics label (no spaces).
@@ -282,6 +289,23 @@ type Handler interface {
 	Proto() string
 	// NewSession authenticates conn and returns its Session.
 	NewSession(conn net.Conn) (Session, error)
+}
+
+// Parkable is the idle-parking capability a Session may expose when
+// its wire format is framed request/response on a single connection
+// (Chirp, HTTP): between requests — when Buffered reports no bytes
+// already sitting in the session's read buffer — the dispatcher may
+// register Conn with a readiness poller and release the serving
+// goroutine, resuming the session when the next request arrives.
+// Protocols with out-of-band state (FTP data connections, NFS RPC
+// transactions) do not implement it and keep their goroutines.
+type Parkable interface {
+	// Conn returns the connection the poller should watch.
+	Conn() net.Conn
+	// Buffered reports bytes already read off the wire but not yet
+	// parsed; a session with buffered bytes must not be parked (the
+	// poller would never see them).
+	Buffered() int
 }
 
 // StripeSink is the striped-get capability a SendData sink may expose

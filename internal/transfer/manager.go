@@ -92,6 +92,7 @@ type Manager struct {
 	submits     atomic.Int64
 	admissions  atomic.Int64
 	preemptions atomic.Int64
+	active      atomic.Int64
 }
 
 // ManagerStats is a snapshot of the manager's scheduling activity.
@@ -100,6 +101,7 @@ type ManagerStats struct {
 	Submits     int64 // transfers accepted via Submit
 	Admissions  int64 // policy decisions granting a slot (incl. re-admissions)
 	Preemptions int64 // quantum expiries that requeued a transfer
+	Active      int64 // transfers submitted but not yet completed
 }
 
 // Stats returns current scheduling counters.
@@ -109,11 +111,17 @@ func (m *Manager) Stats() ManagerStats {
 		Submits:     m.submits.Load(),
 		Admissions:  m.admissions.Load(),
 		Preemptions: m.preemptions.Load(),
+		Active:      m.active.Load(),
 	}
 }
 
 // QueueDepth returns the number of transfers awaiting admission.
 func (m *Manager) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// Active returns the number of transfers in flight (queued or moving
+// data) — one of the overload signals the connection front end sheds
+// on.
+func (m *Manager) Active() int64 { return m.active.Load() }
 
 type managerEvent struct {
 	kind  int // 0 submit, 1 done, 2 wake
@@ -235,8 +243,10 @@ func (m *Manager) Submit(t *Transfer) {
 	t.submitted = m.clock.Now()
 	t.started = -1
 	m.submits.Add(1)
+	m.active.Add(1)
 	m.inFlight.Add(1)
 	if !m.events.Push(managerEvent{kind: 0, t: t}) {
+		m.active.Add(-1)
 		m.inFlight.Done()
 		if t.OnDone != nil {
 			t.OnDone(Result{Transfer: t, Err: fmt.Errorf("transfer: manager closed")})
@@ -361,6 +371,7 @@ func (m *Manager) loop() {
 			if t.OnDone != nil {
 				t.OnDone(res)
 			}
+			m.active.Add(-1)
 			m.inFlight.Done()
 		case 2: // wake (non-work-conserving retry)
 			wakeArmed = false
